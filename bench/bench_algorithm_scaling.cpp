@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks: how the synthesis algorithms and the
+// simulation kernel scale with problem size. Not a paper figure -- this
+// is the engineering-cost side of the tool itself (the paper's Sec. 3
+// exploration is linear in buswidth x channels; protocol generation is
+// linear in channels; the simulator in events).
+#include <benchmark/benchmark.h>
+
+#include "bus/bus_generator.hpp"
+#include "partition/partitioner.hpp"
+#include "protocol/protocol_generator.hpp"
+#include "sim/interpreter.hpp"
+#include "spec/analysis.hpp"
+#include "suite/fig3_example.hpp"
+#include "suite/flc.hpp"
+#include "util/bit_vector.hpp"
+
+namespace {
+
+using namespace ifsyn;
+using namespace ifsyn::spec;
+
+/// A synthetic partitioned system with `n` channels of mixed shapes on
+/// one bus, each accessor doing light work (so rates stay feasible).
+System make_synthetic(int n_channels) {
+  System s("synthetic");
+  for (int i = 0; i < n_channels; ++i) {
+    const int width = 4 + (i * 5) % 29;
+    s.add_variable(Variable("V" + std::to_string(i),
+                            i % 3 == 0
+                                ? Type::array(Type::bits(width), 16)
+                                : Type::bits(width)));
+  }
+  for (int i = 0; i < n_channels; ++i) {
+    Process p;
+    p.name = "P" + std::to_string(i);
+    const std::string var_name = "V" + std::to_string(i);
+    const bool is_array = i % 3 == 0;
+    Block body{wait_for(50 + i % 17)};
+    if (is_array) {
+      body.push_back(for_stmt("k", lit(0), lit(3),
+                              {assign(lv_idx(var_name, var("k")), var("k"))}));
+    } else {
+      body.push_back(assign(var_name, lit(i)));
+    }
+    p.body = std::move(body);
+    s.add_process(std::move(p));
+  }
+
+  std::vector<partition::ModuleAssignment> assignment(2);
+  assignment[0].module = "M1";
+  assignment[1].module = "M2";
+  for (int i = 0; i < n_channels; ++i) {
+    assignment[0].processes.push_back("P" + std::to_string(i));
+    assignment[1].variables.push_back("V" + std::to_string(i));
+  }
+  IFSYN_ASSERT(partition::apply_partition(s, assignment).is_ok());
+  IFSYN_ASSERT(partition::group_all_channels(s, "B").is_ok());
+  IFSYN_ASSERT(annotate_channel_accesses(s).is_ok());
+  return s;
+}
+
+void BM_BusGeneration(benchmark::State& state) {
+  System s = make_synthetic(static_cast<int>(state.range(0)));
+  estimate::PerformanceEstimator estimator(s);
+  bus::BusGenerator generator(s, estimator);
+  for (auto _ : state) {
+    auto result = generator.generate(*s.find_bus("B"), {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BusGeneration)->RangeMultiplier(2)->Range(2, 256)->Complexity();
+
+void BM_ProtocolGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    System s = make_synthetic(n);
+    s.find_bus("B")->width = 8;
+    state.ResumeTiming();
+    protocol::ProtocolGenerator generator;
+    Status status = generator.generate_all(s);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProtocolGeneration)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity();
+
+void BM_RefinedSimulation_Fig3(benchmark::State& state) {
+  System refined = suite::make_fig3_system();
+  protocol::ProtocolGenOptions options;
+  options.arbitrate = true;  // P and Q overlap on the bus
+  protocol::ProtocolGenerator generator(options);
+  IFSYN_ASSERT(generator.generate_all(refined).is_ok());
+  for (auto _ : state) {
+    sim::SimulationRun run = sim::simulate(refined);
+    benchmark::DoNotOptimize(run.result.end_time);
+  }
+}
+BENCHMARK(BM_RefinedSimulation_Fig3);
+
+void BM_RefinedSimulation_FlcKernel(benchmark::State& state) {
+  System refined = suite::make_flc_kernel();
+  refined.find_bus("B")->width = static_cast<int>(state.range(0));
+  protocol::ProtocolGenOptions options;
+  options.arbitrate = true;
+  protocol::ProtocolGenerator generator(options);
+  IFSYN_ASSERT(generator.generate_all(refined).is_ok());
+  for (auto _ : state) {
+    sim::SimulationRun run = sim::simulate(refined, 50'000'000);
+    benchmark::DoNotOptimize(run.result.end_time);
+  }
+}
+BENCHMARK(BM_RefinedSimulation_FlcKernel)->Arg(4)->Arg(8)->Arg(23);
+
+void BM_BitVectorSliceReassemble(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  BitVector msg(bits);
+  for (int i = 0; i < bits; i += 7) msg.set_bit(i, true);
+  for (auto _ : state) {
+    BitVector rebuilt(bits);
+    for (int lo = 0; lo < bits; lo += 8) {
+      const int hi = std::min(lo + 7, bits - 1);
+      rebuilt.set_slice(hi, lo, msg.slice(hi, lo));
+    }
+    benchmark::DoNotOptimize(rebuilt);
+  }
+}
+BENCHMARK(BM_BitVectorSliceReassemble)->Arg(23)->Arg(64)->Arg(512);
+
+void BM_AccessCounting(benchmark::State& state) {
+  System s = suite::make_flc_full();
+  for (auto _ : state) {
+    for (const auto& proc : s.processes()) {
+      auto counts = count_accesses(*proc, "InitMemberFunct");
+      benchmark::DoNotOptimize(counts);
+    }
+  }
+}
+BENCHMARK(BM_AccessCounting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

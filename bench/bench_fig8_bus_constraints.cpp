@@ -1,0 +1,118 @@
+// Reproduces Figure 8: "Bus constraints, selected bus width and
+// corresponding bus rates of three implementations of bus B comprising
+// ch1 and ch2".
+//
+// Paper's table:
+//   design A: MinPeakRate(ch2)=10 b/clk (w 10)          -> width 20, 10 b/clk
+//   design B: MinPeak(ch2)=10 (2), MinBW=14 (1),
+//             MaxBW (1)                                  -> width 18,  9 b/clk
+//   design C: MinPeak(ch2)=10 (1), MinBW=16 (5),
+//             MaxBW=16 (5)                               -> width 16,  8 b/clk
+//   total channel bitwidth 46 pins; reductions 56/61/66 %.
+//
+// The OCR of the paper garbles design B's MaxBusWidth bound; 17 is the
+// unique value for which the published selection (18) minimizes the
+// stated cost function -- see DESIGN.md. Our exact reductions are
+// 56.5/60.9/65.2 % (1 - width/46); the paper's rounding prints 56/61/66.
+#include <cstdio>
+#include <vector>
+
+#include "bus/bus_generator.hpp"
+#include "spec/analysis.hpp"
+#include "suite/flc.hpp"
+
+using namespace ifsyn;
+using namespace ifsyn::bus;
+using suite::FlcCalibration;
+
+namespace {
+
+struct Design {
+  const char* name;
+  const char* description;
+  std::vector<BusConstraint> constraints;
+  int paper_width;
+  double paper_rate;
+  int paper_reduction;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: constraint-driven bus designs for {ch1, ch2} "
+              "===\n\n");
+
+  spec::System kernel = suite::make_flc_kernel();
+  Status status = spec::annotate_channel_accesses(kernel);
+  if (!status.is_ok()) {
+    std::printf("annotation failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  estimate::PerformanceEstimator estimator(kernel);
+  estimator.set_compute_cycles("EVAL_R3",
+                               FlcCalibration::kEvalR3ComputeCycles);
+  estimator.set_compute_cycles("CONV_R2",
+                               FlcCalibration::kConvR2ComputeCycles);
+  BusGenerator generator(kernel, estimator);
+
+  const Design designs[] = {
+      {"A", "MinPeakRate(ch2)=10 b/clk (w10)",
+       {min_peak_rate("ch2", 10, 10)},
+       20, 10.0, 56},
+      {"B",
+       "MinPeak(ch2)=10 (w2); MinBW=14 (w1); MaxBW=17 (w1)",
+       {min_peak_rate("ch2", 10, 2), min_bus_width(14, 1),
+        max_bus_width(17, 1)},
+       18, 9.0, 61},
+      {"C",
+       "MinPeak(ch2)=10 (w1); MinBW=16 (w5); MaxBW=16 (w5)",
+       {min_peak_rate("ch2", 10, 1), min_bus_width(16, 5),
+        max_bus_width(16, 5)},
+       16, 8.0, 66},
+  };
+
+  std::printf("%-3s %-52s %7s %12s %12s %10s\n", "", "constraints (weight)",
+              "width", "rate(b/clk)", "reduction%", "paper");
+  bool all_match = true;
+  for (const Design& design : designs) {
+    BusGenOptions options;
+    options.constraints = design.constraints;
+    Result<BusGenResult> result =
+        generator.generate(*kernel.find_bus("B"), options);
+    if (!result.is_ok()) {
+      std::printf("%-3s synthesis failed: %s\n", design.name,
+                  result.status().to_string().c_str());
+      all_match = false;
+      continue;
+    }
+    const bool match = result->selected_width == design.paper_width &&
+                       result->selected_bus_rate == design.paper_rate;
+    all_match = all_match && match;
+    std::printf("%-3s %-52s %7d %12.1f %12.1f %4d/%.0f/%d%% %s\n",
+                design.name, design.description, result->selected_width,
+                result->selected_bus_rate,
+                result->interconnect_reduction * 100, design.paper_width,
+                design.paper_rate, design.paper_reduction,
+                match ? "MATCH" : "MISMATCH");
+  }
+  std::printf("\nTotal bitwidth of the channels: 46 pins (2 x (16 data + 7 "
+              "addr)), as in the paper.\n");
+
+  // Show the exploration behind design B: cost of every candidate width.
+  std::printf("\n--- cost landscape for design B (weighted squared "
+              "violations) ---\n");
+  BusGenOptions options;
+  options.constraints = designs[1].constraints;
+  Result<BusGenResult> result =
+      generator.generate(*kernel.find_bus("B"), options);
+  std::printf("%7s %10s %10s %10s %s\n", "width", "rate", "demand", "cost",
+              "status");
+  for (const WidthEvaluation& eval : result->evaluations) {
+    if (eval.width < 9 && eval.width % 3 != 0) continue;  // compress rows
+    std::printf("%7d %10.2f %10.2f %10.2f %s%s\n", eval.width, eval.bus_rate,
+                eval.sum_average_rates, eval.cost,
+                eval.feasible ? "feasible" : "infeasible (Eq. 1)",
+                eval.width == result->selected_width ? "  <- selected" : "");
+  }
+  return all_match ? 0 : 1;
+}

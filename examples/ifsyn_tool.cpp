@@ -1,0 +1,237 @@
+// ifsyn_tool: command-line front end for the whole flow.
+//
+//   ifsyn_tool <spec.ifs> [options]
+//
+//     --protocol full|half|fixed|wired   protocol selection (default full)
+//     --fixed-delay N                    cycles/word for the fixed-delay protocol
+//     --arbitrate                        serialize masters with a bus lock
+//     --emit-vhdl <file>                 write the refined spec as VHDL
+//     --print-spec                       dump the refined IR as pseudo-VHDL
+//     --no-cosim                         skip the equivalence co-simulation
+//     --max-time N                       co-simulation budget (cycles)
+//     --vcd <file>                       dump the refined run's waveform
+//     --report <file>                    write a Markdown synthesis report
+//
+// Reads a textual specification (see src/spec/parser.hpp for the
+// language), runs interface synthesis (bus generation for groups without
+// a pinned width + protocol generation), reports the synthesized bus
+// structures, co-simulates original vs refined, and optionally emits
+// VHDL -- the complete Fig. 1 flow from a file.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <fstream>
+#include <string>
+
+#include "codegen/vhdl_emitter.hpp"
+#include "core/equivalence.hpp"
+#include "core/interface_synthesizer.hpp"
+#include "core/report.hpp"
+#include "protocol/trace_analyzer.hpp"
+#include "sim/vcd.hpp"
+#include "spec/parser.hpp"
+#include "spec/printer.hpp"
+
+using namespace ifsyn;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec.ifs> [--protocol full|half|fixed|wired] "
+               "[--fixed-delay N] [--arbitrate]\n"
+               "          [--emit-vhdl <file>] [--print-spec] [--no-cosim] "
+               "[--max-time N] [--vcd <file>] [--report <file>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  std::string spec_path;
+  std::string vhdl_path;
+  std::string vcd_path;
+  std::string report_path;
+  bool print_spec = false;
+  bool cosim = true;
+  std::uint64_t max_time = 10'000'000;
+  core::SynthesisOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const std::string p = next_value("--protocol");
+      if (p == "full") options.protocol = spec::ProtocolKind::kFullHandshake;
+      else if (p == "half") options.protocol = spec::ProtocolKind::kHalfHandshake;
+      else if (p == "fixed") options.protocol = spec::ProtocolKind::kFixedDelay;
+      else if (p == "wired") options.protocol = spec::ProtocolKind::kHardwiredPort;
+      else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
+        return 2;
+      }
+    } else if (arg == "--fixed-delay") {
+      options.fixed_delay_cycles = std::atoi(next_value("--fixed-delay"));
+    } else if (arg == "--arbitrate") {
+      options.arbitrate = true;
+    } else if (arg == "--emit-vhdl") {
+      vhdl_path = next_value("--emit-vhdl");
+    } else if (arg == "--vcd") {
+      vcd_path = next_value("--vcd");
+    } else if (arg == "--report") {
+      report_path = next_value("--report");
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--no-cosim") {
+      cosim = false;
+    } else if (arg == "--max-time") {
+      max_time = std::strtoull(next_value("--max-time"), nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return usage(argv[0]);
+
+  // ---- parse -------------------------------------------------------------
+  Result<spec::System> parsed = spec::parse_system_file(spec_path);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().to_string().c_str());
+    return 1;
+  }
+  spec::System original = std::move(parsed).value();
+  std::printf("parsed system '%s': %zu variables, %zu processes, "
+              "%zu channels, %zu bus group(s)\n",
+              original.name().c_str(), original.variables().size(),
+              original.processes().size(), original.channels().size(),
+              original.buses().size());
+
+  // ---- synthesize ----------------------------------------------------------
+  spec::System refined = original.clone(original.name() + "_refined");
+  core::InterfaceSynthesizer synth(options);
+  Result<core::SynthesisReport> report = synth.run(refined);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+
+  for (const auto& bus : refined.buses()) {
+    std::printf("bus %s: %d data + %d control + %d id = %d wires, "
+                "protocol %s%s\n",
+                bus->name.c_str(), bus->width, bus->control_lines,
+                bus->id_bits, bus->total_wires(),
+                protocol_kind_name(bus->protocol),
+                bus->arbitrated ? ", arbitrated" : "");
+  }
+  for (const core::BusReport& r : report->buses) {
+    if (r.generation.selected_width > 0) {
+      std::printf("  %s width search: selected %d of %d channel bits "
+                  "(reduction %.1f%%)\n",
+                  r.bus.c_str(), r.generation.selected_width,
+                  r.generation.total_channel_bits,
+                  r.generation.interconnect_reduction * 100);
+    }
+  }
+  if (!report->split_buses.empty()) {
+    std::printf("  note: %zu group(s) split for Eq. 1 feasibility\n",
+                report->split_buses.size());
+  }
+
+  if (print_spec) {
+    std::printf("\n%s\n", spec::print_system(refined).c_str());
+  }
+
+  // ---- co-simulate --------------------------------------------------------
+  int exit_code = 0;
+  std::optional<core::EquivalenceReport> equivalence;
+  if (cosim) {
+    Result<core::EquivalenceReport> eq =
+        core::check_equivalence(original, refined, max_time);
+    if (!eq.is_ok()) {
+      std::fprintf(stderr, "co-simulation failed: %s\n",
+                   eq.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("co-simulation: original t=%llu, refined t=%llu, "
+                "equivalent: %s\n",
+                static_cast<unsigned long long>(eq->original_time),
+                static_cast<unsigned long long>(eq->refined_time),
+                eq->equivalent ? "yes" : "NO");
+    for (const std::string& mismatch : eq->mismatches) {
+      std::printf("  mismatch: %s\n", mismatch.c_str());
+    }
+    if (!eq->equivalent) exit_code = 1;
+    equivalence = std::move(eq).value();
+  }
+
+  if (!vcd_path.empty()) {
+    sim::SimulationRun run = sim::simulate(refined, max_time, /*trace=*/true);
+    if (!run.result.status.is_ok()) {
+      std::fprintf(stderr, "VCD run failed: %s\n",
+                   run.result.status.to_string().c_str());
+      return 1;
+    }
+    Status vcd_status = sim::write_vcd(*run.kernel, vcd_path);
+    if (!vcd_status.is_ok()) {
+      std::fprintf(stderr, "%s\n", vcd_status.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote waveform (%zu changes) to %s\n",
+                run.kernel->trace().size(), vcd_path.c_str());
+  }
+
+  if (!report_path.empty()) {
+    // Measured traffic needs a traced run (full handshake only).
+    std::vector<protocol::BusTraffic> traffic;
+    if (options.protocol == spec::ProtocolKind::kFullHandshake) {
+      sim::SimulationRun run =
+          sim::simulate(refined, max_time, /*trace=*/true);
+      if (run.result.status.is_ok()) {
+        Result<std::vector<protocol::BusTraffic>> analyzed =
+            protocol::analyze_trace(refined, run.kernel->trace(),
+                                    run.result.end_time);
+        if (analyzed.is_ok()) traffic = std::move(analyzed).value();
+      }
+    }
+    core::ReportInputs inputs;
+    inputs.refined = &refined;
+    inputs.synthesis = &*report;
+    inputs.equivalence = equivalence ? &*equivalence : nullptr;
+    inputs.traffic = traffic.empty() ? nullptr : &traffic;
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return 1;
+    }
+    out << core::render_markdown_report(inputs);
+    std::printf("wrote synthesis report to %s\n", report_path.c_str());
+  }
+
+  // ---- emit ---------------------------------------------------------------
+  if (!vhdl_path.empty()) {
+    codegen::VhdlEmitter emitter;
+    std::ofstream out(vhdl_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", vhdl_path.c_str());
+      return 1;
+    }
+    out << emitter.emit_system(refined);
+    std::printf("wrote refined VHDL to %s\n", vhdl_path.c_str());
+  }
+  return exit_code;
+}

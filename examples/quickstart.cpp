@@ -1,0 +1,89 @@
+// Quickstart: the paper's own walkthrough (Figs. 3-5), end to end.
+//
+// Builds the Fig. 3 system (behaviors P and Q sharing variables X and MEM
+// across components), runs protocol generation for the 8-bit bus B, prints
+// the generated VHDL (the HandShakeBus record, SendCH0/ReceiveCH0, the
+// rewritten behaviors and the Xproc/MEMproc servers), and finally
+// co-simulates original vs refined to show the refinement preserves
+// functionality -- the "simulatable refined specification" the paper
+// promises.
+//
+// Run:  build/examples/quickstart
+#include <cstdio>
+
+#include "codegen/vhdl_emitter.hpp"
+#include "core/equivalence.hpp"
+#include "protocol/protocol_generator.hpp"
+#include "spec/printer.hpp"
+#include "suite/fig3_example.hpp"
+
+using namespace ifsyn;
+
+int main() {
+  std::printf("=== ifsyn quickstart: protocol generation for Fig. 3 ===\n\n");
+
+  // ---- 1. the partitioned specification --------------------------------
+  spec::System original = suite::make_fig3_system();
+  std::printf("--- Original (partitioned) specification ---\n%s\n",
+              spec::print_system(original).c_str());
+
+  // ---- 2. protocol generation (Sec. 4, steps 1-5) ----------------------
+  spec::System refined = original.clone("fig3_refined");
+  protocol::ProtocolGenOptions options;
+  options.protocol = spec::ProtocolKind::kFullHandshake;
+  options.arbitrate = true;  // P and Q overlap on the bus
+  protocol::ProtocolGenerator generator(options);
+  Status status = generator.generate_all(refined);
+  if (!status.is_ok()) {
+    std::printf("protocol generation failed: %s\n",
+                status.to_string().c_str());
+    return 1;
+  }
+
+  const spec::BusGroup* bus = refined.find_bus("B");
+  std::printf("--- Generated bus structure ---\n");
+  std::printf("bus B: %d data lines, %d control lines, %d ID lines "
+              "(%d wires total), protocol %s\n\n",
+              bus->width, bus->control_lines, bus->id_bits,
+              bus->total_wires(), protocol_kind_name(bus->protocol));
+
+  // ---- 3. the refined specification as VHDL (Figs. 4-5) ----------------
+  codegen::VhdlEmitter emitter;
+  std::printf("--- Bus declaration (Fig. 4 top) ---\n%s\n",
+              emitter.emit_bus_declarations(refined).c_str());
+  std::printf("--- Generated procedures for channel CH0 (Fig. 4) ---\n");
+  std::printf("%s\n",
+              emitter.emit_procedure(*refined.find_procedure("SendCH0"))
+                  .c_str());
+  std::printf("%s\n",
+              emitter.emit_procedure(*refined.find_procedure("ServeCH0"))
+                  .c_str());
+  std::printf("--- Rewritten behavior P (Fig. 5 left) ---\n%s\n",
+              emitter.emit_process(*refined.find_process("P")).c_str());
+  std::printf("--- Generated variable processes (Fig. 5 right) ---\n%s\n%s\n",
+              emitter.emit_process(*refined.find_process("Xproc")).c_str(),
+              emitter.emit_process(*refined.find_process("MEMproc")).c_str());
+
+  // ---- 4. co-simulate original vs refined -------------------------------
+  Result<core::EquivalenceReport> eq =
+      core::check_equivalence(original, refined);
+  if (!eq.is_ok()) {
+    std::printf("co-simulation failed: %s\n", eq.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("--- Co-simulation ---\n");
+  std::printf("original finished at t=%llu, refined at t=%llu "
+              "(communication cost: %.1fx)\n",
+              static_cast<unsigned long long>(eq->original_time),
+              static_cast<unsigned long long>(eq->refined_time),
+              eq->original_time
+                  ? static_cast<double>(eq->refined_time) / eq->original_time
+                  : 0.0);
+  std::printf("functional equivalence: %s\n",
+              eq->equivalent ? "PASS (X, MEM identical in both runs)"
+                             : "FAIL");
+  for (const std::string& mismatch : eq->mismatches) {
+    std::printf("  mismatch: %s\n", mismatch.c_str());
+  }
+  return eq->equivalent ? 0 : 1;
+}

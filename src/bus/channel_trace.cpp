@@ -1,0 +1,77 @@
+#include "bus/channel_trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ifsyn::bus {
+
+long long ChannelTrace::total_bits() const {
+  return std::accumulate(transfers.begin(), transfers.end(), 0LL,
+                         [](long long acc, const Transfer& t) {
+                           return acc + t.bits;
+                         });
+}
+
+double ChannelTrace::average_rate() const {
+  if (period <= 0) return 0;
+  return static_cast<double>(total_bits()) / period;
+}
+
+double required_bus_rate(const std::vector<ChannelTrace>& traces) {
+  return std::accumulate(traces.begin(), traces.end(), 0.0,
+                         [](double acc, const ChannelTrace& t) {
+                           return acc + t.average_rate();
+                         });
+}
+
+Result<MergedSchedule> merge_traces(const std::vector<ChannelTrace>& traces,
+                                    double bus_rate) {
+  if (bus_rate <= 0) {
+    return invalid_argument("bus rate must be positive");
+  }
+  for (const ChannelTrace& trace : traces) {
+    if (trace.period <= 0) {
+      return invalid_argument("trace " + trace.name +
+                              " has non-positive period");
+    }
+    for (const Transfer& t : trace.transfers) {
+      if (t.bits <= 0)
+        return invalid_argument("transfer " + t.label + " on " + trace.name +
+                                " has non-positive size");
+      if (t.time < 0)
+        return invalid_argument("transfer " + t.label + " on " + trace.name +
+                                " has negative time");
+    }
+  }
+
+  // Gather all transfers and sort by availability; stable so that ties
+  // keep the caller's channel order (channel A before B in Fig. 2).
+  MergedSchedule schedule;
+  schedule.bus_rate = bus_rate;
+  for (const ChannelTrace& trace : traces) {
+    for (const Transfer& t : trace.transfers) {
+      schedule.transfers.push_back(
+          ScheduledTransfer{trace.name, t.label, t.bits, t.time, 0, 0});
+    }
+  }
+  std::stable_sort(schedule.transfers.begin(), schedule.transfers.end(),
+                   [](const ScheduledTransfer& a, const ScheduledTransfer& b) {
+                     return a.ready < b.ready;
+                   });
+
+  double bus_free = 0;
+  for (ScheduledTransfer& t : schedule.transfers) {
+    t.start = std::max(t.ready, bus_free);
+    t.end = t.start + static_cast<double>(t.bits) / bus_rate;
+    bus_free = t.end;
+    schedule.busy_time += t.end - t.start;
+    schedule.max_delay = std::max(schedule.max_delay, t.delay());
+    schedule.total_delay += t.delay();
+    schedule.makespan = std::max(schedule.makespan, t.end);
+  }
+  schedule.utilization =
+      schedule.makespan > 0 ? schedule.busy_time / schedule.makespan : 0;
+  return schedule;
+}
+
+}  // namespace ifsyn::bus

@@ -1,0 +1,69 @@
+// ifsyn/bus/channel_trace.hpp
+//
+// Transfer-trace merging, the semantics behind the paper's Fig. 2:
+// channels A and B each carry timed transfers; merged onto one bus, an
+// individual transfer may be delayed by bus-access conflicts, but as long
+// as the bus rate is at least the sum of the channel average rates
+// (Eq. 1), the same bits still move "in the same amount of time".
+//
+// The scheduler is FIFO by arrival time (ties broken by trace order) and
+// also reports per-transfer delay and bus utilization, giving the
+// arbitration-delay observability the paper's Sec. 6 asks for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ifsyn::bus {
+
+/// One data item on an abstract channel ("A1", "B2", ... in Fig. 2).
+struct Transfer {
+  double time = 0;  ///< instant the producer makes the item available
+  int bits = 0;
+  std::string label;
+};
+
+/// A channel's transfer history over a representative period.
+struct ChannelTrace {
+  std::string name;
+  double period = 0;  ///< representative interval length (4 s in Fig. 2)
+  std::vector<Transfer> transfers;
+
+  /// AveRate(C): bits sent over the period (Sec. 2).
+  double average_rate() const;
+  long long total_bits() const;
+};
+
+/// One transfer as actually placed on the shared bus.
+struct ScheduledTransfer {
+  std::string channel;
+  std::string label;
+  int bits = 0;
+  double ready = 0;  ///< original availability
+  double start = 0;  ///< when the bus begins moving it
+  double end = 0;    ///< start + bits / bus_rate
+  double delay() const { return start - ready; }
+};
+
+struct MergedSchedule {
+  double bus_rate = 0;
+  std::vector<ScheduledTransfer> transfers;  ///< in bus order
+  double makespan = 0;      ///< end of the last transfer
+  double busy_time = 0;     ///< total time the bus was moving bits
+  double utilization = 0;   ///< busy_time / makespan
+  double max_delay = 0;     ///< worst per-transfer delay
+  double total_delay = 0;   ///< summed delays (arbitration cost)
+};
+
+/// Merge channel traces onto a bus transferring at `bus_rate` bits per
+/// time unit. kInvalidArgument for non-positive rate or malformed traces.
+Result<MergedSchedule> merge_traces(const std::vector<ChannelTrace>& traces,
+                                    double bus_rate);
+
+/// Smallest bus rate satisfying Eq. 1 for the traces: sum of the channel
+/// average rates ("(4 + 12) = 16 bits/second" in Fig. 2).
+double required_bus_rate(const std::vector<ChannelTrace>& traces);
+
+}  // namespace ifsyn::bus

@@ -1,0 +1,95 @@
+#include "bus/constraints.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::bus {
+
+const char* constraint_kind_name(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kMinBusWidth: return "MinBusWidth";
+    case ConstraintKind::kMaxBusWidth: return "MaxBusWidth";
+    case ConstraintKind::kMinAveRate: return "MinAveRate";
+    case ConstraintKind::kMaxAveRate: return "MaxAveRate";
+    case ConstraintKind::kMinPeakRate: return "MinPeakRate";
+    case ConstraintKind::kMaxPeakRate: return "MaxPeakRate";
+  }
+  return "?";
+}
+
+BusConstraint min_bus_width(double pins, double weight) {
+  return BusConstraint{ConstraintKind::kMinBusWidth, {}, pins, weight};
+}
+BusConstraint max_bus_width(double pins, double weight) {
+  return BusConstraint{ConstraintKind::kMaxBusWidth, {}, pins, weight};
+}
+BusConstraint min_ave_rate(std::string channel, double rate, double weight) {
+  return BusConstraint{ConstraintKind::kMinAveRate, std::move(channel), rate,
+                       weight};
+}
+BusConstraint max_ave_rate(std::string channel, double rate, double weight) {
+  return BusConstraint{ConstraintKind::kMaxAveRate, std::move(channel), rate,
+                       weight};
+}
+BusConstraint min_peak_rate(std::string channel, double rate, double weight) {
+  return BusConstraint{ConstraintKind::kMinPeakRate, std::move(channel), rate,
+                       weight};
+}
+BusConstraint max_peak_rate(std::string channel, double rate, double weight) {
+  return BusConstraint{ConstraintKind::kMaxPeakRate, std::move(channel), rate,
+                       weight};
+}
+
+namespace {
+
+const estimate::ChannelRates& rates_for(
+    const std::string& channel,
+    const std::vector<estimate::ChannelRates>& rates) {
+  auto it = std::find_if(
+      rates.begin(), rates.end(),
+      [&channel](const estimate::ChannelRates& r) { return r.channel == channel; });
+  IFSYN_ASSERT_MSG(it != rates.end(),
+                   "rate constraint names channel '"
+                       << channel << "' which is not on this bus");
+  return *it;
+}
+
+}  // namespace
+
+double violation(const BusConstraint& constraint, int width,
+                 const std::vector<estimate::ChannelRates>& rates) {
+  switch (constraint.kind) {
+    case ConstraintKind::kMinBusWidth:
+      return std::max(0.0, constraint.bound - width);
+    case ConstraintKind::kMaxBusWidth:
+      return std::max(0.0, width - constraint.bound);
+    case ConstraintKind::kMinAveRate:
+      return std::max(0.0, constraint.bound -
+                               rates_for(constraint.channel, rates).average);
+    case ConstraintKind::kMaxAveRate:
+      return std::max(0.0, rates_for(constraint.channel, rates).average -
+                               constraint.bound);
+    case ConstraintKind::kMinPeakRate:
+      return std::max(0.0, constraint.bound -
+                               rates_for(constraint.channel, rates).peak);
+    case ConstraintKind::kMaxPeakRate:
+      return std::max(0.0, rates_for(constraint.channel, rates).peak -
+                               constraint.bound);
+  }
+  IFSYN_ASSERT(false);
+  return 0;
+}
+
+double implementation_cost(const std::vector<BusConstraint>& constraints,
+                           int width,
+                           const std::vector<estimate::ChannelRates>& rates) {
+  double cost = 0;
+  for (const BusConstraint& c : constraints) {
+    const double v = violation(c, width, rates);
+    cost += c.weight * v * v;
+  }
+  return cost;
+}
+
+}  // namespace ifsyn::bus

@@ -1,0 +1,60 @@
+// ifsyn/bus/constraints.hpp
+//
+// Designer constraints for bus generation and the paper's cost function
+// (Sec. 3 step 4): "The cost of a bus implementation is calculated as the
+// sum of the squares of violations of each of the constraints, weighted
+// by the relative weights specified for them."
+//
+// The constraint vocabulary is the one the paper enumerates: min/max bus
+// width, min/max channel average rate, min/max channel peak rate -- each
+// with a relative weight (Fig. 8's "(10)", "(2)", ... annotations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimate/performance_estimator.hpp"
+
+namespace ifsyn::bus {
+
+enum class ConstraintKind {
+  kMinBusWidth,  ///< bound in pins, applies to the bus
+  kMaxBusWidth,
+  kMinAveRate,   ///< bound in bits/clock, applies to a named channel
+  kMaxAveRate,
+  kMinPeakRate,
+  kMaxPeakRate,
+};
+
+const char* constraint_kind_name(ConstraintKind kind);
+
+struct BusConstraint {
+  ConstraintKind kind;
+  /// Channel the rate constraint applies to; empty for width constraints.
+  std::string channel;
+  /// Pins for width constraints; bits/clock for rate constraints.
+  double bound = 0;
+  /// Relative weight in the cost function.
+  double weight = 1;
+};
+
+/// Convenience factories mirroring Fig. 8's table rows.
+BusConstraint min_bus_width(double pins, double weight);
+BusConstraint max_bus_width(double pins, double weight);
+BusConstraint min_ave_rate(std::string channel, double rate, double weight);
+BusConstraint max_ave_rate(std::string channel, double rate, double weight);
+BusConstraint min_peak_rate(std::string channel, double rate, double weight);
+BusConstraint max_peak_rate(std::string channel, double rate, double weight);
+
+/// Amount by which one candidate implementation violates one constraint
+/// (0 when satisfied). `rates` must contain an entry for any channel a
+/// rate constraint names.
+double violation(const BusConstraint& constraint, int width,
+                 const std::vector<estimate::ChannelRates>& rates);
+
+/// Weighted sum of squared violations (the paper's cost function).
+double implementation_cost(const std::vector<BusConstraint>& constraints,
+                           int width,
+                           const std::vector<estimate::ChannelRates>& rates);
+
+}  // namespace ifsyn::bus

@@ -1,0 +1,230 @@
+#include "bus/lane_allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::bus {
+
+using spec::Channel;
+
+LaneAllocator::LaneAllocator(const spec::System& system,
+                             const estimate::PerformanceEstimator& estimator)
+    : system_(system), estimator_(estimator) {}
+
+namespace {
+
+/// A channel's raw demand in bit-cycles, width-independent: total bits it
+/// must move per activation. Used for load balancing before widths exist.
+long long demand_bits(const Channel& ch) {
+  return estimate::PerformanceEstimator::bits_per_activation(ch);
+}
+
+long long lane_busy_cycles(const std::vector<const Channel*>& channels,
+                           int width, spec::ProtocolKind kind) {
+  long long busy = 0;
+  for (const Channel* ch : channels) {
+    busy += ch->accesses * estimate::message_transfer_cycles(*ch, width, kind);
+  }
+  return busy;
+}
+
+}  // namespace
+
+Result<LanePlan> LaneAllocator::plan(const spec::BusGroup& group,
+                                     int width_budget, int lane_count,
+                                     spec::ProtocolKind kind) const {
+  std::vector<const Channel*> channels = system_.channels_of_bus(group);
+  if (channels.empty()) {
+    return invalid_argument("group " + group.name + " has no channels");
+  }
+  if (lane_count < 1 ||
+      lane_count > static_cast<int>(channels.size())) {
+    return invalid_argument("lane count must be in [1, #channels]");
+  }
+  if (width_budget < lane_count) {
+    return invalid_argument("width budget " + std::to_string(width_budget) +
+                            " cannot give " + std::to_string(lane_count) +
+                            " lanes a data line each");
+  }
+  for (const Channel* ch : channels) {
+    if (ch->accesses <= 0) {
+      return failed_precondition("channel " + ch->name +
+                                 " has no access count");
+    }
+  }
+
+  // ---- LPT placement by raw demand -------------------------------------
+  std::vector<std::size_t> order(channels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&channels](std::size_t a, std::size_t b) {
+                     return demand_bits(*channels[a]) >
+                            demand_bits(*channels[b]);
+                   });
+
+  LanePlan plan;
+  plan.lanes.resize(static_cast<std::size_t>(lane_count));
+  std::vector<long long> load(static_cast<std::size_t>(lane_count), 0);
+  std::vector<std::vector<const Channel*>> members(
+      static_cast<std::size_t>(lane_count));
+  for (std::size_t idx : order) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[target] += demand_bits(*channels[idx]);
+    members[target].push_back(channels[idx]);
+  }
+  // Drop empty lanes (more lanes than useful partitions).
+  for (std::size_t k = 0; k < members.size();) {
+    if (members[k].empty()) {
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(k));
+      load.erase(load.begin() + static_cast<std::ptrdiff_t>(k));
+      plan.lanes.pop_back();
+    } else {
+      ++k;
+    }
+  }
+
+  // ---- width split proportional to load, >= 1 each ----------------------
+  const long long total_load =
+      std::accumulate(load.begin(), load.end(), 0LL);
+  for (std::size_t k = 0; k < plan.lanes.size(); ++k) {
+    const int fair = total_load > 0
+                         ? static_cast<int>(width_budget * load[k] /
+                                            total_load)
+                         : width_budget / static_cast<int>(plan.lanes.size());
+    plan.lanes[k].width = std::max(1, fair);
+  }
+  // Normalize to the budget (clamping above may over/under-shoot).
+  int used = 0;
+  for (const Lane& lane : plan.lanes) used += lane.width;
+  // Give/take one line at a time where it changes busy time the most/least.
+  while (used > width_budget) {
+    auto widest = std::max_element(
+        plan.lanes.begin(), plan.lanes.end(),
+        [](const Lane& a, const Lane& b) { return a.width < b.width; });
+    IFSYN_ASSERT(widest->width > 1);
+    --widest->width;
+    --used;
+  }
+  while (used < width_budget) {
+    // Most loaded lane per data line profits most from one more.
+    std::size_t best = 0;
+    double best_ratio = -1;
+    for (std::size_t k = 0; k < plan.lanes.size(); ++k) {
+      const double ratio =
+          static_cast<double>(load[k]) / (plan.lanes[k].width + 1);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = k;
+      }
+    }
+    ++plan.lanes[best].width;
+    ++used;
+  }
+
+  // Cap each lane at its largest message (extra lines buy nothing) and
+  // return freed lines to the most loaded uncapped lane.
+  for (std::size_t k = 0; k < plan.lanes.size(); ++k) {
+    int largest = 1;
+    for (const Channel* ch : members[k]) {
+      largest = std::max(largest, ch->message_bits());
+    }
+    plan.lanes[k].width = std::min(plan.lanes[k].width, largest);
+  }
+
+  // ---- evaluate ----------------------------------------------------------
+  plan.feasible = true;
+  for (std::size_t k = 0; k < plan.lanes.size(); ++k) {
+    Lane& lane = plan.lanes[k];
+    for (const Channel* ch : members[k]) lane.channels.push_back(ch->name);
+    lane.busy_cycles = lane_busy_cycles(members[k], lane.width, kind);
+
+    // Eq. 1 per lane: lane rate vs summed channel average rates.
+    double demand_rate = 0;
+    for (const Channel* ch : members[k]) {
+      demand_rate += estimator_.average_rate(*ch, lane.width, kind);
+    }
+    lane.feasible = estimate::bus_rate(lane.width, kind) >= demand_rate;
+    plan.feasible = plan.feasible && lane.feasible;
+
+    plan.total_data_lines += lane.width;
+    const estimate::ProtocolTiming timing = estimate::protocol_timing(kind);
+    plan.total_wires +=
+        lane.width + timing.control_lines +
+        (members[k].size() > 1
+             ? spec::bits_to_encode(static_cast<int>(members[k].size()))
+             : 0);
+    plan.completion_cycles =
+        std::max(plan.completion_cycles, lane.busy_cycles);
+  }
+  return plan;
+}
+
+Result<LanePlan> LaneAllocator::allocate(const spec::BusGroup& group,
+                                         int width_budget, int max_lanes,
+                                         spec::ProtocolKind kind) const {
+  const int channel_count =
+      static_cast<int>(system_.channels_of_bus(group).size());
+  max_lanes = std::min(max_lanes, channel_count);
+  if (max_lanes < 1) {
+    return invalid_argument("group " + group.name + " has no channels");
+  }
+
+  std::optional<LanePlan> best;
+  auto better = [](const LanePlan& a, const LanePlan& b) {
+    if (a.feasible != b.feasible) return a.feasible;
+    if (a.completion_cycles != b.completion_cycles) {
+      return a.completion_cycles < b.completion_cycles;
+    }
+    return a.lane_count() < b.lane_count();  // fewer control/ID wires
+  };
+  for (int k = 1; k <= max_lanes && k <= width_budget; ++k) {
+    Result<LanePlan> candidate = plan(group, width_budget, k, kind);
+    if (!candidate.is_ok()) return candidate;
+    if (!best || better(*candidate, *best)) best = std::move(candidate).value();
+  }
+  IFSYN_ASSERT(best);
+  return *best;
+}
+
+Result<std::vector<std::string>> LaneAllocator::apply(
+    spec::System& system, const std::string& group_name,
+    const LanePlan& plan) const {
+  spec::BusGroup* group = system.find_bus(group_name);
+  if (!group) return not_found("bus group " + group_name);
+  if (plan.lanes.empty()) return invalid_argument("empty lane plan");
+
+  // Sanity: the plan must cover exactly the group's channels.
+  std::size_t covered = 0;
+  for (const Lane& lane : plan.lanes) covered += lane.channels.size();
+  if (covered != group->channel_names.size()) {
+    return invalid_argument("lane plan covers " + std::to_string(covered) +
+                            " channels but group has " +
+                            std::to_string(group->channel_names.size()));
+  }
+
+  std::vector<std::string> names;
+  group->channel_names = plan.lanes[0].channels;
+  group->width = plan.lanes[0].width;
+  for (const std::string& ch : group->channel_names) {
+    system.find_channel(ch)->bus = group->name;
+  }
+  names.push_back(group->name);
+
+  for (std::size_t k = 1; k < plan.lanes.size(); ++k) {
+    spec::BusGroup lane_group;
+    lane_group.name = group_name + "_lane" + std::to_string(k);
+    if (system.find_bus(lane_group.name)) {
+      return invalid_argument("bus " + lane_group.name + " already exists");
+    }
+    lane_group.channel_names = plan.lanes[k].channels;
+    lane_group.width = plan.lanes[k].width;
+    names.push_back(lane_group.name);
+    system.add_bus(std::move(lane_group));
+  }
+  return names;
+}
+
+}  // namespace ifsyn::bus

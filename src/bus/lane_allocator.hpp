@@ -1,0 +1,82 @@
+// ifsyn/bus/lane_allocator.hpp
+//
+// The paper's second future-work item (Sec. 6): "ways in which two or
+// more channels may transfer data simultaneously over the same bus by
+// utilizing different sets of data and control lines. This would be
+// useful in cases when no feasible solution can be found in the range of
+// buswidths examined."
+//
+// A *lane plan* partitions a channel group into k disjoint lanes. Each
+// lane gets its own data lines, control lines and ID lines (it is a
+// complete little bus), so transfers on different lanes proceed
+// concurrently; channels within a lane still serialize. The allocator
+// searches lane counts 1..max_lanes under a total data-line budget,
+// placing channels by longest-processing-time-first onto the least-loaded
+// lane and splitting the budget across lanes in proportion to their
+// demand, then picks the plan with the smallest estimated completion time
+// (ties: fewer lanes, which saves control/ID wires).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimate/performance_estimator.hpp"
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::bus {
+
+struct Lane {
+  std::vector<std::string> channels;
+  int width = 0;
+  /// Serialized transfer demand of the lane's channels at this width:
+  /// sum of accesses * ceil(message/width) * cycles_per_word.
+  long long busy_cycles = 0;
+  /// Eq. 1 at the lane level.
+  bool feasible = false;
+};
+
+struct LanePlan {
+  std::vector<Lane> lanes;
+  int total_data_lines = 0;
+  /// Data + per-lane control and ID lines.
+  int total_wires = 0;
+  /// max over lanes of busy_cycles: the communication-bound completion
+  /// estimate when all channels are active concurrently.
+  long long completion_cycles = 0;
+  bool feasible = false;
+
+  int lane_count() const { return static_cast<int>(lanes.size()); }
+};
+
+class LaneAllocator {
+ public:
+  LaneAllocator(const spec::System& system,
+                const estimate::PerformanceEstimator& estimator);
+
+  /// Plan one lane count exactly. kInvalidArgument when the budget cannot
+  /// give every lane at least one data line.
+  Result<LanePlan> plan(const spec::BusGroup& group, int width_budget,
+                        int lane_count, spec::ProtocolKind kind) const;
+
+  /// Search lane counts 1..max_lanes and return the best feasible plan by
+  /// completion estimate; if no count is Eq. 1-feasible, the plan with
+  /// the smallest completion estimate is returned with feasible=false.
+  Result<LanePlan> allocate(const spec::BusGroup& group, int width_budget,
+                            int max_lanes, spec::ProtocolKind kind) const;
+
+  /// Rewrite the system so the plan is real: the original group keeps
+  /// lane 0 (renamed widths/channels), and one new group per further lane
+  /// is added, named <group>_lane<k>. Protocol generation then gives each
+  /// lane its own signal/procedures. Returns the created group names
+  /// (lane 0 first, i.e. the original name).
+  Result<std::vector<std::string>> apply(spec::System& system,
+                                         const std::string& group_name,
+                                         const LanePlan& plan) const;
+
+ private:
+  const spec::System& system_;
+  const estimate::PerformanceEstimator& estimator_;
+};
+
+}  // namespace ifsyn::bus

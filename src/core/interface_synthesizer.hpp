@@ -1,0 +1,67 @@
+// ifsyn/core/interface_synthesizer.hpp
+//
+// End-to-end interface synthesis (paper Fig. 1): given a partitioned
+// system whose cross-module accesses are abstract channels grouped into
+// buses, run bus generation (Sec. 3) and protocol generation (Sec. 4) on
+// every group and produce the refined, simulatable specification plus a
+// synthesis report with the numbers the paper's evaluation tables print.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bus/bus_generator.hpp"
+#include "estimate/performance_estimator.hpp"
+#include "protocol/protocol_generator.hpp"
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::core {
+
+struct SynthesisOptions {
+  /// Constraints per bus group name (absent = unconstrained).
+  std::map<std::string, std::vector<bus::BusConstraint>> constraints;
+  spec::ProtocolKind protocol = spec::ProtocolKind::kFullHandshake;
+  int fixed_delay_cycles = 2;
+  bool arbitrate = false;
+  /// When a group is infeasible, split it into several buses (the paper's
+  /// Sec. 3 escape hatch) instead of failing.
+  bool auto_split_infeasible = true;
+  /// Calibration: pin compute cycles for named processes.
+  std::map<std::string, long long> compute_cycles_override;
+};
+
+struct BusReport {
+  std::string bus;
+  bus::BusGenResult generation;
+  int id_bits = 0;
+  int control_lines = 0;
+  int total_wires = 0;
+};
+
+struct SynthesisReport {
+  std::vector<BusReport> buses;
+  /// Pins if every channel kept dedicated message-wide wires.
+  int dedicated_data_pins = 0;
+  /// Data pins after merging (sum of selected widths).
+  int merged_data_pins = 0;
+  double interconnect_reduction = 0;
+  /// Names of buses created by infeasibility splitting (if any).
+  std::vector<std::string> split_buses;
+};
+
+class InterfaceSynthesizer {
+ public:
+  explicit InterfaceSynthesizer(SynthesisOptions options = {});
+
+  /// Run the full flow on `system` in place: annotate channel access
+  /// counts, generate every bus group's width, then generate protocols
+  /// and servers. The system must already be partitioned and grouped.
+  Result<SynthesisReport> run(spec::System& system) const;
+
+ private:
+  SynthesisOptions options_;
+};
+
+}  // namespace ifsyn::core

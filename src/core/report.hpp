@@ -1,0 +1,37 @@
+// ifsyn/core/report.hpp
+//
+// Human-readable synthesis report: one Markdown document collecting what
+// the flow decided and why -- the channel inventory, every bus group's
+// width exploration (Eq. 1 feasibility and cost per candidate), the
+// generated wire budget, the co-simulation verdict, and (when a traced
+// run is supplied) the measured per-channel traffic. This is the artifact
+// a designer would attach to a design review; the CLI writes it with
+// --report.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/equivalence.hpp"
+#include "core/interface_synthesizer.hpp"
+#include "protocol/trace_analyzer.hpp"
+#include "spec/system.hpp"
+
+namespace ifsyn::core {
+
+struct ReportInputs {
+  /// The refined system (after InterfaceSynthesizer::run).
+  const spec::System* refined = nullptr;
+  /// The synthesis report from the same run.
+  const SynthesisReport* synthesis = nullptr;
+  /// Optional co-simulation outcome.
+  const EquivalenceReport* equivalence = nullptr;
+  /// Optional measured traffic (protocol::analyze_trace output).
+  const std::vector<protocol::BusTraffic>* traffic = nullptr;
+};
+
+/// Render the report as Markdown. All inputs except `refined` and
+/// `synthesis` are optional; sections for absent inputs are omitted.
+std::string render_markdown_report(const ReportInputs& inputs);
+
+}  // namespace ifsyn::core

@@ -1,0 +1,74 @@
+#include "estimate/performance_estimator.hpp"
+
+#include "spec/analysis.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::estimate {
+
+PerformanceEstimator::PerformanceEstimator(const spec::System& system)
+    : system_(system) {}
+
+void PerformanceEstimator::set_compute_cycles(const std::string& process,
+                                              long long cycles) {
+  IFSYN_ASSERT_MSG(cycles >= 0, "negative compute cycles");
+  compute_override_[process] = cycles;
+}
+
+long long PerformanceEstimator::compute_cycles(
+    const std::string& process) const {
+  if (auto it = compute_override_.find(process);
+      it != compute_override_.end()) {
+    return it->second;
+  }
+  const spec::Process* proc = system_.find_process(process);
+  IFSYN_ASSERT_MSG(proc, "unknown process " << process);
+  // One clock per operation unit plus explicit wait-for delays: the
+  // default compute model when no calibration is provided.
+  return spec::op_count(proc->body) + spec::wait_cycles(proc->body);
+}
+
+std::vector<const spec::Channel*> PerformanceEstimator::channels_of(
+    const std::string& process) const {
+  std::vector<const spec::Channel*> out;
+  for (const auto& ch : system_.channels()) {
+    if (ch->accessor == process) out.push_back(ch.get());
+  }
+  return out;
+}
+
+long long PerformanceEstimator::bits_per_activation(
+    const spec::Channel& channel) {
+  return channel.accesses * static_cast<long long>(channel.message_bits());
+}
+
+long long PerformanceEstimator::execution_time(const std::string& process,
+                                               int width,
+                                               spec::ProtocolKind kind) const {
+  long long total = compute_cycles(process);
+  for (const spec::Channel* ch : channels_of(process)) {
+    total += ch->accesses * message_transfer_cycles(*ch, width, kind);
+  }
+  return total;
+}
+
+double PerformanceEstimator::average_rate(const spec::Channel& channel,
+                                          int width,
+                                          spec::ProtocolKind kind) const {
+  const long long t = execution_time(channel.accessor, width, kind);
+  IFSYN_ASSERT_MSG(t > 0, "process " << channel.accessor
+                                     << " has zero execution time");
+  return static_cast<double>(bits_per_activation(channel)) /
+         static_cast<double>(t);
+}
+
+std::vector<ChannelRates> PerformanceEstimator::channel_rates(
+    const spec::BusGroup& bus, int width, spec::ProtocolKind kind) const {
+  std::vector<ChannelRates> out;
+  for (const spec::Channel* ch : system_.channels_of_bus(bus)) {
+    out.push_back(ChannelRates{ch->name, average_rate(*ch, width, kind),
+                               peak_rate(*ch, width, kind)});
+  }
+  return out;
+}
+
+}  // namespace ifsyn::estimate

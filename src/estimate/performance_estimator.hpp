@@ -1,0 +1,86 @@
+// ifsyn/estimate/performance_estimator.hpp
+//
+// Process execution-time and channel-rate estimation, standing in for the
+// paper's references [8] (channel average-rate estimation) and [10]
+// (area/performance estimation from system-level specifications).
+//
+// Model: one activation of a process takes
+//
+//   T(w) = compute_cycles
+//        + sum over its channels of accesses * ceil(message/w) * cyc_word
+//
+// where compute_cycles is derived from the process body (operation count
+// plus explicit `wait for` delays) or pinned by the caller for
+// calibration. The channel average rate over the process lifetime is then
+//
+//   AveRate(C, w) = accesses(C) * message_bits(C) / T(w)   [bits/clock]
+//
+// which is exactly the quantity Eq. 1 sums: the demand each channel puts
+// on the shared bus.
+//
+// This reproduces Fig. 7's behavior from first principles: T(w) decreases
+// monotonically in w and goes flat once w >= message_bits (a message fits
+// in one bus word and "the data transfer cannot be parallelized any
+// further").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "estimate/rate_model.hpp"
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::estimate {
+
+/// Average and peak rate of one channel at one candidate buswidth.
+struct ChannelRates {
+  std::string channel;
+  double average = 0;  ///< bits/clock over the accessor's lifetime
+  double peak = 0;     ///< bits/clock during a burst
+};
+
+class PerformanceEstimator {
+ public:
+  /// Binds to a system; `system` must outlive the estimator. Channel
+  /// access counts must already be populated (see
+  /// spec::annotate_channel_accesses).
+  explicit PerformanceEstimator(const spec::System& system);
+
+  /// Pin a process's computation time (clock cycles per activation),
+  /// overriding the body-derived default. Used to calibrate case studies
+  /// against published anchors.
+  void set_compute_cycles(const std::string& process, long long cycles);
+
+  /// Computation-only cycles of one activation (no communication).
+  long long compute_cycles(const std::string& process) const;
+
+  /// Estimated total execution time (clocks) of one activation when every
+  /// channel of the process is implemented on a bus of width `width` with
+  /// protocol `kind`. This is the y-axis of Fig. 7.
+  long long execution_time(const std::string& process, int width,
+                           spec::ProtocolKind kind) const;
+
+  /// AveRate(C, w) in bits/clock (see file comment).
+  double average_rate(const spec::Channel& channel, int width,
+                      spec::ProtocolKind kind) const;
+
+  /// Average and peak rates for every channel of a bus group.
+  std::vector<ChannelRates> channel_rates(const spec::BusGroup& bus,
+                                          int width,
+                                          spec::ProtocolKind kind) const;
+
+  /// Total communication bits a channel moves per activation.
+  static long long bits_per_activation(const spec::Channel& channel);
+
+ private:
+  /// Channels whose accessor is `process`.
+  std::vector<const spec::Channel*> channels_of(
+      const std::string& process) const;
+
+  const spec::System& system_;
+  std::map<std::string, long long> compute_override_;
+};
+
+}  // namespace ifsyn::estimate

@@ -1,0 +1,133 @@
+#include "partition/partitioner.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "spec/analysis.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::partition {
+
+using namespace spec;
+
+
+
+Status apply_partition(System& system,
+                       const std::vector<ModuleAssignment>& assignment,
+                       const PartitionOptions& options) {
+  std::set<std::string> assigned_processes;
+  std::set<std::string> assigned_variables;
+  for (const ModuleAssignment& m : assignment) {
+    Module module;
+    module.name = m.module;
+    for (const std::string& p : m.processes) {
+      if (!system.find_process(p))
+        return not_found("process " + p + " assigned to module " + m.module);
+      if (!assigned_processes.insert(p).second)
+        return invalid_argument("process " + p + " assigned twice");
+      module.process_names.push_back(p);
+    }
+    for (const std::string& v : m.variables) {
+      if (!system.find_variable(v))
+        return not_found("variable " + v + " assigned to module " + m.module);
+      if (!assigned_variables.insert(v).second)
+        return invalid_argument("variable " + v + " assigned twice");
+      module.variable_names.push_back(v);
+    }
+    system.add_module(std::move(module));
+  }
+
+  for (const auto& p : system.processes()) {
+    if (!assigned_processes.count(p->name))
+      return invalid_argument("process " + p->name + " not assigned");
+  }
+  for (const auto& v : system.variables()) {
+    if (!assigned_variables.count(v->name))
+      return invalid_argument("variable " + v->name + " not assigned");
+  }
+
+  return derive_channels(system, options);
+}
+
+Status derive_channels(System& system, const PartitionOptions& options) {
+  // The walking/derivation logic lives in spec/analysis so the parser can
+  // use it too; this wrapper just adapts the options type.
+  return spec::derive_channels(system, options.channel_prefix,
+                               options.channel_number_base);
+}
+
+Status group_channels(System& system, const std::string& bus_name,
+                      const std::vector<std::string>& channels) {
+  if (channels.empty())
+    return invalid_argument("bus " + bus_name + " needs at least one channel");
+  for (const std::string& name : channels) {
+    const Channel* ch = system.find_channel(name);
+    if (!ch) return not_found("channel " + name);
+    if (!ch->bus.empty())
+      return invalid_argument("channel " + name + " already grouped into " +
+                              ch->bus);
+  }
+  if (system.find_bus(bus_name))
+    return invalid_argument("bus " + bus_name + " already exists");
+  BusGroup bus;
+  bus.name = bus_name;
+  bus.channel_names = channels;
+  system.add_bus(std::move(bus));
+  return Status::ok();
+}
+
+Status group_all_channels(System& system, const std::string& bus_name) {
+  std::vector<std::string> names;
+  for (const auto& ch : system.channels()) {
+    if (ch->bus.empty()) names.push_back(ch->name);
+  }
+  return group_channels(system, bus_name, names);
+}
+
+Result<std::vector<std::string>> group_by_module_pair(
+    System& system, const std::string& prefix) {
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      pairs;
+  std::vector<std::pair<std::string, std::string>> order;
+  for (const auto& ch : system.channels()) {
+    if (!ch->bus.empty()) continue;
+    const Module* pm = system.module_of_process(ch->accessor);
+    const Module* vm = system.module_of_variable(ch->variable);
+    if (!pm || !vm) {
+      return failed_precondition("channel " + ch->name +
+                                 " endpoints are not both partitioned");
+    }
+    auto key = std::make_pair(pm->name, vm->name);
+    auto [it, inserted] = pairs.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.push_back(ch->name);
+  }
+
+  std::vector<std::string> created;
+  int index = 0;
+  for (const auto& key : order) {
+    const std::string name = prefix + std::to_string(index++);
+    IFSYN_RETURN_IF_ERROR(group_channels(system, name, pairs[key]));
+    created.push_back(name);
+  }
+  return created;
+}
+
+Status auto_partition(System& system, const std::string& main_module,
+                      const std::string& memory_module, long long min_bits,
+                      const PartitionOptions& options) {
+  ModuleAssignment main_assign{main_module, {}, {}};
+  ModuleAssignment mem_assign{memory_module, {}, {}};
+  for (const auto& p : system.processes()) {
+    main_assign.processes.push_back(p->name);
+  }
+  for (const auto& v : system.variables()) {
+    const bool to_memory =
+        v->type.is_array() && v->type.total_bits() >= min_bits;
+    (to_memory ? mem_assign : main_assign).variables.push_back(v->name);
+  }
+  return apply_partition(system, {main_assign, mem_assign}, options);
+}
+
+}  // namespace ifsyn::partition

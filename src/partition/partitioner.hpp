@@ -1,0 +1,75 @@
+// ifsyn/partition/partitioner.hpp
+//
+// System partitioning substrate (the role of SpecSyn's partitioner,
+// ref [1] Vahid & Gajski DAC'92): assign behaviors and variables to
+// modules, derive the abstract communication channels that cross module
+// boundaries, and group channels into bus candidates.
+//
+// The paper treats partitioning as an input ("system partitioning may
+// group processes and variables ... into modules"); its examples use
+// designer-chosen assignments (Fig. 3's dashed lines, Fig. 6's two
+// chips). Accordingly the primary API applies an explicit assignment;
+// auto_partition() provides the common heuristic the SpecSyn papers
+// describe for memories (large array variables move to memory modules).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::partition {
+
+/// One module assignment: which processes and variables it contains.
+struct ModuleAssignment {
+  std::string module;
+  std::vector<std::string> processes;
+  std::vector<std::string> variables;
+};
+
+struct PartitionOptions {
+  /// Prefix for derived channel names: "CH" gives CH0, CH1, ... (Fig. 3);
+  /// "ch" with `channel_number_base`=1 gives ch1, ch2, ... (Fig. 6).
+  std::string channel_prefix = "CH";
+  int channel_number_base = 0;
+};
+
+/// Apply an explicit assignment: create the modules (every process and
+/// variable must be assigned exactly once) and derive channels for each
+/// cross-module access. Fails if an entity is unknown or doubly assigned.
+Status apply_partition(spec::System& system,
+                       const std::vector<ModuleAssignment>& assignment,
+                       const PartitionOptions& options = {});
+
+/// Derive channels only (modules already present on the system): scan
+/// every process body in declaration order and create one channel per
+/// (process, remote variable, direction) in first-occurrence order --
+/// which reproduces the paper's CH0..CH3 numbering for Fig. 3. Channels
+/// get data/address bit sizes from the variable type and static access
+/// counts from spec analysis.
+Status derive_channels(spec::System& system,
+                       const PartitionOptions& options = {});
+
+/// Group every channel into one bus (the paper's examples merge all
+/// channels of interest into a single bus B).
+Status group_all_channels(spec::System& system, const std::string& bus_name);
+
+/// Group the named channels into a bus; channels may belong to at most
+/// one group.
+Status group_channels(spec::System& system, const std::string& bus_name,
+                      const std::vector<std::string>& channels);
+
+/// Group channels by (accessor module, variable module) pair, one bus per
+/// pair, named <prefix><n>. Returns the created bus names.
+Result<std::vector<std::string>> group_by_module_pair(
+    spec::System& system, const std::string& prefix = "BUS");
+
+/// Memory-partitioning heuristic: arrays of at least `min_bits` total
+/// storage move to a memory module (`memory_module`); everything else
+/// stays in `main_module`. Then derives channels.
+Status auto_partition(spec::System& system, const std::string& main_module,
+                      const std::string& memory_module, long long min_bits,
+                      const PartitionOptions& options = {});
+
+}  // namespace ifsyn::partition

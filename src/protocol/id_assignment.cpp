@@ -1,0 +1,42 @@
+#include "protocol/id_assignment.hpp"
+
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+int id_bits_for(int channel_count) {
+  IFSYN_ASSERT_MSG(channel_count >= 1, "bus without channels");
+  return spec::bits_to_encode(channel_count);
+}
+
+Status assign_ids(spec::System& system, spec::BusGroup& bus) {
+  if (bus.channel_names.empty()) {
+    return invalid_argument("bus " + bus.name + " has no channels");
+  }
+  bus.id_bits = id_bits_for(static_cast<int>(bus.channel_names.size()));
+  int next_id = 0;
+  for (const std::string& name : bus.channel_names) {
+    spec::Channel* ch = system.find_channel(name);
+    if (!ch) return not_found("channel " + name + " of bus " + bus.name);
+    ch->id = next_id++;
+  }
+  return Status::ok();
+}
+
+BitVector id_literal(const spec::Channel& channel,
+                     const spec::BusGroup& bus) {
+  IFSYN_ASSERT_MSG(channel.id >= 0,
+                   "channel " << channel.name << " has no ID assigned");
+  IFSYN_ASSERT_MSG(bus.id_bits > 0, "bus " << bus.name << " has no ID lines");
+  return BitVector::from_uint(bus.id_bits,
+                              static_cast<std::uint64_t>(channel.id));
+}
+
+spec::ExprPtr id_guard(const spec::Channel& channel,
+                       const spec::BusGroup& bus) {
+  if (bus.id_bits == 0) return nullptr;
+  return spec::eq(spec::sig(bus.name, "ID"),
+                  spec::bits(id_literal(channel, bus)));
+}
+
+}  // namespace ifsyn::protocol

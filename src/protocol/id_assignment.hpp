@@ -1,0 +1,31 @@
+// ifsyn/protocol/id_assignment.hpp
+//
+// Step 2 of protocol generation (Sec. 4): "If there are N channels
+// implemented on the same bus, log2(N) lines will be required to encode
+// the channel ID. Unique IDs are assigned to each channel."
+#pragma once
+
+#include "spec/expr.hpp"
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::protocol {
+
+/// ID lines needed for `channel_count` channels: ceil(log2 N); 0 when the
+/// bus carries a single channel (no identification needed).
+int id_bits_for(int channel_count);
+
+/// Assign sequential IDs (0, 1, 2, ...) to the channels of `bus` in group
+/// order -- CH0 -> "00", CH1 -> "01", ... as in Fig. 3 -- and record
+/// id_bits on the group. Idempotent.
+Status assign_ids(spec::System& system, spec::BusGroup& bus);
+
+/// The ID of `channel` as a bus-word literal of the group's ID width.
+BitVector id_literal(const spec::Channel& channel, const spec::BusGroup& bus);
+
+/// Expression `bus.ID = <id>` used to guard receives; null when the bus
+/// has no ID lines.
+spec::ExprPtr id_guard(const spec::Channel& channel,
+                       const spec::BusGroup& bus);
+
+}  // namespace ifsyn::protocol

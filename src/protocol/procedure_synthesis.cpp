@@ -1,0 +1,216 @@
+#include "protocol/procedure_synthesis.hpp"
+
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+using namespace spec;
+
+std::string send_proc_name(const Channel& channel) {
+  return "Send" + channel.name;
+}
+std::string receive_proc_name(const Channel& channel) {
+  return "Receive" + channel.name;
+}
+std::string serve_proc_name(const Channel& channel) {
+  return "Serve" + channel.name;
+}
+std::string requester_proc_name(const Channel& channel) {
+  return channel.is_read() ? receive_proc_name(channel)
+                           : send_proc_name(channel);
+}
+
+namespace {
+
+/// Append `extra` to `block`.
+void extend(Block& block, Block extra) {
+  for (auto& stmt : extra) block.push_back(std::move(stmt));
+}
+
+/// Word J's slice bounds of a message variable: (W*J-1 downto W*(J-1)),
+/// with J an in-scope loop variable (Fig. 4's index arithmetic).
+ExprPtr word_hi(int width) {
+  return sub(mul(lit(width), var("J")), lit(1));
+}
+ExprPtr word_lo(int width) {
+  return mul(lit(width), sub(var("J"), lit(1)));
+}
+
+/// Strobe parity of word J (loop form) or of a fixed word index.
+ExprPtr loop_parity() { return mod(var("J"), lit(2)); }
+ExprPtr fixed_parity(long long word_index) { return lit(word_index % 2); }
+
+}  // namespace
+
+Block emit_send_words(const WireContext& ctx, const std::string& src_var,
+                      int msg_bits) {
+  IFSYN_ASSERT(msg_bits > 0 && ctx.width > 0);
+  const int full_words = msg_bits / ctx.width;
+  const int tail_bits = msg_bits % ctx.width;
+  Block out;
+
+  if (full_words >= 1) {
+    Block body = sender_word(
+        ctx, slice(var(src_var), word_hi(ctx.width), word_lo(ctx.width)),
+        loop_parity());
+    out.push_back(for_stmt("J", lit(1), lit(full_words), std::move(body)));
+  }
+  if (tail_bits > 0) {
+    extend(out, sender_word(ctx,
+                            slice(var(src_var), lit(msg_bits - 1),
+                                  lit(full_words * ctx.width)),
+                            fixed_parity(full_words + 1)));
+  }
+  return out;
+}
+
+Block emit_receive_words(const WireContext& ctx, const std::string& dst_var,
+                         int msg_bits, ExprPtr guard) {
+  IFSYN_ASSERT(msg_bits > 0 && ctx.width > 0);
+  const int full_words = msg_bits / ctx.width;
+  const int tail_bits = msg_bits % ctx.width;
+  Block out;
+
+  if (full_words >= 1) {
+    Block body = receiver_word(
+        ctx, lv_slice(dst_var, word_hi(ctx.width), word_lo(ctx.width)), guard,
+        loop_parity());
+    out.push_back(for_stmt("J", lit(1), lit(full_words), std::move(body)));
+  }
+  if (tail_bits > 0) {
+    extend(out,
+           receiver_word(ctx,
+                         lv_slice(dst_var, lit(msg_bits - 1),
+                                  lit(full_words * ctx.width)),
+                         guard, fixed_parity(full_words + 1)));
+  }
+  return out;
+}
+
+Procedure make_requester_procedure(const SynthesisContext& ctx,
+                                   const Channel& channel, ExprPtr guard,
+                                   const BitVector* id) {
+  const WireContext& w = ctx.wires;
+  const bool is_array = channel.addr_bits > 0;
+
+  Procedure proc;
+  proc.name = requester_proc_name(channel);
+
+  Block body;
+  if (ctx.arbitrate) body.push_back(bus_acquire(ctx.lock_name));
+  if (id != nullptr) {
+    body.push_back(sig_assign(w.bus, "ID", bits(*id)));
+  }
+
+  if (!channel.is_read()) {
+    // ---- Send<CH>([addr,] txdata): one write phase ----
+    if (is_array) {
+      proc.params.push_back(
+          Param{"addr", ParamDir::kIn, Type::bits(channel.addr_bits)});
+    }
+    proc.params.push_back(
+        Param{"txdata", ParamDir::kIn, Type::bits(channel.data_bits)});
+
+    std::string src = "txdata";
+    if (is_array) {
+      // msg := addr & txdata (address in the high bits)
+      proc.locals.emplace_back("msg", Type::bits(channel.message_bits()));
+      body.push_back(assign("msg", concat(var("addr"), var("txdata"))));
+      src = "msg";
+    }
+    extend(body, emit_send_words(w, src, is_array ? channel.message_bits()
+                                                  : channel.data_bits));
+    extend(body, phase_epilogue(w));
+  } else {
+    // ---- Receive<CH>([addr,] rxdata): request phase then response ----
+    if (is_array) {
+      proc.params.push_back(
+          Param{"addr", ParamDir::kIn, Type::bits(channel.addr_bits)});
+    }
+    proc.params.push_back(
+        Param{"rxdata", ParamDir::kOut, Type::bits(channel.data_bits)});
+
+    if (is_array) {
+      extend(body, emit_send_words(w, "addr", channel.addr_bits));
+    } else {
+      // Scalars have no address; a single dummy word carries the request
+      // (and the ID lines name the channel being read).
+      extend(body, sender_word(w, lit(0), fixed_parity(1)));
+    }
+    extend(body, phase_epilogue(w));
+    // Response: roles swap; the server now drives DATA and the strobe.
+    extend(body,
+           emit_receive_words(w, "rxdata", channel.data_bits, guard));
+    // Wait out the server's strobe release before the caller can start
+    // another transaction (see response_epilogue's contract).
+    extend(body, response_epilogue(w));
+  }
+
+  if (ctx.arbitrate) body.push_back(bus_release(ctx.lock_name));
+  proc.body = std::move(body);
+  return proc;
+}
+
+Procedure make_server_procedure(const SynthesisContext& ctx,
+                                const Channel& channel, ExprPtr guard,
+                                const Type& var_type) {
+  const WireContext& w = ctx.wires;
+  const bool is_array = channel.addr_bits > 0;
+  IFSYN_ASSERT_MSG(is_array == var_type.is_array(),
+                   "channel " << channel.name
+                              << " address bits disagree with variable type");
+  const ProtocolSignals sigs = protocol_signals(w.kind);
+
+  Procedure proc;
+  proc.name = serve_proc_name(channel);
+
+  Block body;
+  if (!channel.is_read()) {
+    // ---- serve a write: receive message, store into the variable ----
+    proc.locals.emplace_back("msg", Type::bits(channel.message_bits()));
+    extend(body,
+           emit_receive_words(w, "msg", channel.message_bits(), guard));
+    if (is_array) {
+      // variable(addr) := data, unpacking msg = addr & data
+      body.push_back(assign(
+          lv_idx(channel.variable,
+                 slice(var("msg"), lit(channel.message_bits() - 1),
+                       lit(channel.data_bits))),
+          slice(var("msg"), lit(channel.data_bits - 1), lit(0))));
+    } else {
+      body.push_back(assign(channel.variable, var("msg")));
+    }
+  } else {
+    // ---- serve a read: receive the request, send the data back ----
+    if (is_array) {
+      proc.locals.emplace_back("addr", Type::bits(channel.addr_bits));
+      extend(body, emit_receive_words(w, "addr", channel.addr_bits, guard));
+    } else {
+      proc.locals.emplace_back("req", Type::bits(w.width));
+      extend(body, receiver_word(w, lv("req"), guard, fixed_parity(1)));
+    }
+    // Wait out the requester's phase epilogue (strobe back to idle), then
+    // a full turnaround so the requester is guaranteed to be listening
+    // before the first response strobe edge (strobe protocols pace words
+    // blindly -- a word driven before the requester's own epilogue wait
+    // finished would be lost).
+    body.push_back(
+        wait_until(eq(sig(w.bus, sigs.strobe_field), lit(0))));
+    extend(body, bus_turnaround(w));
+
+    // Snapshot the data into a message local, then stream it.
+    proc.locals.emplace_back("msg", Type::bits(channel.data_bits));
+    if (is_array) {
+      body.push_back(assign("msg", aref(channel.variable, var("addr"))));
+    } else {
+      body.push_back(assign("msg", var(channel.variable)));
+    }
+    extend(body, emit_send_words(w, "msg", channel.data_bits));
+    extend(body, phase_epilogue(w));
+  }
+
+  proc.body = std::move(body);
+  return proc;
+}
+
+}  // namespace ifsyn::protocol

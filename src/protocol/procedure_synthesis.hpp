@@ -1,0 +1,78 @@
+// ifsyn/protocol/procedure_synthesis.hpp
+//
+// Step 3 of protocol generation (Sec. 4): "For each channel mapped to the
+// bus, appropriate send/receive procedures are generated, encapsulating
+// the sequence of assignments to the bus control, data and ID lines to
+// execute the data transfer."
+//
+// Per channel we synthesize two procedures:
+//
+//   requester side (called from the rewritten accessor process):
+//     write channel:  Send<CH>([addr,] txdata)   -- Fig. 4's SendCH0
+//     read channel:   Receive<CH>([addr,] rxdata)
+//
+//   server side (called from the generated variable process):
+//     Serve<CH>  -- accesses the owned variable directly by name, which
+//     is the one structural difference from Fig. 4's parameterized
+//     ReceiveCH0 (our procedures are system-global and the variable is
+//     addressable, so no array-parameter machinery is needed).
+//
+// Message framing: a message is address & data concatenated (paper
+// Sec. 5: "the two channels each transfer 16 bits of data and 7 bits of
+// address"), moved as ceil(bits/width) bus words. When width divides the
+// message evenly the generated body is exactly Fig. 4's
+// `for J in 1 to K loop ... txdata(8*J-1 downto 8*(J-1)) ...` loop;
+// a ragged final word is emitted as an unrolled tail after the loop.
+//
+// Read transactions are two phases: the requester master-writes the
+// address (arrays) or a single dummy request word (scalars), then the
+// roles swap and the server streams the data words back. The performance
+// estimator models a read as one combined addr+data message (the paper's
+// accounting); the simulated two-phase transfer is functionally exact but
+// costs ceil(A/w)+ceil(D/w) words instead of ceil((A+D)/w) -- see
+// DESIGN.md, "Substitutions".
+#pragma once
+
+#include "protocol/protocol_library.hpp"
+#include "spec/system.hpp"
+
+namespace ifsyn::protocol {
+
+/// Names of the generated procedures for a channel.
+std::string send_proc_name(const spec::Channel& channel);
+std::string receive_proc_name(const spec::Channel& channel);
+std::string serve_proc_name(const spec::Channel& channel);
+/// The requester-side procedure the rewriter calls: Send for write
+/// channels, Receive for read channels.
+std::string requester_proc_name(const spec::Channel& channel);
+
+struct SynthesisContext {
+  WireContext wires;
+  bool arbitrate = false;      ///< wrap requester transactions in BusLocks
+  std::string lock_name;       ///< bus group name used for the lock
+};
+
+/// Emit the word sequence that sends `src_var` (a scalar of `msg_bits`
+/// bits in scope) over the bus. Exposed for tests.
+spec::Block emit_send_words(const WireContext& ctx, const std::string& src_var,
+                            int msg_bits);
+
+/// Emit the word sequence that receives `msg_bits` bits into `dst_var`.
+spec::Block emit_receive_words(const WireContext& ctx,
+                               const std::string& dst_var, int msg_bits,
+                               spec::ExprPtr guard);
+
+/// Requester-side procedure for the channel (Send... or Receive...).
+spec::Procedure make_requester_procedure(const SynthesisContext& ctx,
+                                         const spec::Channel& channel,
+                                         spec::ExprPtr guard,
+                                         const BitVector* id);
+
+/// Server-side procedure (Serve...); directly reads/writes
+/// `channel.variable`.
+spec::Procedure make_server_procedure(const SynthesisContext& ctx,
+                                      const spec::Channel& channel,
+                                      spec::ExprPtr guard,
+                                      const spec::Type& var_type);
+
+}  // namespace ifsyn::protocol

@@ -1,0 +1,252 @@
+#include "protocol/protocol_generator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "protocol/id_assignment.hpp"
+#include "protocol/procedure_synthesis.hpp"
+#include "protocol/reference_rewriter.hpp"
+#include "protocol/variable_process.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+using namespace spec;
+
+ProtocolGenerator::ProtocolGenerator(ProtocolGenOptions options)
+    : options_(options) {}
+
+std::string ProtocolGenerator::hardwired_signal_name(const BusGroup& bus,
+                                                     const Channel& channel) {
+  return bus.name + "_" + channel.name;
+}
+
+namespace {
+
+/// DATA width of a hardwired channel's dedicated port: writes move the
+/// whole addr&data message in one word; reads use the same lines for the
+/// address request and the data response, so the wider of the two.
+int hardwired_width(const Channel& channel) {
+  if (!channel.is_read()) return channel.message_bits();
+  return std::max(std::max(channel.addr_bits, channel.data_bits), 1);
+}
+
+}  // namespace
+
+WireContext ProtocolGenerator::wire_context(const BusGroup& bus,
+                                            const Channel& channel) {
+  WireContext ctx;
+  ctx.kind = bus.protocol;
+  ctx.fixed_delay_cycles = bus.fixed_delay_cycles;
+  if (bus.protocol == ProtocolKind::kHardwiredPort) {
+    ctx.bus = hardwired_signal_name(bus, channel);
+    ctx.width = hardwired_width(channel);
+    ctx.id_bits = 0;
+  } else {
+    ctx.bus = bus.name;
+    ctx.width = bus.width;
+    ctx.id_bits = bus.id_bits;
+  }
+  return ctx;
+}
+
+Status ProtocolGenerator::generate_bus(System& system,
+                                       const std::string& bus_name) {
+  BusGroup* bus = system.find_bus(bus_name);
+  if (!bus) return not_found("bus group " + bus_name);
+  if (bus->width <= 0 && options_.protocol != ProtocolKind::kHardwiredPort) {
+    return failed_precondition(
+        "bus " + bus_name +
+        " has no width; run bus generation (or set one) first");
+  }
+
+  // ---- step 1: protocol selection ----
+  bus->protocol = options_.protocol;
+  bus->fixed_delay_cycles = options_.fixed_delay_cycles;
+  bus->arbitrated = options_.arbitrate;
+  const ProtocolSignals sigs = protocol_signals(bus->protocol);
+  bus->control_lines = 0;
+  for (const auto& f : sigs.control_fields) bus->control_lines += f.width;
+
+  // ---- step 2: ID assignment ----
+  if (bus->protocol == ProtocolKind::kHardwiredPort) {
+    bus->id_bits = 0;  // dedicated wires identify the channel
+    int next_id = 0;
+    for (const auto& name : bus->channel_names) {
+      Channel* ch = system.find_channel(name);
+      if (!ch) return not_found("channel " + name);
+      ch->id = next_id++;
+    }
+  } else {
+    IFSYN_RETURN_IF_ERROR(assign_ids(system, *bus));
+  }
+
+  // ---- step 3a: bus structure ----
+  if (bus->protocol == ProtocolKind::kHardwiredPort) {
+    for (const Channel* ch : system.channels_of_bus(*bus)) {
+      Signal port;
+      port.name = hardwired_signal_name(*bus, *ch);
+      port.fields = sigs.control_fields;
+      port.fields.push_back(SignalField{"DATA", hardwired_width(*ch)});
+      if (system.find_signal(port.name)) {
+        return invalid_argument("signal " + port.name + " already exists");
+      }
+      system.add_signal(std::move(port));
+    }
+    // For hardwired ports the "width" recorded on the group is the total
+    // of the dedicated data lines (pin accounting for Fig. 8-style
+    // comparisons).
+    bus->width = 0;
+    for (const Channel* ch : system.channels_of_bus(*bus)) {
+      bus->width += hardwired_width(*ch);
+    }
+  } else {
+    if (system.find_signal(bus->name)) {
+      return invalid_argument("signal " + bus->name + " already exists");
+    }
+    Signal record;
+    record.name = bus->name;
+    record.fields = sigs.control_fields;  // START[, DONE]
+    if (bus->id_bits > 0) {
+      record.fields.push_back(SignalField{"ID", bus->id_bits});
+    }
+    record.fields.push_back(SignalField{"DATA", bus->width});
+    system.add_signal(std::move(record));
+  }
+
+  if (bus->arbitrated && bus->protocol != ProtocolKind::kHardwiredPort) {
+    // The lock is registered with the kernel at simulation setup; nothing
+    // to add to the spec beyond the BusLock statements below.
+  }
+
+  // ---- step 3b: send/receive/serve procedures per channel ----
+  for (const Channel* ch : system.channels_of_bus(*bus)) {
+    const Variable* variable = system.find_variable(ch->variable);
+    if (!variable) return not_found("variable " + ch->variable);
+
+    SynthesisContext sctx;
+    sctx.wires = wire_context(*bus, *ch);
+    sctx.arbitrate =
+        bus->arbitrated && bus->protocol != ProtocolKind::kHardwiredPort;
+    sctx.lock_name = bus->name;
+
+    ExprPtr guard;
+    const BitVector* id_ptr = nullptr;
+    BitVector id_value;
+    if (bus->protocol != ProtocolKind::kHardwiredPort && bus->id_bits > 0) {
+      guard = id_guard(*ch, *bus);
+      id_value = id_literal(*ch, *bus);
+      id_ptr = &id_value;
+    }
+
+    Procedure requester =
+        make_requester_procedure(sctx, *ch, guard, id_ptr);
+    Procedure server = make_server_procedure(sctx, *ch, guard, variable->type);
+    if (system.find_procedure(requester.name) ||
+        system.find_procedure(server.name)) {
+      return invalid_argument("procedures for channel " + ch->name +
+                              " already generated");
+    }
+    system.add_procedure(std::move(requester));
+    system.add_procedure(std::move(server));
+  }
+
+  // ---- step 4: variable-reference update in accessor processes ----
+  return rewrite_accessors(system, *bus);
+}
+
+Status ProtocolGenerator::rewrite_accessors(System& system,
+                                            const BusGroup& bus) {
+  // Group this bus's channels by accessor process.
+  std::map<std::string, std::map<std::string, RemoteAccess>> by_process;
+  for (const Channel* ch : system.channels_of_bus(bus)) {
+    RemoteAccess& access = by_process[ch->accessor][ch->variable];
+    if (ch->is_read()) {
+      if (access.read) {
+        return invalid_argument("duplicate read channel for " + ch->variable +
+                                " in process " + ch->accessor);
+      }
+      access.read = ch;
+    } else {
+      if (access.write) {
+        return invalid_argument("duplicate write channel for " +
+                                ch->variable + " in process " + ch->accessor);
+      }
+      access.write = ch;
+    }
+  }
+
+  for (auto& [process_name, remotes] : by_process) {
+    Process* process = system.find_process(process_name);
+    if (!process) return not_found("accessor process " + process_name);
+    ReferenceRewriter rewriter(remotes);
+    IFSYN_RETURN_IF_ERROR(rewriter.rewrite(*process));
+  }
+  return Status::ok();
+}
+
+Status ProtocolGenerator::generate_servers(System& system) {
+  // Group generated channels by served variable, preserving channel order.
+  std::vector<std::string> variable_order;
+  std::map<std::string, std::vector<const Channel*>> by_variable;
+  for (const auto& ch : system.channels()) {
+    if (ch->bus.empty()) continue;
+    const BusGroup* bus = system.find_bus(ch->bus);
+    if (!bus || !bus->generated()) continue;
+    if (!system.find_procedure(serve_proc_name(*ch))) continue;
+    auto [it, inserted] = by_variable.try_emplace(ch->variable);
+    if (inserted) variable_order.push_back(ch->variable);
+    it->second.push_back(ch.get());
+  }
+
+  for (const std::string& variable : variable_order) {
+    const std::string proc_name = server_process_name(variable);
+    if (system.find_process(proc_name)) {
+      return invalid_argument("server process " + proc_name +
+                              " already exists");
+    }
+
+    std::vector<DispatchArm> arms;
+    for (const Channel* ch : by_variable[variable]) {
+      const BusGroup* bus = system.find_bus(ch->bus);
+      IFSYN_ASSERT(bus);
+      const WireContext ctx = wire_context(*bus, *ch);
+      const ProtocolSignals sigs = protocol_signals(ctx.kind);
+
+      ExprPtr condition = dispatch_condition(ctx);
+      if (bus->protocol != ProtocolKind::kHardwiredPort &&
+          bus->id_bits > 0) {
+        condition = land(std::move(condition), id_guard(*ch, *bus));
+      }
+      // Strobe protocols: wait out the requester's phase epilogue before
+      // re-checking for new work (see DispatchArm::post_serve).
+      Block post_serve;
+      if (sigs.ack_field.empty()) {
+        post_serve.push_back(
+            wait_until(eq(sig(ctx.bus, sigs.strobe_field), lit(0))));
+      }
+      arms.push_back(DispatchArm{std::move(condition), serve_proc_name(*ch),
+                                 SignalFieldId{ctx.bus, sigs.strobe_field},
+                                 std::move(post_serve)});
+    }
+
+    Process server = make_variable_process(variable, arms);
+    system.add_process(std::move(server));
+
+    // Keep the module map consistent: the server lives where its
+    // variable lives.
+    if (const Module* mod = system.module_of_variable(variable)) {
+      system.find_module(mod->name)->process_names.push_back(proc_name);
+    }
+  }
+  return Status::ok();
+}
+
+Status ProtocolGenerator::generate_all(System& system) {
+  for (const auto& bus : system.buses()) {
+    IFSYN_RETURN_IF_ERROR(generate_bus(system, bus->name));
+  }
+  return generate_servers(system);
+}
+
+}  // namespace ifsyn::protocol

@@ -1,0 +1,71 @@
+// ifsyn/protocol/protocol_generator.hpp
+//
+// Protocol generation, the paper's primary contribution (Sec. 4): given a
+// bus group whose width has been chosen by bus generation, refine the
+// specification so that every abstract channel is implemented by concrete
+// signal traffic. The five steps:
+//
+//   1. Protocol selection  -- options.protocol (full/half handshake,
+//                             fixed delay, hardwired ports)
+//   2. ID assignment       -- protocol/id_assignment
+//   3. Bus structure and send/receive procedure definition
+//                          -- the bus record signal + procedure_synthesis
+//   4. Variable-reference update
+//                          -- protocol/reference_rewriter
+//   5. Variable-process generation
+//                          -- protocol/variable_process
+//
+// After generate_all succeeds the System is *refined*: it contains the
+// bus signal(s), the Send/Receive/Serve procedures, rewritten accessor
+// processes, and server processes -- and it simulates (sim::simulate),
+// which is the property the paper claims for its output.
+#pragma once
+
+#include "protocol/protocol_library.hpp"
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::protocol {
+
+struct ProtocolGenOptions {
+  spec::ProtocolKind protocol = spec::ProtocolKind::kFullHandshake;
+  int fixed_delay_cycles = 2;
+  /// Insert BusLock acquire/release around requester transactions so
+  /// concurrent masters serialize (the paper's future-work arbitration).
+  /// Without it, specs whose masters overlap in time will corrupt each
+  /// other's handshakes -- exactly as they would in hardware.
+  bool arbitrate = false;
+};
+
+class ProtocolGenerator {
+ public:
+  explicit ProtocolGenerator(ProtocolGenOptions options = {});
+
+  /// Steps 1-4 for one bus group. Requires bus generation to have set the
+  /// group's width (kFailedPrecondition otherwise).
+  Status generate_bus(spec::System& system, const std::string& bus_name);
+
+  /// Step 5 for every variable reached by any generated bus. Run once,
+  /// after all generate_bus calls.
+  Status generate_servers(spec::System& system);
+
+  /// Steps 1-5 for every bus group in the system.
+  Status generate_all(spec::System& system);
+
+  /// The wire-level context (signal name, width, ID bits, protocol) a
+  /// channel's traffic uses. For shared protocols this is the bus record;
+  /// hardwired ports give every channel its own signal.
+  static WireContext wire_context(const spec::BusGroup& bus,
+                                  const spec::Channel& channel);
+
+  /// Dedicated signal name for a hardwired channel.
+  static std::string hardwired_signal_name(const spec::BusGroup& bus,
+                                           const spec::Channel& channel);
+
+ private:
+  Status rewrite_accessors(spec::System& system, const spec::BusGroup& bus);
+
+  ProtocolGenOptions options_;
+};
+
+}  // namespace ifsyn::protocol

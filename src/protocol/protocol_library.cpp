@@ -1,0 +1,141 @@
+#include "protocol/protocol_library.hpp"
+
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+using namespace spec;
+
+ProtocolSignals protocol_signals(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFullHandshake:
+    case ProtocolKind::kHardwiredPort:
+      return ProtocolSignals{{{"START", 1}, {"DONE", 1}}, "START", "DONE"};
+    case ProtocolKind::kHalfHandshake:
+    case ProtocolKind::kFixedDelay:
+      return ProtocolSignals{{{"START", 1}}, "START", ""};
+  }
+  IFSYN_ASSERT(false);
+  return {};
+}
+
+int WireContext::hold_cycles() const {
+  switch (kind) {
+    case ProtocolKind::kFullHandshake:
+    case ProtocolKind::kHardwiredPort:
+      return 1;  // per phase edge; two edges per word = 2 cycles minimum
+    case ProtocolKind::kHalfHandshake:
+      return 1;
+    case ProtocolKind::kFixedDelay:
+      return fixed_delay_cycles;
+  }
+  IFSYN_ASSERT(false);
+  return 1;
+}
+
+namespace {
+
+bool is_strobe_protocol(ProtocolKind kind) {
+  return kind == ProtocolKind::kHalfHandshake ||
+         kind == ProtocolKind::kFixedDelay;
+}
+
+}  // namespace
+
+Block sender_word(const WireContext& ctx, ExprPtr word, ExprPtr parity) {
+  const ProtocolSignals sigs = protocol_signals(ctx.kind);
+  Block out;
+  out.push_back(sig_assign(ctx.bus, "DATA", std::move(word)));
+
+  if (is_strobe_protocol(ctx.kind)) {
+    // Tag the word with its index parity and hold it for the protocol's
+    // delay; no acknowledge.
+    IFSYN_ASSERT_MSG(parity, "strobe protocols need a word parity expr");
+    out.push_back(sig_assign(ctx.bus, sigs.strobe_field, std::move(parity)));
+    out.push_back(wait_for(ctx.hold_cycles()));
+    return out;
+  }
+
+  // Full handshake (Fig. 4's SendCH0 body):
+  //   B.START <= '1'; wait until B.DONE = '1';
+  //   B.START <= '0'; wait until B.DONE = '0';
+  // with one clock of settling per edge, making the 2-cycles-per-word
+  // minimum of Eq. 2.
+  out.push_back(sig_assign(ctx.bus, sigs.strobe_field, lit(1)));
+  out.push_back(wait_for(ctx.hold_cycles()));
+  out.push_back(wait_until(eq(sig(ctx.bus, sigs.ack_field), lit(1))));
+  out.push_back(sig_assign(ctx.bus, sigs.strobe_field, lit(0)));
+  out.push_back(wait_for(ctx.hold_cycles()));
+  out.push_back(wait_until(eq(sig(ctx.bus, sigs.ack_field), lit(0))));
+  return out;
+}
+
+Block receiver_word(const WireContext& ctx, LValue target, ExprPtr id_guard,
+                    ExprPtr parity) {
+  const ProtocolSignals sigs = protocol_signals(ctx.kind);
+  Block out;
+
+  if (is_strobe_protocol(ctx.kind)) {
+    IFSYN_ASSERT_MSG(parity, "strobe protocols need a word parity expr");
+    ExprPtr cond = eq(sig(ctx.bus, sigs.strobe_field), std::move(parity));
+    if (id_guard) cond = land(std::move(cond), std::move(id_guard));
+    out.push_back(wait_until(std::move(cond)));
+    out.push_back(assign(std::move(target), sig(ctx.bus, "DATA")));
+    return out;
+  }
+
+  // Full handshake (Fig. 4's ReceiveCH0 body):
+  //   wait until (B.START = '1') and (B.ID = "00");
+  //   rxdata(...) := B.DATA; B.DONE <= '1';
+  //   wait until (B.START = '0'); B.DONE <= '0';
+  ExprPtr cond = eq(sig(ctx.bus, sigs.strobe_field), lit(1));
+  if (id_guard) cond = land(std::move(cond), std::move(id_guard));
+  out.push_back(wait_until(std::move(cond)));
+  out.push_back(assign(std::move(target), sig(ctx.bus, "DATA")));
+  out.push_back(sig_assign(ctx.bus, sigs.ack_field, lit(1)));
+  out.push_back(wait_until(eq(sig(ctx.bus, sigs.strobe_field), lit(0))));
+  out.push_back(sig_assign(ctx.bus, sigs.ack_field, lit(0)));
+  return out;
+}
+
+Block phase_epilogue(const WireContext& ctx) {
+  Block out;
+  if (is_strobe_protocol(ctx.kind)) {
+    const ProtocolSignals sigs = protocol_signals(ctx.kind);
+    // Return the strobe to 0 and let it settle, so the next phase's first
+    // word (parity 1) is always a fresh edge.
+    out.push_back(sig_assign(ctx.bus, sigs.strobe_field, lit(0)));
+    out.push_back(wait_for(ctx.hold_cycles()));
+  }
+  return out;
+}
+
+Block bus_turnaround(const WireContext& ctx) {
+  Block out;
+  if (is_strobe_protocol(ctx.kind)) {
+    out.push_back(wait_for(2 * ctx.hold_cycles()));
+  }
+  return out;
+}
+
+Block response_epilogue(const WireContext& ctx) {
+  Block out;
+  if (is_strobe_protocol(ctx.kind)) {
+    const ProtocolSignals sigs = protocol_signals(ctx.kind);
+    out.push_back(wait_until(eq(sig(ctx.bus, sigs.strobe_field), lit(0))));
+    // Two hold cycles: one for the server's trailing word hold, one for
+    // its own phase epilogue -- after this the server is provably back at
+    // its dispatcher, so the caller may start a new transaction.
+    for (auto& stmt : bus_turnaround(ctx)) out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+ExprPtr dispatch_condition(const WireContext& ctx) {
+  const ProtocolSignals sigs = protocol_signals(ctx.kind);
+  // Word 1 of any request phase drives the strobe to 1 in every protocol
+  // (first parity is 1 for strobe disciplines, START=1 for handshakes).
+  return eq(sig(ctx.bus, sigs.strobe_field), lit(1));
+}
+
+}  // namespace ifsyn::protocol

@@ -1,0 +1,104 @@
+// ifsyn/protocol/protocol_library.hpp
+//
+// Word-level building blocks of the generated protocols (paper Sec. 4
+// step 1: "full-handshake, half-handshake, fixed-delay and even hardwired
+// ports").
+//
+// Every message moves as a sequence of bus-word transfers with two roles:
+// a *sender* (drives DATA and the control strobe) and a *receiver*
+// (samples DATA). The library emits the IR statements for one word in
+// either role; procedure synthesis stitches words into whole messages.
+//
+// Protocol disciplines:
+//
+//   full-handshake (Fig. 4): four-phase START/DONE rendezvous,
+//     2 cycles/word minimum. Safe for arbitrarily slow receivers.
+//
+//   half-handshake / fixed-delay: a single strobe line; the sender tags
+//     word J with strobe parity (J mod 2) and holds each word for the
+//     protocol's cycle count (1 for half-handshake, `fixed_delay_cycles`
+//     otherwise); the receiver is assumed to keep up (it samples in zero
+//     simulated time, which generated receivers always do). A trailing
+//     strobe reset closes each phase so the next transaction always
+//     produces a fresh edge.
+//
+//   hardwired-port: the full handshake on dedicated message-wide wires
+//     (one signal per channel, no ID lines, single-word messages).
+//
+// Deviation from the paper, documented in DESIGN.md: dispatchers wait on
+// the control strobe, not on `B.ID` as Fig. 5 does. Two back-to-back
+// transactions on the same channel leave ID unchanged -- no event -- so
+// the paper's formulation deadlocks on the second transaction; waiting on
+// the strobe (which toggles every word) is the repaired equivalent.
+#pragma once
+
+#include <string>
+
+#include "spec/stmt.hpp"
+#include "spec/system.hpp"
+
+namespace ifsyn::protocol {
+
+/// Static description of how a bus implements one protocol.
+struct ProtocolSignals {
+  /// Control fields to add to the bus record (besides ID and DATA).
+  std::vector<spec::SignalField> control_fields;
+  /// Field name of the sender's strobe (START for handshakes).
+  std::string strobe_field;
+  /// Field name of the receiver's acknowledge; empty when the protocol
+  /// has no acknowledge (strobe disciplines).
+  std::string ack_field;
+};
+
+ProtocolSignals protocol_signals(spec::ProtocolKind kind);
+
+/// Everything word emission needs to know about the bus it targets.
+struct WireContext {
+  std::string bus;   ///< signal name, e.g. "B"
+  int width = 0;     ///< DATA field width
+  int id_bits = 0;   ///< ID field width; 0 = no ID field
+  spec::ProtocolKind kind = spec::ProtocolKind::kFullHandshake;
+  int fixed_delay_cycles = 2;
+
+  /// Cycles the sender holds one word (the protocol's per-word delay).
+  int hold_cycles() const;
+};
+
+/// Statements for the sender role: present `word` on DATA and run one
+/// word's control discipline. `parity` is the word-index parity
+/// expression for strobe protocols (ignored by the full handshake).
+spec::Block sender_word(const WireContext& ctx, spec::ExprPtr word,
+                        spec::ExprPtr parity);
+
+/// Statements for the receiver role: wait for one word and store DATA
+/// into `target`. `id_guard` (may be null) is ANDed into the wait
+/// condition -- the "(B.ID = "00")" of Fig. 4's ReceiveCH0.
+spec::Block receiver_word(const WireContext& ctx, spec::LValue target,
+                          spec::ExprPtr id_guard, spec::ExprPtr parity);
+
+/// Statements a sender runs after the last word of a phase: for strobe
+/// protocols, reset the strobe so the next phase starts with an edge;
+/// no-op for the full handshake.
+spec::Block phase_epilogue(const WireContext& ctx);
+
+/// Fixed bus-turnaround delay for strobe protocols (2 hold cycles): the
+/// time from one side's last strobe activity until the other side is
+/// guaranteed to be listening again. Strobe protocols have no acknowledge
+/// wire, so role swaps must be separated by this worst-case settle time;
+/// the full handshake's rendezvous makes it unnecessary (empty block).
+spec::Block bus_turnaround(const WireContext& ctx);
+
+/// Statements the *requester* runs after receiving the last response word
+/// of a read. Strobe protocols have no acknowledge, so without this the
+/// requester could launch its next transaction while the server is still
+/// driving its own phase_epilogue -- the two would overwrite each other's
+/// strobe and deadlock. Waiting for the server's strobe release plus one
+/// hold cycle guarantees the server is back at its dispatcher. No-op for
+/// the full handshake (its DONE/START rendezvous already orders this).
+spec::Block response_epilogue(const WireContext& ctx);
+
+/// The condition a variable-process dispatcher uses to detect "a word is
+/// being offered on this bus right now" (strobe high / first parity).
+spec::ExprPtr dispatch_condition(const WireContext& ctx);
+
+}  // namespace ifsyn::protocol

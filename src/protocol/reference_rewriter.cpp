@@ -1,0 +1,257 @@
+#include "protocol/reference_rewriter.hpp"
+
+#include "protocol/procedure_synthesis.hpp"
+#include "spec/analysis.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+using namespace spec;
+
+ReferenceRewriter::ReferenceRewriter(std::map<std::string, RemoteAccess> remotes)
+    : remotes_(std::move(remotes)) {}
+
+Status ReferenceRewriter::rewrite(Process& process) {
+  status_ = Status::ok();
+  pending_locals_.clear();
+  temp_counter_ = 0;
+
+  Result<Block> body = rewrite_block(process.body);
+  if (!body.is_ok()) return body.status();
+
+  process.body = std::move(body).value();
+  for (auto& local : pending_locals_) {
+    process.locals.push_back(std::move(local));
+  }
+  pending_locals_.clear();
+  return Status::ok();
+}
+
+ExprPtr ReferenceRewriter::hoist_read(const std::string& variable,
+                                      ExprPtr index, Hoist& hoist) {
+  const RemoteAccess& access = remotes_.at(variable);
+  if (access.read == nullptr) {
+    status_ = unsupported("process reads remote variable '" + variable +
+                          "' but no read channel exists for it");
+    return var(variable);
+  }
+  const Channel& ch = *access.read;
+  const std::string temp =
+      variable + "_tmp" + std::to_string(temp_counter_++);
+  hoist.new_locals.emplace_back(temp, Type::bits(ch.data_bits));
+
+  std::vector<CallArg> args;
+  if (ch.addr_bits > 0) {
+    IFSYN_ASSERT_MSG(index, "array channel " << ch.name
+                                             << " read without an index");
+    args.emplace_back(std::move(index));
+  }
+  args.emplace_back(lv(temp));
+  hoist.pre.push_back(call(receive_proc_name(ch), std::move(args)));
+  return var(temp);
+}
+
+ExprPtr ReferenceRewriter::rewrite_expr(const ExprPtr& expr, Hoist& hoist) {
+  if (!status_.is_ok()) return expr;
+
+  if (const auto* v = expr->as<VarRef>()) {
+    if (!is_remote(v->name)) return expr;
+    return hoist_read(v->name, nullptr, hoist);
+  }
+  if (const auto* a = expr->as<ArrayRef>()) {
+    ExprPtr index = rewrite_expr(a->index, hoist);
+    if (!is_remote(a->name)) {
+      return index == a->index ? expr : aref(a->name, std::move(index));
+    }
+    return hoist_read(a->name, std::move(index), hoist);
+  }
+  if (const auto* s = expr->as<SliceExpr>()) {
+    ExprPtr base = rewrite_expr(s->base, hoist);
+    ExprPtr hi = rewrite_expr(s->hi, hoist);
+    ExprPtr lo = rewrite_expr(s->lo, hoist);
+    if (base == s->base && hi == s->hi && lo == s->lo) return expr;
+    return slice(std::move(base), std::move(hi), std::move(lo));
+  }
+  if (const auto* u = expr->as<UnaryExpr>()) {
+    ExprPtr operand = rewrite_expr(u->operand, hoist);
+    return operand == u->operand ? expr : un(u->op, std::move(operand));
+  }
+  if (const auto* b = expr->as<BinaryExpr>()) {
+    ExprPtr lhs = rewrite_expr(b->lhs, hoist);
+    ExprPtr rhs = rewrite_expr(b->rhs, hoist);
+    if (lhs == b->lhs && rhs == b->rhs) return expr;
+    return bin_op(b->op, std::move(lhs), std::move(rhs));
+  }
+  // Literals and signal reads never reference remote variables.
+  return expr;
+}
+
+Result<StmtPtr> ReferenceRewriter::rewrite_stmt(const StmtPtr& stmt,
+                                                Hoist& hoist) {
+  if (const auto* s = stmt->as<VarAssign>()) {
+    ExprPtr value = rewrite_expr(s->value, hoist);
+
+    if (is_remote(s->target.name)) {
+      // Remote write: becomes Send<CH>([index,] value). Fig. 5's
+      // `X <= 32` -> `SendCH0(32)`.
+      if (s->target.slice_hi) {
+        return Status(unsupported(
+            "bit-slice write to remote variable '" + s->target.name +
+            "' is not supported (read-modify-write over a channel)"));
+      }
+      const RemoteAccess& access = remotes_.at(s->target.name);
+      if (access.write == nullptr) {
+        return Status(unsupported("process writes remote variable '" +
+                                  s->target.name +
+                                  "' but no write channel exists for it"));
+      }
+      const Channel& ch = *access.write;
+      std::vector<CallArg> args;
+      if (ch.addr_bits > 0) {
+        if (!s->target.index) {
+          return Status(unsupported("whole-array write to remote '" +
+                                    s->target.name + "'"));
+        }
+        args.emplace_back(rewrite_expr(s->target.index, hoist));
+      }
+      args.emplace_back(std::move(value));
+      if (!status_.is_ok()) return status_;
+      return StmtPtr(call(send_proc_name(ch), std::move(args)));
+    }
+
+    LValue target = s->target;
+    if (target.index) target.index = rewrite_expr(target.index, hoist);
+    if (target.slice_hi) {
+      target.slice_hi = rewrite_expr(target.slice_hi, hoist);
+      target.slice_lo = rewrite_expr(target.slice_lo, hoist);
+    }
+    if (!status_.is_ok()) return status_;
+    return StmtPtr(assign(std::move(target), std::move(value)));
+  }
+
+  if (const auto* s = stmt->as<SignalAssign>()) {
+    ExprPtr value = rewrite_expr(s->value, hoist);
+    if (!status_.is_ok()) return status_;
+    return StmtPtr(sig_assign(s->signal, s->field, std::move(value)));
+  }
+
+  if (const auto* s = stmt->as<WaitUntil>()) {
+    for (const auto& [name, access] : remotes_) {
+      if (expr_reads_variable(*s->cond, name)) {
+        return Status(unsupported(
+            "wait-until condition reads remote variable '" + name +
+            "'; conditions must be re-evaluated on every event and cannot "
+            "be hoisted through a channel"));
+      }
+    }
+    return stmt;
+  }
+
+  if (const auto* s = stmt->as<WaitFor>()) {
+    ExprPtr cycles = rewrite_expr(s->cycles, hoist);
+    if (!status_.is_ok()) return status_;
+    return StmtPtr(wait_for(std::move(cycles)));
+  }
+
+  if (const auto* s = stmt->as<IfStmt>()) {
+    ExprPtr cond = rewrite_expr(s->cond, hoist);
+    Result<Block> then_body = rewrite_block(s->then_body);
+    if (!then_body.is_ok()) return then_body.status();
+    Result<Block> else_body = rewrite_block(s->else_body);
+    if (!else_body.is_ok()) return else_body.status();
+    if (!status_.is_ok()) return status_;
+    return StmtPtr(if_stmt(std::move(cond), std::move(then_body).value(),
+                           std::move(else_body).value()));
+  }
+
+  if (const auto* s = stmt->as<ForStmt>()) {
+    ExprPtr from = rewrite_expr(s->from, hoist);
+    ExprPtr to = rewrite_expr(s->to, hoist);
+    Result<Block> body = rewrite_block(s->body);
+    if (!body.is_ok()) return body.status();
+    if (!status_.is_ok()) return status_;
+    return StmtPtr(for_stmt(s->var, std::move(from), std::move(to),
+                            std::move(body).value()));
+  }
+
+  if (const auto* s = stmt->as<WhileStmt>()) {
+    for (const auto& [name, access] : remotes_) {
+      if (expr_reads_variable(*s->cond, name)) {
+        return Status(unsupported(
+            "while condition reads remote variable '" + name +
+            "'; it is re-evaluated per iteration and cannot be hoisted"));
+      }
+    }
+    Result<Block> body = rewrite_block(s->body);
+    if (!body.is_ok()) return body.status();
+    return StmtPtr(while_stmt(s->cond, std::move(body).value()));
+  }
+
+  if (const auto* s = stmt->as<ForeverStmt>()) {
+    Result<Block> body = rewrite_block(s->body);
+    if (!body.is_ok()) return body.status();
+    return StmtPtr(forever(std::move(body).value()));
+  }
+
+  if (const auto* s = stmt->as<ProcCall>()) {
+    std::vector<CallArg> args;
+    for (const CallArg& arg : s->args) {
+      if (const auto* e = std::get_if<ExprPtr>(&arg)) {
+        args.emplace_back(rewrite_expr(*e, hoist));
+        continue;
+      }
+      LValue out_arg = std::get<LValue>(arg);
+      if (is_remote(out_arg.name)) {
+        // Out-arg targeting a remote variable: route through a temp and
+        // send it after the call returns.
+        const RemoteAccess& access = remotes_.at(out_arg.name);
+        if (access.write == nullptr) {
+          return Status(unsupported("out argument writes remote '" +
+                                    out_arg.name + "' with no write channel"));
+        }
+        const Channel& ch = *access.write;
+        const std::string temp =
+            out_arg.name + "_tmp" + std::to_string(temp_counter_++);
+        hoist.new_locals.emplace_back(temp, Type::bits(ch.data_bits));
+        std::vector<CallArg> send_args;
+        if (ch.addr_bits > 0) {
+          if (!out_arg.index) {
+            return Status(unsupported("whole-array out argument to remote '" +
+                                      out_arg.name + "'"));
+          }
+          send_args.emplace_back(rewrite_expr(out_arg.index, hoist));
+        }
+        send_args.emplace_back(var(temp));
+        hoist.post.push_back(call(send_proc_name(ch), std::move(send_args)));
+        args.emplace_back(lv(temp));
+      } else {
+        if (out_arg.index) out_arg.index = rewrite_expr(out_arg.index, hoist);
+        args.emplace_back(std::move(out_arg));
+      }
+    }
+    if (!status_.is_ok()) return status_;
+    return StmtPtr(call(s->proc, std::move(args)));
+  }
+
+  // WaitOn, BusLock: nothing to rewrite.
+  return stmt;
+}
+
+Result<Block> ReferenceRewriter::rewrite_block(const Block& block) {
+  Block out;
+  for (const StmtPtr& stmt : block) {
+    Hoist hoist;
+    Result<StmtPtr> rewritten = rewrite_stmt(stmt, hoist);
+    if (!rewritten.is_ok()) return rewritten.status();
+    if (!status_.is_ok()) return status_;
+    for (auto& pre : hoist.pre) out.push_back(std::move(pre));
+    out.push_back(std::move(rewritten).value());
+    for (auto& post : hoist.post) out.push_back(std::move(post));
+    for (auto& local : hoist.new_locals) {
+      pending_locals_.push_back(std::move(local));
+    }
+  }
+  return out;
+}
+
+}  // namespace ifsyn::protocol

@@ -1,0 +1,79 @@
+// ifsyn/protocol/reference_rewriter.hpp
+//
+// Step 4 of protocol generation (Sec. 4): "References to a variable that
+// has been assigned to another system component ... are replaced by the
+// corresponding send and receive procedure calls."
+//
+// Writes map directly:   X <= 32            ->  SendCH0(32)
+//                        MEM(60) := COUNT   ->  SendCH3(60, COUNT)
+//
+// Reads are hoisted through a temporary, exactly Fig. 5's Xtemp: each
+// remote read in an expression becomes a fresh local, filled by a
+// Receive call emitted before the statement:
+//
+//   AD := MEM(PC) + 7   ->   ReceiveCH1(PC, MEM_tmp0);
+//                            AD := MEM_tmp0 + 7;
+//
+// Hoisting is safe where the paper's subset evaluates the expression
+// once (assignments, if conditions, for bounds, call arguments). A remote
+// read in a while condition would need re-receiving every iteration;
+// that construct is rejected with kUnsupported rather than silently
+// mis-compiled.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "spec/system.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::protocol {
+
+/// The channels implementing one remote variable's accesses for one
+/// accessor process (either may be null if that direction never occurs).
+struct RemoteAccess {
+  const spec::Channel* read = nullptr;
+  const spec::Channel* write = nullptr;
+};
+
+/// Rewrites accessor processes for one set of remote variables.
+class ReferenceRewriter {
+ public:
+  /// `remotes` maps variable name -> its channels for the process being
+  /// rewritten. Channel pointers must outlive the rewriter.
+  explicit ReferenceRewriter(std::map<std::string, RemoteAccess> remotes);
+
+  /// Rewrite the process body in place and append any hoisting
+  /// temporaries to its locals. Idempotent when no remote references
+  /// remain.
+  Status rewrite(spec::Process& process);
+
+ private:
+  struct Hoist {
+    spec::Block pre;    ///< receives to run before the statement
+    spec::Block post;   ///< sends to run after it (out-arg writes)
+    std::vector<spec::Variable> new_locals;
+  };
+
+  bool is_remote(const std::string& name) const {
+    return remotes_.count(name) != 0;
+  }
+
+  /// Rewrite an expression, collecting hoisted receives. On error sets
+  /// status_ and returns the original expression.
+  spec::ExprPtr rewrite_expr(const spec::ExprPtr& expr, Hoist& hoist);
+
+  /// Make a fresh temporary for a remote read and emit its Receive call.
+  spec::ExprPtr hoist_read(const std::string& variable, spec::ExprPtr index,
+                           Hoist& hoist);
+
+  Result<spec::Block> rewrite_block(const spec::Block& block);
+  Result<spec::StmtPtr> rewrite_stmt(const spec::StmtPtr& stmt, Hoist& hoist);
+
+  std::map<std::string, RemoteAccess> remotes_;
+  std::vector<spec::Variable> pending_locals_;
+  int temp_counter_ = 0;
+  Status status_;
+};
+
+}  // namespace ifsyn::protocol

@@ -1,0 +1,102 @@
+#include "protocol/trace_analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "estimate/rate_model.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+long long words_per_transaction(const spec::Channel& channel, int width) {
+  IFSYN_ASSERT(width > 0);
+  if (!channel.is_read()) {
+    // One write phase moving addr & data together.
+    return estimate::words_per_message(channel.message_bits(), width);
+  }
+  // Request phase (address words, or one dummy word for scalars) plus the
+  // data response.
+  const long long request =
+      channel.addr_bits > 0
+          ? estimate::words_per_message(channel.addr_bits, width)
+          : 1;
+  return request + estimate::words_per_message(channel.data_bits, width);
+}
+
+Result<std::vector<BusTraffic>> analyze_trace(
+    const spec::System& system, const std::vector<sim::TraceEntry>& trace,
+    std::uint64_t end_time) {
+  std::vector<BusTraffic> out;
+
+  for (const auto& bus : system.buses()) {
+    if (!bus->generated()) continue;
+    if (bus->protocol != spec::ProtocolKind::kFullHandshake) {
+      return unsupported("trace analysis supports the full handshake; bus " +
+                         bus->name + " uses " +
+                         protocol_kind_name(bus->protocol));
+    }
+
+    BusTraffic traffic;
+    traffic.bus = bus->name;
+
+    // Channel lookup by ID.
+    std::map<int, ChannelTraffic> by_id;
+    std::map<int, const spec::Channel*> channel_by_id;
+    for (const spec::Channel* ch : system.channels_of_bus(*bus)) {
+      ChannelTraffic ct;
+      ct.channel = ch->name;
+      ct.id = ch->id;
+      by_id[ch->id] = std::move(ct);
+      channel_by_id[ch->id] = ch;
+    }
+
+    // Walk the chronological trace, tracking the current ID value and
+    // counting START rises.
+    std::uint64_t current_id = 0;
+    for (const sim::TraceEntry& entry : trace) {
+      if (entry.key.signal != bus->name) continue;
+      if (entry.key.field == "ID") {
+        current_id = entry.value.to_uint();
+      } else if (entry.key.field == "START" && entry.value.to_uint() == 1) {
+        const int id = static_cast<int>(
+            bus->id_bits > 0 ? current_id : 0);
+        auto it = by_id.find(id);
+        if (it == by_id.end()) {
+          return simulation_error("trace shows a word for unknown ID " +
+                                  std::to_string(id) + " on bus " +
+                                  bus->name);
+        }
+        ChannelTraffic& ct = it->second;
+        if (ct.words == 0) ct.first_word_time = entry.time;
+        ct.last_word_time = entry.time;
+        ++ct.words;
+        ++traffic.total_words;
+      }
+    }
+
+    for (auto& [id, ct] : by_id) {
+      const long long per_transaction =
+          words_per_transaction(*channel_by_id[id], bus->width);
+      ct.transactions = ct.words / per_transaction;
+      ct.residual_words = ct.words % per_transaction;
+      traffic.channels.push_back(std::move(ct));
+    }
+    std::sort(traffic.channels.begin(), traffic.channels.end(),
+              [](const ChannelTraffic& a, const ChannelTraffic& b) {
+                return a.id < b.id;
+              });
+
+    const estimate::ProtocolTiming timing =
+        estimate::protocol_timing(bus->protocol);
+    if (end_time > 0) {
+      traffic.utilization =
+          std::min(1.0, static_cast<double>(traffic.total_words *
+                                            timing.cycles_per_word) /
+                            static_cast<double>(end_time));
+    }
+    out.push_back(std::move(traffic));
+  }
+  return out;
+}
+
+}  // namespace ifsyn::protocol

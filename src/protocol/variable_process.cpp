@@ -1,0 +1,50 @@
+#include "protocol/variable_process.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::protocol {
+
+using namespace spec;
+
+std::string server_process_name(const std::string& variable) {
+  return variable + "proc";
+}
+
+Process make_variable_process(const std::string& variable,
+                              const std::vector<DispatchArm>& arms) {
+  IFSYN_ASSERT_MSG(!arms.empty(),
+                   "variable " << variable << " has no dispatch arms");
+
+  // Sensitivity: each distinct strobe field once.
+  std::vector<SignalFieldId> sensitivity;
+  for (const DispatchArm& arm : arms) {
+    const bool seen = std::any_of(
+        sensitivity.begin(), sensitivity.end(), [&arm](const SignalFieldId& s) {
+          return s.signal == arm.strobe.signal && s.field == arm.strobe.field;
+        });
+    if (!seen) sensitivity.push_back(arm.strobe);
+  }
+
+  // Build the if/elsif dispatch chain innermost-first. The final else is
+  // the event wait: the server checks for an already-pending request
+  // *before* sleeping, so a strobe raised while it was busy serving
+  // another channel is never lost (a request raised mid-service produces
+  // no further event until its next word -- under the full handshake the
+  // strobe is held, so there is none to wait for).
+  Block chain{wait_on(std::move(sensitivity))};
+  for (auto it = arms.rbegin(); it != arms.rend(); ++it) {
+    Block then_body{call(it->serve_procedure, {})};
+    for (const auto& stmt : it->post_serve) then_body.push_back(stmt);
+    chain = Block{
+        if_stmt(it->condition, std::move(then_body), std::move(chain))};
+  }
+
+  Process proc;
+  proc.name = server_process_name(variable);
+  proc.body = Block{forever(std::move(chain))};
+  return proc;
+}
+
+}  // namespace ifsyn::protocol

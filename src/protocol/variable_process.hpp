@@ -1,0 +1,61 @@
+// ifsyn/protocol/variable_process.hpp
+//
+// Step 5 of protocol generation (Sec. 4): "In order to obtain a
+// simulatable system specification, a separate behavior is created for
+// each group of variables accessed over a channel" -- Fig. 5's Xproc and
+// MEMproc.
+//
+// The generated server process is a forever loop that sleeps on the
+// control strobes of every bus its variable is reachable over, then
+// dispatches on the ID lines to the matching Serve<CH> procedure:
+//
+//   process MEMproc
+//     loop
+//       wait on B.START;
+//       if (B.START = '1') then
+//         if    (B.ID = "10") then ServeCH2;
+//         elsif (B.ID = "11") then ServeCH3;
+//         end if;
+//       end if;
+//     end loop;
+//
+// (Fig. 5 waits on B.ID instead; that formulation misses back-to-back
+// transactions on the same channel, whose ID assignment produces no
+// event -- see protocol_library.hpp.)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "protocol/protocol_library.hpp"
+#include "spec/system.hpp"
+
+namespace ifsyn::protocol {
+
+/// Name of the server process generated for a variable ("X" -> "Xproc").
+std::string server_process_name(const std::string& variable);
+
+/// One dispatch arm: when `condition` holds after a strobe event, run the
+/// channel's Serve procedure, then run `post_serve`.
+///
+/// `post_serve` closes the re-dispatch race of strobe protocols: their
+/// sender holds the last word's strobe level for the protocol delay, so a
+/// dispatcher that re-checks immediately after Serve returns would see the
+/// *same* word as a new transaction and desynchronize. The generator fills
+/// post_serve with `wait until <strobe> = 0` (the requester's phase
+/// epilogue) for strobe protocols; the full handshake needs nothing
+/// because its Serve only returns after START has fallen.
+struct DispatchArm {
+  spec::ExprPtr condition;
+  std::string serve_procedure;
+  spec::SignalFieldId strobe;  ///< sensitivity entry for the wait-on
+  spec::Block post_serve;      ///< statements after the Serve call
+};
+
+/// Build the server process for `variable` from its dispatch arms (one
+/// per channel, across all buses the variable is accessed over).
+spec::Process make_variable_process(const std::string& variable,
+                                    const std::vector<DispatchArm>& arms);
+
+}  // namespace ifsyn::protocol

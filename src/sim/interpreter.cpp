@@ -1,0 +1,452 @@
+#include "sim/interpreter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::sim {
+
+using spec::Block;
+using spec::Expr;
+using spec::Stmt;
+
+std::int64_t Scalar::to_int() const {
+  if (bits.width() == 0) return 0;
+  if (is_signed) return bits.to_int();
+  return static_cast<std::int64_t>(bits.to_uint());
+}
+
+namespace {
+
+/// Widen to `width` bits honoring the scalar's signedness.
+BitVector extend(const Scalar& s, int width) {
+  if (s.bits.width() == width) return s.bits;
+  if (s.bits.width() > width) return s.bits.resized(width);
+  if (s.is_signed && s.bits.width() > 0) {
+    return BitVector::from_int(width, s.bits.to_int());
+  }
+  return s.bits.resized(width);
+}
+
+Scalar make_bool(bool b) {
+  return Scalar{BitVector::from_uint(1, b ? 1 : 0), false};
+}
+
+Scalar make_int(std::int64_t v) {
+  return Scalar{BitVector::from_int(64, v), true};
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const spec::System& system, Kernel& kernel)
+    : system_(system), kernel_(kernel) {}
+
+Status Interpreter::setup() {
+  IFSYN_RETURN_IF_ERROR(system_.validate());
+
+  globals_.clear();
+  for (const auto& v : system_.variables()) {
+    globals_.emplace(v->name, v->init ? *v->init : spec::Value(v->type));
+  }
+
+  for (const auto& s : system_.signals()) {
+    for (const auto& f : s->fields) {
+      kernel_.add_signal_field(FieldKey{s->name, f.name},
+                               BitVector(f.width));
+    }
+  }
+
+  for (const auto& b : system_.buses()) {
+    if (b->arbitrated) kernel_.add_bus_lock(b->name);
+  }
+
+  for (const auto& p : system_.processes()) {
+    const spec::Process* proc = p.get();
+    ProcState& state = proc_states_[proc->name];
+    kernel_.add_process(
+        proc->name,
+        [this, proc, &state]() { return run_process(*proc, state); },
+        proc->restarts);
+  }
+  return Status::ok();
+}
+
+const spec::Value& Interpreter::value_of(const std::string& variable) const {
+  auto it = globals_.find(variable);
+  IFSYN_ASSERT_MSG(it != globals_.end(), "unknown variable " << variable);
+  return it->second;
+}
+
+void Interpreter::set_value(const std::string& variable, spec::Value value) {
+  auto it = globals_.find(variable);
+  IFSYN_ASSERT_MSG(it != globals_.end(), "unknown variable " << variable);
+  IFSYN_ASSERT_MSG(it->second.type() == value.type(),
+                   "type mismatch setting " << variable);
+  it->second = std::move(value);
+}
+
+spec::Value* Interpreter::lookup(ProcState& state, const std::string& name) {
+  if (!state.frames.empty()) {
+    // innermost frame (current procedure / loop scope)
+    auto& top = state.frames.back().vars;
+    if (auto it = top.find(name); it != top.end()) return &it->second;
+    // process locals
+    auto& locals = state.frames.front().vars;
+    if (auto it = locals.find(name); it != locals.end()) return &it->second;
+  }
+  if (auto it = globals_.find(name); it != globals_.end()) return &it->second;
+  return nullptr;
+}
+
+spec::Value& Interpreter::lookup_or_fail(ProcState& state,
+                                         const std::string& name) {
+  spec::Value* v = lookup(state, name);
+  IFSYN_ASSERT_MSG(v, "reference to undeclared variable '" << name << "'");
+  return *v;
+}
+
+// ---- expression evaluation --------------------------------------------
+
+std::int64_t Interpreter::eval_int(const Expr& expr, ProcState& state) {
+  return eval(expr, state).to_int();
+}
+
+Scalar Interpreter::eval(const Expr& expr, ProcState& state) {
+  using namespace spec;
+  return std::visit(
+      [this, &state](const auto& node) -> Scalar {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, IntLit>) {
+          return make_int(node.value);
+        } else if constexpr (std::is_same_v<T, BitsLit>) {
+          return Scalar{node.value, false};
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          const Value& v = lookup_or_fail(state, node.name);
+          IFSYN_ASSERT_MSG(!v.is_array(),
+                           "array '" << node.name
+                                     << "' used without an index");
+          return Scalar{v.get(), v.type().is_signed()};
+        } else if constexpr (std::is_same_v<T, ArrayRef>) {
+          const std::int64_t index = eval_int(*node.index, state);
+          const Value& v = lookup_or_fail(state, node.name);
+          IFSYN_ASSERT_MSG(v.is_array(),
+                           "indexing non-array '" << node.name << "'");
+          return Scalar{v.at(static_cast<int>(index)),
+                        v.type().is_signed()};
+        } else if constexpr (std::is_same_v<T, SliceExpr>) {
+          const Scalar base = eval(*node.base, state);
+          const int hi = static_cast<int>(eval_int(*node.hi, state));
+          const int lo = static_cast<int>(eval_int(*node.lo, state));
+          return Scalar{base.bits.slice(hi, lo), false};
+        } else if constexpr (std::is_same_v<T, SignalRef>) {
+          return Scalar{
+              kernel_.signal_value(FieldKey{node.signal, node.field}), false};
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          const Scalar operand = eval(*node.operand, state);
+          switch (node.op) {
+            case UnaryOp::kNot:
+              return Scalar{~operand.bits, operand.is_signed};
+            case UnaryOp::kNeg:
+              return make_int(-operand.to_int());
+            case UnaryOp::kLogNot:
+              return make_bool(!operand.truthy());
+          }
+          IFSYN_ASSERT(false);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          const Scalar lhs = eval(*node.lhs, state);
+          const Scalar rhs = eval(*node.rhs, state);
+          const bool any_signed = lhs.is_signed || rhs.is_signed;
+          const int max_width = std::max(lhs.bits.width(), rhs.bits.width());
+
+          auto wide_equal = [&]() {
+            return extend(lhs, max_width) == extend(rhs, max_width);
+          };
+
+          switch (node.op) {
+            case BinaryOp::kAdd: return make_int(lhs.to_int() + rhs.to_int());
+            case BinaryOp::kSub: return make_int(lhs.to_int() - rhs.to_int());
+            case BinaryOp::kMul: return make_int(lhs.to_int() * rhs.to_int());
+            case BinaryOp::kDiv: {
+              const std::int64_t d = rhs.to_int();
+              IFSYN_ASSERT_MSG(d != 0, "division by zero");
+              return make_int(lhs.to_int() / d);
+            }
+            case BinaryOp::kMod: {
+              const std::int64_t d = rhs.to_int();
+              IFSYN_ASSERT_MSG(d != 0, "mod by zero");
+              return make_int(lhs.to_int() % d);
+            }
+            case BinaryOp::kAnd:
+              return Scalar{extend(lhs, max_width) & extend(rhs, max_width),
+                            false};
+            case BinaryOp::kOr:
+              return Scalar{extend(lhs, max_width) | extend(rhs, max_width),
+                            false};
+            case BinaryOp::kXor:
+              return Scalar{extend(lhs, max_width) ^ extend(rhs, max_width),
+                            false};
+            case BinaryOp::kConcat:
+              return Scalar{lhs.bits.concat(rhs.bits), false};
+            case BinaryOp::kEq: return make_bool(wide_equal());
+            case BinaryOp::kNe: return make_bool(!wide_equal());
+            case BinaryOp::kLt:
+              return make_bool(any_signed
+                                   ? lhs.to_int() < rhs.to_int()
+                                   : extend(lhs, max_width)
+                                         .unsigned_less(extend(rhs, max_width)));
+            case BinaryOp::kLe:
+              return make_bool(any_signed
+                                   ? lhs.to_int() <= rhs.to_int()
+                                   : !extend(rhs, max_width)
+                                          .unsigned_less(extend(lhs, max_width)));
+            case BinaryOp::kGt:
+              return make_bool(any_signed
+                                   ? lhs.to_int() > rhs.to_int()
+                                   : extend(rhs, max_width)
+                                         .unsigned_less(extend(lhs, max_width)));
+            case BinaryOp::kGe:
+              return make_bool(any_signed
+                                   ? lhs.to_int() >= rhs.to_int()
+                                   : !extend(lhs, max_width)
+                                          .unsigned_less(extend(rhs, max_width)));
+            case BinaryOp::kLogAnd:
+              return make_bool(lhs.truthy() && rhs.truthy());
+            case BinaryOp::kLogOr:
+              return make_bool(lhs.truthy() || rhs.truthy());
+          }
+          IFSYN_ASSERT(false);
+        }
+        IFSYN_ASSERT(false);
+        return Scalar{};
+      },
+      expr.node());
+}
+
+// ---- stores -------------------------------------------------------------
+
+void Interpreter::store(ProcState& state, const spec::LValue& target,
+                        Scalar value) {
+  spec::Value& dest = lookup_or_fail(state, target.name);
+
+  auto coerce = [&value](int width) {
+    return extend(value, width);
+  };
+
+  if (target.index) {
+    IFSYN_ASSERT_MSG(dest.is_array(),
+                     "indexed store into non-array '" << target.name << "'");
+    const int index = static_cast<int>(eval_int(*target.index, state));
+    if (target.slice_hi) {
+      BitVector elem = dest.at(index);
+      const int hi = static_cast<int>(eval_int(*target.slice_hi, state));
+      const int lo = static_cast<int>(eval_int(*target.slice_lo, state));
+      elem.set_slice(hi, lo, coerce(hi - lo + 1));
+      dest.set_at(index, std::move(elem));
+    } else {
+      dest.set_at(index, coerce(dest.type().scalar_width()));
+    }
+    return;
+  }
+
+  IFSYN_ASSERT_MSG(!dest.is_array(),
+                   "whole-array assignment to '" << target.name
+                                                 << "' is not supported");
+  if (target.slice_hi) {
+    BitVector current = dest.get();
+    const int hi = static_cast<int>(eval_int(*target.slice_hi, state));
+    const int lo = static_cast<int>(eval_int(*target.slice_lo, state));
+    current.set_slice(hi, lo, coerce(hi - lo + 1));
+    dest.set(std::move(current));
+  } else {
+    dest.set(coerce(dest.type().scalar_width()));
+  }
+}
+
+void Interpreter::exec_signal_assign(const spec::SignalAssign& sa,
+                                     ProcState& state) {
+  const FieldKey key{sa.signal, sa.field};
+  const int width = kernel_.signal_value(key).width();
+  Scalar value = eval(*sa.value, state);
+  kernel_.schedule_signal(key, extend(value, width));
+}
+
+// ---- statement execution -------------------------------------------------
+
+// NOTE on coroutine style: every co_await in this file awaits a *named
+// local*, never a prvalue. GCC 12 miscompiles non-trivially-destructible
+// temporaries inside co_await expressions (double destruction of the
+// awaiter/task temporary), which corrupts shared_ptr reference counts.
+// Hoisting the operand into a local sidesteps the bug; see
+// tests/sim/kernel_test.cpp for the matching test-side convention.
+SimTask Interpreter::run_process(const spec::Process& process,
+                                 ProcState& state) {
+  // (Re)initialize the process-local frame for this activation.
+  state.frames.clear();
+  state.frames.emplace_back();
+  for (const auto& local : process.locals) {
+    state.frames.back().vars.emplace(
+        local.name, local.init ? *local.init : spec::Value(local.type));
+  }
+  SimTask body = exec_block(process.body, state);
+  co_await body;
+}
+
+SimTask Interpreter::exec_block(const Block& block, ProcState& state) {
+  for (const auto& stmt : block) {
+    SimTask task = exec_stmt(*stmt, state);
+    co_await task;
+  }
+}
+
+SimTask Interpreter::exec_call(const spec::ProcCall& call, ProcState& state) {
+  const spec::Procedure* proc = system_.find_procedure(call.proc);
+  IFSYN_ASSERT_MSG(proc, "call to unknown procedure '" << call.proc << "'");
+  IFSYN_ASSERT_MSG(proc->params.size() == call.args.size(),
+                   "procedure " << call.proc << " expects "
+                                << proc->params.size() << " args, got "
+                                << call.args.size());
+
+  // Copy-in: evaluate `in` actuals in the caller's scope.
+  Frame frame;
+  for (std::size_t i = 0; i < proc->params.size(); ++i) {
+    const spec::Param& param = proc->params[i];
+    if (param.dir == spec::ParamDir::kIn) {
+      const auto* arg_expr = std::get_if<spec::ExprPtr>(&call.args[i]);
+      IFSYN_ASSERT_MSG(arg_expr, "out-style actual passed to in param "
+                                     << param.name << " of " << call.proc);
+      Scalar v = eval(**arg_expr, state);
+      spec::Value storage(param.type);
+      storage.set(extend(v, param.type.scalar_width()));
+      frame.vars.emplace(param.name, std::move(storage));
+    } else {
+      IFSYN_ASSERT_MSG(std::holds_alternative<spec::LValue>(call.args[i]),
+                       "expression actual passed to out param "
+                           << param.name << " of " << call.proc);
+      frame.vars.emplace(param.name, spec::Value(param.type));
+    }
+  }
+  for (const auto& local : proc->locals) {
+    frame.vars.emplace(local.name,
+                       local.init ? *local.init : spec::Value(local.type));
+  }
+
+  state.frames.push_back(std::move(frame));
+  {
+    SimTask body = exec_block(proc->body, state);
+    co_await body;
+  }
+
+  // Copy-out: write `out` params back to the caller's lvalues.
+  Frame done = std::move(state.frames.back());
+  state.frames.pop_back();
+  for (std::size_t i = 0; i < proc->params.size(); ++i) {
+    const spec::Param& param = proc->params[i];
+    if (param.dir != spec::ParamDir::kOut) continue;
+    const spec::Value& out_val = done.vars.at(param.name);
+    store(state, std::get<spec::LValue>(call.args[i]),
+          Scalar{out_val.get(), param.type.is_signed()});
+  }
+}
+
+SimTask Interpreter::exec_stmt(const Stmt& stmt, ProcState& state) {
+  using namespace spec;
+  // A coroutine cannot co_await inside std::visit's lambda, so dispatch
+  // manually on the node kind.
+  if (const auto* s = stmt.as<VarAssign>()) {
+    store(state, s->target, eval(*s->value, state));
+  } else if (const auto* s = stmt.as<SignalAssign>()) {
+    exec_signal_assign(*s, state);
+  } else if (const auto* s = stmt.as<WaitUntil>()) {
+    // Capture by reference: the frames outlive the wait because the
+    // coroutine frame (and the ProcState it points to) stays alive.
+    const ExprPtr cond = s->cond;
+    auto awaiter = kernel_.wait_until(
+        [this, cond, &state]() { return eval(*cond, state).truthy(); });
+    co_await awaiter;
+  } else if (const auto* s = stmt.as<WaitOn>()) {
+    std::vector<FieldKey> keys;
+    keys.reserve(s->sensitivity.size());
+    for (const auto& sf : s->sensitivity)
+      keys.push_back(FieldKey{sf.signal, sf.field});
+    auto awaiter = kernel_.wait_on(std::move(keys));
+    co_await awaiter;
+  } else if (const auto* s = stmt.as<WaitFor>()) {
+    const std::int64_t cycles = eval_int(*s->cycles, state);
+    IFSYN_ASSERT_MSG(cycles >= 0, "negative wait duration");
+    auto awaiter = kernel_.wait_for(static_cast<std::uint64_t>(cycles));
+    co_await awaiter;
+  } else if (const auto* s = stmt.as<IfStmt>()) {
+    if (eval(*s->cond, state).truthy()) {
+      SimTask branch = exec_block(s->then_body, state);
+      co_await branch;
+    } else {
+      SimTask branch = exec_block(s->else_body, state);
+      co_await branch;
+    }
+  } else if (const auto* s = stmt.as<ForStmt>()) {
+    const std::int64_t from = eval_int(*s->from, state);
+    const std::int64_t to = eval_int(*s->to, state);
+    // The loop variable lives in the current innermost frame for the
+    // duration of the loop, shadowing any same-named outer variable.
+    // Index, not reference: procedure calls in the body push frames and
+    // may reallocate the frame vector.
+    const std::size_t frame_idx = state.frames.size() - 1;
+    auto vars_at = [&state, frame_idx]() -> Frame& {
+      return state.frames[frame_idx];
+    };
+    auto prev = vars_at().vars.count(s->var)
+                    ? std::optional(vars_at().vars.at(s->var))
+                    : std::nullopt;
+    for (std::int64_t i = from; i <= to; ++i) {
+      vars_at().vars.insert_or_assign(s->var, spec::Value::integer(i));
+      SimTask body = exec_block(s->body, state);
+      co_await body;
+    }
+    if (prev) {
+      vars_at().vars.insert_or_assign(s->var, std::move(*prev));
+    } else {
+      vars_at().vars.erase(s->var);
+    }
+  } else if (const auto* s = stmt.as<WhileStmt>()) {
+    while (eval(*s->cond, state).truthy()) {
+      SimTask body = exec_block(s->body, state);
+      co_await body;
+    }
+  } else if (const auto* s = stmt.as<ForeverStmt>()) {
+    for (;;) {
+      SimTask body = exec_block(s->body, state);
+      co_await body;
+    }
+  } else if (const auto* s = stmt.as<ProcCall>()) {
+    SimTask callee = exec_call(*s, state);
+    co_await callee;
+  } else if (const auto* s = stmt.as<BusLock>()) {
+    if (s->acquire) {
+      auto awaiter = kernel_.acquire_bus(s->bus);
+      co_await awaiter;
+    } else {
+      kernel_.release_bus(s->bus);
+    }
+  } else {
+    IFSYN_ASSERT_MSG(false, "unhandled statement kind");
+  }
+}
+
+// ---- convenience ---------------------------------------------------------
+
+SimulationRun simulate(const spec::System& system, std::uint64_t max_time,
+                       bool trace) {
+  SimulationRun run;
+  run.kernel = std::make_unique<Kernel>();
+  run.kernel->enable_trace(trace);
+  run.interpreter = std::make_unique<Interpreter>(system, *run.kernel);
+  Status setup = run.interpreter->setup();
+  if (!setup.is_ok()) {
+    run.result.status = setup;
+    return run;
+  }
+  run.result = run.kernel->run(max_time);
+  return run;
+}
+
+}  // namespace ifsyn::sim

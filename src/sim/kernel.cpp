@@ -1,0 +1,301 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::sim {
+
+// ---- configuration -------------------------------------------------------
+
+void Kernel::add_signal_field(const FieldKey& key, BitVector initial) {
+  IFSYN_ASSERT_MSG(!fields_.count(key),
+                   "duplicate signal field " << key.to_string());
+  fields_.emplace(key, FieldState{initial, std::move(initial), std::nullopt});
+}
+
+void Kernel::add_bus_lock(const std::string& bus) {
+  bus_locks_.emplace(bus, BusLockState{});
+}
+
+void Kernel::add_process(const std::string& name,
+                         std::function<SimTask()> factory, bool restarts) {
+  auto proc = std::make_unique<ProcessRuntime>();
+  proc->name = name;
+  proc->factory = std::move(factory);
+  proc->restarts = restarts;
+  proc->stats.name = name;
+  processes_.push_back(std::move(proc));
+}
+
+// ---- signal access --------------------------------------------------------
+
+Kernel::FieldState& Kernel::field_state(const FieldKey& key) {
+  auto it = fields_.find(key);
+  IFSYN_ASSERT_MSG(it != fields_.end(),
+                   "unknown signal field " << key.to_string());
+  return it->second;
+}
+
+const Kernel::FieldState& Kernel::field_state(const FieldKey& key) const {
+  auto it = fields_.find(key);
+  IFSYN_ASSERT_MSG(it != fields_.end(),
+                   "unknown signal field " << key.to_string());
+  return it->second;
+}
+
+const BitVector& Kernel::signal_value(const FieldKey& key) const {
+  return field_state(key).current;
+}
+
+const BitVector& Kernel::initial_value(const FieldKey& key) const {
+  return field_state(key).initial;
+}
+
+std::vector<FieldKey> Kernel::signal_keys() const {
+  std::vector<FieldKey> keys;
+  keys.reserve(fields_.size());
+  for (const auto& [key, state] : fields_) keys.push_back(key);
+  return keys;
+}
+
+void Kernel::schedule_signal(const FieldKey& key, BitVector value) {
+  FieldState& state = field_state(key);
+  IFSYN_ASSERT_MSG(value.width() == state.current.width(),
+                   "signal " << key.to_string() << " width "
+                             << state.current.width() << " assigned "
+                             << value.width() << " bits");
+  if (!state.pending) dirty_.push_back(key);
+  state.pending = std::move(value);  // last write in a delta wins
+}
+
+// ---- awaitables -----------------------------------------------------------
+
+bool Kernel::Awaiter::await_ready() const noexcept {
+  // All the decision logic lives in await_suspend (which can decline the
+  // suspension); only the trivial zero-delay case short-circuits here.
+  return kind == WaitKind::kTime && cycles == 0;
+}
+
+void Kernel::Awaiter::await_suspend(std::coroutine_handle<> h) {
+  Kernel::ProcessRuntime* proc = kernel->current_;
+  IFSYN_ASSERT_MSG(proc, "kernel awaitable used outside a process");
+  proc->resume_point = h;
+
+  switch (kind) {
+    case WaitKind::kTime:
+      proc->wait = WaitKind::kTime;
+      proc->wake_time = kernel->time_ + cycles;
+      return;
+    case WaitKind::kEvent:
+      proc->wait = WaitKind::kEvent;
+      proc->sensitivity = sensitivity;
+      return;
+    case WaitKind::kCondition:
+      if (condition()) {
+        // Level-sensitive wait-until: condition already holds, so do not
+        // actually block -- re-queue as ready (see header comment).
+        proc->wait = WaitKind::kReady;
+        return;
+      }
+      proc->wait = WaitKind::kCondition;
+      proc->condition = condition;
+      return;
+    case WaitKind::kBusLock: {
+      auto it = kernel->bus_locks_.find(bus);
+      IFSYN_ASSERT_MSG(it != kernel->bus_locks_.end(),
+                       "unknown bus lock " << bus);
+      BusLockState& lock = it->second;
+      if (lock.holder == nullptr) {
+        lock.holder = proc;
+        proc->wait = WaitKind::kReady;  // got it; continue this sweep
+        return;
+      }
+      lock.waiters.push_back(proc);
+      proc->wait = WaitKind::kBusLock;
+      proc->lock_wait_start = kernel->time_;
+      return;
+    }
+    case WaitKind::kReady:
+    case WaitKind::kDone:
+      IFSYN_ASSERT_MSG(false, "invalid awaiter kind");
+  }
+}
+
+Kernel::Awaiter Kernel::wait_for(std::uint64_t cycles) {
+  return Awaiter{this, WaitKind::kTime, cycles, {}, {}, {}};
+}
+
+Kernel::Awaiter Kernel::wait_on(std::vector<FieldKey> sensitivity) {
+  return Awaiter{this, WaitKind::kEvent, 0, std::move(sensitivity), {}, {}};
+}
+
+Kernel::Awaiter Kernel::wait_until(std::function<bool()> cond) {
+  return Awaiter{this, WaitKind::kCondition, 0, {}, std::move(cond), {}};
+}
+
+Kernel::Awaiter Kernel::acquire_bus(const std::string& bus) {
+  return Awaiter{this, WaitKind::kBusLock, 0, {}, {}, bus};
+}
+
+void Kernel::release_bus(const std::string& bus) {
+  auto it = bus_locks_.find(bus);
+  IFSYN_ASSERT_MSG(it != bus_locks_.end(), "unknown bus lock " << bus);
+  BusLockState& lock = it->second;
+  IFSYN_ASSERT_MSG(lock.holder == current_,
+                   "bus " << bus << " released by non-holder");
+  if (lock.waiters.empty()) {
+    lock.holder = nullptr;
+    return;
+  }
+  ProcessRuntime* next = lock.waiters.front();
+  lock.waiters.pop_front();
+  next->stats.bus_wait_cycles += time_ - next->lock_wait_start;
+  lock.holder = next;
+  next->wait = WaitKind::kReady;
+}
+
+// ---- scheduler -------------------------------------------------------------
+
+void Kernel::run_ready() {
+  bool progressed = true;
+  while (progressed && run_status_.is_ok()) {
+    progressed = false;
+    for (auto& proc : processes_) {
+      if (proc->wait != WaitKind::kReady) continue;
+      progressed = true;
+      current_ = proc.get();
+      // Sentinel: if the coroutine runs to completion it never calls an
+      // awaiter, so the wait kind stays kDone until finish_process decides.
+      proc->wait = WaitKind::kDone;
+      proc->resume_point.resume();
+      current_ = nullptr;
+      if (proc->task.done()) {
+        finish_process(*proc);
+      }
+      if (!run_status_.is_ok()) return;
+    }
+  }
+}
+
+void Kernel::finish_process(ProcessRuntime& proc) {
+  try {
+    proc.task.rethrow_if_failed();
+  } catch (const std::exception& e) {
+    run_status_ = simulation_error(std::string("process ") + proc.name +
+                                   " failed: " + e.what());
+    proc.wait = WaitKind::kDone;
+    return;
+  }
+  if (!proc.stats.completed) {
+    proc.stats.completed = true;
+    proc.stats.finish_time = time_;
+  }
+  ++proc.stats.activations;
+  if (proc.restarts) {
+    proc.task = proc.factory();
+    proc.resume_point = proc.task.handle();
+    proc.wait = WaitKind::kReady;
+  } else {
+    proc.wait = WaitKind::kDone;
+  }
+}
+
+bool Kernel::commit_deltas() {
+  if (dirty_.empty()) return false;
+  if (++delta_ > kMaxDeltasPerInstant) {
+    run_status_ = simulation_error(
+        "delta cycle limit exceeded at t=" + std::to_string(time_) +
+        " (oscillating zero-delay loop?)");
+    return false;
+  }
+
+  std::vector<FieldKey> changed;
+  for (const FieldKey& key : dirty_) {
+    FieldState& state = field_state(key);
+    if (!state.pending) continue;  // already committed via duplicate entry
+    if (*state.pending != state.current) {
+      state.current = std::move(*state.pending);
+      changed.push_back(key);
+      if (trace_enabled_) {
+        trace_.push_back(TraceEntry{time_, delta_, key, state.current});
+      }
+    }
+    state.pending.reset();
+  }
+  dirty_.clear();
+  if (changed.empty()) return true;  // commit happened, no events
+
+  for (auto& proc : processes_) {
+    if (proc->wait == WaitKind::kEvent) {
+      const bool hit = std::any_of(
+          proc->sensitivity.begin(), proc->sensitivity.end(),
+          [&changed](const FieldKey& want) {
+            return std::any_of(
+                changed.begin(), changed.end(), [&want](const FieldKey& got) {
+                  return want.signal == got.signal &&
+                         (want.field.empty() || want.field == got.field);
+                });
+          });
+      if (hit) proc->wait = WaitKind::kReady;
+    } else if (proc->wait == WaitKind::kCondition) {
+      if (proc->condition()) proc->wait = WaitKind::kReady;
+    }
+  }
+  return true;
+}
+
+bool Kernel::advance_time(std::uint64_t max_time) {
+  std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& proc : processes_) {
+    if (proc->wait == WaitKind::kTime) next = std::min(next, proc->wake_time);
+  }
+  if (next == std::numeric_limits<std::uint64_t>::max()) return false;
+  if (next > max_time) {
+    run_status_ = simulation_error(
+        "simulation exceeded max_time=" + std::to_string(max_time));
+    return false;
+  }
+  time_ = next;
+  delta_ = 0;
+  for (auto& proc : processes_) {
+    if (proc->wait == WaitKind::kTime && proc->wake_time == time_) {
+      proc->wait = WaitKind::kReady;
+    }
+  }
+  return true;
+}
+
+SimResult Kernel::run(std::uint64_t max_time) {
+  run_status_ = Status::ok();
+  time_ = 0;
+  delta_ = 0;
+
+  for (auto& proc : processes_) {
+    proc->task = proc->factory();
+    proc->resume_point = proc->task.handle();
+    proc->wait = WaitKind::kReady;
+    proc->stats = ProcessStats{};
+    proc->stats.name = proc->name;
+  }
+
+  while (run_status_.is_ok()) {
+    run_ready();
+    if (!run_status_.is_ok()) break;
+    if (commit_deltas()) continue;
+    if (!advance_time(max_time)) break;
+  }
+
+  SimResult result;
+  result.status = run_status_;
+  result.end_time = time_;
+  result.processes.reserve(processes_.size());
+  for (const auto& proc : processes_) {
+    // A process parked on a bus-lock queue at quiescence never completed.
+    result.processes.push_back(proc->stats);
+  }
+  return result;
+}
+
+}  // namespace ifsyn::sim

@@ -1,0 +1,215 @@
+// ifsyn/sim/kernel.hpp
+//
+// Discrete-event simulation kernel with VHDL-style semantics:
+//
+//   - *Signals* carry bit-vector values per record field. Assignments are
+//     scheduled and commit at the next delta boundary (when every runnable
+//     process has suspended); a commit that changes the value is an event.
+//   - *Processes* are coroutines (see task.hpp). They suspend on
+//     `wait for` (simulated clock cycles), `wait on` (signal events), and
+//     `wait until` (a condition over signals).
+//   - Time advances only when no process is runnable and no signal update
+//     is pending, jumping to the earliest timed waiter.
+//
+// Deviation from strict VHDL, by design: `wait until cond` checks the
+// condition immediately and does not suspend when it already holds.
+// Strict VHDL waits for the next event even then, which makes generated
+// handshakes sensitive to lost wakeups when two processes race to a
+// rendezvous. The level-sensitive reading preserves the paper's protocol
+// semantics (Fig. 4) and is robust to arbitrary interleaving.
+//
+// The kernel also implements the bus-arbitration extension (paper Sec. 6
+// future work): named FIFO locks with per-process wait-time accounting.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/bit_vector.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::sim {
+
+/// Identifies one field of one signal ("B.START"); field "" = scalar.
+struct FieldKey {
+  std::string signal;
+  std::string field;
+
+  friend bool operator==(const FieldKey&, const FieldKey&) = default;
+  friend auto operator<=>(const FieldKey&, const FieldKey&) = default;
+  std::string to_string() const {
+    return field.empty() ? signal : signal + "." + field;
+  }
+};
+
+/// One committed signal change, for waveform inspection in tests/benches.
+struct TraceEntry {
+  std::uint64_t time;
+  std::uint64_t delta;
+  FieldKey key;
+  BitVector value;
+};
+
+/// Statistics for one process after a run.
+struct ProcessStats {
+  std::string name;
+  bool completed = false;          ///< body ran to its end at least once
+  std::uint64_t finish_time = 0;   ///< time of (first) completion
+  std::uint64_t activations = 0;   ///< 1 for one-shot, N for restarting
+  std::uint64_t bus_wait_cycles = 0;  ///< time spent blocked on bus locks
+};
+
+/// Result of Kernel::run.
+struct SimResult {
+  Status status;                 ///< ok, or why the run aborted
+  std::uint64_t end_time = 0;    ///< simulation time at quiescence
+  std::vector<ProcessStats> processes;
+
+  const ProcessStats* find(const std::string& name) const {
+    for (const auto& p : processes)
+      if (p.name == name) return &p;
+    return nullptr;
+  }
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- configuration ----------------------------------------------------
+
+  /// Declare a signal field with an initial value (all zeros typical).
+  void add_signal_field(const FieldKey& key, BitVector initial);
+
+  /// Declare a named bus lock (arbitration extension).
+  void add_bus_lock(const std::string& bus);
+
+  /// Register a process. `factory` builds one activation of the body; it
+  /// is re-invoked on restart when `restarts` is true.
+  void add_process(const std::string& name, std::function<SimTask()> factory,
+                   bool restarts = false);
+
+  /// Record every committed signal change (off by default).
+  void enable_trace(bool on) { trace_enabled_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  // ---- runtime services (called from inside process coroutines) ---------
+
+  /// Current value of a signal field.
+  const BitVector& signal_value(const FieldKey& key) const;
+
+  /// Value the field was declared with (time-0 value, for waveform dumps).
+  const BitVector& initial_value(const FieldKey& key) const;
+
+  /// All declared signal fields, in key order.
+  std::vector<FieldKey> signal_keys() const;
+
+  /// Schedule `value` onto the field; commits at the next delta boundary.
+  void schedule_signal(const FieldKey& key, BitVector value);
+
+  std::uint64_t now() const { return time_; }
+
+  // Awaitables. Each suspends the current process with a wait reason the
+  // scheduler understands. Use as: `co_await kernel.wait_for(2);`
+  struct Awaiter;
+  Awaiter wait_for(std::uint64_t cycles);
+  Awaiter wait_on(std::vector<FieldKey> sensitivity);
+  /// `cond` is re-evaluated after every delta commit; it must read only
+  /// signals (not time), which is all the IR's wait-until allows.
+  Awaiter wait_until(std::function<bool()> cond);
+  Awaiter acquire_bus(const std::string& bus);
+  void release_bus(const std::string& bus);
+
+  // ---- execution ---------------------------------------------------------
+
+  /// Run to quiescence (no runnable process, no pending signal update, no
+  /// timed waiter) or until `max_time` cycles, whichever first. Exceeding
+  /// max_time or the per-instant delta limit yields kSimulationError.
+  SimResult run(std::uint64_t max_time = 1'000'000);
+
+ private:
+  enum class WaitKind { kReady, kTime, kEvent, kCondition, kBusLock, kDone };
+
+  struct ProcessRuntime {
+    std::string name;
+    std::function<SimTask()> factory;
+    bool restarts = false;
+    SimTask task;
+    std::coroutine_handle<> resume_point;
+
+    WaitKind wait = WaitKind::kReady;
+    std::uint64_t wake_time = 0;
+    std::vector<FieldKey> sensitivity;
+    std::function<bool()> condition;
+    std::uint64_t lock_wait_start = 0;
+
+    ProcessStats stats;
+  };
+
+  struct FieldState {
+    BitVector current;
+    BitVector initial;
+    std::optional<BitVector> pending;
+  };
+
+  struct BusLockState {
+    ProcessRuntime* holder = nullptr;
+    std::deque<ProcessRuntime*> waiters;
+  };
+
+  FieldState& field_state(const FieldKey& key);
+  const FieldState& field_state(const FieldKey& key) const;
+
+  /// Resume every kReady process until all are suspended or done.
+  void run_ready();
+  /// Commit pending signal values; wake event/condition waiters.
+  /// Returns true if anything changed or anyone woke.
+  bool commit_deltas();
+  /// Jump time to the earliest kTime waiter; returns false if none.
+  bool advance_time(std::uint64_t max_time);
+
+  void finish_process(ProcessRuntime& proc);
+
+  std::uint64_t time_ = 0;
+  std::uint64_t delta_ = 0;  // delta count within the current instant
+  ProcessRuntime* current_ = nullptr;
+
+  std::map<FieldKey, FieldState> fields_;
+  std::vector<FieldKey> dirty_;  // fields with pending values, in order
+  std::map<std::string, BusLockState> bus_locks_;
+  std::vector<std::unique_ptr<ProcessRuntime>> processes_;
+
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
+  Status run_status_;
+
+  static constexpr std::uint64_t kMaxDeltasPerInstant = 100'000;
+
+  friend struct KernelAwaiterAccess;
+};
+
+/// The one awaiter type used for every kernel suspension.
+struct Kernel::Awaiter {
+  Kernel* kernel;
+  WaitKind kind;
+  std::uint64_t cycles = 0;
+  std::vector<FieldKey> sensitivity;
+  std::function<bool()> condition;
+  std::string bus;
+
+  bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+}  // namespace ifsyn::sim

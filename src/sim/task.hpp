@@ -1,0 +1,111 @@
+// ifsyn/sim/task.hpp
+//
+// SimTask: the coroutine type used by the simulation interpreter.
+//
+// A VHDL-style process suspends in the middle of arbitrarily nested
+// statements (a `wait` inside a for inside a procedure call). Modeling
+// that with an explicit interpreter stack is error-prone; instead every
+// statement-executing function is a coroutine returning SimTask, and
+// awaiting a child task chains continuations with symmetric transfer:
+//
+//   - awaiting a SimTask starts the child immediately (it is created
+//     suspended) and records the parent as its continuation;
+//   - when a leaf suspends on a kernel awaitable (wait until/on/for), the
+//     whole chain stays suspended and control returns to the scheduler;
+//   - the kernel later resumes the *leaf*; when a task finishes, its
+//     final_suspend transfers control back to the parent.
+//
+// Exceptions propagate up the chain through await_resume.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace ifsyn::sim {
+
+class SimTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    SimTask get_return_object() {
+      return SimTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Hand control back to whoever awaited us; top-level tasks return
+        // to the scheduler via noop.
+        auto continuation = h.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  SimTask(SimTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  /// Rethrow an exception captured inside the coroutine, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  // ---- awaitable interface (parent task awaits child task) ----
+  bool await_ready() const noexcept { return done(); }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiting) noexcept {
+    handle_.promise().continuation = awaiting;
+    return handle_;  // symmetric transfer: run the child now
+  }
+  void await_resume() const { rethrow_if_failed(); }
+
+  /// Start a top-level task (the root of one process body). The scheduler
+  /// resumes it directly; it runs until the first kernel suspension.
+  void start() {
+    if (handle_ && !handle_.done()) handle_.resume();
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ifsyn::sim

@@ -1,0 +1,37 @@
+// ifsyn/sim/vcd.hpp
+//
+// Value Change Dump (IEEE 1364 VCD) export of a kernel trace, so the
+// generated protocols' waveforms -- the START/DONE handshakes, ID
+// selects, DATA words of Fig. 4 -- can be inspected in GTKWave or any
+// other waveform viewer.
+//
+// Delta cycles collapse onto their simulation instant (VCD has a single
+// time axis); within one instant the last committed value wins, matching
+// what a VHDL simulator's waveform view shows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::sim {
+
+struct VcdOptions {
+  /// Timescale text emitted in the header; one kernel cycle = one unit.
+  std::string timescale = "1ns";
+  /// Module name wrapping all signals in the VCD hierarchy.
+  std::string scope = "ifsyn";
+};
+
+/// Render a recorded trace (Kernel::trace(), requires enable_trace(true)
+/// before the run) as VCD text. `initial_values` supplies time-0 values
+/// for signals that never change (pass the kernel post-run for lookups).
+std::string trace_to_vcd(const Kernel& kernel, const VcdOptions& options = {});
+
+/// Write the VCD straight to a file.
+Status write_vcd(const Kernel& kernel, const std::string& path,
+                 const VcdOptions& options = {});
+
+}  // namespace ifsyn::sim

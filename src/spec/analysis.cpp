@@ -1,0 +1,458 @@
+#include "spec/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace ifsyn::spec {
+
+namespace {
+
+std::optional<std::int64_t> const_eval_node(const Expr& expr);
+
+struct ConstEval {
+  std::optional<std::int64_t> operator()(const IntLit& e) const {
+    return e.value;
+  }
+  std::optional<std::int64_t> operator()(const BitsLit& e) const {
+    if (e.value.width() > 0 && e.value.width() <= 63)
+      return static_cast<std::int64_t>(e.value.to_uint());
+    return std::nullopt;
+  }
+  std::optional<std::int64_t> operator()(const VarRef&) const {
+    return std::nullopt;
+  }
+  std::optional<std::int64_t> operator()(const ArrayRef&) const {
+    return std::nullopt;
+  }
+  std::optional<std::int64_t> operator()(const SliceExpr&) const {
+    return std::nullopt;
+  }
+  std::optional<std::int64_t> operator()(const SignalRef&) const {
+    return std::nullopt;
+  }
+  std::optional<std::int64_t> operator()(const UnaryExpr& e) const {
+    auto v = const_eval_node(*e.operand);
+    if (!v) return std::nullopt;
+    switch (e.op) {
+      case UnaryOp::kNeg:
+        return -*v;
+      case UnaryOp::kNot:
+        return ~*v;
+      case UnaryOp::kLogNot:
+        return *v == 0 ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+  std::optional<std::int64_t> operator()(const BinaryExpr& e) const {
+    auto a = const_eval_node(*e.lhs);
+    auto b = const_eval_node(*e.rhs);
+    if (!a || !b) return std::nullopt;
+    switch (e.op) {
+      case BinaryOp::kAdd: return *a + *b;
+      case BinaryOp::kSub: return *a - *b;
+      case BinaryOp::kMul: return *a * *b;
+      case BinaryOp::kDiv: return *b == 0 ? std::nullopt : std::optional(*a / *b);
+      case BinaryOp::kMod: return *b == 0 ? std::nullopt : std::optional(*a % *b);
+      case BinaryOp::kAnd: return *a & *b;
+      case BinaryOp::kOr: return *a | *b;
+      case BinaryOp::kXor: return *a ^ *b;
+      case BinaryOp::kEq: return *a == *b ? 1 : 0;
+      case BinaryOp::kNe: return *a != *b ? 1 : 0;
+      case BinaryOp::kLt: return *a < *b ? 1 : 0;
+      case BinaryOp::kLe: return *a <= *b ? 1 : 0;
+      case BinaryOp::kGt: return *a > *b ? 1 : 0;
+      case BinaryOp::kGe: return *a >= *b ? 1 : 0;
+      case BinaryOp::kLogAnd: return (*a != 0 && *b != 0) ? 1 : 0;
+      case BinaryOp::kLogOr: return (*a != 0 || *b != 0) ? 1 : 0;
+      case BinaryOp::kConcat: return std::nullopt;  // width unknown here
+    }
+    return std::nullopt;
+  }
+};
+
+std::optional<std::int64_t> const_eval_node(const Expr& expr) {
+  return std::visit(ConstEval{}, expr.node());
+}
+
+/// Walk every sub-expression of `expr`, calling `fn(expr)` pre-order.
+template <typename Fn>
+void visit_exprs(const Expr& expr, const Fn& fn) {
+  fn(expr);
+  std::visit(
+      [&fn](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayRef>) {
+          visit_exprs(*node.index, fn);
+        } else if constexpr (std::is_same_v<T, SliceExpr>) {
+          visit_exprs(*node.base, fn);
+          visit_exprs(*node.hi, fn);
+          visit_exprs(*node.lo, fn);
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          visit_exprs(*node.operand, fn);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          visit_exprs(*node.lhs, fn);
+          visit_exprs(*node.rhs, fn);
+        }
+      },
+      expr.node());
+}
+
+long long reads_in_expr(const Expr& expr, const std::string& variable) {
+  long long count = 0;
+  visit_exprs(expr, [&](const Expr& e) {
+    if (const auto* v = e.as<VarRef>(); v && v->name == variable) ++count;
+    if (const auto* a = e.as<ArrayRef>(); a && a->name == variable) ++count;
+  });
+  return count;
+}
+
+/// Trip count of a for loop with constant bounds; nullopt otherwise.
+std::optional<long long> trip_count(const ForStmt& s) {
+  auto from = const_eval_node(*s.from);
+  auto to = const_eval_node(*s.to);
+  if (!from || !to) return std::nullopt;
+  return std::max<long long>(0, *to - *from + 1);
+}
+
+struct AccessCounter {
+  const std::string& variable;
+  AccessCounts counts;
+
+  void count_expr(const Expr& expr, long long scale) {
+    counts.reads += scale * reads_in_expr(expr, variable);
+  }
+
+  void count_lvalue(const LValue& target, long long scale) {
+    if (target.name == variable) counts.writes += scale;
+    if (target.index) count_expr(*target.index, scale);
+    if (target.slice_hi) count_expr(*target.slice_hi, scale);
+    if (target.slice_lo) count_expr(*target.slice_lo, scale);
+  }
+
+  void count_block(const Block& block, long long scale) {
+    for (const auto& stmt : block) count_stmt(*stmt, scale);
+  }
+
+  void count_stmt(const Stmt& stmt, long long scale) {
+    std::visit(
+        [this, scale](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarAssign>) {
+            count_lvalue(node.target, scale);
+            count_expr(*node.value, scale);
+          } else if constexpr (std::is_same_v<T, SignalAssign>) {
+            count_expr(*node.value, scale);
+          } else if constexpr (std::is_same_v<T, WaitUntil>) {
+            // signal conditions only; variable reads here are not data
+            // transfers, but count them for completeness
+            count_expr(*node.cond, scale);
+          } else if constexpr (std::is_same_v<T, WaitFor>) {
+            count_expr(*node.cycles, scale);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            count_expr(*node.cond, scale);
+            // Branches: assume the heavier branch (worst-case count, the
+            // convention performance estimators like [10] use).
+            AccessCounter then_counter{variable, {}};
+            then_counter.count_block(node.then_body, scale);
+            AccessCounter else_counter{variable, {}};
+            else_counter.count_block(node.else_body, scale);
+            const auto& heavier =
+                then_counter.counts.total() >= else_counter.counts.total()
+                    ? then_counter.counts
+                    : else_counter.counts;
+            counts.reads += heavier.reads;
+            counts.writes += heavier.writes;
+            counts.lower_bound_only |= then_counter.counts.lower_bound_only ||
+                                       else_counter.counts.lower_bound_only;
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            count_expr(*node.from, scale);
+            count_expr(*node.to, scale);
+            auto trips = trip_count(node);
+            if (!trips) counts.lower_bound_only = true;
+            count_block(node.body, scale * trips.value_or(1));
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            count_expr(*node.cond, scale);
+            counts.lower_bound_only = true;
+            count_block(node.body, scale);
+          } else if constexpr (std::is_same_v<T, ForeverStmt>) {
+            counts.lower_bound_only = true;
+            count_block(node.body, scale);
+          } else if constexpr (std::is_same_v<T, ProcCall>) {
+            for (const auto& arg : node.args) {
+              if (const auto* e = std::get_if<ExprPtr>(&arg)) {
+                count_expr(**e, scale);
+              } else {
+                count_lvalue(std::get<LValue>(arg), scale);
+              }
+            }
+          }
+          // WaitOn, BusLock: no variable accesses
+        },
+        stmt.node());
+  }
+};
+
+struct OpCounter {
+  long long total = 0;
+
+  static long long ops_in_expr(const Expr& expr) {
+    long long count = 0;
+    visit_exprs(expr, [&count](const Expr& e) {
+      if (e.as<UnaryExpr>() || e.as<BinaryExpr>()) ++count;
+    });
+    return count;
+  }
+
+  void count_block(const Block& block, long long scale) {
+    for (const auto& stmt : block) count_stmt(*stmt, scale);
+  }
+
+  void count_stmt(const Stmt& stmt, long long scale) {
+    std::visit(
+        [this, scale](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarAssign>) {
+            total += scale * (1 + ops_in_expr(*node.value));
+          } else if constexpr (std::is_same_v<T, SignalAssign>) {
+            total += scale * (1 + ops_in_expr(*node.value));
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            total += scale * (1 + ops_in_expr(*node.cond));
+            OpCounter then_counter, else_counter;
+            then_counter.count_block(node.then_body, scale);
+            else_counter.count_block(node.else_body, scale);
+            total += std::max(then_counter.total, else_counter.total);
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            ForStmt copy = node;
+            auto trips = trip_count(copy);
+            OpCounter body;
+            body.count_block(node.body, scale * trips.value_or(1));
+            total += body.total + scale * trips.value_or(1);  // index update
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            total += scale * (1 + ops_in_expr(*node.cond));
+            count_block(node.body, scale);
+          } else if constexpr (std::is_same_v<T, ForeverStmt>) {
+            count_block(node.body, scale);
+          } else if constexpr (std::is_same_v<T, ProcCall>) {
+            total += scale;  // call overhead; callee counted separately
+          }
+        },
+        stmt.node());
+  }
+};
+
+struct WaitCycleCounter {
+  long long total = 0;
+
+  void count_block(const Block& block, long long scale) {
+    for (const auto& stmt : block) count_stmt(*stmt, scale);
+  }
+
+  void count_stmt(const Stmt& stmt, long long scale) {
+    std::visit(
+        [this, scale](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, WaitFor>) {
+            total += scale * const_eval_node(*node.cycles).value_or(0);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            WaitCycleCounter then_counter, else_counter;
+            then_counter.count_block(node.then_body, scale);
+            else_counter.count_block(node.else_body, scale);
+            total += std::max(then_counter.total, else_counter.total);
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            count_block(node.body, scale * trip_count(node).value_or(1));
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            count_block(node.body, scale);
+          } else if constexpr (std::is_same_v<T, ForeverStmt>) {
+            count_block(node.body, scale);
+          }
+        },
+        stmt.node());
+  }
+};
+
+}  // namespace
+
+long long wait_cycles(const Block& block) {
+  WaitCycleCounter counter;
+  counter.count_block(block, 1);
+  return counter.total;
+}
+
+std::optional<std::int64_t> const_eval(const Expr& expr) {
+  return const_eval_node(expr);
+}
+
+AccessCounts count_accesses(const Block& block, const std::string& variable) {
+  AccessCounter counter{variable, {}};
+  counter.count_block(block, 1);
+  return counter.counts;
+}
+
+AccessCounts count_accesses(const Process& process,
+                            const std::string& variable) {
+  return count_accesses(process.body, variable);
+}
+
+std::vector<SignalFieldId> collect_signal_refs(const Expr& expr) {
+  std::vector<SignalFieldId> out;
+  visit_exprs(expr, [&out](const Expr& e) {
+    if (const auto* s = e.as<SignalRef>()) {
+      const bool seen =
+          std::any_of(out.begin(), out.end(), [&](const SignalFieldId& id) {
+            return id.signal == s->signal && id.field == s->field;
+          });
+      if (!seen) out.push_back({s->signal, s->field});
+    }
+  });
+  return out;
+}
+
+bool expr_reads_variable(const Expr& expr, const std::string& variable) {
+  return reads_in_expr(expr, variable) > 0;
+}
+
+long long op_count(const Block& block) {
+  OpCounter counter;
+  counter.count_block(block, 1);
+  return counter.total;
+}
+
+namespace {
+
+/// Walk a process body in execution order, reporting each access to a
+/// system-level variable: fn(variable, is_read). Within an assignment the
+/// value is evaluated before the target is written.
+class AccessWalker {
+ public:
+  using Fn = std::function<void(const std::string&, bool is_read)>;
+  explicit AccessWalker(Fn fn) : fn_(std::move(fn)) {}
+
+  void walk_expr(const Expr& expr) {
+    if (const auto* v = expr.as<VarRef>()) {
+      fn_(v->name, /*is_read=*/true);
+    } else if (const auto* a = expr.as<ArrayRef>()) {
+      walk_expr(*a->index);
+      fn_(a->name, /*is_read=*/true);
+    } else if (const auto* s = expr.as<SliceExpr>()) {
+      walk_expr(*s->base);
+      walk_expr(*s->hi);
+      walk_expr(*s->lo);
+    } else if (const auto* u = expr.as<UnaryExpr>()) {
+      walk_expr(*u->operand);
+    } else if (const auto* b = expr.as<BinaryExpr>()) {
+      walk_expr(*b->lhs);
+      walk_expr(*b->rhs);
+    }
+  }
+
+  void walk_lvalue_write(const LValue& target) {
+    if (target.index) walk_expr(*target.index);
+    if (target.slice_hi) walk_expr(*target.slice_hi);
+    if (target.slice_lo) walk_expr(*target.slice_lo);
+    fn_(target.name, /*is_read=*/false);
+  }
+
+  void walk_block(const Block& block) {
+    for (const auto& stmt : block) walk_stmt(*stmt);
+  }
+
+  void walk_stmt(const Stmt& stmt) {
+    if (const auto* s = stmt.as<VarAssign>()) {
+      walk_expr(*s->value);
+      walk_lvalue_write(s->target);
+    } else if (const auto* s = stmt.as<SignalAssign>()) {
+      walk_expr(*s->value);
+    } else if (const auto* s = stmt.as<WaitUntil>()) {
+      walk_expr(*s->cond);
+    } else if (const auto* s = stmt.as<WaitFor>()) {
+      walk_expr(*s->cycles);
+    } else if (const auto* s = stmt.as<IfStmt>()) {
+      walk_expr(*s->cond);
+      walk_block(s->then_body);
+      walk_block(s->else_body);
+    } else if (const auto* s = stmt.as<ForStmt>()) {
+      walk_expr(*s->from);
+      walk_expr(*s->to);
+      walk_block(s->body);
+    } else if (const auto* s = stmt.as<WhileStmt>()) {
+      walk_expr(*s->cond);
+      walk_block(s->body);
+    } else if (const auto* s = stmt.as<ForeverStmt>()) {
+      walk_block(s->body);
+    } else if (const auto* s = stmt.as<ProcCall>()) {
+      for (const auto& arg : s->args) {
+        if (const auto* e = std::get_if<ExprPtr>(&arg)) {
+          walk_expr(**e);
+        } else {
+          walk_lvalue_write(std::get<LValue>(arg));
+        }
+      }
+    }
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace
+
+Status derive_channels(System& system, const std::string& prefix,
+                       int number_base) {
+  if (system.modules().empty()) {
+    return failed_precondition("derive_channels requires modules");
+  }
+
+  int next = number_base;
+  Status status;
+  for (const auto& process : system.processes()) {
+    const Module* proc_module = system.module_of_process(process->name);
+    if (!proc_module) continue;
+
+    std::set<std::pair<std::string, bool>> seen;  // (variable, is_read)
+    AccessWalker walker([&](const std::string& name, bool is_read) {
+      if (!status.is_ok()) return;
+      const Variable* variable = system.find_variable(name);
+      if (!variable) return;  // a process local or loop index
+      const Module* var_module = system.module_of_variable(name);
+      if (!var_module || var_module == proc_module) return;
+      if (!seen.insert({name, is_read}).second) return;
+
+      Channel ch;
+      ch.name = prefix + std::to_string(next++);
+      ch.accessor = process->name;
+      ch.variable = name;
+      ch.dir = is_read ? ChannelDir::kRead : ChannelDir::kWrite;
+      ch.data_bits = variable->type.scalar_width();
+      ch.addr_bits = variable->type.address_bits();
+      const AccessCounts counts = count_accesses(*process, name);
+      ch.accesses = is_read ? counts.reads : counts.writes;
+      if (ch.accesses <= 0) ch.accesses = 1;
+      if (system.find_channel(ch.name)) {
+        status = invalid_argument("channel name collision: " + ch.name);
+        return;
+      }
+      system.add_channel(std::move(ch));
+    });
+    walker.walk_block(process->body);
+    if (!status.is_ok()) return status;
+  }
+  return Status::ok();
+}
+
+Status annotate_channel_accesses(System& system) {
+  for (const auto& ch : system.channels()) {
+    if (ch->accesses > 0) continue;  // author-provided
+    const Process* proc = system.find_process(ch->accessor);
+    if (!proc)
+      return not_found("channel " + ch->name + ": accessor process " +
+                       ch->accessor + " not found");
+    const AccessCounts counts = count_accesses(*proc, ch->variable);
+    ch->accesses =
+        ch->dir == ChannelDir::kRead ? counts.reads : counts.writes;
+    if (ch->accesses == 0) ch->accesses = 1;  // channel exists => >= 1
+  }
+  return Status::ok();
+}
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,82 @@
+// ifsyn/spec/analysis.hpp
+//
+// Static analyses over the specification IR.
+//
+// The rate estimator (estimate/) needs to know how many times a process
+// accesses each remote variable per activation; count_accesses derives
+// that from the process body, multiplying by the trip counts of enclosing
+// for-loops (constant bounds). This replaces the profiling/estimation
+// machinery of the paper's reference [8] for the statically analyzable
+// specs used in all of its experiments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/system.hpp"
+
+namespace ifsyn::spec {
+
+/// Reads/writes of one variable by one process, statically counted.
+struct AccessCounts {
+  long long reads = 0;
+  long long writes = 0;
+  /// True when the body contains a while/forever loop around an access,
+  /// so the static count is a lower bound (one iteration assumed).
+  bool lower_bound_only = false;
+
+  long long total() const { return reads + writes; }
+};
+
+/// Evaluate an expression that involves only literals and arithmetic.
+/// Returns nullopt if the expression references variables or signals.
+std::optional<std::int64_t> const_eval(const Expr& expr);
+
+/// Count accesses to `variable` in `block`, scaling by for-loop trip
+/// counts. An access is: reading the variable anywhere in an expression,
+/// or assigning to it (whole or element).
+AccessCounts count_accesses(const Block& block, const std::string& variable);
+
+/// Convenience overload over a process body.
+AccessCounts count_accesses(const Process& process,
+                            const std::string& variable);
+
+/// All signal fields referenced by an expression (for wait-until
+/// sensitivity lists).
+std::vector<SignalFieldId> collect_signal_refs(const Expr& expr);
+
+/// True if the expression reads the given variable anywhere.
+bool expr_reads_variable(const Expr& expr, const std::string& variable);
+
+/// Approximate number of operation "work units" in a block, used as a
+/// compute-cycles proxy by the performance estimator: each assignment and
+/// each arithmetic/logic operator costs one unit, scaled by loop trip
+/// counts. Wait statements are not counted (their cost is timing, handled
+/// by the estimator's communication model).
+long long op_count(const Block& block);
+
+/// Total simulated cycles consumed by `wait for` statements in a block,
+/// scaled by for-loop trip counts (constant expressions only; unknown
+/// waits/trip counts contribute their one-iteration lower bound). This is
+/// how specs express computation delay, so compute-time estimation reads
+/// it back out.
+long long wait_cycles(const Block& block);
+
+/// Fill `channel.accesses` for every channel in the system from static
+/// analysis of the accessor process, unless the spec author already set a
+/// positive count. Returns kNotFound if a channel references a missing
+/// process.
+Status annotate_channel_accesses(System& system);
+
+/// Derive channels from the module assignment: scan every process body in
+/// execution order and create one channel per (process, remote variable,
+/// direction) in first-occurrence order -- the numbering that reproduces
+/// the paper's CH0..CH3 on Fig. 3. Channels get data/address widths from
+/// the variable type and static access counts. (partition::derive_channels
+/// and the spec parser both delegate here.)
+Status derive_channels(System& system, const std::string& prefix = "CH",
+                       int number_base = 0);
+
+}  // namespace ifsyn::spec

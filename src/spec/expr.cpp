@@ -1,0 +1,76 @@
+#include "spec/expr.hpp"
+
+#include <sstream>
+
+namespace ifsyn::spec {
+
+const char* unary_op_name(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "not";
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kLogNot:
+      return "not";
+  }
+  return "?";
+}
+
+const char* binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "mod";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+    case BinaryOp::kXor: return "xor";
+    case BinaryOp::kConcat: return "&";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "/=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kLogAnd: return "and";
+    case BinaryOp::kLogOr: return "or";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ToString {
+  std::string operator()(const IntLit& e) const {
+    return std::to_string(e.value);
+  }
+  std::string operator()(const BitsLit& e) const {
+    return "\"" + e.value.to_binary_string() + "\"";
+  }
+  std::string operator()(const VarRef& e) const { return e.name; }
+  std::string operator()(const ArrayRef& e) const {
+    return e.name + "(" + e.index->to_string() + ")";
+  }
+  std::string operator()(const SliceExpr& e) const {
+    return e.base->to_string() + "(" + e.hi->to_string() + " downto " +
+           e.lo->to_string() + ")";
+  }
+  std::string operator()(const SignalRef& e) const {
+    return e.field.empty() ? e.signal : e.signal + "." + e.field;
+  }
+  std::string operator()(const UnaryExpr& e) const {
+    return std::string("(") + unary_op_name(e.op) + " " +
+           e.operand->to_string() + ")";
+  }
+  std::string operator()(const BinaryExpr& e) const {
+    return "(" + e.lhs->to_string() + " " + binary_op_name(e.op) + " " +
+           e.rhs->to_string() + ")";
+  }
+};
+
+}  // namespace
+
+std::string Expr::to_string() const { return std::visit(ToString{}, node_); }
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,171 @@
+// ifsyn/spec/expr.hpp
+//
+// Expression trees for the specification IR.
+//
+// Expressions are immutable after construction and shared by
+// `std::shared_ptr<const Expr>`, so rewriting passes (protocol generation's
+// variable-reference update, Sec. 4 step 4) can rebuild only the spine they
+// change and share every untouched subtree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/bit_vector.hpp"
+
+namespace ifsyn::spec {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class UnaryOp {
+  kNot,     ///< bitwise complement
+  kNeg,     ///< arithmetic negation
+  kLogNot,  ///< boolean not
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor,
+  kConcat,                       ///< VHDL `&`: lhs = high bits
+  kEq, kNe, kLt, kLe, kGt, kGe,  ///< comparisons yield 1-bit 0/1
+  kLogAnd, kLogOr,               ///< boolean connectives (non-short-circuit)
+};
+
+const char* unary_op_name(UnaryOp op);
+const char* binary_op_name(BinaryOp op);
+
+/// Integer literal; width is decided by the context it is used in
+/// (assignment target / operand), like a VHDL universal integer.
+struct IntLit {
+  std::int64_t value;
+};
+
+/// Bit-string literal with an explicit width, e.g. X"0A".
+struct BitsLit {
+  BitVector value;
+};
+
+/// Reference to a variable, procedure parameter, or for-loop index.
+/// Resolution is lexical at runtime: call frame, then process locals,
+/// then system-level variables.
+struct VarRef {
+  std::string name;
+};
+
+/// `name(index)` -- one-dimensional array element access.
+struct ArrayRef {
+  std::string name;
+  ExprPtr index;
+};
+
+/// `base(hi downto lo)` -- bit slice with (possibly dynamic) bounds,
+/// as in the generated `txdata(8*J-1 downto 8*(J-1))` of Fig. 4.
+struct SliceExpr {
+  ExprPtr base;
+  ExprPtr hi;
+  ExprPtr lo;
+};
+
+/// Read of a signal field, e.g. `B.START`, `B.ID`, `B.DATA`.
+/// `field` is empty for scalar (non-record) signals.
+struct SignalRef {
+  std::string signal;
+  std::string field;
+};
+
+struct UnaryExpr {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// One node of an expression tree. A tagged variant rather than a class
+/// hierarchy: the interpreter, printer, rewriter and estimator all need to
+/// dispatch on the node kind, and std::visit keeps each of them total.
+class Expr {
+ public:
+  using Node = std::variant<IntLit, BitsLit, VarRef, ArrayRef, SliceExpr,
+                            SignalRef, UnaryExpr, BinaryExpr>;
+
+  explicit Expr(Node node) : node_(std::move(node)) {}
+
+  const Node& node() const { return node_; }
+
+  /// Downcast helper: pointer to the payload if this node is a T.
+  template <typename T>
+  const T* as() const {
+    return std::get_if<T>(&node_);
+  }
+
+  /// Source-like rendering, used by the printer and in diagnostics.
+  std::string to_string() const;
+
+ private:
+  Node node_;
+};
+
+// ---- Factory helpers -------------------------------------------------
+// These keep hand-built specs (examples, tests) and generated code
+// (protocol generation) readable.
+
+inline ExprPtr lit(std::int64_t value) {
+  return std::make_shared<Expr>(IntLit{value});
+}
+inline ExprPtr bits(BitVector value) {
+  return std::make_shared<Expr>(BitsLit{std::move(value)});
+}
+/// Bit literal from an MSB-first binary string: bin("00") is the 2-bit ID.
+inline ExprPtr bin(std::string_view s) {
+  return bits(BitVector::from_binary_string(s));
+}
+inline ExprPtr var(std::string name) {
+  return std::make_shared<Expr>(VarRef{std::move(name)});
+}
+inline ExprPtr aref(std::string name, ExprPtr index) {
+  return std::make_shared<Expr>(ArrayRef{std::move(name), std::move(index)});
+}
+inline ExprPtr slice(ExprPtr base, ExprPtr hi, ExprPtr lo) {
+  return std::make_shared<Expr>(
+      SliceExpr{std::move(base), std::move(hi), std::move(lo)});
+}
+inline ExprPtr slice(ExprPtr base, std::int64_t hi, std::int64_t lo) {
+  return slice(std::move(base), lit(hi), lit(lo));
+}
+inline ExprPtr sig(std::string signal, std::string field = {}) {
+  return std::make_shared<Expr>(
+      SignalRef{std::move(signal), std::move(field)});
+}
+inline ExprPtr un(UnaryOp op, ExprPtr operand) {
+  return std::make_shared<Expr>(UnaryExpr{op, std::move(operand)});
+}
+inline ExprPtr bin_op(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<Expr>(
+      BinaryExpr{op, std::move(lhs), std::move(rhs)});
+}
+
+inline ExprPtr add(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kAdd, std::move(a), std::move(b)); }
+inline ExprPtr sub(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kSub, std::move(a), std::move(b)); }
+inline ExprPtr mul(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kMul, std::move(a), std::move(b)); }
+inline ExprPtr div(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kDiv, std::move(a), std::move(b)); }
+inline ExprPtr mod(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kMod, std::move(a), std::move(b)); }
+inline ExprPtr eq(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kEq, std::move(a), std::move(b)); }
+inline ExprPtr ne(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kNe, std::move(a), std::move(b)); }
+inline ExprPtr lt(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kLt, std::move(a), std::move(b)); }
+inline ExprPtr le(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kLe, std::move(a), std::move(b)); }
+inline ExprPtr gt(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kGt, std::move(a), std::move(b)); }
+inline ExprPtr ge(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kGe, std::move(a), std::move(b)); }
+inline ExprPtr land(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kLogAnd, std::move(a), std::move(b)); }
+inline ExprPtr lor(ExprPtr a, ExprPtr b) { return bin_op(BinaryOp::kLogOr, std::move(a), std::move(b)); }
+inline ExprPtr lnot(ExprPtr a) { return un(UnaryOp::kLogNot, std::move(a)); }
+inline ExprPtr concat(ExprPtr hi, ExprPtr lo) { return bin_op(BinaryOp::kConcat, std::move(hi), std::move(lo)); }
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,188 @@
+#include "spec/printer.hpp"
+
+#include <sstream>
+
+namespace ifsyn::spec {
+
+namespace {
+
+std::string pad(int indent) {
+  return std::string(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+struct StmtPrinter {
+  int indent;
+
+  std::string operator()(const VarAssign& s) const {
+    return pad(indent) + s.target.to_string() + " := " +
+           s.value->to_string() + ";\n";
+  }
+  std::string operator()(const SignalAssign& s) const {
+    std::string target = s.field.empty() ? s.signal : s.signal + "." + s.field;
+    return pad(indent) + target + " <= " + s.value->to_string() + ";\n";
+  }
+  std::string operator()(const WaitUntil& s) const {
+    return pad(indent) + "wait until " + s.cond->to_string() + ";\n";
+  }
+  std::string operator()(const WaitOn& s) const {
+    std::string out = pad(indent) + "wait on ";
+    for (std::size_t i = 0; i < s.sensitivity.size(); ++i) {
+      if (i) out += ", ";
+      const auto& sf = s.sensitivity[i];
+      out += sf.field.empty() ? sf.signal : sf.signal + "." + sf.field;
+    }
+    return out + ";\n";
+  }
+  std::string operator()(const WaitFor& s) const {
+    return pad(indent) + "wait for " + s.cycles->to_string() + " cycles;\n";
+  }
+  std::string operator()(const IfStmt& s) const {
+    std::string out =
+        pad(indent) + "if " + s.cond->to_string() + " then\n";
+    out += print_block(s.then_body, indent + 1);
+    if (!s.else_body.empty()) {
+      out += pad(indent) + "else\n";
+      out += print_block(s.else_body, indent + 1);
+    }
+    return out + pad(indent) + "end if;\n";
+  }
+  std::string operator()(const ForStmt& s) const {
+    std::string out = pad(indent) + "for " + s.var + " in " +
+                      s.from->to_string() + " to " + s.to->to_string() +
+                      " loop\n";
+    out += print_block(s.body, indent + 1);
+    return out + pad(indent) + "end loop;\n";
+  }
+  std::string operator()(const WhileStmt& s) const {
+    std::string out =
+        pad(indent) + "while " + s.cond->to_string() + " loop\n";
+    out += print_block(s.body, indent + 1);
+    return out + pad(indent) + "end loop;\n";
+  }
+  std::string operator()(const ForeverStmt& s) const {
+    std::string out = pad(indent) + "loop\n";
+    out += print_block(s.body, indent + 1);
+    return out + pad(indent) + "end loop;\n";
+  }
+  std::string operator()(const ProcCall& s) const {
+    std::string out = pad(indent) + s.proc + "(";
+    for (std::size_t i = 0; i < s.args.size(); ++i) {
+      if (i) out += ", ";
+      if (const auto* e = std::get_if<ExprPtr>(&s.args[i])) {
+        out += (*e)->to_string();
+      } else {
+        out += std::get<LValue>(s.args[i]).to_string();
+      }
+    }
+    return out + ");\n";
+  }
+  std::string operator()(const BusLock& s) const {
+    return pad(indent) + (s.acquire ? "acquire " : "release ") + s.bus +
+           ";\n";
+  }
+};
+
+std::string print_variable(const Variable& v, int indent) {
+  return pad(indent) + "variable " + v.name + " : " + v.type.to_string() +
+         ";\n";
+}
+
+}  // namespace
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  return std::visit(StmtPrinter{indent}, stmt.node());
+}
+
+std::string print_block(const Block& block, int indent) {
+  std::string out;
+  for (const auto& s : block) out += print_stmt(*s, indent);
+  return out;
+}
+
+std::string print_procedure(const Procedure& proc, int indent) {
+  std::ostringstream os;
+  os << pad(indent) << "procedure " << proc.name << "(";
+  for (std::size_t i = 0; i < proc.params.size(); ++i) {
+    if (i) os << "; ";
+    const Param& p = proc.params[i];
+    os << p.name << " : " << (p.dir == ParamDir::kIn ? "in " : "out ")
+       << p.type.to_string();
+  }
+  os << ") is\n";
+  for (const auto& v : proc.locals) os << print_variable(v, indent + 1);
+  os << pad(indent) << "begin\n"
+     << print_block(proc.body, indent + 1) << pad(indent) << "end "
+     << proc.name << ";\n";
+  return os.str();
+}
+
+std::string print_process(const Process& process, int indent) {
+  std::ostringstream os;
+  os << pad(indent) << "process " << process.name
+     << (process.restarts ? " (restarting)" : "") << "\n";
+  for (const auto& v : process.locals) os << print_variable(v, indent + 1);
+  os << pad(indent) << "begin\n"
+     << print_block(process.body, indent + 1) << pad(indent) << "end process "
+     << process.name << ";\n";
+  return os.str();
+}
+
+std::string print_system(const System& system) {
+  std::ostringstream os;
+  os << "system " << system.name() << "\n";
+
+  for (const auto& v : system.variables()) os << print_variable(*v, 1);
+
+  for (const auto& s : system.signals()) {
+    os << pad(1) << "signal " << s->name << " : record";
+    for (const auto& f : s->fields) {
+      os << " " << (f.name.empty() ? "<scalar>" : f.name) << ":" << f.width;
+    }
+    os << ";\n";
+  }
+
+  for (const auto& c : system.channels()) {
+    os << pad(1) << "channel " << c->name << " : " << c->accessor
+       << (c->dir == ChannelDir::kRead ? " < " : " > ") << c->variable << " ["
+       << c->data_bits << "d+" << c->addr_bits << "a bits, " << c->accesses
+       << " accesses]";
+    if (!c->bus.empty()) {
+      os << " on " << c->bus;
+      if (c->id >= 0) os << " id=" << c->id;
+    }
+    os << ";\n";
+  }
+
+  for (const auto& b : system.buses()) {
+    os << pad(1) << "bus " << b->name << " {";
+    for (std::size_t i = 0; i < b->channel_names.size(); ++i) {
+      if (i) os << ", ";
+      os << b->channel_names[i];
+    }
+    os << "}";
+    if (b->generated()) {
+      os << " width=" << b->width << " protocol="
+         << protocol_kind_name(b->protocol) << " id_bits=" << b->id_bits
+         << " control=" << b->control_lines;
+    }
+    os << ";\n";
+  }
+
+  for (const auto& m : system.modules()) {
+    os << pad(1) << "module " << m->name << " { processes:";
+    for (const auto& p : m->process_names) os << " " << p;
+    os << "; variables:";
+    for (const auto& v : m->variable_names) os << " " << v;
+    os << " }\n";
+  }
+
+  for (const auto& p : system.procedures()) {
+    os << "\n" << print_procedure(*p, 1);
+  }
+  for (const auto& p : system.processes()) {
+    os << "\n" << print_process(*p, 1);
+  }
+  return os.str();
+}
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,31 @@
+// ifsyn/spec/printer.hpp
+//
+// Human-readable rendering of the specification IR in a VHDL-flavored
+// pseudocode. Used in diagnostics and golden tests; the faithful VHDL
+// backend lives in codegen/vhdl_emitter.
+#pragma once
+
+#include <string>
+
+#include "spec/system.hpp"
+
+namespace ifsyn::spec {
+
+/// Render one statement (and its nested blocks) indented by `indent`
+/// two-space levels.
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+
+/// Render a whole block.
+std::string print_block(const Block& block, int indent = 0);
+
+/// Render a procedure declaration with its body.
+std::string print_procedure(const Procedure& proc, int indent = 0);
+
+/// Render a process with locals and body.
+std::string print_process(const Process& process, int indent = 0);
+
+/// Render the complete system: variables, signals, channels, buses,
+/// procedures, processes, modules.
+std::string print_system(const System& system);
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,15 @@
+#include "spec/stmt.hpp"
+
+namespace ifsyn::spec {
+
+std::string LValue::to_string() const {
+  std::string out = name;
+  if (index) out += "(" + index->to_string() + ")";
+  if (slice_hi) {
+    out += "(" + slice_hi->to_string() + " downto " + slice_lo->to_string() +
+           ")";
+  }
+  return out;
+}
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,202 @@
+// ifsyn/spec/stmt.hpp
+//
+// Statements of the specification IR.
+//
+// The statement set is the VHDL-process subset the paper's figures use:
+// variable/signal assignment, `wait until / on / for`, if, for, while,
+// infinite loop, and procedure calls -- plus one extension statement,
+// BusLock, that implements the bus-arbitration study the paper lists as
+// future work (Sec. 6).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "spec/expr.hpp"
+
+namespace ifsyn::spec {
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using Block = std::vector<StmtPtr>;
+
+/// An assignable location: variable, array element, or bit slice of either.
+///   name            -> X := ...
+///   name(index)     -> MEM(AD) := ...
+///   name(hi..lo)    -> rxdata(8*J-1 downto 8*(J-1)) := ...
+struct LValue {
+  std::string name;
+  ExprPtr index;     ///< array index; null for scalars
+  ExprPtr slice_hi;  ///< slice bounds; both null or both set
+  ExprPtr slice_lo;
+
+  std::string to_string() const;
+};
+
+/// `target := value` (VHDL variable assignment, takes effect immediately).
+struct VarAssign {
+  LValue target;
+  ExprPtr value;
+};
+
+/// `signal.field <= value` (VHDL signal assignment: value becomes visible
+/// in the next delta cycle). `field` empty for scalar signals.
+struct SignalAssign {
+  std::string signal;
+  std::string field;
+  ExprPtr value;
+};
+
+/// `wait until cond;` The process resumes at the first delta in which
+/// `cond` evaluates true after some signal event occurred.
+struct WaitUntil {
+  ExprPtr cond;
+};
+
+/// One signal field named for sensitivity, e.g. {"B", "ID"}.
+struct SignalFieldId {
+  std::string signal;
+  std::string field;  ///< empty = sensitive to every field of the signal
+};
+
+/// `wait on B.ID;` Resumes on the next event (value change) on any of the
+/// named signals/fields.
+struct WaitOn {
+  std::vector<SignalFieldId> sensitivity;
+};
+
+/// `wait for N cycles;` Pure time delay, also how specs model computation
+/// taking clock cycles.
+struct WaitFor {
+  ExprPtr cycles;
+};
+
+/// `if cond then ... [else ...] end if;` elsif chains nest in else_body.
+struct IfStmt {
+  ExprPtr cond;
+  Block then_body;
+  Block else_body;
+};
+
+/// `for var in from to to loop ... end loop;` ascending inclusive range;
+/// the index variable is created in an inner scope (VHDL semantics).
+struct ForStmt {
+  std::string var;
+  ExprPtr from;
+  ExprPtr to;
+  Block body;
+};
+
+/// `while cond loop ... end loop;`
+struct WhileStmt {
+  ExprPtr cond;
+  Block body;
+};
+
+/// `loop ... end loop;` -- runs forever (variable server processes).
+struct ForeverStmt {
+  Block body;
+};
+
+/// One actual in a procedure call: an expression for `in` parameters or an
+/// assignable location for `out` parameters. Checked against the callee's
+/// parameter directions at call time.
+using CallArg = std::variant<ExprPtr, LValue>;
+
+/// `ProcName(arg, ...);` -- calls a (generated or hand-written) procedure.
+struct ProcCall {
+  std::string proc;
+  std::vector<CallArg> args;
+};
+
+/// Extension (paper Sec. 6 future work): acquire/release exclusive use of
+/// the shared bus, so concurrent masters do not corrupt each other's
+/// handshakes. Protocol generation inserts these only when arbitration is
+/// enabled; the simulator implements them as a FIFO mutex and records the
+/// waiting time so arbitration delay can be measured.
+struct BusLock {
+  std::string bus;
+  bool acquire;  ///< true = acquire (may wait), false = release
+};
+
+/// One IR statement; same tagged-variant design as Expr.
+class Stmt {
+ public:
+  using Node = std::variant<VarAssign, SignalAssign, WaitUntil, WaitOn,
+                            WaitFor, IfStmt, ForStmt, WhileStmt, ForeverStmt,
+                            ProcCall, BusLock>;
+
+  explicit Stmt(Node node) : node_(std::move(node)) {}
+
+  const Node& node() const { return node_; }
+
+  template <typename T>
+  const T* as() const {
+    return std::get_if<T>(&node_);
+  }
+
+ private:
+  Node node_;
+};
+
+// ---- Factory helpers -------------------------------------------------
+
+inline LValue lv(std::string name) { return LValue{std::move(name), {}, {}, {}}; }
+inline LValue lv_idx(std::string name, ExprPtr index) {
+  return LValue{std::move(name), std::move(index), {}, {}};
+}
+inline LValue lv_slice(std::string name, ExprPtr hi, ExprPtr lo) {
+  return LValue{std::move(name), {}, std::move(hi), std::move(lo)};
+}
+
+inline StmtPtr assign(LValue target, ExprPtr value) {
+  return std::make_shared<Stmt>(VarAssign{std::move(target), std::move(value)});
+}
+inline StmtPtr assign(std::string name, ExprPtr value) {
+  return assign(lv(std::move(name)), std::move(value));
+}
+inline StmtPtr sig_assign(std::string signal, std::string field,
+                          ExprPtr value) {
+  return std::make_shared<Stmt>(
+      SignalAssign{std::move(signal), std::move(field), std::move(value)});
+}
+inline StmtPtr wait_until(ExprPtr cond) {
+  return std::make_shared<Stmt>(WaitUntil{std::move(cond)});
+}
+inline StmtPtr wait_on(std::vector<SignalFieldId> sensitivity) {
+  return std::make_shared<Stmt>(WaitOn{std::move(sensitivity)});
+}
+inline StmtPtr wait_for(ExprPtr cycles) {
+  return std::make_shared<Stmt>(WaitFor{std::move(cycles)});
+}
+inline StmtPtr wait_for(std::int64_t cycles) { return wait_for(lit(cycles)); }
+inline StmtPtr if_stmt(ExprPtr cond, Block then_body, Block else_body = {}) {
+  return std::make_shared<Stmt>(
+      IfStmt{std::move(cond), std::move(then_body), std::move(else_body)});
+}
+inline StmtPtr for_stmt(std::string var, ExprPtr from, ExprPtr to,
+                        Block body) {
+  return std::make_shared<Stmt>(
+      ForStmt{std::move(var), std::move(from), std::move(to), std::move(body)});
+}
+inline StmtPtr while_stmt(ExprPtr cond, Block body) {
+  return std::make_shared<Stmt>(WhileStmt{std::move(cond), std::move(body)});
+}
+inline StmtPtr forever(Block body) {
+  return std::make_shared<Stmt>(ForeverStmt{std::move(body)});
+}
+inline StmtPtr call(std::string proc, std::vector<CallArg> args) {
+  return std::make_shared<Stmt>(ProcCall{std::move(proc), std::move(args)});
+}
+inline StmtPtr bus_acquire(std::string bus) {
+  return std::make_shared<Stmt>(BusLock{std::move(bus), true});
+}
+inline StmtPtr bus_release(std::string bus) {
+  return std::make_shared<Stmt>(BusLock{std::move(bus), false});
+}
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,251 @@
+#include "spec/system.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ifsyn::spec {
+
+const SignalField* Signal::field(const std::string& field_name) const {
+  for (const auto& f : fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+int Signal::total_width() const {
+  int total = 0;
+  for (const auto& f : fields) total += f.width;
+  return total;
+}
+
+const char* protocol_kind_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFullHandshake:
+      return "full-handshake";
+    case ProtocolKind::kHalfHandshake:
+      return "half-handshake";
+    case ProtocolKind::kFixedDelay:
+      return "fixed-delay";
+    case ProtocolKind::kHardwiredPort:
+      return "hardwired-port";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+T* find_by_name(const std::vector<std::unique_ptr<T>>& items,
+                const std::string& name) {
+  for (const auto& item : items) {
+    if (item->name == name) return item.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Variable& System::add_variable(Variable v) {
+  IFSYN_ASSERT_MSG(!find_variable(v.name), "duplicate variable " << v.name);
+  variables_.push_back(std::make_unique<Variable>(std::move(v)));
+  return *variables_.back();
+}
+
+Signal& System::add_signal(Signal s) {
+  IFSYN_ASSERT_MSG(!find_signal(s.name), "duplicate signal " << s.name);
+  signals_.push_back(std::make_unique<Signal>(std::move(s)));
+  return *signals_.back();
+}
+
+Procedure& System::add_procedure(Procedure p) {
+  IFSYN_ASSERT_MSG(!find_procedure(p.name), "duplicate procedure " << p.name);
+  procedures_.push_back(std::make_unique<Procedure>(std::move(p)));
+  return *procedures_.back();
+}
+
+Process& System::add_process(Process p) {
+  IFSYN_ASSERT_MSG(!find_process(p.name), "duplicate process " << p.name);
+  processes_.push_back(std::make_unique<Process>(std::move(p)));
+  return *processes_.back();
+}
+
+Module& System::add_module(Module m) {
+  IFSYN_ASSERT_MSG(!find_module(m.name), "duplicate module " << m.name);
+  modules_.push_back(std::make_unique<Module>(std::move(m)));
+  return *modules_.back();
+}
+
+Channel& System::add_channel(Channel c) {
+  IFSYN_ASSERT_MSG(!find_channel(c.name), "duplicate channel " << c.name);
+  channels_.push_back(std::make_unique<Channel>(std::move(c)));
+  return *channels_.back();
+}
+
+BusGroup& System::add_bus(BusGroup b) {
+  IFSYN_ASSERT_MSG(!find_bus(b.name), "duplicate bus " << b.name);
+  buses_.push_back(std::make_unique<BusGroup>(std::move(b)));
+  for (const auto& ch_name : buses_.back()->channel_names) {
+    if (Channel* ch = find_channel(ch_name)) ch->bus = buses_.back()->name;
+  }
+  return *buses_.back();
+}
+
+const Variable* System::find_variable(const std::string& name) const {
+  return find_by_name(variables_, name);
+}
+Variable* System::find_variable(const std::string& name) {
+  return find_by_name(variables_, name);
+}
+const Signal* System::find_signal(const std::string& name) const {
+  return find_by_name(signals_, name);
+}
+const Procedure* System::find_procedure(const std::string& name) const {
+  return find_by_name(procedures_, name);
+}
+const Process* System::find_process(const std::string& name) const {
+  return find_by_name(processes_, name);
+}
+Process* System::find_process(const std::string& name) {
+  return find_by_name(processes_, name);
+}
+const Module* System::find_module(const std::string& name) const {
+  return find_by_name(modules_, name);
+}
+Module* System::find_module(const std::string& name) {
+  return find_by_name(modules_, name);
+}
+const Channel* System::find_channel(const std::string& name) const {
+  return find_by_name(channels_, name);
+}
+Channel* System::find_channel(const std::string& name) {
+  return find_by_name(channels_, name);
+}
+const BusGroup* System::find_bus(const std::string& name) const {
+  return find_by_name(buses_, name);
+}
+BusGroup* System::find_bus(const std::string& name) {
+  return find_by_name(buses_, name);
+}
+
+const Module* System::module_of_process(const std::string& process) const {
+  for (const auto& m : modules_) {
+    if (std::find(m->process_names.begin(), m->process_names.end(),
+                  process) != m->process_names.end())
+      return m.get();
+  }
+  return nullptr;
+}
+
+const Module* System::module_of_variable(const std::string& variable) const {
+  for (const auto& m : modules_) {
+    if (std::find(m->variable_names.begin(), m->variable_names.end(),
+                  variable) != m->variable_names.end())
+      return m.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Channel*> System::channels_of_bus(const BusGroup& bus) const {
+  std::vector<const Channel*> out;
+  out.reserve(bus.channel_names.size());
+  for (const auto& name : bus.channel_names) {
+    const Channel* ch = find_channel(name);
+    IFSYN_ASSERT_MSG(ch, "bus " << bus.name << " references unknown channel "
+                                << name);
+    out.push_back(ch);
+  }
+  return out;
+}
+
+System System::clone(const std::string& new_name) const {
+  System out(new_name);
+  for (const auto& v : variables_) out.add_variable(*v);
+  for (const auto& s : signals_) out.add_signal(*s);
+  for (const auto& p : procedures_) out.add_procedure(*p);
+  for (const auto& p : processes_) out.add_process(*p);
+  for (const auto& m : modules_) out.add_module(*m);
+  for (const auto& c : channels_) out.add_channel(*c);
+  for (const auto& b : buses_) out.add_bus(*b);
+  return out;
+}
+
+Status System::validate() const {
+  std::unordered_set<std::string> names;
+  auto check_unique = [&names](const std::string& kind,
+                               const std::string& name) -> Status {
+    if (!names.insert(kind + ":" + name).second)
+      return invalid_argument("duplicate " + kind + " name: " + name);
+    return Status::ok();
+  };
+  for (const auto& v : variables_)
+    IFSYN_RETURN_IF_ERROR(check_unique("variable", v->name));
+  for (const auto& s : signals_)
+    IFSYN_RETURN_IF_ERROR(check_unique("signal", s->name));
+  for (const auto& p : procedures_)
+    IFSYN_RETURN_IF_ERROR(check_unique("procedure", p->name));
+  for (const auto& p : processes_)
+    IFSYN_RETURN_IF_ERROR(check_unique("process", p->name));
+
+  for (const auto& c : channels_) {
+    if (!find_process(c->accessor))
+      return invalid_argument("channel " + c->name +
+                              " references unknown process " + c->accessor);
+    if (!find_variable(c->variable))
+      return invalid_argument("channel " + c->name +
+                              " references unknown variable " + c->variable);
+    if (c->data_bits <= 0)
+      return invalid_argument("channel " + c->name +
+                              " has non-positive data_bits");
+    if (c->addr_bits < 0)
+      return invalid_argument("channel " + c->name + " has negative addr_bits");
+  }
+
+  for (const auto& b : buses_) {
+    if (b->channel_names.empty())
+      return invalid_argument("bus " + b->name + " has no channels");
+    std::unordered_set<int> ids;
+    for (const auto& ch_name : b->channel_names) {
+      const Channel* ch = find_channel(ch_name);
+      if (!ch)
+        return invalid_argument("bus " + b->name +
+                                " references unknown channel " + ch_name);
+      if (ch->bus != b->name)
+        return invalid_argument("channel " + ch_name +
+                                " not marked as belonging to bus " + b->name);
+      if (ch->id >= 0 && !ids.insert(ch->id).second)
+        return invalid_argument("duplicate channel ID on bus " + b->name);
+    }
+  }
+
+  for (const auto& m : modules_) {
+    for (const auto& pn : m->process_names) {
+      if (!find_process(pn))
+        return invalid_argument("module " + m->name +
+                                " references unknown process " + pn);
+    }
+    for (const auto& vn : m->variable_names) {
+      if (!find_variable(vn))
+        return invalid_argument("module " + m->name +
+                                " references unknown variable " + vn);
+    }
+  }
+
+  // An entity must not live in two modules.
+  std::unordered_set<std::string> assigned;
+  for (const auto& m : modules_) {
+    for (const auto& pn : m->process_names) {
+      if (!assigned.insert("p:" + pn).second)
+        return invalid_argument("process " + pn +
+                                " assigned to multiple modules");
+    }
+    for (const auto& vn : m->variable_names) {
+      if (!assigned.insert("v:" + vn).second)
+        return invalid_argument("variable " + vn +
+                                " assigned to multiple modules");
+    }
+  }
+
+  return Status::ok();
+}
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,232 @@
+// ifsyn/spec/system.hpp
+//
+// Top-level containers of the specification IR: variables, signals,
+// procedures, processes, modules, channels, bus groups, and the System
+// that owns them all.
+//
+// A System moves through the flow in three states:
+//   1. *Original*: processes access shared variables directly; no
+//      channels or buses exist yet.
+//   2. *Partitioned*: processes/variables are assigned to modules; every
+//      cross-module variable access has become a Channel; channels are
+//      grouped into BusGroups (paper Fig. 1, left).
+//   3. *Refined*: bus generation chose each group's width, protocol
+//      generation added the bus signal, send/receive procedures and
+//      variable server processes, and rewrote remote accesses into calls
+//      (paper Fig. 1, right / Fig. 5). A refined System is simulatable.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/stmt.hpp"
+#include "spec/type.hpp"
+#include "spec/value.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::spec {
+
+/// A system-level or process-local variable.
+struct Variable {
+  std::string name;
+  Type type;
+  std::optional<Value> init;  ///< zero-initialized when absent
+
+  Variable(std::string name_, Type type_)
+      : name(std::move(name_)), type(type_) {}
+  Variable(std::string name_, Type type_, Value init_)
+      : name(std::move(name_)), type(type_), init(std::move(init_)) {}
+};
+
+/// One field of a (record) signal, e.g. DATA : bit_vector(7 downto 0).
+struct SignalField {
+  std::string name;  ///< empty for scalar signals
+  int width = 1;
+};
+
+/// A global signal. The generated bus is a record signal
+/// (START, DONE, ID, DATA) visible to every process (paper Fig. 4).
+struct Signal {
+  std::string name;
+  std::vector<SignalField> fields;
+
+  const SignalField* field(const std::string& field_name) const;
+  int total_width() const;
+};
+
+enum class ParamDir { kIn, kOut };
+
+struct Param {
+  std::string name;
+  ParamDir dir;
+  Type type;
+};
+
+/// A procedure, e.g. the generated SendCH0/ReceiveCH0 of Fig. 4.
+/// Procedures are system-global so every process can call them.
+struct Procedure {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<Variable> locals;
+  Block body;
+};
+
+/// A concurrently executing behavior.
+struct Process {
+  std::string name;
+  std::vector<Variable> locals;
+  Block body;
+  /// VHDL processes restart after their last statement; one-shot
+  /// behaviors (the paper's P, Q) run once. Variable server processes
+  /// loop via an explicit ForeverStmt instead.
+  bool restarts = false;
+};
+
+/// A physical container produced by system partitioning: a chip holding
+/// processes, or a memory chip holding array variables (paper Fig. 6).
+struct Module {
+  std::string name;
+  std::vector<std::string> process_names;
+  std::vector<std::string> variable_names;
+};
+
+enum class ChannelDir {
+  kRead,   ///< accessor process reads the remote variable (A < MEM)
+  kWrite,  ///< accessor process writes the remote variable (A > MEM)
+};
+
+/// An abstract communication channel: one direction of access by one
+/// process to one remote variable (paper Sec. 1). Virtual until protocol
+/// generation implements it over a bus.
+struct Channel {
+  std::string name;
+  std::string accessor;  ///< process performing the access
+  std::string variable;  ///< remote variable being accessed
+  ChannelDir dir = ChannelDir::kWrite;
+  int data_bits = 0;  ///< scalar width of the variable
+  int addr_bits = 0;  ///< ceil(log2(elements)) for arrays, else 0
+
+  /// Number of transfers per activation of the accessor process; used by
+  /// the rate estimator. Filled by static analysis (spec/analysis) or set
+  /// explicitly by the spec author.
+  long long accesses = 0;
+
+  /// One message = address + data, moved as ceil(message/width) bus words.
+  /// "the two channels each transfer 16 bits of data and 7 bits of
+  /// address" => 23 message bits (paper Sec. 5).
+  int message_bits() const { return data_bits + addr_bits; }
+
+  // ---- filled in by synthesis ----
+  std::string bus;      ///< owning bus group, set when grouped
+  int id = -1;          ///< channel ID on the bus (step 2 of Sec. 4)
+
+  bool is_read() const { return dir == ChannelDir::kRead; }
+};
+
+/// Which handshake discipline implements transfers on a bus
+/// (paper Sec. 4 step 1).
+enum class ProtocolKind {
+  kFullHandshake,  ///< START/DONE, 4-phase; 2 cycles per word (Eq. 2)
+  kHalfHandshake,  ///< START only; receiver assumed ready; 1 cycle/word
+  kFixedDelay,     ///< no control lines; fixed cycles per word
+  kHardwiredPort,  ///< dedicated wires per channel; no sharing, no IDs
+};
+
+const char* protocol_kind_name(ProtocolKind kind);
+
+/// A group of channels to be implemented as one physical bus.
+struct BusGroup {
+  std::string name;
+  std::vector<std::string> channel_names;
+
+  // ---- decided by bus generation (Sec. 3) ----
+  int width = 0;  ///< data lines; 0 = not yet generated
+
+  // ---- decided by protocol generation (Sec. 4) ----
+  ProtocolKind protocol = ProtocolKind::kFullHandshake;
+  int id_bits = 0;
+  int control_lines = 0;
+  bool arbitrated = false;  ///< our Sec.-6 extension: insert BusLocks
+  int fixed_delay_cycles = 2;  ///< per-word delay of the fixed-delay protocol
+
+  bool generated() const { return width > 0; }
+  /// Total physical wires: data + control + ID.
+  int total_wires() const { return width + control_lines + id_bits; }
+};
+
+/// The whole specification. Owns every named entity; lookups are by name.
+class System {
+ public:
+  explicit System(std::string name) : name_(std::move(name)) {}
+
+  // Systems are heavyweight and identity-bearing; copy via clone() only.
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+  System(System&&) = default;
+  System& operator=(System&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  // ---- construction ----
+  Variable& add_variable(Variable v);
+  Signal& add_signal(Signal s);
+  Procedure& add_procedure(Procedure p);
+  Process& add_process(Process p);
+  Module& add_module(Module m);
+  Channel& add_channel(Channel c);
+  BusGroup& add_bus(BusGroup b);
+
+  // ---- lookup (null when absent) ----
+  const Variable* find_variable(const std::string& name) const;
+  Variable* find_variable(const std::string& name);
+  const Signal* find_signal(const std::string& name) const;
+  const Procedure* find_procedure(const std::string& name) const;
+  const Process* find_process(const std::string& name) const;
+  Process* find_process(const std::string& name);
+  const Module* find_module(const std::string& name) const;
+  Module* find_module(const std::string& name);
+  const Channel* find_channel(const std::string& name) const;
+  Channel* find_channel(const std::string& name);
+  const BusGroup* find_bus(const std::string& name) const;
+  BusGroup* find_bus(const std::string& name);
+
+  /// Module that a process / variable was partitioned into; null if the
+  /// system has not been partitioned or the entity is unassigned.
+  const Module* module_of_process(const std::string& process) const;
+  const Module* module_of_variable(const std::string& variable) const;
+
+  /// Channels belonging to a bus group, in group order.
+  std::vector<const Channel*> channels_of_bus(const BusGroup& bus) const;
+
+  // ---- iteration ----
+  const std::vector<std::unique_ptr<Variable>>& variables() const { return variables_; }
+  const std::vector<std::unique_ptr<Signal>>& signals() const { return signals_; }
+  const std::vector<std::unique_ptr<Procedure>>& procedures() const { return procedures_; }
+  const std::vector<std::unique_ptr<Process>>& processes() const { return processes_; }
+  const std::vector<std::unique_ptr<Module>>& modules() const { return modules_; }
+  const std::vector<std::unique_ptr<Channel>>& channels() const { return channels_; }
+  const std::vector<std::unique_ptr<BusGroup>>& buses() const { return buses_; }
+
+  /// Deep copy. Statement/expression trees are immutable and shared.
+  System clone(const std::string& new_name) const;
+
+  /// Structural well-formedness: unique names, channels reference existing
+  /// processes/variables, bus groups reference existing channels, modules
+  /// reference existing entities. (Semantic checking of statement bodies
+  /// happens in the interpreter.)
+  Status validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Variable>> variables_;
+  std::vector<std::unique_ptr<Signal>> signals_;
+  std::vector<std::unique_ptr<Procedure>> procedures_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<BusGroup>> buses_;
+};
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,40 @@
+#include "spec/type.hpp"
+
+#include <sstream>
+
+namespace ifsyn::spec {
+
+int bits_to_encode(int n) {
+  IFSYN_ASSERT_MSG(n >= 1, "bits_to_encode needs n >= 1, got " << n);
+  int bits = 0;
+  // smallest b with 2^b >= n
+  while ((1LL << bits) < n) ++bits;
+  return bits;
+}
+
+int Type::address_bits() const {
+  if (!is_array()) return 0;
+  return bits_to_encode(size_);
+}
+
+std::string Type::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kBits:
+      os << "bit_vector(" << width_ - 1 << " downto 0)";
+      break;
+    case Kind::kInt:
+      if (width_ == 32) {
+        os << "integer";
+      } else {
+        os << "integer<" << width_ << ">";
+      }
+      break;
+    case Kind::kArray:
+      os << "array(0 to " << size_ - 1 << ") of " << element().to_string();
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,105 @@
+// ifsyn/spec/type.hpp
+//
+// Types for specification-level variables, signals and parameters.
+//
+// The subset mirrors what the paper's examples use (Figs. 1, 3, 6):
+//   - integers            `variable COUNT : integer`
+//   - bit vectors         `variable X : bit_vector(15 downto 0)`
+//   - one-dim arrays      `variable MEM : array(0 to 63) of bit_vector(15..)`
+//
+// Integers are modeled as signed bit vectors of a fixed width (default 32),
+// so every value in the system has a definite size in bits -- which is what
+// bus generation needs to compute message sizes.
+#pragma once
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::spec {
+
+/// Scalar or array type of a variable, signal field, or parameter.
+class Type {
+ public:
+  enum class Kind {
+    kBits,   ///< unsigned bit vector of `width` bits
+    kInt,    ///< signed (two's complement) integer of `width` bits
+    kArray,  ///< array of `size` scalar elements
+  };
+
+  /// Unsigned bit vector, VHDL `bit_vector(width-1 downto 0)`.
+  static Type bits(int width) {
+    IFSYN_ASSERT_MSG(width > 0, "bits type needs positive width");
+    return Type(Kind::kBits, width, 0);
+  }
+
+  /// Signed integer carried in `width` bits (default 32, like VHDL integer).
+  static Type integer(int width = 32) {
+    IFSYN_ASSERT_MSG(width > 0, "integer type needs positive width");
+    return Type(Kind::kInt, width, 0);
+  }
+
+  /// Array of `size` elements of scalar type `elem`.
+  static Type array(Type elem, int size) {
+    IFSYN_ASSERT_MSG(!elem.is_array(), "nested arrays are not supported");
+    IFSYN_ASSERT_MSG(size > 0, "array type needs positive size");
+    Type t(Kind::kArray, elem.width_, size);
+    t.elem_kind_ = elem.kind_;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_scalar() const { return !is_array(); }
+  /// For integers: signed two's complement interpretation.
+  bool is_signed() const {
+    return (is_array() ? elem_kind_ : kind_) == Kind::kInt;
+  }
+
+  /// Bit width of the scalar, or of one element for arrays.
+  int scalar_width() const { return width_; }
+
+  /// Number of elements; 1 for scalars.
+  int array_size() const { return is_array() ? size_ : 1; }
+
+  /// Element type of an array. Asserts is_array().
+  Type element() const {
+    IFSYN_ASSERT(is_array());
+    return Type(elem_kind_, width_, 0);
+  }
+
+  /// Bits needed to address one element: ceil(log2(size)); 0 for scalars.
+  /// This is the "7 bits of address" in the paper's FLC channels
+  /// (arrays of 128 elements).
+  int address_bits() const;
+
+  /// Total storage bits (width * size). Used for interconnect accounting.
+  long long total_bits() const {
+    return static_cast<long long>(width_) * array_size();
+  }
+
+  /// "bit_vector(15 downto 0)", "integer", "array(0 to 63) of ...".
+  std::string to_string() const;
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.kind_ == b.kind_ && a.width_ == b.width_ && a.size_ == b.size_ &&
+           a.elem_kind_ == b.elem_kind_;
+  }
+  friend bool operator!=(const Type& a, const Type& b) { return !(a == b); }
+
+ private:
+  Type(Kind kind, int width, int size)
+      : kind_(kind), width_(width), size_(size) {}
+
+  Kind kind_;
+  int width_;
+  int size_;
+  Kind elem_kind_ = Kind::kBits;  // meaningful only for arrays
+};
+
+/// Bits needed to encode `n` distinct values: ceil(log2(n)), min 0.
+/// Shared by Type::address_bits and protocol generation's ID assignment
+/// ("If there are N channels ... log2(N) lines will be required").
+int bits_to_encode(int n);
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,82 @@
+// ifsyn/spec/value.hpp
+//
+// Runtime values for variables and signals: a scalar bit vector or a
+// one-dimensional array of them. Used for variable initializers in the IR
+// and for live storage inside the simulator.
+#pragma once
+
+#include <vector>
+
+#include "spec/type.hpp"
+#include "util/bit_vector.hpp"
+
+namespace ifsyn::spec {
+
+/// A value conforming to a Type: scalars hold one element, arrays hold
+/// `array_size()` elements, each of `scalar_width()` bits.
+class Value {
+ public:
+  /// Zero-initialized value of the given type.
+  explicit Value(const Type& type)
+      : type_(type),
+        elems_(static_cast<std::size_t>(type.array_size()),
+               BitVector(type.scalar_width())) {}
+
+  /// Scalar value from a bit vector (type = bits(width)).
+  static Value scalar(BitVector bv) {
+    Value v(Type::bits(bv.width()));
+    v.elems_[0] = std::move(bv);
+    return v;
+  }
+
+  /// Scalar integer value of a given width (default 32).
+  static Value integer(std::int64_t x, int width = 32) {
+    Value v(Type::integer(width));
+    v.elems_[0] = BitVector::from_int(width, x);
+    return v;
+  }
+
+  const Type& type() const { return type_; }
+  bool is_array() const { return type_.is_array(); }
+
+  /// Scalar payload. Asserts the value is scalar.
+  const BitVector& get() const {
+    IFSYN_ASSERT(!is_array());
+    return elems_[0];
+  }
+  void set(BitVector bv) {
+    IFSYN_ASSERT(!is_array());
+    IFSYN_ASSERT_MSG(bv.width() == type_.scalar_width(),
+                     "width mismatch storing " << bv.width() << " bits into "
+                                               << type_.to_string());
+    elems_[0] = std::move(bv);
+  }
+
+  /// Element access for arrays (and scalars via index 0).
+  const BitVector& at(int i) const {
+    IFSYN_ASSERT_MSG(i >= 0 && i < static_cast<int>(elems_.size()),
+                     "array index " << i << " out of bounds 0.."
+                                    << elems_.size() - 1);
+    return elems_[static_cast<std::size_t>(i)];
+  }
+  void set_at(int i, BitVector bv) {
+    IFSYN_ASSERT_MSG(i >= 0 && i < static_cast<int>(elems_.size()),
+                     "array index " << i << " out of bounds 0.."
+                                    << elems_.size() - 1);
+    IFSYN_ASSERT(bv.width() == type_.scalar_width());
+    elems_[static_cast<std::size_t>(i)] = std::move(bv);
+  }
+
+  int size() const { return static_cast<int>(elems_.size()); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.type_ == b.type_ && a.elems_ == b.elems_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  Type type_;
+  std::vector<BitVector> elems_;
+};
+
+}  // namespace ifsyn::spec

@@ -1,0 +1,132 @@
+#include "suite/answering_machine.hpp"
+
+#include "partition/partitioner.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::suite {
+
+using namespace spec;
+
+namespace {
+constexpr int kAnnBytes = 256;
+}
+
+long long AnsweringMachineExpected::message_checksum() {
+  long long sum = 0;
+  for (int i = 0; i < kMsgBytes; ++i) sum += (13 * i + 7) % 256;
+  return sum;
+}
+
+System make_answering_machine() {
+  System system("answering_machine");
+
+  // ---- CHIP2 (memory) ----
+  {
+    Variable ann("ann_mem", Type::array(Type::bits(8), kAnnBytes));
+    Value init(ann.type);
+    for (int i = 0; i < kAnnBytes; ++i) {
+      init.set_at(i, BitVector::from_uint(8, static_cast<std::uint64_t>(
+                                                 (7 * i + 1) % 256)));
+    }
+    ann.init = std::move(init);
+    system.add_variable(std::move(ann));
+  }
+  system.add_variable(Variable("msg_mem", Type::array(Type::bits(8), 512)));
+  system.add_variable(Variable("msg_len", Type::bits(16)));
+  system.add_variable(Variable("status", Type::bits(8)));
+
+  // ---- CHIP1 observables ----
+  system.add_variable(Variable("PLAYED", Type::integer(32)));
+
+  {
+    Signal stage;
+    stage.name = "AMSTAGE";
+    stage.fields = {SignalField{"", 4}};
+    system.add_signal(std::move(stage));
+  }
+
+  // LINE_MONITOR: count rings, then flag the answer state in the shared
+  // status byte (a cross-chip scalar write).
+  {
+    Process p;
+    p.name = "LINE_MONITOR";
+    p.body = Block{
+        for_stmt("R", lit(1), lit(AnsweringMachineExpected::kRings),
+                 Block{wait_for(5)}),
+        assign("status", lit(1)),
+        sig_assign("AMSTAGE", "", lit(1)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // MAIN_CTRL: read the status back over the bus and start playback.
+  {
+    Process p;
+    p.name = "MAIN_CTRL";
+    p.locals.emplace_back("S", Type::bits(8));
+    p.body = Block{
+        wait_until(eq(sig("AMSTAGE"), lit(1))),
+        assign("S", var("status")),
+        if_stmt(eq(var("S"), lit(1)),
+                Block{sig_assign("AMSTAGE", "", lit(2))}),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // PLAY_ANN: stream the announcement (256 sequential byte reads).
+  {
+    Process p;
+    p.name = "PLAY_ANN";
+    p.locals.emplace_back("V", Type::integer(32));
+    p.body = Block{
+        wait_until(eq(sig("AMSTAGE"), lit(2))),
+        for_stmt("I", lit(0), lit(kAnnBytes - 1),
+                 Block{
+                     wait_for(1),  // one sample period per byte
+                     assign("V", aref("ann_mem", var("I"))),
+                     assign("PLAYED", add(var("PLAYED"), var("V"))),
+                 }),
+        sig_assign("AMSTAGE", "", lit(3)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // RECORD_MSG: record the caller's message and its length.
+  {
+    Process p;
+    p.name = "RECORD_MSG";
+    p.body = Block{
+        wait_until(eq(sig("AMSTAGE"), lit(3))),
+        for_stmt("I", lit(0), lit(AnsweringMachineExpected::kMsgBytes - 1),
+                 Block{
+                     wait_for(1),
+                     assign(lv_idx("msg_mem", var("I")),
+                            mod(add(mul(lit(13), var("I")), lit(7)),
+                                lit(256))),
+                 }),
+        assign("msg_len", lit(AnsweringMachineExpected::kMsgBytes)),
+        sig_assign("AMSTAGE", "", lit(4)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  Status status = partition::apply_partition(
+      system,
+      {
+          partition::ModuleAssignment{
+              "CHIP1",
+              {"LINE_MONITOR", "MAIN_CTRL", "PLAY_ANN", "RECORD_MSG"},
+              {"PLAYED"}},
+          partition::ModuleAssignment{
+              "CHIP2", {}, {"ann_mem", "msg_mem", "msg_len", "status"}},
+      });
+  IFSYN_ASSERT_MSG(status.is_ok(),
+                   "answering machine partition failed: " << status);
+
+  status = partition::group_all_channels(system, "AMBUS");
+  IFSYN_ASSERT_MSG(status.is_ok(),
+                   "answering machine grouping failed: " << status);
+  return system;
+}
+
+}  // namespace ifsyn::suite

@@ -1,0 +1,35 @@
+// ifsyn/suite/answering_machine.hpp
+//
+// The answering-machine case study (paper Sec. 5 lists it among the
+// designs interface synthesis was applied to; only aggregate results are
+// published). Reconstructed structure:
+//
+//   CHIP1 (controller): LINE_MONITOR, MAIN_CTRL, PLAY_ANN, RECORD_MSG
+//   CHIP2 (memory):     ann_mem  : array(0 to 255) of bit_vector(7..0)
+//                       msg_mem  : array(0 to 511) of bit_vector(7..0)
+//                       msg_len  : bit_vector(15 downto 0)
+//                       status   : bit_vector(7 downto 0)
+//
+// Scenario: the line monitor counts rings and raises the answer status;
+// the controller starts the announcement playback (256 sequential reads
+// of ann_mem) and then recording (192 byte writes into msg_mem plus the
+// length word). Mixed message sizes (8d+8a, 8d+9a, 16d, 8d) exercise the
+// generator on a non-uniform channel group.
+#pragma once
+
+#include "spec/system.hpp"
+
+namespace ifsyn::suite {
+
+/// Partitioned + grouped (bus "AMBUS"), un-synthesized system.
+spec::System make_answering_machine();
+
+/// Expected results for the fixed scenario.
+struct AnsweringMachineExpected {
+  static constexpr int kRings = 3;       ///< rings before answering
+  static constexpr int kMsgBytes = 192;  ///< bytes recorded
+  /// msg_mem(i) = (13*i + 7) mod 256; checksum over all recorded bytes.
+  static long long message_checksum();
+};
+
+}  // namespace ifsyn::suite

@@ -1,0 +1,131 @@
+#include "suite/ethernet_coprocessor.hpp"
+
+#include "partition/partitioner.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::suite {
+
+using namespace spec;
+
+long long EthernetExpected::frame_checksum() {
+  long long sum = 0;
+  for (int i = 0; i < kFrameBytes; ++i) sum += frame_byte(i);
+  return sum % 65536;
+}
+
+long long EthernetExpected::transmit_checksum() {
+  long long sum = 0;
+  for (int i = 0; i < kFrameBytes; ++i) sum += frame_byte(i) ^ 255;
+  return sum;
+}
+
+System make_ethernet_coprocessor() {
+  System system("ethernet_coprocessor");
+
+  system.add_variable(
+      Variable("rcv_buf", Type::array(Type::bits(8),
+                                      EthernetExpected::kFrameBytes)));
+  system.add_variable(
+      Variable("xmit_buf", Type::array(Type::bits(8),
+                                       EthernetExpected::kFrameBytes)));
+  system.add_variable(Variable("reg_file", Type::array(Type::bits(16), 16)));
+
+  system.add_variable(Variable("XSUM", Type::integer(32)));
+
+  {
+    Signal stage;
+    stage.name = "ESTAGE";
+    stage.fields = {SignalField{"", 4}};
+    system.add_signal(std::move(stage));
+  }
+
+  // RCV_FRAME: deposit one frame, one byte per line cycle.
+  {
+    Process p;
+    p.name = "RCV_FRAME";
+    p.body = Block{
+        for_stmt("I", lit(0), lit(EthernetExpected::kFrameBytes - 1),
+                 Block{
+                     wait_for(1),
+                     assign(lv_idx("rcv_buf", var("I")),
+                            mod(add(mul(var("I"), lit(17)), lit(3)),
+                                lit(256))),
+                 }),
+        sig_assign("ESTAGE", "", lit(1)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // EXEC_UNIT: checksum the frame, complement it into the transmit
+  // buffer, record bookkeeping registers.
+  {
+    Process p;
+    p.name = "EXEC_UNIT";
+    p.locals.emplace_back("V", Type::integer(32));
+    p.locals.emplace_back("CS", Type::integer(32));
+    p.body = Block{
+        wait_until(eq(sig("ESTAGE"), lit(1))),
+        for_stmt("I", lit(0), lit(EthernetExpected::kFrameBytes - 1),
+                 Block{
+                     wait_for(1),
+                     assign("V", aref("rcv_buf", var("I"))),
+                     assign(lv_idx("xmit_buf", var("I")),
+                            bin_op(BinaryOp::kXor, var("V"), lit(255))),
+                     assign("CS", add(var("CS"), var("V"))),
+                 }),
+        assign(lv_idx("reg_file", lit(0)), mod(var("CS"), lit(65536))),
+        assign(lv_idx("reg_file", lit(1)),
+               lit(EthernetExpected::kFrameBytes)),
+        sig_assign("ESTAGE", "", lit(2)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // XMIT_FRAME: stream the processed frame back out, checking the length
+  // register first.
+  {
+    Process p;
+    p.name = "XMIT_FRAME";
+    p.locals.emplace_back("LEN", Type::integer(32));
+    p.body = Block{
+        wait_until(eq(sig("ESTAGE"), lit(2))),
+        assign("LEN", aref("reg_file", lit(1))),
+        for_stmt("I", lit(0), sub(var("LEN"), lit(1)),
+                 Block{
+                     wait_for(1),
+                     assign("XSUM", add(var("XSUM"),
+                                        aref("xmit_buf", var("I")))),
+                 }),
+        sig_assign("ESTAGE", "", lit(3)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  Status status = partition::apply_partition(
+      system,
+      {
+          partition::ModuleAssignment{
+              "CHIP1", {"RCV_FRAME", "EXEC_UNIT", "XMIT_FRAME"}, {"XSUM"}},
+          partition::ModuleAssignment{
+              "CHIP2", {}, {"rcv_buf", "xmit_buf", "reg_file"}},
+      });
+  IFSYN_ASSERT_MSG(status.is_ok(),
+                   "ethernet coprocessor partition failed: " << status);
+
+  status = partition::group_all_channels(system, "EBUS");
+  IFSYN_ASSERT_MSG(status.is_ok(),
+                   "ethernet coprocessor grouping failed: " << status);
+
+  // XMIT_FRAME's loop bound is the LEN register, which static analysis
+  // cannot resolve (it reports the 1-iteration lower bound); the designer
+  // knows a frame is 256 bytes, so annotate the channel explicitly --
+  // the workflow the paper's estimation reference [8] assumes.
+  for (const auto& ch : system.channels()) {
+    if (ch->accessor == "XMIT_FRAME" && ch->variable == "xmit_buf") {
+      ch->accesses = EthernetExpected::kFrameBytes;
+    }
+  }
+  return system;
+}
+
+}  // namespace ifsyn::suite

@@ -1,0 +1,33 @@
+// ifsyn/suite/ethernet_coprocessor.hpp
+//
+// The Ethernet network coprocessor case study (paper Sec. 5; like the
+// answering machine, only aggregate results are published). Reconstructed
+// structure:
+//
+//   CHIP1: RCV_FRAME, EXEC_UNIT, XMIT_FRAME
+//   CHIP2 (buffer memory): rcv_buf  : array(0 to 255) of bit_vector(7..0)
+//                          xmit_buf : array(0 to 255) of bit_vector(7..0)
+//                          reg_file : array(0 to 15)  of bit_vector(15..0)
+//
+// Scenario: the receive unit deposits one 256-byte frame; the execution
+// unit computes the frame checksum, complements the payload into the
+// transmit buffer and records bookkeeping in the register file; the
+// transmit unit streams the frame back out. Channel sizes 8d+8a and
+// 16d+4a on one shared bus.
+#pragma once
+
+#include "spec/system.hpp"
+
+namespace ifsyn::suite {
+
+/// Partitioned + grouped (bus "EBUS"), un-synthesized system.
+spec::System make_ethernet_coprocessor();
+
+struct EthernetExpected {
+  static constexpr int kFrameBytes = 256;
+  static int frame_byte(int i) { return (i * 17 + 3) % 256; }
+  static long long frame_checksum();     ///< reg_file(0) value
+  static long long transmit_checksum();  ///< XSUM value
+};
+
+}  // namespace ifsyn::suite

@@ -1,0 +1,63 @@
+#include "suite/fig3_example.hpp"
+
+#include "partition/partitioner.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::suite {
+
+using namespace spec;
+
+System make_fig3_system(const Fig3Options& options) {
+  System system("fig3");
+
+  system.add_variable(Variable("X", Type::bits(16)));
+  system.add_variable(
+      Variable("MEM", Type::array(Type::bits(16), 64)));
+
+  // behavior P (Fig. 3 left)
+  {
+    Process p;
+    p.name = "P";
+    p.locals.emplace_back("AD", Type::integer(16), Value::integer(5, 16));
+    p.body = Block{
+        wait_for(options.p_start_delay),
+        assign("X", lit(32)),
+        assign(lv_idx("MEM", var("AD")), add(var("X"), lit(7))),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // behavior Q (Fig. 3 right)
+  {
+    Process q;
+    q.name = "Q";
+    q.locals.emplace_back("COUNT", Type::integer(16),
+                          Value::integer(77, 16));
+    q.body = Block{
+        wait_for(options.q_start_delay),
+        assign(lv_idx("MEM", lit(60)), var("COUNT")),
+    };
+    system.add_process(std::move(q));
+  }
+
+  // Partition per the dashed lines of Fig. 3: behaviors on their own
+  // components, variables on a shared memory component.
+  Status status = partition::apply_partition(
+      system,
+      {
+          partition::ModuleAssignment{"COMP_P", {"P"}, {}},
+          partition::ModuleAssignment{"COMP_MEM", {}, {"X", "MEM"}},
+          partition::ModuleAssignment{"COMP_Q", {"Q"}, {}},
+      });
+  IFSYN_ASSERT_MSG(status.is_ok(), "fig3 partition failed: " << status);
+
+  status = partition::group_all_channels(system, "B");
+  IFSYN_ASSERT_MSG(status.is_ok(), "fig3 grouping failed: " << status);
+
+  // The paper chooses the 8-bit bus by hand; pin it for protocol
+  // generation.
+  system.find_bus("B")->width = options.bus_width;
+  return system;
+}
+
+}  // namespace ifsyn::suite

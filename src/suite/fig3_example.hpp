@@ -1,0 +1,46 @@
+// ifsyn/suite/fig3_example.hpp
+//
+// The protocol-generation walkthrough system of the paper's Figs. 3-5:
+//
+//   behavior P:  X <= 32;  MEM(AD) := X + 7;     (AD local, init 5)
+//   behavior Q:  MEM(60) := COUNT;               (COUNT local, init 77)
+//
+//   variable X   : bit_vector(15 downto 0)   -- on the memory component
+//   variable MEM : array(0 to 63) of bit_vector(15 downto 0)
+//
+// Partitioning places P and Q on their own components and X/MEM on a
+// third; channel derivation yields exactly the paper's four channels:
+//   CH0: P writes X    CH1: P reads X
+//   CH2: P writes MEM  CH3: Q writes MEM
+// grouped into a single 8-bit bus B (the paper's designer-chosen width).
+#pragma once
+
+#include "spec/system.hpp"
+
+namespace ifsyn::suite {
+
+struct Fig3Options {
+  /// The paper fixes the bus width at 8 bits; pin it so protocol
+  /// generation reproduces Fig. 4's two-words-of-8 procedures.
+  int bus_width = 8;
+  /// Small settle delays inserted into P and Q so the original
+  /// (pre-refinement) simulation orders Q's write after P's (the paper's
+  /// figures assume an unspecified interleaving; a fixed one makes the
+  /// equivalence check exact).
+  int p_start_delay = 1;
+  int q_start_delay = 2;
+};
+
+/// Partitioned, grouped, un-synthesized system (direct variable accesses
+/// still in place). Simulate it as-is for the "original" behavior;
+/// synthesize it (bus + protocol generation) for the refined behavior.
+spec::System make_fig3_system(const Fig3Options& options = {});
+
+/// Expected final state: X = 32, MEM(5) = 39, MEM(60) = 77.
+struct Fig3Expected {
+  static constexpr int kX = 32;
+  static constexpr int kMemAt5 = 39;
+  static constexpr int kMemAt60 = 77;
+};
+
+}  // namespace ifsyn::suite

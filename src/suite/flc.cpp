@@ -1,0 +1,339 @@
+#include "suite/flc.hpp"
+
+#include "partition/partitioner.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::suite {
+
+using namespace spec;
+
+namespace {
+
+// Fixed sensor readings for the deterministic experiment.
+constexpr int kTemp = 23;
+constexpr int kHumid = 55;
+
+// Membership-function table geometry: 15 triangular functions of 128
+// points each = 1920 entries, the paper's InitMemberFunct size.
+// Functions 0..3 fuzzify temperature for rules 0..3, functions 4..7
+// fuzzify humidity, functions 10..13 shape the rule outputs.
+constexpr int kFunctions = 15;
+constexpr int kPoints = 128;
+
+/// Reference model of one membership value: a triangle peaking at
+/// 9*function with height 64 and slope 4 (clamped at 0).
+int membership(int function, int x) {
+  int d = x - 9 * function;
+  if (d < 0) d = -d;
+  int v = 64 - 4 * d;
+  return v < 0 ? 0 : v;
+}
+
+/// IR statements computing `target := membership(f_expr, x_expr)` using
+/// integer temporaries D and V (declared by the caller).
+Block membership_stmts(ExprPtr f, ExprPtr x, LValue target) {
+  return Block{
+      assign("D", sub(std::move(x), mul(lit(9), std::move(f)))),
+      if_stmt(lt(var("D"), lit(0)),
+              Block{assign("D", sub(lit(0), var("D")))}),
+      assign("V", sub(lit(64), mul(lit(4), var("D")))),
+      if_stmt(lt(var("V"), lit(0)), Block{assign("V", lit(0))}),
+      assign(std::move(target), var("V")),
+  };
+}
+
+void add_trru_arrays(System& system, bool init_trru2) {
+  for (int k = 0; k < 4; ++k) {
+    Variable v("trru" + std::to_string(k), Type::array(Type::bits(16), 128));
+    if (init_trru2 && k == 2) {
+      Value init(v.type);
+      for (int i = 0; i < 128; ++i) {
+        init.set_at(i, BitVector::from_uint(16,
+                                            static_cast<std::uint64_t>(
+                                                (i * 5 + 3) % 65536)));
+      }
+      v.init = std::move(init);
+    }
+    system.add_variable(std::move(v));
+  }
+}
+
+}  // namespace
+
+System make_flc_kernel() {
+  System system("flc_kernel");
+
+  add_trru_arrays(system, /*init_trru2=*/true);
+  system.add_variable(Variable("CONV2_OUT", Type::integer(32)));
+
+  // EVAL_R3: writes all 128 entries of trru0 (the paper's channel ch1
+  // statement verbatim), with 6 cycles of rule-evaluation compute per
+  // entry -> 768 calibrated compute cycles.
+  {
+    Process p;
+    p.name = "EVAL_R3";
+    p.body = Block{for_stmt(
+        "i", lit(0), lit(127),
+        Block{
+            wait_for(6),
+            assign(lv_idx("trru0", var("i")), add(mul(var("i"), lit(3)),
+                                                  lit(11))),
+        })};
+    system.add_process(std::move(p));
+  }
+
+  // CONV_R2: reads all 128 entries of trru2 (channel ch2), 4 cycles of
+  // convolution compute per entry -> 512 calibrated compute cycles.
+  {
+    Process p;
+    p.name = "CONV_R2";
+    p.locals.emplace_back("ACC", Type::integer(32));
+    p.body = Block{
+        for_stmt("i", lit(0), lit(127),
+                 Block{
+                     wait_for(4),
+                     assign("ACC", add(var("ACC"), aref("trru2", var("i")))),
+                 }),
+        assign("CONV2_OUT", var("ACC")),
+    };
+    system.add_process(std::move(p));
+  }
+
+  partition::PartitionOptions popt;
+  popt.channel_prefix = "ch";
+  popt.channel_number_base = 1;
+  Status status = partition::apply_partition(
+      system,
+      {
+          partition::ModuleAssignment{
+              "CHIP1", {"EVAL_R3", "CONV_R2"}, {"CONV2_OUT"}},
+          partition::ModuleAssignment{
+              "CHIP2", {}, {"trru0", "trru1", "trru2", "trru3"}},
+      },
+      popt);
+  IFSYN_ASSERT_MSG(status.is_ok(), "flc kernel partition failed: " << status);
+
+  status = partition::group_channels(system, "B", {"ch1", "ch2"});
+  IFSYN_ASSERT_MSG(status.is_ok(), "flc kernel grouping failed: " << status);
+  return system;
+}
+
+System make_flc_full() {
+  System system("flc");
+
+  // ---- CHIP 2 (memory) variables ----
+  system.add_variable(Variable(
+      "InitMemberFunct", Type::array(Type::integer(16), kFunctions * kPoints)));
+  add_trru_arrays(system, /*init_trru2=*/false);
+  system.add_variable(Variable("rule1", Type::array(Type::integer(16), 3)));
+  system.add_variable(Variable("rule3", Type::array(Type::integer(16), 3)));
+
+  // ---- CHIP 1 variables ----
+  system.add_variable(
+      Variable("TEMP", Type::integer(16), Value::integer(kTemp, 16)));
+  system.add_variable(
+      Variable("HUMID", Type::integer(16), Value::integer(kHumid, 16)));
+  system.add_variable(Variable("ALPHA", Type::array(Type::integer(16), 4)));
+  system.add_variable(Variable("SUM", Type::array(Type::integer(32), 4)));
+  system.add_variable(Variable("WSUM", Type::array(Type::integer(32), 4)));
+  system.add_variable(Variable("CTRL_RAW", Type::integer(32)));
+  system.add_variable(Variable("CTRL_OUT", Type::integer(32)));
+
+  // Stage sequencing signals (the original Matsushita description would
+  // have used handshakes between behaviors; a stage counter is the
+  // simplest observable equivalent and survives refinement unchanged).
+  {
+    Signal stage;
+    stage.name = "STAGE";
+    stage.fields = {SignalField{"", 4}};
+    system.add_signal(std::move(stage));
+    Signal evd;
+    evd.name = "EVD";  // EVAL_Rk done flags
+    evd.fields = {SignalField{"E0", 1}, SignalField{"E1", 1},
+                  SignalField{"E2", 1}, SignalField{"E3", 1}};
+    system.add_signal(std::move(evd));
+    Signal cvd;
+    cvd.name = "CVD";  // CONV_Rk done flags
+    cvd.fields = {SignalField{"C0", 1}, SignalField{"C1", 1},
+                  SignalField{"C2", 1}, SignalField{"C3", 1}};
+    system.add_signal(std::move(cvd));
+  }
+
+  // ---- INITIALIZE: fill the membership-function memory ----
+  {
+    Process p;
+    p.name = "INITIALIZE";
+    p.locals.emplace_back("D", Type::integer(16));
+    p.locals.emplace_back("V", Type::integer(16));
+    Block inner = membership_stmts(
+        var("F"), var("X"),
+        lv_idx("InitMemberFunct", add(mul(var("F"), lit(kPoints)), var("X"))));
+    inner.insert(inner.begin(), wait_for(1));
+    p.body = Block{
+        for_stmt("F", lit(0), lit(kFunctions - 1),
+                 Block{for_stmt("X", lit(0), lit(kPoints - 1),
+                                std::move(inner))}),
+        sig_assign("STAGE", "", lit(1)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // ---- CONVERT_FACTS: fuzzify the two inputs into rule strengths ----
+  {
+    Process p;
+    p.name = "CONVERT_FACTS";
+    p.locals.emplace_back("A", Type::integer(16));
+    p.locals.emplace_back("Bv", Type::integer(16));
+    p.body = Block{
+        wait_until(eq(sig("STAGE"), lit(1))),
+        for_stmt(
+            "K", lit(0), lit(3),
+            Block{
+                assign("A", aref("InitMemberFunct",
+                                 add(mul(var("K"), lit(kPoints)),
+                                     var("TEMP")))),
+                assign("Bv", aref("InitMemberFunct",
+                                  add(mul(add(var("K"), lit(4)),
+                                          lit(kPoints)),
+                                      var("HUMID")))),
+                if_stmt(lt(var("Bv"), var("A")),
+                        Block{assign("A", var("Bv"))}),
+                assign(lv_idx("ALPHA", var("K")), var("A")),
+            }),
+        sig_assign("STAGE", "", lit(2)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // ---- EVAL_R0..R3: clip the rule output shape at the rule strength ----
+  for (int k = 0; k < 4; ++k) {
+    Process p;
+    p.name = "EVAL_R" + std::to_string(k);
+    p.locals.emplace_back("M", Type::integer(16));
+    p.body = Block{
+        wait_until(eq(sig("STAGE"), lit(2))),
+        for_stmt(
+            "X", lit(0), lit(kPoints - 1),
+            Block{
+                wait_for(1),
+                assign("M", aref("InitMemberFunct",
+                                 add(lit((10 + k) * kPoints), var("X")))),
+                if_stmt(gt(var("M"), aref("ALPHA", lit(k))),
+                        Block{assign("M", aref("ALPHA", lit(k)))}),
+                assign(lv_idx("trru" + std::to_string(k), var("X")),
+                       var("M")),
+            }),
+        sig_assign("EVD", "E" + std::to_string(k), lit(1)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // ---- CONV_R0..R3: accumulate area and moment of each clipped rule ----
+  for (int k = 0; k < 4; ++k) {
+    Process p;
+    p.name = "CONV_R" + std::to_string(k);
+    p.locals.emplace_back("V", Type::integer(32));
+    p.body = Block{
+        wait_until(eq(sig("EVD", "E" + std::to_string(k)), lit(1))),
+        for_stmt(
+            "X", lit(0), lit(kPoints - 1),
+            Block{
+                wait_for(1),
+                assign("V", aref("trru" + std::to_string(k), var("X"))),
+                assign(lv_idx("SUM", lit(k)),
+                       add(aref("SUM", lit(k)), var("V"))),
+                assign(lv_idx("WSUM", lit(k)),
+                       add(aref("WSUM", lit(k)), mul(var("V"), var("X")))),
+            }),
+        sig_assign("CVD", "C" + std::to_string(k), lit(1)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // ---- CENTROID: defuzzify ----
+  {
+    Process p;
+    p.name = "CENTROID";
+    p.locals.emplace_back("NUM", Type::integer(32));
+    p.locals.emplace_back("DEN", Type::integer(32));
+    p.body = Block{
+        wait_until(land(
+            land(eq(sig("CVD", "C0"), lit(1)), eq(sig("CVD", "C1"), lit(1))),
+            land(eq(sig("CVD", "C2"), lit(1)),
+                 eq(sig("CVD", "C3"), lit(1))))),
+        for_stmt("K", lit(0), lit(3),
+                 Block{
+                     assign("NUM", add(var("NUM"), aref("WSUM", var("K")))),
+                     assign("DEN", add(var("DEN"), aref("SUM", var("K")))),
+                 }),
+        if_stmt(eq(var("DEN"), lit(0)), Block{assign("CTRL_RAW", lit(0))},
+                Block{assign("CTRL_RAW", div(var("NUM"), var("DEN")))}),
+        sig_assign("STAGE", "", lit(3)),
+    };
+    system.add_process(std::move(p));
+  }
+
+  // ---- CONVERT_CTRL: scale to the actuator range ----
+  {
+    Process p;
+    p.name = "CONVERT_CTRL";
+    p.body = Block{
+        wait_until(eq(sig("STAGE"), lit(3))),
+        assign("CTRL_OUT", mul(var("CTRL_RAW"), lit(2))),
+        // Log the rule bookkeeping the paper's memories keep (rule1 and
+        // rule3 hold per-rule metadata on CHIP2).
+        assign(lv_idx("rule1", lit(0)), var("CTRL_RAW")),
+        assign(lv_idx("rule3", lit(0)), var("CTRL_RAW")),
+    };
+    system.add_process(std::move(p));
+  }
+
+  partition::PartitionOptions popt;
+  popt.channel_prefix = "ch";
+  popt.channel_number_base = 1;
+  Status status = partition::apply_partition(
+      system,
+      {
+          partition::ModuleAssignment{
+              "CHIP1",
+              {"INITIALIZE", "CONVERT_FACTS", "EVAL_R0", "EVAL_R1", "EVAL_R2",
+               "EVAL_R3", "CONV_R0", "CONV_R1", "CONV_R2", "CONV_R3",
+               "CENTROID", "CONVERT_CTRL"},
+              {"TEMP", "HUMID", "ALPHA", "SUM", "WSUM", "CTRL_RAW",
+               "CTRL_OUT"}},
+          partition::ModuleAssignment{
+              "CHIP2",
+              {},
+              {"InitMemberFunct", "trru0", "trru1", "trru2", "trru3", "rule1",
+               "rule3"}},
+      },
+      popt);
+  IFSYN_ASSERT_MSG(status.is_ok(), "flc partition failed: " << status);
+
+  status = partition::group_all_channels(system, "B");
+  IFSYN_ASSERT_MSG(status.is_ok(), "flc grouping failed: " << status);
+  return system;
+}
+
+long long flc_expected_ctrl_out() {
+  int alpha[4];
+  for (int k = 0; k < 4; ++k) {
+    const int a = membership(k, kTemp);
+    const int b = membership(k + 4, kHumid);
+    alpha[k] = b < a ? b : a;
+  }
+  long long num = 0;
+  long long den = 0;
+  for (int k = 0; k < 4; ++k) {
+    for (int x = 0; x < kPoints; ++x) {
+      int m = membership(10 + k, x);
+      if (m > alpha[k]) m = alpha[k];
+      den += m;
+      num += static_cast<long long>(m) * x;
+    }
+  }
+  const long long raw = den == 0 ? 0 : num / den;
+  return raw * 2;
+}
+
+}  // namespace ifsyn::suite

@@ -1,0 +1,65 @@
+// ifsyn/suite/flc.hpp
+//
+// The Fuzzy Logic Controller case study (paper Sec. 5, Figs. 6-8), from
+// the Matsushita example the paper cites as private communication [9].
+// We reconstruct it from everything the paper states:
+//
+//   - two sensed inputs (temperature, humidity), four rules, one output
+//     that drives the air conditioner;
+//   - CHIP 1: INITIALIZE, CONVERT_FACTS, EVAL_R0..R3, CONV_R0..R3,
+//     CONVERT_CTRL, CENTROID;
+//   - CHIP 2 (memory): InitMemberFunct : array(1919 downto 0) of integer,
+//     trru0..trru3 : array(127 downto 0) of integer,
+//     rule1, rule3 : array(2 downto 0) of integer;
+//   - channel ch1: EVAL_R3 writing trru0; channel ch2: CONV_R2 reading
+//     trru2; each moves 16 data bits + 7 address bits; ch1 and ch2 are
+//     merged into bus B.
+//
+// Two builders:
+//
+//   make_flc_kernel() -- just the bus-B experiment: EVAL_R3 and CONV_R2
+//     with 128 accesses each, calibrated compute so the published anchor
+//     holds (CONV_R2 crosses a 2000-clock execution-time constraint
+//     between buswidths 4 and 5; Fig. 7). Drives the Fig. 7 and Fig. 8
+//     reproductions.
+//
+//   make_flc_full() -- the whole controller: triangular membership
+//     functions, rule evaluation (clipped min), convolution and centroid
+//     defuzzification, with all cross-chip traffic on synthesized buses
+//     and processes sequenced by a stage signal. Drives the end-to-end
+//     example and the arbitration ablation.
+#pragma once
+
+#include "spec/system.hpp"
+
+namespace ifsyn::suite {
+
+/// Calibrated per-activation computation cycles (see DESIGN.md,
+/// "Substitutions": the paper's estimator [10] produced absolute clock
+/// counts we cannot recover; these constants reproduce its published
+/// anchor points).
+struct FlcCalibration {
+  static constexpr long long kEvalR3ComputeCycles = 768;
+  static constexpr long long kConvR2ComputeCycles = 512;
+  /// Message size of ch1/ch2: 16 data + 7 address bits.
+  static constexpr int kMessageBits = 23;
+  /// The execution-time constraint the paper discusses for CONV_R2.
+  static constexpr long long kConvR2MaxClocks = 2000;
+};
+
+/// Kernel system: EVAL_R3 + CONV_R2 on CHIP1; trru0..trru3 on CHIP2;
+/// channels ch1 (write trru0) and ch2 (read trru2) grouped into bus "B".
+/// trru2 is pre-initialized so CONV_R2 has real data to read.
+spec::System make_flc_kernel();
+
+/// Full controller; all cross-chip channels derived and grouped into one
+/// bus "B". Inputs are fixed (temperature/humidity constants); after
+/// simulation the defuzzified output lands in variable "CTRL_OUT".
+spec::System make_flc_full();
+
+/// The deterministic expected value of CTRL_OUT for the fixed inputs,
+/// computed by the same arithmetic the spec performs (kept in one place
+/// so tests cannot drift from the builder).
+long long flc_expected_ctrl_out();
+
+}  // namespace ifsyn::suite

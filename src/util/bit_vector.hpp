@@ -1,0 +1,110 @@
+// ifsyn/util/bit_vector.hpp
+//
+// Arbitrary-width, bit-accurate values.
+//
+// BitVector models a VHDL `bit_vector(N-1 downto 0)`: bit 0 is the least
+// significant bit, and slices use (hi downto lo) index pairs. It is the
+// value type carried over channels and buses: protocol generation slices a
+// message into ceil(bits/width) bus words with `slice`, and the refined
+// specification reassembles it with `set_slice` -- exactly the
+// `txdata(8*J-1 downto 8*(J-1))` loops of Fig. 4 in the paper.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ifsyn {
+
+class BitVector {
+ public:
+  /// Empty (zero-width) vector. Useful as a "no value yet" placeholder.
+  BitVector() = default;
+
+  /// `width` zero bits.
+  explicit BitVector(int width);
+
+  /// `width` bits holding `value mod 2^width` (unsigned interpretation).
+  static BitVector from_uint(int width, std::uint64_t value);
+
+  /// `width` bits holding the two's-complement encoding of `value`.
+  static BitVector from_int(int width, std::int64_t value);
+
+  /// Parse an MSB-first binary string, e.g. "00101". Underscores are
+  /// ignored so literals can be grouped ("0010_1100"). Width = number of
+  /// binary digits. Asserts on any other character.
+  static BitVector from_binary_string(std::string_view bits);
+
+  /// Number of bits. 0 for a default-constructed vector.
+  int width() const { return width_; }
+  bool empty() const { return width_ == 0; }
+
+  /// Bit access; index 0 is the LSB. Asserts 0 <= index < width.
+  bool bit(int index) const;
+  void set_bit(int index, bool value);
+
+  /// VHDL-style slice `(hi downto lo)`, inclusive on both ends.
+  /// Asserts 0 <= lo <= hi < width. Result width = hi - lo + 1.
+  BitVector slice(int hi, int lo) const;
+
+  /// Overwrite bits (hi downto lo) with `value`; value.width() must equal
+  /// hi - lo + 1.
+  void set_slice(int hi, int lo, const BitVector& value);
+
+  /// Concatenation `*this & low`: *this becomes the high-order bits.
+  /// Mirrors VHDL's `a & b`.
+  BitVector concat(const BitVector& low) const;
+
+  /// Same bits, new width: truncates high bits or zero-extends.
+  BitVector resized(int new_width) const;
+
+  /// Unsigned value. Asserts that the value fits in 64 bits (i.e. all bits
+  /// above 63 are zero); width itself may exceed 64.
+  std::uint64_t to_uint() const;
+
+  /// Two's-complement signed value. Asserts width <= 64 and width > 0.
+  std::int64_t to_int() const;
+
+  /// True iff every bit is zero. (Width-0 vectors are zero.)
+  bool is_zero() const;
+
+  /// Bitwise operators; both operands must have equal width.
+  BitVector operator&(const BitVector& rhs) const;
+  BitVector operator|(const BitVector& rhs) const;
+  BitVector operator^(const BitVector& rhs) const;
+  BitVector operator~() const;
+
+  /// Modular arithmetic (mod 2^width); operands must have equal width.
+  BitVector operator+(const BitVector& rhs) const;
+  BitVector operator-(const BitVector& rhs) const;
+
+  /// Unsigned comparison. Equality requires equal width AND equal bits;
+  /// ordering compares values and asserts equal width.
+  friend bool operator==(const BitVector& a, const BitVector& b);
+  friend bool operator!=(const BitVector& a, const BitVector& b) {
+    return !(a == b);
+  }
+  bool unsigned_less(const BitVector& rhs) const;
+
+  /// MSB-first binary string, e.g. "00101100".
+  std::string to_binary_string() const;
+
+  /// Hex string with `0x` prefix, MSB-first, padded to ceil(width/4) digits.
+  std::string to_hex_string() const;
+
+ private:
+  static constexpr int kWordBits = 64;
+  static int word_count(int width) { return (width + kWordBits - 1) / kWordBits; }
+  /// Zero any storage bits above `width_` (kept as an invariant so that
+  /// equality and to_uint can operate word-wise).
+  void clear_padding();
+
+  int width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BitVector& bv);
+
+}  // namespace ifsyn

@@ -1,0 +1,35 @@
+#include "util/status.hpp"
+
+namespace ifsyn {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kSimulationError:
+      return "SIMULATION_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ifsyn

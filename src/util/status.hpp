@@ -1,0 +1,147 @@
+// ifsyn/util/status.hpp
+//
+// Recoverable-error reporting for the ifsyn public API.
+//
+// Library entry points that can fail for reasons the caller controls
+// (infeasible constraints, malformed specifications, unknown names) return
+// Status or Result<T>. Exceptions are reserved for internal invariant
+// violations (see util/assert.hpp).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace ifsyn {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed an argument that violates the API contract in a way
+  /// detectable up front (e.g. zero-width channel, empty channel group).
+  kInvalidArgument,
+  /// No bus implementation satisfies Eq. 1 for any width in range; the
+  /// channel group must be split (paper, Sec. 3 step 5).
+  kInfeasible,
+  /// A named entity (process, variable, channel) does not exist.
+  kNotFound,
+  /// The operation requires a prior step that has not run (e.g. protocol
+  /// generation before bus generation assigned a width).
+  kFailedPrecondition,
+  /// The specification uses a construct outside the supported subset.
+  kUnsupported,
+  /// The simulation kernel detected an error while executing a spec
+  /// (e.g. deadlock: all processes waiting with no pending events).
+  kSimulationError,
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code);
+
+/// Value-semantic success/error result without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    IFSYN_ASSERT_MSG(code != StatusCode::kOk || message_.empty(),
+                     "OK status must not carry a message");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INFEASIBLE: no feasible buswidth in [1, 23]".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status infeasible(std::string msg) {
+  return {StatusCode::kInfeasible, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unsupported(std::string msg) {
+  return {StatusCode::kUnsupported, std::move(msg)};
+}
+inline Status simulation_error(std::string msg) {
+  return {StatusCode::kSimulationError, std::move(msg)};
+}
+
+/// Either a value of type T or an error Status. Minimal StatusOr-style
+/// wrapper: value access asserts success, so call sites check first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    IFSYN_ASSERT_MSG(!std::get<Status>(data_).is_ok(),
+                     "Result<T> must not be constructed from an OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// The error; OK if the result holds a value.
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    IFSYN_ASSERT_MSG(is_ok(), "Result::value() on error: " << status());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    IFSYN_ASSERT_MSG(is_ok(), "Result::value() on error: " << status());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    IFSYN_ASSERT_MSG(is_ok(), "Result::value() on error: " << status());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ifsyn
+
+/// Propagate a non-OK Status from the current function.
+#define IFSYN_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::ifsyn::Status ifsyn_status_ = (expr);           \
+    if (!ifsyn_status_.is_ok()) return ifsyn_status_; \
+  } while (false)

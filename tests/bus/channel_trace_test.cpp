@@ -1,0 +1,162 @@
+// Channel trace merging (Fig. 2): average rates, FIFO bus schedule,
+// per-transfer delays, bounded-lag property under Eq. 1.
+#include "bus/channel_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::bus {
+namespace {
+
+/// The exact traces of Fig. 2: channel A sends two 8-bit items (t=0, 2),
+/// channel B sends three 16-bit items (t=0, 1, 3), over a 4-second window.
+std::vector<ChannelTrace> fig2_traces() {
+  ChannelTrace a;
+  a.name = "A";
+  a.period = 4;
+  a.transfers = {{0, 8, "A1"}, {2, 8, "A2"}};
+  ChannelTrace b;
+  b.name = "B";
+  b.period = 4;
+  b.transfers = {{0, 16, "B1"}, {1, 16, "B2"}, {3, 16, "B3"}};
+  return {a, b};
+}
+
+TEST(ChannelTraceTest, Fig2AverageRates) {
+  auto traces = fig2_traces();
+  EXPECT_DOUBLE_EQ(traces[0].average_rate(), 4.0);   // (2*8)/4
+  EXPECT_DOUBLE_EQ(traces[1].average_rate(), 12.0);  // (3*16)/4
+  EXPECT_DOUBLE_EQ(required_bus_rate(traces), 16.0);  // 4 + 12
+}
+
+TEST(ChannelTraceTest, Fig2MergeCompletesWithinPeriod) {
+  auto traces = fig2_traces();
+  Result<MergedSchedule> merged = merge_traces(traces, 16.0);
+  ASSERT_TRUE(merged.is_ok()) << merged.status();
+  EXPECT_EQ(merged->transfers.size(), 5u);
+  // All 64 bits fit in the 4-second window at 16 bits/s.
+  EXPECT_LE(merged->makespan, 4.0 + 1e-9);
+  // The bus is never idle once started: 64 bits / 16 bps = 4 s busy.
+  EXPECT_NEAR(merged->busy_time, 4.0, 1e-9);
+  EXPECT_NEAR(merged->utilization, 1.0, 1e-9);
+}
+
+TEST(ChannelTraceTest, Fig2B2IsDelayedToOneAndAHalf) {
+  // "the data item labeled B2 transferred at t=1 second in the original
+  // channel B ... is now transferred on bus AB at t=1.5 seconds."
+  auto merged = merge_traces(fig2_traces(), 16.0);
+  ASSERT_TRUE(merged.is_ok());
+  const ScheduledTransfer* b2 = nullptr;
+  for (const auto& t : merged->transfers) {
+    if (t.label == "B2") b2 = &t;
+  }
+  ASSERT_NE(b2, nullptr);
+  EXPECT_DOUBLE_EQ(b2->start, 1.5);
+  EXPECT_DOUBLE_EQ(b2->delay(), 0.5);
+}
+
+TEST(ChannelTraceTest, FifoOrderWithTieBreakByChannelOrder) {
+  auto merged = merge_traces(fig2_traces(), 16.0);
+  ASSERT_TRUE(merged.is_ok());
+  std::vector<std::string> order;
+  for (const auto& t : merged->transfers) order.push_back(t.label);
+  // A1 and B1 both arrive at t=0; channel A is listed first.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"A1", "B1", "B2", "A2", "B3"}));
+}
+
+TEST(ChannelTraceTest, SlowerBusAccumulatesDelay) {
+  auto merged = merge_traces(fig2_traces(), 8.0);  // below Eq. 1 rate
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_GT(merged->makespan, 4.0);
+  EXPECT_GT(merged->max_delay, 0.0);
+}
+
+TEST(ChannelTraceTest, FasterBusShrinksDelay) {
+  auto at16 = merge_traces(fig2_traces(), 16.0);
+  auto at32 = merge_traces(fig2_traces(), 32.0);
+  ASSERT_TRUE(at16.is_ok());
+  ASSERT_TRUE(at32.is_ok());
+  EXPECT_LT(at32->total_delay, at16->total_delay);
+  EXPECT_LT(at32->makespan, at16->makespan);
+}
+
+TEST(ChannelTraceTest, InvalidInputsRejected) {
+  EXPECT_EQ(merge_traces(fig2_traces(), 0).status().code(),
+            StatusCode::kInvalidArgument);
+  ChannelTrace bad;
+  bad.name = "bad";
+  bad.period = 0;
+  EXPECT_EQ(merge_traces({bad}, 16).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.period = 4;
+  bad.transfers = {{0, 0, "empty"}};
+  EXPECT_EQ(merge_traces({bad}, 16).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.transfers = {{-1, 8, "early"}};
+  EXPECT_EQ(merge_traces({bad}, 16).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChannelTraceTest, EmptyTraceSetMergesToNothing) {
+  auto merged = merge_traces({}, 16.0);
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_TRUE(merged->transfers.empty());
+  EXPECT_DOUBLE_EQ(merged->makespan, 0.0);
+  EXPECT_DOUBLE_EQ(merged->utilization, 0.0);
+}
+
+/// Property (the paper's Sec. 2 claim): if the bus rate satisfies Eq. 1,
+/// all bits queued in a period drain within (roughly) that period -- the
+/// merged bus moves the same bits "in the same amount of time".
+class BoundedLagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedLagProperty, Eq1RateDrainsThePeriod) {
+  const int seed = GetParam();
+  std::uint64_t state = 0x1234 + static_cast<std::uint64_t>(seed) * 99991;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+
+  std::vector<ChannelTrace> traces;
+  const double period = 100.0;
+  for (int c = 0; c < 3; ++c) {
+    ChannelTrace trace;
+    trace.name = "C" + std::to_string(c);
+    trace.period = period;
+    const int n = 3 + static_cast<int>(next() % 6);
+    double t = 0;
+    for (int i = 0; i < n; ++i) {
+      t += static_cast<double>(next() % 20);
+      if (t >= period * 0.8) break;
+      trace.transfers.push_back(
+          Transfer{t, 8 + static_cast<int>(next() % 24), "x"});
+    }
+    if (trace.transfers.empty())
+      trace.transfers.push_back(Transfer{0, 8, "x"});
+    traces.push_back(std::move(trace));
+  }
+
+  const double rate = required_bus_rate(traces);
+  auto merged = merge_traces(traces, rate);
+  ASSERT_TRUE(merged.is_ok());
+  // Work conservation: total busy time == total bits / rate.
+  long long bits = 0;
+  for (const auto& trace : traces) bits += trace.total_bits();
+  EXPECT_NEAR(merged->busy_time, bits / rate, 1e-6);
+  // Bounded lag: a FIFO non-idling server finishes no later than the last
+  // arrival plus the total service demand; with the Eq. 1 rate the total
+  // service demand is exactly one period, so the backlog never grows
+  // without bound (the paper's "same amount of time" claim).
+  EXPECT_LE(merged->makespan, 0.8 * period + bits / rate + 1e-6);
+  // And each transfer's completion is causal: never before ready+service.
+  for (const auto& t : merged->transfers) {
+    EXPECT_GE(t.start + 1e-12, t.ready);
+    EXPECT_NEAR(t.end - t.start, t.bits / rate, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedLagProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ifsyn::bus

@@ -1,0 +1,79 @@
+// Constraint violations and the weighted-squared-violation cost function
+// (paper Sec. 3 step 4).
+#include "bus/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::bus {
+namespace {
+
+std::vector<estimate::ChannelRates> rates_fixture() {
+  return {
+      estimate::ChannelRates{"ch1", 2.3, 10.0},
+      estimate::ChannelRates{"ch2", 2.9, 8.0},
+  };
+}
+
+TEST(ConstraintsTest, WidthViolations) {
+  auto rates = rates_fixture();
+  EXPECT_DOUBLE_EQ(violation(min_bus_width(14, 1), 10, rates), 4.0);
+  EXPECT_DOUBLE_EQ(violation(min_bus_width(14, 1), 14, rates), 0.0);
+  EXPECT_DOUBLE_EQ(violation(min_bus_width(14, 1), 20, rates), 0.0);
+  EXPECT_DOUBLE_EQ(violation(max_bus_width(16, 1), 18, rates), 2.0);
+  EXPECT_DOUBLE_EQ(violation(max_bus_width(16, 1), 16, rates), 0.0);
+}
+
+TEST(ConstraintsTest, RateViolations) {
+  auto rates = rates_fixture();
+  EXPECT_DOUBLE_EQ(violation(min_peak_rate("ch2", 10, 1), 0, rates), 2.0);
+  EXPECT_DOUBLE_EQ(violation(min_peak_rate("ch1", 10, 1), 0, rates), 0.0);
+  EXPECT_DOUBLE_EQ(violation(max_peak_rate("ch1", 9, 1), 0, rates), 1.0);
+  EXPECT_DOUBLE_EQ(violation(min_ave_rate("ch1", 3.0, 1), 0, rates), 0.7);
+  EXPECT_NEAR(violation(max_ave_rate("ch2", 2.5, 1), 0, rates), 0.4, 1e-9);
+}
+
+TEST(ConstraintsTest, UnknownChannelAsserts) {
+  auto rates = rates_fixture();
+  EXPECT_THROW(violation(min_peak_rate("ghost", 10, 1), 0, rates),
+               InternalError);
+}
+
+TEST(ConstraintsTest, CostIsWeightedSumOfSquares) {
+  auto rates = rates_fixture();
+  // Fig. 8 design B at width 18 with our inferred constraint set:
+  // peak(ch2)=9 -> violation 1 with weight 2; MaxBW 17 -> violation 1
+  // with weight 1; MinBW 14 satisfied.
+  std::vector<estimate::ChannelRates> at18 = {
+      estimate::ChannelRates{"ch1", 2.3, 9.0},
+      estimate::ChannelRates{"ch2", 2.9, 9.0},
+  };
+  std::vector<BusConstraint> constraints = {
+      min_peak_rate("ch2", 10, 2),
+      min_bus_width(14, 1),
+      max_bus_width(17, 1),
+  };
+  EXPECT_DOUBLE_EQ(implementation_cost(constraints, 18, at18),
+                   2 * 1 * 1 + 0 + 1 * 1 * 1);
+}
+
+TEST(ConstraintsTest, EmptyConstraintsCostZero) {
+  EXPECT_DOUBLE_EQ(implementation_cost({}, 20, rates_fixture()), 0.0);
+}
+
+TEST(ConstraintsTest, KindNames) {
+  EXPECT_STREQ(constraint_kind_name(ConstraintKind::kMinPeakRate),
+               "MinPeakRate");
+  EXPECT_STREQ(constraint_kind_name(ConstraintKind::kMaxBusWidth),
+               "MaxBusWidth");
+}
+
+TEST(ConstraintsTest, FactoriesRecordFields) {
+  BusConstraint c = min_peak_rate("ch2", 10, 2.5);
+  EXPECT_EQ(c.kind, ConstraintKind::kMinPeakRate);
+  EXPECT_EQ(c.channel, "ch2");
+  EXPECT_DOUBLE_EQ(c.bound, 10);
+  EXPECT_DOUBLE_EQ(c.weight, 2.5);
+}
+
+}  // namespace
+}  // namespace ifsyn::bus

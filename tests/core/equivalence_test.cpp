@@ -1,0 +1,94 @@
+// Co-simulation equivalence checking between original and refined specs.
+#include "core/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/protocol_generator.hpp"
+#include "suite/fig3_example.hpp"
+
+namespace ifsyn::core {
+namespace {
+
+using namespace spec;
+
+TEST(EquivalenceTest, RefinedFig3IsEquivalent) {
+  System original = suite::make_fig3_system();
+  System refined = original.clone("fig3_refined");
+  protocol::ProtocolGenOptions options;
+  options.arbitrate = true;
+  protocol::ProtocolGenerator generator(options);
+  ASSERT_TRUE(generator.generate_all(refined).is_ok());
+
+  Result<EquivalenceReport> report = check_equivalence(original, refined);
+  ASSERT_TRUE(report.is_ok()) << report.status();
+  EXPECT_TRUE(report->equivalent)
+      << (report->mismatches.empty() ? "" : report->mismatches[0]);
+  EXPECT_TRUE(report->mismatches.empty());
+  // Communication costs time: the refined run is strictly slower.
+  EXPECT_GT(report->refined_time, report->original_time);
+}
+
+TEST(EquivalenceTest, DetectsVariableDivergence) {
+  System original = suite::make_fig3_system();
+  System broken = original.clone("broken");
+  // Sabotage: Q writes a different value.
+  Process* q = broken.find_process("Q");
+  q->body = {assign(lv_idx("MEM", lit(60)), lit(1234))};
+
+  Result<EquivalenceReport> report = check_equivalence(original, broken);
+  ASSERT_TRUE(report.is_ok()) << report.status();
+  EXPECT_FALSE(report->equivalent);
+  ASSERT_FALSE(report->mismatches.empty());
+  EXPECT_NE(report->mismatches[0].find("MEM"), std::string::npos);
+  EXPECT_NE(report->mismatches[0].find("(60)"), std::string::npos);
+}
+
+TEST(EquivalenceTest, DetectsIncompleteProcess) {
+  System original = suite::make_fig3_system();
+  System stuck = original.clone("stuck");
+  // P waits on a signal that never fires.
+  Signal never;
+  never.name = "NEVER";
+  never.fields = {SignalField{"", 1}};
+  stuck.add_signal(std::move(never));
+  Block body = stuck.find_process("P")->body;
+  body.insert(body.begin(), wait_until(eq(sig("NEVER"), lit(1))));
+  stuck.find_process("P")->body = std::move(body);
+
+  Result<EquivalenceReport> report = check_equivalence(original, stuck);
+  ASSERT_TRUE(report.is_ok()) << report.status();
+  EXPECT_FALSE(report->equivalent);
+  bool found = false;
+  for (const auto& m : report->mismatches) {
+    if (m.find("P") != std::string::npos &&
+        m.find("did not complete") != std::string::npos)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EquivalenceTest, ObservedSubsetLimitsComparison) {
+  System original = suite::make_fig3_system();
+  System broken = original.clone("broken");
+  broken.find_process("Q")->body = {
+      assign(lv_idx("MEM", lit(60)), lit(9999))};
+
+  // Observing only X hides the MEM divergence.
+  Result<EquivalenceReport> report =
+      check_equivalence(original, broken, 1'000'000, {"X"});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->equivalent);
+}
+
+TEST(EquivalenceTest, SimulationFailurePropagates) {
+  System original = suite::make_fig3_system();
+  System bad = original.clone("bad");
+  bad.find_process("P")->body = {assign("UNDECLARED", lit(1))};
+  Result<EquivalenceReport> report = check_equivalence(original, bad);
+  EXPECT_EQ(report.status().code(), StatusCode::kSimulationError);
+  EXPECT_NE(report.status().message().find("refined system"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ifsyn::core

@@ -1,0 +1,87 @@
+// Markdown synthesis report rendering.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/interpreter.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn::core {
+namespace {
+
+struct Fixture {
+  spec::System refined;
+  SynthesisReport synthesis;
+  EquivalenceReport equivalence;
+  std::vector<protocol::BusTraffic> traffic;
+
+  Fixture() : refined(suite::make_flc_kernel()) {
+    spec::System original = refined.clone("original");
+    SynthesisOptions options;
+    options.arbitrate = true;
+    options.compute_cycles_override = {
+        {"EVAL_R3", suite::FlcCalibration::kEvalR3ComputeCycles},
+        {"CONV_R2", suite::FlcCalibration::kConvR2ComputeCycles},
+    };
+    InterfaceSynthesizer synth(options);
+    Result<SynthesisReport> report = synth.run(refined);
+    EXPECT_TRUE(report.is_ok()) << report.status();
+    synthesis = std::move(report).value();
+
+    Result<EquivalenceReport> eq =
+        check_equivalence(original, refined, 10'000'000);
+    EXPECT_TRUE(eq.is_ok());
+    equivalence = std::move(eq).value();
+
+    sim::SimulationRun run = sim::simulate(refined, 10'000'000, true);
+    EXPECT_TRUE(run.result.status.is_ok());
+    Result<std::vector<protocol::BusTraffic>> analyzed =
+        protocol::analyze_trace(refined, run.kernel->trace(),
+                                run.result.end_time);
+    EXPECT_TRUE(analyzed.is_ok());
+    traffic = std::move(analyzed).value();
+  }
+};
+
+TEST(ReportTest, FullReportHasAllSections) {
+  Fixture f;
+  ReportInputs inputs;
+  inputs.refined = &f.refined;
+  inputs.synthesis = &f.synthesis;
+  inputs.equivalence = &f.equivalence;
+  inputs.traffic = &f.traffic;
+
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_NE(md.find("# Interface synthesis report: flc_kernel"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Channels"), std::string::npos);
+  EXPECT_NE(md.find("| ch1 | EVAL_R3 | write | trru0 | 23 (16+7) | 128 |"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("## Buses"), std::string::npos);
+  EXPECT_NE(md.find("### Width exploration: B"), std::string::npos);
+  EXPECT_NE(md.find("**(selected)**"), std::string::npos);
+  EXPECT_NE(md.find("## Co-simulation"), std::string::npos);
+  EXPECT_NE(md.find("functional equivalence: **PASS**"), std::string::npos);
+  EXPECT_NE(md.find("## Measured bus traffic"), std::string::npos);
+  EXPECT_NE(md.find("| ch1 | 128 |"), std::string::npos);
+}
+
+TEST(ReportTest, OptionalSectionsOmitted) {
+  Fixture f;
+  ReportInputs inputs;
+  inputs.refined = &f.refined;
+  inputs.synthesis = &f.synthesis;
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_EQ(md.find("## Co-simulation"), std::string::npos);
+  EXPECT_EQ(md.find("## Measured bus traffic"), std::string::npos);
+  EXPECT_NE(md.find("## Channels"), std::string::npos);
+}
+
+TEST(ReportTest, RequiredInputsAsserted) {
+  ReportInputs inputs;  // all null
+  EXPECT_THROW(render_markdown_report(inputs), InternalError);
+}
+
+}  // namespace
+}  // namespace ifsyn::core

@@ -1,0 +1,170 @@
+// Performance estimator: execution-time model, average rates, the FLC
+// calibration anchors from the paper's Sec. 5.
+#include "estimate/performance_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/analysis.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn::estimate {
+namespace {
+
+using spec::ProtocolKind;
+using suite::FlcCalibration;
+
+/// FLC kernel with access counts annotated and calibration applied.
+struct FlcFixture {
+  spec::System system;
+  PerformanceEstimator estimator;
+
+  FlcFixture() : system(suite::make_flc_kernel()), estimator(system) {
+    EXPECT_TRUE(spec::annotate_channel_accesses(system).is_ok());
+    estimator.set_compute_cycles("EVAL_R3",
+                                 FlcCalibration::kEvalR3ComputeCycles);
+    estimator.set_compute_cycles("CONV_R2",
+                                 FlcCalibration::kConvR2ComputeCycles);
+  }
+};
+
+TEST(EstimatorTest, FlcChannelsHave128AccessesAnd23MessageBits) {
+  FlcFixture f;
+  const spec::Channel* ch1 = f.system.find_channel("ch1");
+  const spec::Channel* ch2 = f.system.find_channel("ch2");
+  ASSERT_NE(ch1, nullptr);
+  ASSERT_NE(ch2, nullptr);
+  EXPECT_EQ(ch1->accesses, 128);
+  EXPECT_EQ(ch2->accesses, 128);
+  EXPECT_EQ(ch1->message_bits(), FlcCalibration::kMessageBits);
+  EXPECT_EQ(ch2->message_bits(), FlcCalibration::kMessageBits);
+  EXPECT_EQ(ch1->dir, spec::ChannelDir::kWrite);
+  EXPECT_EQ(ch2->dir, spec::ChannelDir::kRead);
+}
+
+TEST(EstimatorTest, ExecutionTimeFormula) {
+  FlcFixture f;
+  // T(w) = compute + 128 * ceil(23/w) * 2.
+  EXPECT_EQ(f.estimator.execution_time("CONV_R2", 8,
+                                       ProtocolKind::kFullHandshake),
+            512 + 128 * 3 * 2);
+  EXPECT_EQ(f.estimator.execution_time("EVAL_R3", 23,
+                                       ProtocolKind::kFullHandshake),
+            768 + 128 * 2);
+}
+
+TEST(EstimatorTest, PaperAnchorConvR2CrossestwoThousandAtWidth4to5) {
+  // "if process CONV_R2 has a maximum execution time constraint of 2000
+  // clocks, then only buswidths greater than 4 bits will be considered."
+  FlcFixture f;
+  EXPECT_GT(f.estimator.execution_time("CONV_R2", 4,
+                                       ProtocolKind::kFullHandshake),
+            FlcCalibration::kConvR2MaxClocks);
+  EXPECT_LE(f.estimator.execution_time("CONV_R2", 5,
+                                       ProtocolKind::kFullHandshake),
+            FlcCalibration::kConvR2MaxClocks);
+}
+
+TEST(EstimatorTest, ExecutionTimeMonotoneNonIncreasingInWidth) {
+  FlcFixture f;
+  for (const char* proc : {"EVAL_R3", "CONV_R2"}) {
+    long long prev =
+        f.estimator.execution_time(proc, 1, ProtocolKind::kFullHandshake);
+    for (int w = 2; w <= 32; ++w) {
+      const long long cur =
+          f.estimator.execution_time(proc, w, ProtocolKind::kFullHandshake);
+      EXPECT_LE(cur, prev) << proc << " at width " << w;
+      prev = cur;
+    }
+  }
+}
+
+TEST(EstimatorTest, NoImprovementBeyondMessageBits) {
+  // "bus widths greater than 23 pins do not yield any further
+  // improvements in the performance."
+  FlcFixture f;
+  const long long at23 =
+      f.estimator.execution_time("EVAL_R3", 23, ProtocolKind::kFullHandshake);
+  for (int w = 24; w <= 64; ++w) {
+    EXPECT_EQ(f.estimator.execution_time("EVAL_R3", w,
+                                         ProtocolKind::kFullHandshake),
+              at23);
+  }
+}
+
+TEST(EstimatorTest, AverageRateIsBitsOverTime) {
+  FlcFixture f;
+  const spec::Channel* ch2 = f.system.find_channel("ch2");
+  const long long t =
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFullHandshake);
+  const double expected = 128.0 * 23 / static_cast<double>(t);
+  EXPECT_DOUBLE_EQ(
+      f.estimator.average_rate(*ch2, 8, ProtocolKind::kFullHandshake),
+      expected);
+}
+
+TEST(EstimatorTest, AverageRateIncreasesWithWidthUpToMessageSize) {
+  FlcFixture f;
+  const spec::Channel* ch1 = f.system.find_channel("ch1");
+  double prev = f.estimator.average_rate(*ch1, 1, ProtocolKind::kFullHandshake);
+  for (int w = 2; w <= 23; ++w) {
+    const double cur =
+        f.estimator.average_rate(*ch1, w, ProtocolKind::kFullHandshake);
+    EXPECT_GE(cur, prev) << "width " << w;
+    prev = cur;
+  }
+}
+
+TEST(EstimatorTest, ChannelRatesCoverWholeBus) {
+  FlcFixture f;
+  const spec::BusGroup* bus = f.system.find_bus("B");
+  ASSERT_NE(bus, nullptr);
+  auto rates = f.estimator.channel_rates(*bus, 20,
+                                         ProtocolKind::kFullHandshake);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_EQ(rates[0].channel, "ch1");
+  EXPECT_EQ(rates[1].channel, "ch2");
+  // Fig. 8 design A: peak of ch2 at width 20 is 10 bits/clock.
+  EXPECT_DOUBLE_EQ(rates[1].peak, 10.0);
+  EXPECT_GT(rates[0].average, 0.0);
+}
+
+TEST(EstimatorTest, DefaultComputeDerivedFromBody) {
+  spec::System system = suite::make_flc_kernel();
+  ASSERT_TRUE(spec::annotate_channel_accesses(system).is_ok());
+  PerformanceEstimator estimator(system);  // no overrides
+  // Body-derived compute for EVAL_R3 includes its 768 wait cycles plus
+  // per-iteration operation costs.
+  EXPECT_GE(estimator.compute_cycles("EVAL_R3"), 768);
+  // The override pins it exactly.
+  estimator.set_compute_cycles("EVAL_R3", 768);
+  EXPECT_EQ(estimator.compute_cycles("EVAL_R3"), 768);
+}
+
+TEST(EstimatorTest, ProtocolVariantsScaleCommunication) {
+  FlcFixture f;
+  // Half handshake: 1 cycle/word -> communication halves vs full.
+  const long long full =
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFullHandshake);
+  const long long half =
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kHalfHandshake);
+  EXPECT_EQ(full - 512, 2 * (half - 512));
+  // Fixed delay defaults to 2 cycles/word: same as the full handshake.
+  const long long fixed =
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFixedDelay);
+  EXPECT_EQ(fixed, full);
+  // Hardwired ports: message-wide words, one word per access.
+  const long long wired = f.estimator.execution_time(
+      "CONV_R2", 23, ProtocolKind::kHardwiredPort);
+  EXPECT_EQ(wired, 512 + 128 * 2);
+}
+
+TEST(EstimatorTest, BitsPerActivation) {
+  spec::Channel ch;
+  ch.data_bits = 16;
+  ch.addr_bits = 7;
+  ch.accesses = 128;
+  EXPECT_EQ(PerformanceEstimator::bits_per_activation(ch), 128 * 23);
+}
+
+}  // namespace
+}  // namespace ifsyn::estimate

@@ -1,0 +1,145 @@
+// End-to-end runs of the paper's three case studies (Sec. 5): partition ->
+// bus generation -> protocol generation -> co-simulation, checking both
+// functional equivalence and the concrete computed outputs.
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hpp"
+#include "core/interface_synthesizer.hpp"
+#include "protocol/protocol_generator.hpp"
+#include "sim/interpreter.hpp"
+#include "suite/answering_machine.hpp"
+#include "suite/ethernet_coprocessor.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn {
+namespace {
+
+using namespace spec;
+
+/// Synthesize `system` in place with arbitration (the suites have
+/// concurrent masters) and return the report.
+core::SynthesisReport synthesize(System& system) {
+  core::SynthesisOptions options;
+  options.arbitrate = true;
+  core::InterfaceSynthesizer synth(options);
+  Result<core::SynthesisReport> report = synth.run(system);
+  EXPECT_TRUE(report.is_ok()) << report.status();
+  return report.is_ok() ? *report : core::SynthesisReport{};
+}
+
+// ---- Answering machine ----
+
+TEST(SuiteEndToEndTest, AnsweringMachineOriginalBehavior) {
+  System system = suite::make_answering_machine();
+  sim::SimulationRun run = sim::simulate(system);
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("status").get().to_uint(), 1u);
+  EXPECT_EQ(run.interpreter->value_of("msg_len").get().to_uint(), 192u);
+  EXPECT_EQ(run.interpreter->value_of("msg_mem").at(0).to_uint(), 7u);
+  EXPECT_EQ(run.interpreter->value_of("msg_mem").at(191).to_uint(),
+            static_cast<std::uint64_t>((13 * 191 + 7) % 256));
+  long long played = 0;
+  for (int i = 0; i < 256; ++i) played += (7 * i + 1) % 256;
+  EXPECT_EQ(run.interpreter->value_of("PLAYED").get().to_int(), played);
+}
+
+TEST(SuiteEndToEndTest, AnsweringMachineSynthesisAndEquivalence) {
+  System original = suite::make_answering_machine();
+  System refined = original.clone("am_refined");
+  core::SynthesisReport report = synthesize(refined);
+
+  // The synthesizer may split the group if the aggregate demand violates
+  // Eq. 1 at every width; either way every produced bus must be real.
+  ASSERT_GE(report.buses.size(), 1u);
+  for (const auto& bus : report.buses) {
+    EXPECT_GT(bus.generation.selected_width, 0) << bus.bus;
+  }
+
+  Result<core::EquivalenceReport> eq =
+      core::check_equivalence(original, refined, 5'000'000);
+  ASSERT_TRUE(eq.is_ok()) << eq.status();
+  EXPECT_TRUE(eq->equivalent)
+      << (eq->mismatches.empty() ? "" : eq->mismatches[0]);
+}
+
+// ---- Ethernet coprocessor ----
+
+TEST(SuiteEndToEndTest, EthernetOriginalBehavior) {
+  System system = suite::make_ethernet_coprocessor();
+  sim::SimulationRun run = sim::simulate(system);
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("reg_file").at(0).to_int(),
+            suite::EthernetExpected::frame_checksum());
+  EXPECT_EQ(run.interpreter->value_of("reg_file").at(1).to_uint(), 256u);
+  EXPECT_EQ(run.interpreter->value_of("XSUM").get().to_int(),
+            suite::EthernetExpected::transmit_checksum());
+  EXPECT_EQ(run.interpreter->value_of("xmit_buf").at(3).to_uint(),
+            static_cast<std::uint64_t>(
+                suite::EthernetExpected::frame_byte(3) ^ 255));
+}
+
+TEST(SuiteEndToEndTest, EthernetSynthesisAndEquivalence) {
+  System original = suite::make_ethernet_coprocessor();
+  System refined = original.clone("eth_refined");
+  core::SynthesisReport report = synthesize(refined);
+  ASSERT_GE(report.buses.size(), 1u);
+
+  Result<core::EquivalenceReport> eq =
+      core::check_equivalence(original, refined, 5'000'000);
+  ASSERT_TRUE(eq.is_ok()) << eq.status();
+  EXPECT_TRUE(eq->equivalent)
+      << (eq->mismatches.empty() ? "" : eq->mismatches[0]);
+}
+
+// ---- Fuzzy logic controller (full) ----
+
+TEST(SuiteEndToEndTest, FlcFullOriginalComputesExpectedOutput) {
+  System system = suite::make_flc_full();
+  sim::SimulationRun run = sim::simulate(system, 5'000'000);
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("CTRL_OUT").get().to_int(),
+            suite::flc_expected_ctrl_out());
+  for (const auto& proc : run.result.processes) {
+    EXPECT_TRUE(proc.completed) << proc.name;
+  }
+}
+
+TEST(SuiteEndToEndTest, FlcFullSynthesisAndEquivalence) {
+  System original = suite::make_flc_full();
+  System refined = original.clone("flc_refined");
+  core::SynthesisReport report = synthesize(refined);
+  ASSERT_GE(report.buses.size(), 1u);
+
+  Result<core::EquivalenceReport> eq =
+      core::check_equivalence(original, refined, 20'000'000);
+  ASSERT_TRUE(eq.is_ok()) << eq.status();
+  EXPECT_TRUE(eq->equivalent)
+      << (eq->mismatches.empty() ? "" : eq->mismatches[0]);
+  // Arbitration was exercised: some process had to wait for the bus.
+  std::uint64_t total_wait = 0;
+  for (const auto& proc : eq->refined.processes) {
+    total_wait += proc.bus_wait_cycles;
+  }
+  EXPECT_GT(total_wait, 0u);
+}
+
+TEST(SuiteEndToEndTest, FlcKernelRefinedTimingScalesWithWidth) {
+  // Wider buses finish the same work sooner -- Fig. 7 observed in the
+  // simulator rather than the estimator.
+  std::uint64_t previous_time = ~std::uint64_t{0};
+  for (int width : {4, 8, 23}) {
+    System system = suite::make_flc_kernel();
+    system.find_bus("B")->width = width;
+    protocol::ProtocolGenOptions options;
+    options.arbitrate = true;
+    protocol::ProtocolGenerator generator(options);
+    ASSERT_TRUE(generator.generate_all(system).is_ok());
+    sim::SimulationRun run = sim::simulate(system, 10'000'000);
+    ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+    EXPECT_LT(run.result.end_time, previous_time) << "width " << width;
+    previous_time = run.result.end_time;
+  }
+}
+
+}  // namespace
+}  // namespace ifsyn

@@ -1,0 +1,190 @@
+// Partitioner: explicit assignment, channel derivation order, grouping
+// strategies, the memory auto-partition heuristic.
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::partition {
+namespace {
+
+using namespace spec;
+
+/// A small two-behavior system with one scalar and one array variable,
+/// shaped like Fig. 3.
+System fig3_like() {
+  System s("t");
+  s.add_variable(Variable("X", Type::bits(16)));
+  s.add_variable(Variable("MEM", Type::array(Type::bits(16), 64)));
+  Process p;
+  p.name = "P";
+  p.locals.emplace_back("AD", Type::integer(16));
+  p.body = {
+      assign("X", lit(32)),
+      assign(lv_idx("MEM", var("AD")), add(var("X"), lit(7))),
+  };
+  s.add_process(std::move(p));
+  Process q;
+  q.name = "Q";
+  q.locals.emplace_back("COUNT", Type::integer(16));
+  q.body = {assign(lv_idx("MEM", lit(60)), var("COUNT"))};
+  s.add_process(std::move(q));
+  return s;
+}
+
+std::vector<ModuleAssignment> fig3_assignment() {
+  return {
+      ModuleAssignment{"COMP_P", {"P"}, {}},
+      ModuleAssignment{"COMP_MEM", {}, {"X", "MEM"}},
+      ModuleAssignment{"COMP_Q", {"Q"}, {}},
+  };
+}
+
+TEST(PartitionerTest, ApplyCreatesModulesAndChannels) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+  EXPECT_EQ(s.modules().size(), 3u);
+  EXPECT_EQ(s.channels().size(), 4u);
+  EXPECT_TRUE(s.validate().is_ok());
+}
+
+TEST(PartitionerTest, ChannelNumberingFollowsFirstOccurrence) {
+  // Paper Fig. 3: CH0 = P writes X, CH1 = P reads X, CH2 = P writes MEM,
+  // CH3 = Q writes MEM -- derived from scan order (value before target).
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+
+  const Channel* ch0 = s.find_channel("CH0");
+  ASSERT_NE(ch0, nullptr);
+  EXPECT_EQ(ch0->accessor, "P");
+  EXPECT_EQ(ch0->variable, "X");
+  EXPECT_EQ(ch0->dir, ChannelDir::kWrite);
+
+  const Channel* ch1 = s.find_channel("CH1");
+  EXPECT_EQ(ch1->variable, "X");
+  EXPECT_EQ(ch1->dir, ChannelDir::kRead);
+
+  const Channel* ch2 = s.find_channel("CH2");
+  EXPECT_EQ(ch2->variable, "MEM");
+  EXPECT_EQ(ch2->accessor, "P");
+  EXPECT_EQ(ch2->dir, ChannelDir::kWrite);
+
+  const Channel* ch3 = s.find_channel("CH3");
+  EXPECT_EQ(ch3->accessor, "Q");
+  EXPECT_EQ(ch3->dir, ChannelDir::kWrite);
+}
+
+TEST(PartitionerTest, ChannelsGetSizesFromVariableTypes) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+  EXPECT_EQ(s.find_channel("CH0")->data_bits, 16);
+  EXPECT_EQ(s.find_channel("CH0")->addr_bits, 0);
+  EXPECT_EQ(s.find_channel("CH2")->data_bits, 16);
+  EXPECT_EQ(s.find_channel("CH2")->addr_bits, 6);
+  EXPECT_EQ(s.find_channel("CH2")->message_bits(), 22);
+}
+
+TEST(PartitionerTest, AccessCountsAnnotated) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+  EXPECT_EQ(s.find_channel("CH0")->accesses, 1);
+  EXPECT_EQ(s.find_channel("CH1")->accesses, 1);
+}
+
+TEST(PartitionerTest, ChannelPrefixAndBaseOptions) {
+  System s = fig3_like();
+  PartitionOptions options;
+  options.channel_prefix = "ch";
+  options.channel_number_base = 1;
+  ASSERT_TRUE(apply_partition(s, fig3_assignment(), options).is_ok());
+  EXPECT_NE(s.find_channel("ch1"), nullptr);
+  EXPECT_NE(s.find_channel("ch4"), nullptr);
+  EXPECT_EQ(s.find_channel("CH0"), nullptr);
+}
+
+TEST(PartitionerTest, CoLocatedAccessesProduceNoChannels) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(
+                  s, {ModuleAssignment{"ALL", {"P", "Q"}, {"X", "MEM"}}})
+                  .is_ok());
+  EXPECT_TRUE(s.channels().empty());
+}
+
+TEST(PartitionerTest, UnassignedEntityRejected) {
+  System s = fig3_like();
+  auto assignment = fig3_assignment();
+  assignment[1].variables = {"X"};  // MEM unassigned
+  EXPECT_EQ(apply_partition(s, assignment).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, DoublyAssignedEntityRejected) {
+  System s = fig3_like();
+  auto assignment = fig3_assignment();
+  assignment[0].processes = {"P"};
+  assignment[2].processes = {"Q", "P"};
+  EXPECT_EQ(apply_partition(s, assignment).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, UnknownEntityRejected) {
+  System s = fig3_like();
+  auto assignment = fig3_assignment();
+  assignment[0].processes.push_back("GHOST");
+  EXPECT_EQ(apply_partition(s, assignment).code(), StatusCode::kNotFound);
+}
+
+TEST(PartitionerTest, GroupAllChannels) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+  ASSERT_TRUE(group_all_channels(s, "B").is_ok());
+  const BusGroup* bus = s.find_bus("B");
+  ASSERT_NE(bus, nullptr);
+  EXPECT_EQ(bus->channel_names.size(), 4u);
+  for (const auto& ch : s.channels()) EXPECT_EQ(ch->bus, "B");
+}
+
+TEST(PartitionerTest, GroupChannelsRejectsDoubleGrouping) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+  ASSERT_TRUE(group_channels(s, "B1", {"CH0", "CH1"}).is_ok());
+  EXPECT_EQ(group_channels(s, "B2", {"CH1"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(group_channels(s, "B1", {"CH2"}).code(),
+            StatusCode::kInvalidArgument);  // bus name reuse
+  EXPECT_EQ(group_channels(s, "B3", {"NOPE"}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(group_channels(s, "B4", {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, GroupByModulePair) {
+  System s = fig3_like();
+  ASSERT_TRUE(apply_partition(s, fig3_assignment()).is_ok());
+  auto buses = group_by_module_pair(s);
+  ASSERT_TRUE(buses.is_ok()) << buses.status();
+  // P->MEM-component traffic and Q->MEM-component traffic: two pairs.
+  ASSERT_EQ(buses->size(), 2u);
+  const BusGroup* b0 = s.find_bus((*buses)[0]);
+  ASSERT_NE(b0, nullptr);
+  EXPECT_EQ(b0->channel_names.size(), 3u);  // CH0, CH1, CH2 from P
+  const BusGroup* b1 = s.find_bus((*buses)[1]);
+  EXPECT_EQ(b1->channel_names.size(), 1u);  // CH3 from Q
+}
+
+TEST(PartitionerTest, AutoPartitionMovesLargeArraysToMemory) {
+  System s = fig3_like();
+  // MEM is 64*16 = 1024 bits; X is 16. Threshold 512 moves only MEM.
+  ASSERT_TRUE(auto_partition(s, "MAIN", "MEMCHIP", 512).is_ok());
+  EXPECT_EQ(s.module_of_variable("MEM")->name, "MEMCHIP");
+  EXPECT_EQ(s.module_of_variable("X")->name, "MAIN");
+  EXPECT_EQ(s.module_of_process("P")->name, "MAIN");
+  // Only MEM accesses cross the boundary now.
+  for (const auto& ch : s.channels()) EXPECT_EQ(ch->variable, "MEM");
+  EXPECT_EQ(s.channels().size(), 2u);  // P writes MEM, Q writes MEM
+}
+
+TEST(PartitionerTest, DeriveChannelsRequiresModules) {
+  System s = fig3_like();
+  EXPECT_EQ(derive_channels(s).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ifsyn::partition

@@ -1,0 +1,100 @@
+// ID assignment (Sec. 4 step 2): log2(N) lines, sequential unique IDs,
+// guard expressions.
+#include "protocol/id_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::protocol {
+namespace {
+
+using namespace spec;
+
+System system_with_channels(int n) {
+  System s("t");
+  s.add_variable(Variable("V", Type::bits(8)));
+  Process p;
+  p.name = "P";
+  s.add_process(std::move(p));
+  BusGroup bus;
+  bus.name = "B";
+  for (int i = 0; i < n; ++i) {
+    Channel ch;
+    ch.name = "CH" + std::to_string(i);
+    ch.accessor = "P";
+    ch.variable = "V";
+    ch.data_bits = 8;
+    s.add_channel(std::move(ch));
+    bus.channel_names.push_back("CH" + std::to_string(i));
+  }
+  s.add_bus(std::move(bus));
+  return s;
+}
+
+TEST(IdAssignmentTest, IdBitsForChannelCounts) {
+  EXPECT_EQ(id_bits_for(1), 0);  // single channel needs no ID lines
+  EXPECT_EQ(id_bits_for(2), 1);
+  EXPECT_EQ(id_bits_for(4), 2);  // Fig. 3: "require 2 ID lines"
+  EXPECT_EQ(id_bits_for(5), 3);
+  EXPECT_EQ(id_bits_for(16), 4);
+}
+
+TEST(IdAssignmentTest, SequentialIdsInGroupOrder) {
+  System s = system_with_channels(4);
+  ASSERT_TRUE(assign_ids(s, *s.find_bus("B")).is_ok());
+  EXPECT_EQ(s.find_bus("B")->id_bits, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.find_channel("CH" + std::to_string(i))->id, i);
+  }
+}
+
+TEST(IdAssignmentTest, IdLiteralEncodesBinary) {
+  System s = system_with_channels(4);
+  ASSERT_TRUE(assign_ids(s, *s.find_bus("B")).is_ok());
+  // "Channel CH0 is assigned the ID \"00\", CH1 ... \"01\" and so on."
+  EXPECT_EQ(id_literal(*s.find_channel("CH0"), *s.find_bus("B"))
+                .to_binary_string(),
+            "00");
+  EXPECT_EQ(id_literal(*s.find_channel("CH1"), *s.find_bus("B"))
+                .to_binary_string(),
+            "01");
+  EXPECT_EQ(id_literal(*s.find_channel("CH2"), *s.find_bus("B"))
+                .to_binary_string(),
+            "10");
+  EXPECT_EQ(id_literal(*s.find_channel("CH3"), *s.find_bus("B"))
+                .to_binary_string(),
+            "11");
+}
+
+TEST(IdAssignmentTest, GuardComparesBusIdField) {
+  System s = system_with_channels(2);
+  ASSERT_TRUE(assign_ids(s, *s.find_bus("B")).is_ok());
+  ExprPtr guard = id_guard(*s.find_channel("CH1"), *s.find_bus("B"));
+  ASSERT_NE(guard, nullptr);
+  EXPECT_EQ(guard->to_string(), "(B.ID = \"1\")");
+}
+
+TEST(IdAssignmentTest, SingleChannelHasNoGuard) {
+  System s = system_with_channels(1);
+  ASSERT_TRUE(assign_ids(s, *s.find_bus("B")).is_ok());
+  EXPECT_EQ(s.find_bus("B")->id_bits, 0);
+  EXPECT_EQ(id_guard(*s.find_channel("CH0"), *s.find_bus("B")), nullptr);
+}
+
+TEST(IdAssignmentTest, IdempotentReassignment) {
+  System s = system_with_channels(3);
+  ASSERT_TRUE(assign_ids(s, *s.find_bus("B")).is_ok());
+  ASSERT_TRUE(assign_ids(s, *s.find_bus("B")).is_ok());
+  EXPECT_EQ(s.find_channel("CH2")->id, 2);
+  EXPECT_EQ(s.find_bus("B")->id_bits, 2);
+}
+
+TEST(IdAssignmentTest, EmptyBusRejected) {
+  System s("t");
+  BusGroup bus;
+  bus.name = "B";
+  BusGroup& added = s.add_bus(std::move(bus));
+  EXPECT_EQ(assign_ids(s, added).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ifsyn::protocol

@@ -1,0 +1,211 @@
+// Procedure synthesis (Sec. 4 step 3): message framing into words, the
+// Fig. 4 loop form, ragged tails, requester/server pairs for every
+// channel shape.
+#include "protocol/procedure_synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/printer.hpp"
+
+namespace ifsyn::protocol {
+namespace {
+
+using namespace spec;
+
+WireContext ctx8() {
+  return WireContext{"B", 8, 2, ProtocolKind::kFullHandshake, 2};
+}
+
+Channel scalar_write_channel() {
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "P";
+  ch.variable = "X";
+  ch.dir = ChannelDir::kWrite;
+  ch.data_bits = 16;
+  ch.id = 0;
+  return ch;
+}
+
+Channel array_read_channel() {
+  Channel ch;
+  ch.name = "ch2";
+  ch.accessor = "CONV_R2";
+  ch.variable = "trru2";
+  ch.dir = ChannelDir::kRead;
+  ch.data_bits = 16;
+  ch.addr_bits = 7;
+  ch.id = 1;
+  return ch;
+}
+
+TEST(ProcedureSynthesisTest, Names) {
+  Channel w = scalar_write_channel();
+  Channel r = array_read_channel();
+  EXPECT_EQ(send_proc_name(w), "SendCH0");
+  EXPECT_EQ(receive_proc_name(w), "ReceiveCH0");
+  EXPECT_EQ(serve_proc_name(w), "ServeCH0");
+  EXPECT_EQ(requester_proc_name(w), "SendCH0");
+  EXPECT_EQ(requester_proc_name(r), "Receivech2");
+}
+
+TEST(ProcedureSynthesisTest, EvenMessageUsesFig4Loop) {
+  // 16 bits over 8 lines: exactly Fig. 4's `for J in 1 to 2 loop` with
+  // the slice bounds 8*J-1 downto 8*(J-1).
+  Block words = emit_send_words(ctx8(), "txdata", 16);
+  const std::string text = print_block(words);
+  EXPECT_NE(text.find("for J in 1 to 2 loop"), std::string::npos) << text;
+  EXPECT_NE(text.find("txdata(((8 * J) - 1) downto (8 * (J - 1)))"),
+            std::string::npos);
+  // No tail: exactly one top-level statement (the loop).
+  EXPECT_EQ(words.size(), 1u);
+}
+
+TEST(ProcedureSynthesisTest, RaggedMessageAppendsTailWord) {
+  // 23 bits over 8 lines: 2 full words + a 7-bit tail.
+  Block words = emit_send_words(ctx8(), "msg", 23);
+  const std::string text = print_block(words);
+  EXPECT_NE(text.find("for J in 1 to 2 loop"), std::string::npos);
+  EXPECT_NE(text.find("msg(22 downto 16)"), std::string::npos) << text;
+}
+
+TEST(ProcedureSynthesisTest, MessageSmallerThanBusIsSingleUnrolledWord) {
+  WireContext wide{"B", 23, 1, ProtocolKind::kFullHandshake, 2};
+  Block words = emit_send_words(wide, "msg", 16);
+  const std::string text = print_block(words);
+  EXPECT_EQ(text.find("for J"), std::string::npos);
+  EXPECT_NE(text.find("msg(15 downto 0)"), std::string::npos);
+}
+
+TEST(ProcedureSynthesisTest, ReceiveWordsMirrorSendSlices) {
+  ExprPtr guard = eq(sig("B", "ID"), bin("00"));
+  Block words = emit_receive_words(ctx8(), "rxdata", 16, guard);
+  const std::string text = print_block(words);
+  EXPECT_NE(text.find("rxdata(((8 * J) - 1) downto (8 * (J - 1))) := B.DATA"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("(B.ID = \"00\")"), std::string::npos);
+}
+
+TEST(ProcedureSynthesisTest, ScalarWriteRequester) {
+  SynthesisContext sctx{ctx8(), false, "B"};
+  BitVector id = BitVector::from_binary_string("00");
+  Procedure proc = make_requester_procedure(sctx, scalar_write_channel(),
+                                            nullptr, &id);
+  EXPECT_EQ(proc.name, "SendCH0");
+  ASSERT_EQ(proc.params.size(), 1u);
+  EXPECT_EQ(proc.params[0].name, "txdata");
+  EXPECT_EQ(proc.params[0].dir, ParamDir::kIn);
+  EXPECT_EQ(proc.params[0].type, Type::bits(16));
+  const std::string text = print_procedure(proc);
+  EXPECT_NE(text.find("B.ID <= \"00\";"), std::string::npos) << text;
+  EXPECT_NE(text.find("for J in 1 to 2 loop"), std::string::npos);
+}
+
+TEST(ProcedureSynthesisTest, ArrayWriteRequesterPacksAddrAndData) {
+  Channel ch = scalar_write_channel();
+  ch.name = "CH2";
+  ch.variable = "MEM";
+  ch.addr_bits = 6;
+  SynthesisContext sctx{ctx8(), false, "B"};
+  Procedure proc = make_requester_procedure(sctx, ch, nullptr, nullptr);
+  ASSERT_EQ(proc.params.size(), 2u);
+  EXPECT_EQ(proc.params[0].name, "addr");
+  EXPECT_EQ(proc.params[0].type, Type::bits(6));
+  EXPECT_EQ(proc.params[1].name, "txdata");
+  ASSERT_EQ(proc.locals.size(), 1u);
+  EXPECT_EQ(proc.locals[0].type, Type::bits(22));
+  const std::string text = print_procedure(proc);
+  EXPECT_NE(text.find("msg := (addr & txdata);"), std::string::npos) << text;
+}
+
+TEST(ProcedureSynthesisTest, ArrayReadRequesterHasTwoPhases) {
+  SynthesisContext sctx{ctx8(), false, "B"};
+  ExprPtr guard = eq(sig("B", "ID"), bin("01"));
+  BitVector id = BitVector::from_binary_string("01");
+  Procedure proc =
+      make_requester_procedure(sctx, array_read_channel(), guard, &id);
+  ASSERT_EQ(proc.params.size(), 2u);
+  EXPECT_EQ(proc.params[0].name, "addr");
+  EXPECT_EQ(proc.params[1].name, "rxdata");
+  EXPECT_EQ(proc.params[1].dir, ParamDir::kOut);
+  const std::string text = print_procedure(proc);
+  // Request phase sends the 7-bit address (fits one word: unrolled).
+  EXPECT_NE(text.find("addr(6 downto 0)"), std::string::npos) << text;
+  // Response phase receives 16 data bits into rxdata.
+  EXPECT_NE(text.find("rxdata("), std::string::npos);
+}
+
+TEST(ProcedureSynthesisTest, ScalarReadRequesterSendsDummyRequestWord) {
+  Channel ch = scalar_write_channel();
+  ch.name = "CH1";
+  ch.dir = ChannelDir::kRead;
+  SynthesisContext sctx{ctx8(), false, "B"};
+  BitVector id = BitVector::from_binary_string("01");
+  Procedure proc = make_requester_procedure(sctx, ch, nullptr, &id);
+  ASSERT_EQ(proc.params.size(), 1u);
+  EXPECT_EQ(proc.params[0].name, "rxdata");
+  const std::string text = print_procedure(proc);
+  EXPECT_NE(text.find("B.DATA <= 0;"), std::string::npos) << text;
+}
+
+TEST(ProcedureSynthesisTest, ServerForWriteUnpacksAndStores) {
+  Channel ch = scalar_write_channel();
+  ch.name = "CH2";
+  ch.variable = "MEM";
+  ch.addr_bits = 6;
+  SynthesisContext sctx{ctx8(), false, "B"};
+  Procedure proc = make_server_procedure(
+      sctx, ch, nullptr, Type::array(Type::bits(16), 64));
+  EXPECT_EQ(proc.name, "ServeCH2");
+  EXPECT_TRUE(proc.params.empty());  // servers address the variable by name
+  const std::string text = print_procedure(proc);
+  EXPECT_NE(text.find("MEM(msg(21 downto 16)) := msg(15 downto 0);"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ProcedureSynthesisTest, ServerForScalarWriteStoresWholeMessage) {
+  SynthesisContext sctx{ctx8(), false, "B"};
+  Procedure proc = make_server_procedure(sctx, scalar_write_channel(),
+                                         nullptr, Type::bits(16));
+  const std::string text = print_procedure(proc);
+  EXPECT_NE(text.find("X := msg;"), std::string::npos) << text;
+}
+
+TEST(ProcedureSynthesisTest, ServerForReadSnapshotsThenStreams) {
+  SynthesisContext sctx{ctx8(), false, "B"};
+  Procedure proc =
+      make_server_procedure(sctx, array_read_channel(), nullptr,
+                            Type::array(Type::bits(16), 128));
+  const std::string text = print_procedure(proc);
+  // Receives the address, waits for the bus turnaround, sends the data.
+  EXPECT_NE(text.find("addr("), std::string::npos) << text;
+  EXPECT_NE(text.find("wait until (B.START = 0);"), std::string::npos);
+  EXPECT_NE(text.find("msg := trru2(addr);"), std::string::npos);
+}
+
+TEST(ProcedureSynthesisTest, ArbitrationWrapsRequesterOnly) {
+  SynthesisContext sctx{ctx8(), true, "B"};
+  Procedure requester = make_requester_procedure(
+      sctx, scalar_write_channel(), nullptr, nullptr);
+  const std::string req_text = print_procedure(requester);
+  EXPECT_NE(req_text.find("acquire B;"), std::string::npos) << req_text;
+  EXPECT_NE(req_text.find("release B;"), std::string::npos);
+
+  Procedure server = make_server_procedure(sctx, scalar_write_channel(),
+                                           nullptr, Type::bits(16));
+  const std::string srv_text = print_procedure(server);
+  EXPECT_EQ(srv_text.find("acquire"), std::string::npos) << srv_text;
+}
+
+TEST(ProcedureSynthesisTest, ChannelVariableTypeMismatchAsserts) {
+  SynthesisContext sctx{ctx8(), false, "B"};
+  // Array channel against a scalar variable type.
+  EXPECT_THROW(make_server_procedure(sctx, array_read_channel(), nullptr,
+                                     Type::bits(16)),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace ifsyn::protocol

@@ -1,0 +1,122 @@
+// Protocol library: per-protocol control fields and the word-level
+// sender/receiver statement shapes (compared against Fig. 4's listing).
+#include "protocol/protocol_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/printer.hpp"
+
+namespace ifsyn::protocol {
+namespace {
+
+using namespace spec;
+
+WireContext full_ctx() {
+  return WireContext{"B", 8, 2, ProtocolKind::kFullHandshake, 2};
+}
+
+TEST(ProtocolLibraryTest, ControlFieldsPerProtocol) {
+  auto full = protocol_signals(ProtocolKind::kFullHandshake);
+  ASSERT_EQ(full.control_fields.size(), 2u);
+  EXPECT_EQ(full.control_fields[0].name, "START");
+  EXPECT_EQ(full.control_fields[1].name, "DONE");
+  EXPECT_EQ(full.strobe_field, "START");
+  EXPECT_EQ(full.ack_field, "DONE");
+
+  auto half = protocol_signals(ProtocolKind::kHalfHandshake);
+  ASSERT_EQ(half.control_fields.size(), 1u);
+  EXPECT_TRUE(half.ack_field.empty());
+
+  auto fixed = protocol_signals(ProtocolKind::kFixedDelay);
+  ASSERT_EQ(fixed.control_fields.size(), 1u);
+
+  auto wired = protocol_signals(ProtocolKind::kHardwiredPort);
+  ASSERT_EQ(wired.control_fields.size(), 2u);
+}
+
+TEST(ProtocolLibraryTest, HoldCycles) {
+  EXPECT_EQ(full_ctx().hold_cycles(), 1);
+  WireContext half{"B", 8, 0, ProtocolKind::kHalfHandshake, 2};
+  EXPECT_EQ(half.hold_cycles(), 1);
+  WireContext fixed{"B", 8, 0, ProtocolKind::kFixedDelay, 5};
+  EXPECT_EQ(fixed.hold_cycles(), 5);
+}
+
+TEST(ProtocolLibraryTest, FullHandshakeSenderWordMatchesFig4) {
+  Block block = sender_word(full_ctx(), var("w"), nullptr);
+  const std::string text = print_block(block);
+  // Fig. 4 SendCH0 inner loop:
+  //   B.data <= ...; B.START <= '1'; wait until B.DONE = '1';
+  //   B.START <= '0'; wait until B.DONE = '0';
+  EXPECT_EQ(text,
+            "B.DATA <= w;\n"
+            "B.START <= 1;\n"
+            "wait for 1 cycles;\n"
+            "wait until (B.DONE = 1);\n"
+            "B.START <= 0;\n"
+            "wait for 1 cycles;\n"
+            "wait until (B.DONE = 0);\n");
+}
+
+TEST(ProtocolLibraryTest, FullHandshakeReceiverWordMatchesFig4) {
+  ExprPtr guard = eq(sig("B", "ID"), bin("00"));
+  Block block = receiver_word(full_ctx(), lv("rxdata"), guard, nullptr);
+  const std::string text = print_block(block);
+  // Fig. 4 ReceiveCH0 inner loop:
+  //   wait until (B.START = '1') and (B.ID = "00");
+  //   rxdata ... := B.DATA; B.DONE <= '1';
+  //   wait until (B.START = '0'); B.DONE <= '0';
+  EXPECT_EQ(text,
+            "wait until ((B.START = 1) and (B.ID = \"00\"));\n"
+            "rxdata := B.DATA;\n"
+            "B.DONE <= 1;\n"
+            "wait until (B.START = 0);\n"
+            "B.DONE <= 0;\n");
+}
+
+TEST(ProtocolLibraryTest, FullHandshakeHasEmptyEpilogue) {
+  EXPECT_TRUE(phase_epilogue(full_ctx()).empty());
+}
+
+TEST(ProtocolLibraryTest, StrobeSenderTagsParityAndHolds) {
+  WireContext ctx{"B", 8, 2, ProtocolKind::kFixedDelay, 3};
+  Block block = sender_word(ctx, var("w"), mod(var("J"), lit(2)));
+  const std::string text = print_block(block);
+  EXPECT_EQ(text,
+            "B.DATA <= w;\n"
+            "B.START <= (J mod 2);\n"
+            "wait for 3 cycles;\n");
+}
+
+TEST(ProtocolLibraryTest, StrobeReceiverWaitsForParity) {
+  WireContext ctx{"B", 8, 2, ProtocolKind::kHalfHandshake, 2};
+  ExprPtr guard = eq(sig("B", "ID"), bin("01"));
+  Block block = receiver_word(ctx, lv("rxdata"), guard, lit(1));
+  const std::string text = print_block(block);
+  EXPECT_EQ(text,
+            "wait until ((B.START = 1) and (B.ID = \"01\"));\n"
+            "rxdata := B.DATA;\n");
+}
+
+TEST(ProtocolLibraryTest, StrobeEpilogueResetsStrobe) {
+  WireContext ctx{"B", 8, 0, ProtocolKind::kHalfHandshake, 2};
+  Block block = phase_epilogue(ctx);
+  EXPECT_EQ(print_block(block),
+            "B.START <= 0;\n"
+            "wait for 1 cycles;\n");
+}
+
+TEST(ProtocolLibraryTest, StrobeProtocolsRequireParity) {
+  WireContext ctx{"B", 8, 0, ProtocolKind::kHalfHandshake, 2};
+  EXPECT_THROW(sender_word(ctx, var("w"), nullptr), InternalError);
+  EXPECT_THROW(receiver_word(ctx, lv("x"), nullptr, nullptr), InternalError);
+}
+
+TEST(ProtocolLibraryTest, DispatchConditionIsStrobeHigh) {
+  EXPECT_EQ(dispatch_condition(full_ctx())->to_string(), "(B.START = 1)");
+  WireContext hw{"B_CH0", 23, 0, ProtocolKind::kHardwiredPort, 2};
+  EXPECT_EQ(dispatch_condition(hw)->to_string(), "(B_CH0.START = 1)");
+}
+
+}  // namespace
+}  // namespace ifsyn::protocol

@@ -1,0 +1,199 @@
+// Reference rewriting (Sec. 4 step 4): writes become Send calls, reads
+// hoist through Xtemp-style temporaries, unsupported shapes are rejected
+// rather than mis-compiled.
+#include "protocol/reference_rewriter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/printer.hpp"
+
+namespace ifsyn::protocol {
+namespace {
+
+using namespace spec;
+
+struct Fixture {
+  Channel x_write;
+  Channel x_read;
+  Channel mem_write;
+  Channel mem_read;
+  std::map<std::string, RemoteAccess> remotes;
+
+  Fixture() {
+    x_write.name = "CH0";
+    x_write.variable = "X";
+    x_write.dir = ChannelDir::kWrite;
+    x_write.data_bits = 16;
+    x_read = x_write;
+    x_read.name = "CH1";
+    x_read.dir = ChannelDir::kRead;
+    mem_write.name = "CH2";
+    mem_write.variable = "MEM";
+    mem_write.dir = ChannelDir::kWrite;
+    mem_write.data_bits = 16;
+    mem_write.addr_bits = 6;
+    mem_read = mem_write;
+    mem_read.name = "CH4";
+    mem_read.dir = ChannelDir::kRead;
+    remotes["X"] = RemoteAccess{&x_read, &x_write};
+    remotes["MEM"] = RemoteAccess{&mem_read, &mem_write};
+  }
+
+  Process process_with(Block body) {
+    Process p;
+    p.name = "P";
+    p.body = std::move(body);
+    return p;
+  }
+
+  std::string rewrite_to_text(Block body, Status* status_out = nullptr) {
+    Process p = process_with(std::move(body));
+    ReferenceRewriter rewriter(remotes);
+    Status status = rewriter.rewrite(p);
+    if (status_out) *status_out = status;
+    EXPECT_TRUE(status_out != nullptr || status.is_ok()) << status;
+    return print_process(p);
+  }
+};
+
+TEST(RewriterTest, ScalarWriteBecomesSend) {
+  Fixture f;
+  const std::string text = f.rewrite_to_text({assign("X", lit(32))});
+  // Fig. 5: "X <= 32" -> "SendCH0(32)".
+  EXPECT_NE(text.find("SendCH0(32);"), std::string::npos) << text;
+  EXPECT_EQ(text.find("X :="), std::string::npos);
+}
+
+TEST(RewriterTest, ArrayWriteBecomesSendWithAddress) {
+  Fixture f;
+  const std::string text =
+      f.rewrite_to_text({assign(lv_idx("MEM", lit(60)), var("COUNT"))});
+  // Fig. 5: "MEM(60) := COUNT" -> "SendCH3(60, COUNT)" (our CH2).
+  EXPECT_NE(text.find("SendCH2(60, COUNT);"), std::string::npos) << text;
+}
+
+TEST(RewriterTest, ScalarReadHoistsThroughTemp) {
+  Fixture f;
+  const std::string text =
+      f.rewrite_to_text({assign("AD", add(var("X"), lit(7)))});
+  // Fig. 5's Xtemp pattern.
+  EXPECT_NE(text.find("ReceiveCH1(X_tmp0);"), std::string::npos) << text;
+  EXPECT_NE(text.find("AD := (X_tmp0 + 7);"), std::string::npos);
+  EXPECT_NE(text.find("variable X_tmp0 : bit_vector(15 downto 0);"),
+            std::string::npos);
+}
+
+TEST(RewriterTest, ArrayReadPassesIndexToReceive) {
+  Fixture f;
+  const std::string text =
+      f.rewrite_to_text({assign("IR", aref("MEM", var("PC")))});
+  EXPECT_NE(text.find("ReceiveCH4(PC, MEM_tmp0);"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("IR := MEM_tmp0;"), std::string::npos);
+}
+
+TEST(RewriterTest, CombinedReadAndWriteInOneStatement) {
+  Fixture f;
+  // MEM(AD) := X + 7  -> receive X, then send to MEM.
+  const std::string text = f.rewrite_to_text(
+      {assign(lv_idx("MEM", var("AD")), add(var("X"), lit(7)))});
+  EXPECT_NE(text.find("ReceiveCH1(X_tmp0);"), std::string::npos) << text;
+  EXPECT_NE(text.find("SendCH2(AD, (X_tmp0 + 7));"), std::string::npos);
+}
+
+TEST(RewriterTest, MultipleReadsGetDistinctTemps) {
+  Fixture f;
+  const std::string text =
+      f.rewrite_to_text({assign("Y", add(var("X"), var("X")))});
+  EXPECT_NE(text.find("X_tmp0"), std::string::npos);
+  EXPECT_NE(text.find("X_tmp1"), std::string::npos);
+  // Two sequential receives before the use.
+  EXPECT_NE(text.find("ReceiveCH1(X_tmp0);"), std::string::npos);
+  EXPECT_NE(text.find("ReceiveCH1(X_tmp1);"), std::string::npos);
+}
+
+TEST(RewriterTest, ReadInsideForBodyReceivesPerIteration) {
+  Fixture f;
+  const std::string text = f.rewrite_to_text({for_stmt(
+      "i", lit(0), lit(9),
+      {assign("ACC", add(var("ACC"), aref("MEM", var("i"))))})});
+  // The receive lives inside the loop body, after the loop header.
+  const auto loop_pos = text.find("for i in 0 to 9 loop");
+  const auto recv_pos = text.find("ReceiveCH4(i, MEM_tmp0);");
+  ASSERT_NE(loop_pos, std::string::npos) << text;
+  ASSERT_NE(recv_pos, std::string::npos);
+  EXPECT_GT(recv_pos, loop_pos);
+}
+
+TEST(RewriterTest, IfConditionReadHoistsBeforeBranch) {
+  Fixture f;
+  const std::string text = f.rewrite_to_text(
+      {if_stmt(gt(var("X"), lit(5)), {assign("A", lit(1))})});
+  const auto recv_pos = text.find("ReceiveCH1(X_tmp0);");
+  const auto if_pos = text.find("if (X_tmp0 > 5) then");
+  ASSERT_NE(recv_pos, std::string::npos) << text;
+  ASSERT_NE(if_pos, std::string::npos);
+  EXPECT_LT(recv_pos, if_pos);
+}
+
+TEST(RewriterTest, NonRemoteAccessesUntouched) {
+  Fixture f;
+  const std::string text = f.rewrite_to_text(
+      {assign("LOCAL", add(var("OTHER"), lit(1)))});
+  EXPECT_NE(text.find("LOCAL := (OTHER + 1);"), std::string::npos) << text;
+  EXPECT_EQ(text.find("Receive"), std::string::npos);
+}
+
+TEST(RewriterTest, OutArgToRemoteRoutesThroughTempAndSend) {
+  Fixture f;
+  const std::string text =
+      f.rewrite_to_text({call("Helper", {CallArg(lv("X"))})});
+  EXPECT_NE(text.find("Helper(X_tmp0);"), std::string::npos) << text;
+  const auto call_pos = text.find("Helper(X_tmp0);");
+  const auto send_pos = text.find("SendCH0(X_tmp0);");
+  ASSERT_NE(send_pos, std::string::npos);
+  EXPECT_GT(send_pos, call_pos);
+}
+
+TEST(RewriterTest, WhileConditionReadIsUnsupported) {
+  Fixture f;
+  Status status;
+  f.rewrite_to_text({while_stmt(gt(var("X"), lit(0)), {})}, &status);
+  EXPECT_EQ(status.code(), StatusCode::kUnsupported);
+}
+
+TEST(RewriterTest, WaitUntilConditionReadIsUnsupported) {
+  Fixture f;
+  Status status;
+  f.rewrite_to_text({wait_until(gt(var("X"), lit(0)))}, &status);
+  EXPECT_EQ(status.code(), StatusCode::kUnsupported);
+}
+
+TEST(RewriterTest, SliceWriteToRemoteIsUnsupported) {
+  Fixture f;
+  Status status;
+  f.rewrite_to_text({assign(lv_slice("X", lit(7), lit(0)), lit(1))},
+                    &status);
+  EXPECT_EQ(status.code(), StatusCode::kUnsupported);
+}
+
+TEST(RewriterTest, MissingDirectionChannelIsUnsupported) {
+  Fixture f;
+  f.remotes["X"].read = nullptr;  // write-only variable
+  Process p = f.process_with({assign("Y", var("X"))});
+  ReferenceRewriter rewriter(f.remotes);
+  EXPECT_EQ(rewriter.rewrite(p).code(), StatusCode::kUnsupported);
+}
+
+TEST(RewriterTest, IdempotentWhenNothingRemote) {
+  Fixture f;
+  Process p = f.process_with({assign("X", lit(1))});
+  ReferenceRewriter rewriter(f.remotes);
+  ASSERT_TRUE(rewriter.rewrite(p).is_ok());
+  const std::string once = print_process(p);
+  ASSERT_TRUE(rewriter.rewrite(p).is_ok());
+  EXPECT_EQ(print_process(p), once);
+}
+
+}  // namespace
+}  // namespace ifsyn::protocol

@@ -1,0 +1,125 @@
+// Trace analysis: decoding per-channel transactions and bus utilization
+// back out of recorded waveforms.
+#include "protocol/trace_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocol/protocol_generator.hpp"
+#include "sim/interpreter.hpp"
+#include "spec/analysis.hpp"
+#include "suite/fig3_example.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn::protocol {
+namespace {
+
+using namespace spec;
+
+TEST(TraceAnalyzerTest, WordsPerTransaction) {
+  Channel write_scalar;
+  write_scalar.dir = ChannelDir::kWrite;
+  write_scalar.data_bits = 16;
+  EXPECT_EQ(words_per_transaction(write_scalar, 8), 2);   // Fig. 4
+  EXPECT_EQ(words_per_transaction(write_scalar, 16), 1);
+
+  Channel write_array = write_scalar;
+  write_array.addr_bits = 6;  // 22-bit message
+  EXPECT_EQ(words_per_transaction(write_array, 8), 3);
+
+  Channel read_scalar = write_scalar;
+  read_scalar.dir = ChannelDir::kRead;
+  // dummy request word + two data words
+  EXPECT_EQ(words_per_transaction(read_scalar, 8), 3);
+
+  Channel read_array = write_array;
+  read_array.dir = ChannelDir::kRead;
+  read_array.addr_bits = 7;
+  // ceil(7/8)=1 request + ceil(16/8)=2 response
+  EXPECT_EQ(words_per_transaction(read_array, 8), 3);
+}
+
+TEST(TraceAnalyzerTest, Fig3TrafficDecodesExactly) {
+  System refined = suite::make_fig3_system();
+  ProtocolGenOptions options;
+  options.arbitrate = true;
+  ProtocolGenerator generator(options);
+  ASSERT_TRUE(generator.generate_all(refined).is_ok());
+
+  sim::SimulationRun run = sim::simulate(refined, 1'000'000, /*trace=*/true);
+  ASSERT_TRUE(run.result.status.is_ok());
+
+  Result<std::vector<BusTraffic>> traffic = analyze_trace(
+      refined, run.kernel->trace(), run.result.end_time);
+  ASSERT_TRUE(traffic.is_ok()) << traffic.status();
+  ASSERT_EQ(traffic->size(), 1u);
+  const BusTraffic& bus = (*traffic)[0];
+  EXPECT_EQ(bus.bus, "B");
+
+  // CH0: P writes 16-bit X in 2 words; CH1: P reads X back (1 dummy + 2
+  // data); CH2/CH3: 22-bit MEM writes in 3 words each.
+  ASSERT_EQ(bus.channels.size(), 4u);
+  EXPECT_EQ(bus.find("CH0")->words, 2);
+  EXPECT_EQ(bus.find("CH0")->transactions, 1);
+  EXPECT_EQ(bus.find("CH1")->words, 3);
+  EXPECT_EQ(bus.find("CH1")->transactions, 1);
+  EXPECT_EQ(bus.find("CH2")->words, 3);
+  EXPECT_EQ(bus.find("CH3")->words, 3);
+  for (const ChannelTraffic& ct : bus.channels) {
+    EXPECT_EQ(ct.residual_words, 0) << ct.channel;
+    EXPECT_EQ(ct.transactions, 1) << ct.channel;
+  }
+  EXPECT_EQ(bus.total_words, 11);
+  EXPECT_GT(bus.utilization, 0.5);  // 11 words * 2 cyc in 21 cycles
+}
+
+TEST(TraceAnalyzerTest, FlcKernelCounts128TransactionsPerChannel) {
+  System refined = suite::make_flc_kernel();
+  refined.find_bus("B")->width = 8;
+  ProtocolGenOptions options;
+  options.arbitrate = true;
+  ProtocolGenerator generator(options);
+  ASSERT_TRUE(generator.generate_all(refined).is_ok());
+
+  sim::SimulationRun run = sim::simulate(refined, 10'000'000, /*trace=*/true);
+  ASSERT_TRUE(run.result.status.is_ok());
+  Result<std::vector<BusTraffic>> traffic = analyze_trace(
+      refined, run.kernel->trace(), run.result.end_time);
+  ASSERT_TRUE(traffic.is_ok()) << traffic.status();
+
+  const BusTraffic& bus = (*traffic)[0];
+  const ChannelTraffic* ch1 = bus.find("ch1");
+  const ChannelTraffic* ch2 = bus.find("ch2");
+  ASSERT_NE(ch1, nullptr);
+  ASSERT_NE(ch2, nullptr);
+  EXPECT_EQ(ch1->transactions, 128);  // every trru0 element written
+  EXPECT_EQ(ch2->transactions, 128);  // every trru2 element read
+  EXPECT_EQ(ch1->residual_words, 0);
+  EXPECT_EQ(ch2->residual_words, 0);
+  EXPECT_EQ(ch1->words, 128 * 3);  // 23-bit message over 8 lines
+  EXPECT_EQ(ch2->words, 128 * 3);  // 1 addr word + 2 data words
+  EXPECT_LT(ch1->first_word_time, ch1->last_word_time);
+}
+
+TEST(TraceAnalyzerTest, StrobeProtocolsUnsupported) {
+  System refined = suite::make_fig3_system();
+  ProtocolGenOptions options;
+  options.protocol = ProtocolKind::kHalfHandshake;
+  options.arbitrate = true;
+  ProtocolGenerator generator(options);
+  ASSERT_TRUE(generator.generate_all(refined).is_ok());
+  sim::SimulationRun run = sim::simulate(refined, 1'000'000, /*trace=*/true);
+  Result<std::vector<BusTraffic>> traffic = analyze_trace(
+      refined, run.kernel->trace(), run.result.end_time);
+  EXPECT_EQ(traffic.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TraceAnalyzerTest, UngeneratedBusesIgnored) {
+  System system = suite::make_fig3_system();
+  system.find_bus("B")->width = 0;  // not generated
+  Result<std::vector<BusTraffic>> traffic = analyze_trace(system, {}, 100);
+  ASSERT_TRUE(traffic.is_ok());
+  EXPECT_TRUE(traffic->empty());
+}
+
+}  // namespace
+}  // namespace ifsyn::protocol

@@ -1,0 +1,327 @@
+// Interpreter tests: expression evaluation, statement execution, scoping,
+// procedure copy-in/copy-out, process interaction through signals.
+#include "sim/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/system.hpp"
+
+namespace ifsyn::sim {
+namespace {
+
+using namespace spec;
+
+/// Build a one-process system around `body` with the given system
+/// variables, run it, and hand back the run for inspection.
+SimulationRun run_body(std::vector<Variable> vars, Block body,
+                       std::vector<Variable> locals = {}) {
+  System system("t");
+  for (auto& v : vars) system.add_variable(std::move(v));
+  Process p;
+  p.name = "main";
+  p.locals = std::move(locals);
+  p.body = std::move(body);
+  system.add_process(std::move(p));
+  return simulate(system);
+}
+
+TEST(InterpreterTest, ScalarAssignmentAndArithmetic) {
+  auto run = run_body({Variable("X", Type::integer(32))},
+                      {assign("X", add(mul(lit(6), lit(7)), lit(0)))});
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("X").get().to_int(), 42);
+}
+
+TEST(InterpreterTest, SignedArithmeticAndNegatives) {
+  auto run = run_body({Variable("X", Type::integer(16))},
+                      {assign("X", sub(lit(3), lit(10)))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("X").get().to_int(), -7);
+}
+
+TEST(InterpreterTest, DivModTruncateTowardZero) {
+  auto run = run_body({Variable("Q", Type::integer(32)),
+                       Variable("R", Type::integer(32))},
+                      {assign("Q", spec::div(lit(17), lit(5))),
+                       assign("R", mod(lit(17), lit(5)))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("Q").get().to_int(), 3);
+  EXPECT_EQ(run.interpreter->value_of("R").get().to_int(), 2);
+}
+
+TEST(InterpreterTest, BitsAssignmentTruncatesToWidth) {
+  auto run = run_body({Variable("X", Type::bits(8))},
+                      {assign("X", lit(0x1ff))});  // 9 bits -> keeps low 8
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("X").get().to_uint(), 0xffu);
+}
+
+TEST(InterpreterTest, ArrayElementReadWrite) {
+  auto run = run_body(
+      {Variable("A", Type::array(Type::bits(16), 8)),
+       Variable("Y", Type::bits(16))},
+      {assign(lv_idx("A", lit(3)), lit(500)),
+       assign("Y", add(aref("A", lit(3)), lit(1)))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("A").at(3).to_uint(), 500u);
+  EXPECT_EQ(run.interpreter->value_of("Y").get().to_uint(), 501u);
+}
+
+TEST(InterpreterTest, SliceReadAndWrite) {
+  auto run = run_body(
+      {Variable("X", Type::bits(16)), Variable("HI", Type::bits(8))},
+      {assign("X", lit(0xabcd)),
+       assign("HI", slice(var("X"), 15, 8)),
+       assign(lv_slice("X", lit(7), lit(0)), lit(0x11))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("HI").get().to_uint(), 0xabu);
+  EXPECT_EQ(run.interpreter->value_of("X").get().to_uint(), 0xab11u);
+}
+
+TEST(InterpreterTest, ConcatBuildsMessages) {
+  // concat(addr, data): address lands in the high bits, as the generated
+  // Send procedures assume.
+  auto run = run_body(
+      {Variable("M", Type::bits(23))},
+      {assign("M", concat(bits(BitVector::from_uint(7, 0x55)),
+                          bits(BitVector::from_uint(16, 0x1234))))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  const BitVector& m = run.interpreter->value_of("M").get();
+  EXPECT_EQ(m.slice(22, 16).to_uint(), 0x55u);
+  EXPECT_EQ(m.slice(15, 0).to_uint(), 0x1234u);
+}
+
+TEST(InterpreterTest, ForLoopAccumulates) {
+  auto run = run_body(
+      {Variable("S", Type::integer(32))},
+      {for_stmt("I", lit(1), lit(10),
+                {assign("S", add(var("S"), var("I")))})});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("S").get().to_int(), 55);
+}
+
+TEST(InterpreterTest, ForLoopVariableIsScopedAndRestored) {
+  auto run = run_body(
+      {Variable("OUT", Type::integer(32))},
+      {
+          for_stmt("I", lit(0), lit(2), {}),
+          // Same name as an existing local: the loop shadows, then
+          // restores it.
+          assign("OUT", var("J")),
+      },
+      {Variable("J", Type::integer(32), Value::integer(99))});
+  // Inner loop over J shadows the local:
+  System system("t2");
+  system.add_variable(Variable("OUT", Type::integer(32)));
+  Process p;
+  p.name = "main";
+  p.locals.emplace_back("J", Type::integer(32), Value::integer(99));
+  p.body = {
+      for_stmt("J", lit(0), lit(5), {}),
+      assign("OUT", var("J")),  // must see 99 again, not the loop index
+  };
+  system.add_process(std::move(p));
+  auto run2 = simulate(system);
+  ASSERT_TRUE(run2.result.status.is_ok());
+  EXPECT_EQ(run2.interpreter->value_of("OUT").get().to_int(), 99);
+  ASSERT_TRUE(run.result.status.is_ok());
+}
+
+TEST(InterpreterTest, WhileLoopAndComparisons) {
+  auto run = run_body(
+      {Variable("N", Type::integer(32)), Variable("C", Type::integer(32))},
+      {assign("N", lit(1)),
+       while_stmt(lt(var("N"), lit(100)),
+                  {assign("N", mul(var("N"), lit(2))),
+                   assign("C", add(var("C"), lit(1)))})});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("N").get().to_int(), 128);
+  EXPECT_EQ(run.interpreter->value_of("C").get().to_int(), 7);
+}
+
+TEST(InterpreterTest, IfElseBranches) {
+  auto run = run_body(
+      {Variable("X", Type::integer(32))},
+      {if_stmt(gt(lit(3), lit(5)), {assign("X", lit(1))},
+               {if_stmt(le(lit(3), lit(3)), {assign("X", lit(2))},
+                        {assign("X", lit(3))})})});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("X").get().to_int(), 2);
+}
+
+TEST(InterpreterTest, UnsignedComparisonOnBits) {
+  // 0x80 > 0x7f as unsigned bits (would be negative as signed).
+  auto run = run_body(
+      {Variable("A", Type::bits(8), Value::scalar(BitVector::from_uint(8, 0x80))),
+       Variable("B2", Type::bits(8), Value::scalar(BitVector::from_uint(8, 0x7f))),
+       Variable("R", Type::integer(32))},
+      {if_stmt(gt(var("A"), var("B2")), {assign("R", lit(1))},
+               {assign("R", lit(0))})});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("R").get().to_int(), 1);
+}
+
+TEST(InterpreterTest, ProcedureCopyInCopyOut) {
+  System system("t");
+  system.add_variable(Variable("OUT", Type::bits(16)));
+
+  Procedure proc;
+  proc.name = "AddOne";
+  proc.params = {Param{"a", ParamDir::kIn, Type::bits(16)},
+                 Param{"r", ParamDir::kOut, Type::bits(16)}};
+  proc.body = {assign("r", add(var("a"), lit(1)))};
+  system.add_procedure(std::move(proc));
+
+  Process p;
+  p.name = "main";
+  p.body = {call("AddOne", {ExprPtr(lit(41)), lv("OUT")})};
+  system.add_process(std::move(p));
+
+  auto run = simulate(system);
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("OUT").get().to_uint(), 42u);
+}
+
+TEST(InterpreterTest, NestedProcedureCallsKeepFramesSeparate) {
+  System system("t");
+  system.add_variable(Variable("OUT", Type::integer(32)));
+
+  Procedure inner;
+  inner.name = "Inner";
+  inner.params = {Param{"x", ParamDir::kIn, Type::integer(32)},
+                  Param{"r", ParamDir::kOut, Type::integer(32)}};
+  inner.body = {assign("r", mul(var("x"), lit(3)))};
+  system.add_procedure(std::move(inner));
+
+  Procedure outer;
+  outer.name = "Outer";
+  outer.params = {Param{"x", ParamDir::kIn, Type::integer(32)},
+                  Param{"r", ParamDir::kOut, Type::integer(32)}};
+  outer.locals.emplace_back("t", Type::integer(32));
+  outer.body = {call("Inner", {ExprPtr(add(var("x"), lit(1))), lv("t")}),
+                assign("r", add(var("t"), lit(100)))};
+  system.add_procedure(std::move(outer));
+
+  Process p;
+  p.name = "main";
+  p.body = {call("Outer", {ExprPtr(lit(5)), lv("OUT")})};
+  system.add_process(std::move(p));
+
+  auto run = simulate(system);
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("OUT").get().to_int(), 118);
+}
+
+TEST(InterpreterTest, SignalAssignAndWaitUntilBetweenProcesses) {
+  System system("t");
+  system.add_variable(Variable("GOT", Type::bits(8)));
+  Signal s;
+  s.name = "S";
+  s.fields = {SignalField{"REQ", 1}, SignalField{"VAL", 8}};
+  system.add_signal(std::move(s));
+
+  Process producer;
+  producer.name = "producer";
+  producer.body = {
+      wait_for(3),
+      sig_assign("S", "VAL", lit(0x5a)),
+      sig_assign("S", "REQ", lit(1)),
+  };
+  system.add_process(std::move(producer));
+
+  Process consumer;
+  consumer.name = "consumer";
+  consumer.body = {
+      wait_until(eq(sig("S", "REQ"), lit(1))),
+      assign("GOT", sig("S", "VAL")),
+  };
+  system.add_process(std::move(consumer));
+
+  auto run = simulate(system);
+  ASSERT_TRUE(run.result.status.is_ok()) << run.result.status;
+  EXPECT_EQ(run.interpreter->value_of("GOT").get().to_uint(), 0x5au);
+  EXPECT_EQ(run.result.find("consumer")->finish_time, 3u);
+}
+
+TEST(InterpreterTest, WaitOnSensitivityFromSpec) {
+  System system("t");
+  system.add_variable(Variable("COUNT", Type::integer(32)));
+  Signal s;
+  s.name = "S";
+  s.fields = {SignalField{"", 8}};
+  system.add_signal(std::move(s));
+
+  Process server;
+  server.name = "server";
+  server.body = {forever({
+      wait_on({SignalFieldId{"S", ""}}),
+      assign("COUNT", add(var("COUNT"), lit(1))),
+  })};
+  system.add_process(std::move(server));
+
+  Process driver;
+  driver.name = "driver";
+  driver.body = {
+      wait_for(1), sig_assign("S", "", lit(1)),
+      wait_for(1), sig_assign("S", "", lit(2)),
+      wait_for(1), sig_assign("S", "", lit(3)),
+  };
+  system.add_process(std::move(driver));
+
+  auto run = simulate(system);
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("COUNT").get().to_int(), 3);
+}
+
+TEST(InterpreterTest, ProcessLocalInitializers) {
+  auto run = run_body(
+      {Variable("OUT", Type::integer(32))},
+      {assign("OUT", var("L"))},
+      {Variable("L", Type::integer(32), Value::integer(1234))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("OUT").get().to_int(), 1234);
+}
+
+TEST(InterpreterTest, VariableInitializersApply) {
+  Variable arr("A", Type::array(Type::bits(8), 4));
+  Value init(arr.type);
+  for (int i = 0; i < 4; ++i)
+    init.set_at(i, BitVector::from_uint(8, static_cast<std::uint64_t>(i * 11)));
+  arr.init = init;
+  auto run = run_body({std::move(arr), Variable("Y", Type::bits(8))},
+                      {assign("Y", aref("A", lit(3)))});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->value_of("Y").get().to_uint(), 33u);
+}
+
+TEST(InterpreterTest, UndeclaredVariableFailsTheProcess) {
+  auto run = run_body({}, {assign("NOPE", lit(1))});
+  EXPECT_EQ(run.result.status.code(), StatusCode::kSimulationError);
+}
+
+TEST(InterpreterTest, OutOfBoundsIndexFailsTheProcess) {
+  auto run = run_body({Variable("A", Type::array(Type::bits(8), 4))},
+                      {assign(lv_idx("A", lit(4)), lit(1))});
+  EXPECT_EQ(run.result.status.code(), StatusCode::kSimulationError);
+}
+
+TEST(InterpreterTest, SetValueInjectsStimulus) {
+  System system("t");
+  system.add_variable(Variable("IN", Type::bits(8)));
+  system.add_variable(Variable("OUT", Type::bits(8)));
+  Process p;
+  p.name = "main";
+  p.body = {assign("OUT", add(var("IN"), lit(1)))};
+  system.add_process(std::move(p));
+
+  Kernel kernel;
+  Interpreter interp(system, kernel);
+  ASSERT_TRUE(interp.setup().is_ok());
+  interp.set_value("IN", Value::scalar(BitVector::from_uint(8, 41)));
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(interp.value_of("OUT").get().to_uint(), 42u);
+}
+
+}  // namespace
+}  // namespace ifsyn::sim

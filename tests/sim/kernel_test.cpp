@@ -1,0 +1,432 @@
+// Unit tests for the discrete-event kernel: delta-cycle signal semantics,
+// wait disciplines, process completion/restart, bus locks, tracing.
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.hpp"
+
+namespace ifsyn::sim {
+namespace {
+
+FieldKey key(const std::string& sig, const std::string& field = "") {
+  return FieldKey{sig, field};
+}
+
+TEST(KernelTest, EmptyRunQuiesces) {
+  Kernel kernel;
+  SimResult result = kernel.run();
+  EXPECT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.end_time, 0u);
+  EXPECT_TRUE(result.processes.empty());
+}
+
+TEST(KernelTest, ProcessRunsToCompletion) {
+  Kernel kernel;
+  int steps = 0;
+  kernel.add_process("p", [&]() -> SimTask {
+    ++steps;
+    co_return;
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(steps, 1);
+  const ProcessStats* stats = result.find("p");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->finish_time, 0u);
+}
+
+TEST(KernelTest, WaitForAdvancesTime) {
+  Kernel kernel;
+  std::uint64_t seen = 0;
+  kernel.add_process("p", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(7); co_await aw; }
+    seen = kernel.now();
+    { auto aw = kernel.wait_for(5); co_await aw; }
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(result.end_time, 12u);
+  EXPECT_EQ(result.find("p")->finish_time, 12u);
+}
+
+TEST(KernelTest, WaitForZeroDoesNotSuspend) {
+  Kernel kernel;
+  bool done = false;
+  kernel.add_process("p", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(0); co_await aw; }
+    done = true;
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.end_time, 0u);
+}
+
+TEST(KernelTest, SignalAssignmentCommitsAtDeltaBoundary) {
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(8, 0));
+  BitVector seen_before, seen_after;
+  kernel.add_process("writer", [&]() -> SimTask {
+    kernel.schedule_signal(key("S"), BitVector::from_uint(8, 42));
+    seen_before = kernel.signal_value(key("S"));  // still old value
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    seen_after = kernel.signal_value(key("S"));
+    co_return;
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(seen_before.to_uint(), 0u);
+  EXPECT_EQ(seen_after.to_uint(), 42u);
+}
+
+TEST(KernelTest, LastWriteInDeltaWins) {
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(8, 0));
+  kernel.add_process("writer", [&]() -> SimTask {
+    kernel.schedule_signal(key("S"), BitVector::from_uint(8, 1));
+    kernel.schedule_signal(key("S"), BitVector::from_uint(8, 2));
+    co_return;
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  EXPECT_EQ(kernel.signal_value(key("S")).to_uint(), 2u);
+}
+
+TEST(KernelTest, WaitOnWakesOnEvent) {
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(1, 0));
+  std::uint64_t woke_at = 999;
+  kernel.add_process("waiter", [&]() -> SimTask {
+    // NOTE: every co_await in these tests awaits a named local, never a
+    // prvalue: GCC 12 both rejects braced-init-lists inside co_await
+    // operands ("array used as initializer") and miscompiles non-trivial
+    // temporaries there (double destruction).
+    std::vector<FieldKey> sensitivity{key("S")};
+    auto aw = kernel.wait_on(std::move(sensitivity));
+    co_await aw;
+    woke_at = kernel.now();
+  });
+  kernel.add_process("driver", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(4); co_await aw; }
+    kernel.schedule_signal(key("S"), BitVector::from_uint(1, 1));
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(woke_at, 4u);
+}
+
+TEST(KernelTest, WaitOnIgnoresValuelessCommit) {
+  // Re-writing the same value is not an event.
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(1, 0));
+  bool woke = false;
+  kernel.add_process("waiter", [&]() -> SimTask {
+    { std::vector<FieldKey> sens{key("S")}; auto aw = kernel.wait_on(std::move(sens)); co_await aw; }
+    woke = true;
+  });
+  kernel.add_process("driver", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    kernel.schedule_signal(key("S"), BitVector::from_uint(1, 0));  // no-op
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_FALSE(woke);
+  EXPECT_FALSE(result.find("waiter")->completed);
+}
+
+TEST(KernelTest, WaitOnEmptyFieldMatchesAnyFieldOfSignal) {
+  Kernel kernel;
+  kernel.add_signal_field(key("B", "START"), BitVector::from_uint(1, 0));
+  kernel.add_signal_field(key("B", "DATA"), BitVector::from_uint(8, 0));
+  bool woke = false;
+  kernel.add_process("waiter", [&]() -> SimTask {
+    { std::vector<FieldKey> sens{key("B", "")}; auto aw = kernel.wait_on(std::move(sens)); co_await aw; }
+    woke = true;
+  });
+  kernel.add_process("driver", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    kernel.schedule_signal(key("B", "DATA"), BitVector::from_uint(8, 5));
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  EXPECT_TRUE(woke);
+}
+
+TEST(KernelTest, WaitUntilIsLevelSensitive) {
+  // Condition already true -> no suspension (documented deviation from
+  // strict VHDL, required for robust generated handshakes).
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(1, 1));
+  bool done = false;
+  kernel.add_process("p", [&]() -> SimTask {
+    auto aw = kernel.wait_until([&]() {
+      return kernel.signal_value(key("S")).to_uint() == 1;
+    });
+    co_await aw;
+    done = true;
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.end_time, 0u);
+}
+
+TEST(KernelTest, WaitUntilWakesWhenConditionBecomesTrue) {
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(8, 0));
+  std::uint64_t woke_at = 0;
+  kernel.add_process("waiter", [&]() -> SimTask {
+    auto aw = kernel.wait_until([&]() {
+      return kernel.signal_value(key("S")).to_uint() >= 3;
+    });
+    co_await aw;
+    woke_at = kernel.now();
+  });
+  kernel.add_process("driver", [&]() -> SimTask {
+    for (std::uint64_t v = 1; v <= 5; ++v) {
+      { auto aw = kernel.wait_for(10); co_await aw; }
+      kernel.schedule_signal(key("S"), BitVector::from_uint(8, v));
+    }
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(woke_at, 30u);  // S reaches 3 at t=30
+}
+
+TEST(KernelTest, TwoProcessHandshake) {
+  // Minimal four-phase handshake straight against the kernel API.
+  Kernel kernel;
+  kernel.add_signal_field(key("START"), BitVector::from_uint(1, 0));
+  kernel.add_signal_field(key("DONE"), BitVector::from_uint(1, 0));
+  kernel.add_signal_field(key("DATA"), BitVector::from_uint(8, 0));
+  std::vector<std::uint64_t> received;
+
+  auto hi = [&](const char* sig) {
+    return kernel.signal_value(key(sig)).to_uint() == 1;
+  };
+
+  kernel.add_process("sender", [&]() -> SimTask {
+    for (std::uint64_t word = 10; word < 13; ++word) {
+      kernel.schedule_signal(key("DATA"), BitVector::from_uint(8, word));
+      kernel.schedule_signal(key("START"), BitVector::from_uint(1, 1));
+      { auto aw = kernel.wait_for(1); co_await aw; }
+      { auto aw = kernel.wait_until([&]() { return hi("DONE"); }); co_await aw; }
+      kernel.schedule_signal(key("START"), BitVector::from_uint(1, 0));
+      { auto aw = kernel.wait_for(1); co_await aw; }
+      { auto aw = kernel.wait_until([&]() { return !hi("DONE"); }); co_await aw; }
+    }
+  });
+  kernel.add_process("receiver", [&]() -> SimTask {
+    for (int word = 0; word < 3; ++word) {
+      { auto aw = kernel.wait_until([&]() { return hi("START"); }); co_await aw; }
+      received.push_back(kernel.signal_value(key("DATA")).to_uint());
+      kernel.schedule_signal(key("DONE"), BitVector::from_uint(1, 1));
+      { auto aw = kernel.wait_until([&]() { return !hi("START"); }); co_await aw; }
+      kernel.schedule_signal(key("DONE"), BitVector::from_uint(1, 0));
+    }
+  });
+
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status;
+  EXPECT_TRUE(result.find("sender")->completed);
+  EXPECT_TRUE(result.find("receiver")->completed);
+  EXPECT_EQ(received, (std::vector<std::uint64_t>{10, 11, 12}));
+  // 2 cycles per word minimum (Eq. 2).
+  EXPECT_EQ(result.end_time, 6u);
+}
+
+TEST(KernelTest, RestartingProcessReactivates) {
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(8, 0));
+  int activations = 0;
+  kernel.add_process(
+      "server",
+      [&]() -> SimTask {
+        { std::vector<FieldKey> sens{key("S")}; auto aw = kernel.wait_on(std::move(sens)); co_await aw; }
+        ++activations;
+      },
+      /*restarts=*/true);
+  kernel.add_process("driver", [&]() -> SimTask {
+    for (std::uint64_t v = 1; v <= 3; ++v) {
+      { auto aw = kernel.wait_for(2); co_await aw; }
+      kernel.schedule_signal(key("S"), BitVector::from_uint(8, v));
+    }
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(activations, 3);
+  EXPECT_GE(result.find("server")->activations, 3u);
+}
+
+TEST(KernelTest, BusLockSerializesAndAccountsWaiting) {
+  Kernel kernel;
+  kernel.add_bus_lock("B");
+  std::vector<std::string> order;
+  // Parameters by value: a coroutine outlives its invocation, so
+  // reference parameters to temporaries would dangle across suspension.
+  auto worker = [&](std::string name, std::uint64_t start) -> SimTask {
+    { auto aw = kernel.wait_for(start); co_await aw; }
+    { auto aw = kernel.acquire_bus("B"); co_await aw; }
+    order.push_back(name + ":in@" + std::to_string(kernel.now()));
+    { auto aw = kernel.wait_for(10); co_await aw; }
+    order.push_back(name + ":out@" + std::to_string(kernel.now()));
+    kernel.release_bus("B");
+  };
+  kernel.add_process("a", [&]() { return worker("a", 0); });
+  kernel.add_process("b", [&]() { return worker("b", 1); });
+
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status;
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "a:in@0");
+  EXPECT_EQ(order[1], "a:out@10");
+  EXPECT_EQ(order[2], "b:in@10");
+  EXPECT_EQ(order[3], "b:out@20");
+  EXPECT_EQ(result.find("b")->bus_wait_cycles, 9u);
+  EXPECT_EQ(result.find("a")->bus_wait_cycles, 0u);
+}
+
+TEST(KernelTest, BusLockFifoOrder) {
+  Kernel kernel;
+  kernel.add_bus_lock("B");
+  std::vector<std::string> grants;
+  auto worker = [&](std::string name, std::uint64_t start) -> SimTask {
+    { auto aw = kernel.wait_for(start); co_await aw; }
+    { auto aw = kernel.acquire_bus("B"); co_await aw; }
+    grants.push_back(name);
+    { auto aw = kernel.wait_for(5); co_await aw; }
+    kernel.release_bus("B");
+  };
+  kernel.add_process("p1", [&]() { return worker("p1", 0); });
+  kernel.add_process("p2", [&]() { return worker("p2", 1); });
+  kernel.add_process("p3", [&]() { return worker("p3", 2); });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  EXPECT_EQ(grants, (std::vector<std::string>{"p1", "p2", "p3"}));
+}
+
+TEST(KernelTest, MaxTimeAborts) {
+  Kernel kernel;
+  kernel.add_process("p", [&]() -> SimTask {
+    for (;;) { auto aw = kernel.wait_for(100); co_await aw; }
+  });
+  SimResult result = kernel.run(/*max_time=*/1000);
+  EXPECT_EQ(result.status.code(), StatusCode::kSimulationError);
+}
+
+TEST(KernelTest, ProcessExceptionSurfacesAsSimulationError) {
+  Kernel kernel;
+  kernel.add_process("p", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    IFSYN_ASSERT_MSG(false, "deliberate failure");
+  });
+  SimResult result = kernel.run();
+  EXPECT_EQ(result.status.code(), StatusCode::kSimulationError);
+  EXPECT_NE(result.status.message().find("deliberate failure"),
+            std::string::npos);
+}
+
+TEST(KernelTest, ZeroDelayOscillationIsDetected) {
+  // Two processes toggling each other's condition without consuming time:
+  // the delta-cycle limit must abort the run instead of hanging.
+  Kernel kernel;
+  kernel.add_signal_field(key("A"), BitVector::from_uint(1, 0));
+  kernel.add_signal_field(key("B"), BitVector::from_uint(1, 0));
+  kernel.add_process("ping", [&]() -> SimTask {
+    for (;;) {
+      kernel.schedule_signal(
+          key("A"), ~kernel.signal_value(key("A")));
+      auto aw = kernel.wait_on(std::vector<FieldKey>{key("B")});
+      co_await aw;
+    }
+  });
+  kernel.add_process("pong", [&]() -> SimTask {
+    for (;;) {
+      auto aw = kernel.wait_on(std::vector<FieldKey>{key("A")});
+      co_await aw;
+      kernel.schedule_signal(
+          key("B"), ~kernel.signal_value(key("B")));
+    }
+  });
+  SimResult result = kernel.run();
+  EXPECT_EQ(result.status.code(), StatusCode::kSimulationError);
+  EXPECT_NE(result.status.message().find("delta"), std::string::npos)
+      << result.status;
+}
+
+TEST(KernelTest, WideSignalValuesFlowThrough) {
+  Kernel kernel;
+  kernel.add_signal_field(key("WIDE"), BitVector(130));
+  BitVector seen;
+  kernel.add_process("writer", [&]() -> SimTask {
+    BitVector v(130);
+    v.set_bit(0, true);
+    v.set_bit(129, true);
+    kernel.schedule_signal(key("WIDE"), std::move(v));
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    seen = kernel.signal_value(key("WIDE"));
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  EXPECT_TRUE(seen.bit(0));
+  EXPECT_TRUE(seen.bit(129));
+  EXPECT_FALSE(seen.bit(64));
+}
+
+TEST(KernelTest, SignalWidthMismatchAsserts) {
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector(8));
+  EXPECT_THROW(kernel.schedule_signal(key("S"), BitVector(9)), InternalError);
+  EXPECT_THROW(kernel.signal_value(key("GHOST")), InternalError);
+}
+
+TEST(KernelTest, ReleaseByNonHolderAsserts) {
+  Kernel kernel;
+  kernel.add_bus_lock("B");
+  kernel.add_process("p", [&]() -> SimTask {
+    kernel.release_bus("B");  // never acquired
+    co_return;
+  });
+  SimResult result = kernel.run();
+  EXPECT_EQ(result.status.code(), StatusCode::kSimulationError);
+}
+
+TEST(KernelTest, TraceRecordsCommittedChanges) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.add_signal_field(key("S"), BitVector::from_uint(4, 0));
+  kernel.add_process("p", [&]() -> SimTask {
+    kernel.schedule_signal(key("S"), BitVector::from_uint(4, 1));
+    { auto aw = kernel.wait_for(3); co_await aw; }
+    kernel.schedule_signal(key("S"), BitVector::from_uint(4, 2));
+    co_return;
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  ASSERT_EQ(kernel.trace().size(), 2u);
+  EXPECT_EQ(kernel.trace()[0].time, 0u);
+  EXPECT_EQ(kernel.trace()[0].value.to_uint(), 1u);
+  EXPECT_EQ(kernel.trace()[1].time, 3u);
+  EXPECT_EQ(kernel.trace()[1].value.to_uint(), 2u);
+}
+
+TEST(KernelTest, QuiescenceWithWaitingServerIsNormal) {
+  // A server parked on an event at the end of simulation is not an error;
+  // its stats just show no completion.
+  Kernel kernel;
+  kernel.add_signal_field(key("S"), BitVector::from_uint(1, 0));
+  kernel.add_process("server", [&]() -> SimTask {
+    for (;;) {
+      { std::vector<FieldKey> sens{key("S")}; auto aw = kernel.wait_on(std::move(sens)); co_await aw; }
+    }
+  });
+  kernel.add_process("main", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(5); co_await aw; }
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.end_time, 5u);
+  EXPECT_TRUE(result.find("main")->completed);
+  EXPECT_FALSE(result.find("server")->completed);
+}
+
+}  // namespace
+}  // namespace ifsyn::sim

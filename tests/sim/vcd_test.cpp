@@ -1,0 +1,129 @@
+// VCD export of simulation traces.
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "protocol/protocol_generator.hpp"
+#include "sim/interpreter.hpp"
+#include "suite/fig3_example.hpp"
+
+namespace ifsyn::sim {
+namespace {
+
+TEST(VcdTest, HeaderAndDeclarations) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.add_signal_field(FieldKey{"B", "START"}, BitVector::from_uint(1, 0));
+  kernel.add_signal_field(FieldKey{"B", "DATA"}, BitVector::from_uint(8, 0));
+  kernel.add_process("p", [&]() -> SimTask {
+    kernel.schedule_signal(FieldKey{"B", "START"}, BitVector::from_uint(1, 1));
+    { auto aw = kernel.wait_for(3); co_await aw; }
+    kernel.schedule_signal(FieldKey{"B", "DATA"}, BitVector::from_uint(8, 0x5a));
+    kernel.schedule_signal(FieldKey{"B", "START"}, BitVector::from_uint(1, 0));
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+
+  const std::string vcd = trace_to_vcd(kernel);
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module ifsyn $end"), std::string::npos);
+  // Fields are emitted in sorted key order: B.DATA before B.START.
+  EXPECT_NE(vcd.find("$var wire 8 ! B.DATA [7:0]"), std::string::npos) << vcd;
+  EXPECT_NE(vcd.find("$var wire 1 \" B.START $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdTest, InitialValuesAndChanges) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.add_signal_field(FieldKey{"S", ""}, BitVector::from_uint(4, 0x9));
+  kernel.add_process("p", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(2); co_await aw; }
+    kernel.schedule_signal(FieldKey{"S", ""}, BitVector::from_uint(4, 0x3));
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+
+  const std::string vcd = trace_to_vcd(kernel);
+  // Time 0 dump has the declared initial value.
+  const auto dumpvars = vcd.find("$dumpvars");
+  ASSERT_NE(dumpvars, std::string::npos);
+  EXPECT_NE(vcd.find("b1001 !", dumpvars), std::string::npos) << vcd;
+  // The change appears under its timestamp.
+  const auto t2 = vcd.find("#2");
+  ASSERT_NE(t2, std::string::npos);
+  EXPECT_NE(vcd.find("b0011 !", t2), std::string::npos);
+}
+
+TEST(VcdTest, ScalarBitsUseCompactForm) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.add_signal_field(FieldKey{"CLK", ""}, BitVector::from_uint(1, 0));
+  kernel.add_process("p", [&]() -> SimTask {
+    for (int i = 0; i < 3; ++i) {
+      { auto aw = kernel.wait_for(1); co_await aw; }
+      kernel.schedule_signal(
+          FieldKey{"CLK", ""},
+          BitVector::from_uint(1, static_cast<std::uint64_t>(i % 2 == 0)));
+    }
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  const std::string vcd = trace_to_vcd(kernel);
+  EXPECT_NE(vcd.find("\n1!"), std::string::npos) << vcd;
+  EXPECT_NE(vcd.find("\n0!"), std::string::npos);
+}
+
+TEST(VcdTest, RefinedFig3WaveformContainsHandshakes) {
+  spec::System refined = suite::make_fig3_system();
+  protocol::ProtocolGenOptions options;
+  options.arbitrate = true;
+  protocol::ProtocolGenerator generator(options);
+  ASSERT_TRUE(generator.generate_all(refined).is_ok());
+
+  SimulationRun run = simulate(refined, 1'000'000, /*trace=*/true);
+  ASSERT_TRUE(run.result.status.is_ok());
+  const std::string vcd = trace_to_vcd(*run.kernel);
+  EXPECT_NE(vcd.find("B.START"), std::string::npos);
+  EXPECT_NE(vcd.find("B.DONE"), std::string::npos);
+  EXPECT_NE(vcd.find("B.ID"), std::string::npos);
+  EXPECT_NE(vcd.find("B.DATA"), std::string::npos);
+  // The bus carried X=32: its low byte appears as a DATA word.
+  EXPECT_NE(vcd.find("b00100000 "), std::string::npos);
+}
+
+TEST(VcdTest, WriteToFile) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.add_signal_field(FieldKey{"S", ""}, BitVector(1));
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  const std::string path = "/tmp/ifsyn_vcd_test.vcd";
+  ASSERT_TRUE(write_vcd(kernel, path).is_ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "$date ifsyn simulation $end");
+  EXPECT_FALSE(write_vcd(kernel, "/nonexistent-dir/x.vcd").is_ok());
+}
+
+TEST(VcdTest, ManySignalsGetDistinctIds) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  for (int i = 0; i < 120; ++i) {
+    kernel.add_signal_field(FieldKey{"S" + std::to_string(i), ""},
+                            BitVector(1));
+  }
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  const std::string vcd = trace_to_vcd(kernel);
+  // 120 > 94 printable codes: multi-character identifiers appear and all
+  // declarations are present.
+  int vars = 0;
+  for (std::size_t pos = 0; (pos = vcd.find("$var", pos)) != std::string::npos;
+       ++pos) {
+    ++vars;
+  }
+  EXPECT_EQ(vars, 120);
+}
+
+}  // namespace
+}  // namespace ifsyn::sim

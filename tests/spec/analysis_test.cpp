@@ -1,0 +1,188 @@
+// Static analysis: const-eval, access counting with loop scaling, signal
+// collection, wait-cycle accounting, channel annotation.
+#include "spec/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::spec {
+namespace {
+
+TEST(ConstEvalTest, ArithmeticFolds) {
+  EXPECT_EQ(const_eval(*add(lit(2), mul(lit(3), lit(4)))), 14);
+  EXPECT_EQ(const_eval(*sub(lit(10), lit(3))), 7);
+  EXPECT_EQ(const_eval(*spec::div(lit(10), lit(3))), 3);
+  EXPECT_EQ(const_eval(*mod(lit(10), lit(3))), 1);
+  EXPECT_EQ(const_eval(*lt(lit(1), lit(2))), 1);
+  EXPECT_EQ(const_eval(*lnot(lit(0))), 1);
+}
+
+TEST(ConstEvalTest, VariablesBlockFolding) {
+  EXPECT_EQ(const_eval(*add(lit(2), var("x"))), std::nullopt);
+  EXPECT_EQ(const_eval(*sig("B", "DONE")), std::nullopt);
+}
+
+TEST(ConstEvalTest, DivisionByZeroIsNotConstant) {
+  EXPECT_EQ(const_eval(*spec::div(lit(1), lit(0))), std::nullopt);
+}
+
+TEST(ConstEvalTest, SmallBitsLiteralsFold) {
+  EXPECT_EQ(const_eval(*bin("0101")), 5);
+}
+
+TEST(AccessCountTest, StraightLineCounts) {
+  Block body{
+      assign("X", lit(1)),                        // write X
+      assign("Y", add(var("X"), var("X"))),       // 2 reads of X
+  };
+  AccessCounts counts = count_accesses(body, "X");
+  EXPECT_EQ(counts.writes, 1);
+  EXPECT_EQ(counts.reads, 2);
+  EXPECT_FALSE(counts.lower_bound_only);
+}
+
+TEST(AccessCountTest, ForLoopScalesByTripCount) {
+  // The FLC pattern: 128 writes of trru0.
+  Block body{for_stmt("i", lit(0), lit(127),
+                      {assign(lv_idx("trru0", var("i")), var("i"))})};
+  AccessCounts counts = count_accesses(body, "trru0");
+  EXPECT_EQ(counts.writes, 128);
+  EXPECT_EQ(counts.reads, 0);
+}
+
+TEST(AccessCountTest, NestedLoopsMultiply) {
+  Block body{for_stmt(
+      "f", lit(0), lit(14),
+      {for_stmt("x", lit(0), lit(127),
+                {assign(lv_idx("IMF", var("x")), lit(0))})})};
+  EXPECT_EQ(count_accesses(body, "IMF").writes, 15 * 128);
+}
+
+TEST(AccessCountTest, IfTakesHeavierBranch) {
+  Block body{if_stmt(eq(var("c"), lit(1)),
+                     {assign("X", lit(1))},
+                     {assign("X", lit(1)), assign("X", lit(2))})};
+  EXPECT_EQ(count_accesses(body, "X").writes, 2);
+}
+
+TEST(AccessCountTest, ArrayIndexReadsCount) {
+  Block body{assign("Y", aref("MEM", var("AD")))};
+  EXPECT_EQ(count_accesses(body, "MEM").reads, 1);
+  EXPECT_EQ(count_accesses(body, "AD").reads, 1);
+}
+
+TEST(AccessCountTest, WhileIsLowerBound) {
+  Block body{while_stmt(lt(var("n"), lit(10)), {assign("X", lit(1))})};
+  AccessCounts counts = count_accesses(body, "X");
+  EXPECT_EQ(counts.writes, 1);
+  EXPECT_TRUE(counts.lower_bound_only);
+}
+
+TEST(AccessCountTest, DynamicForBoundsAreLowerBound) {
+  Block body{for_stmt("i", lit(0), sub(var("LEN"), lit(1)),
+                      {assign("X", var("i"))})};
+  AccessCounts counts = count_accesses(body, "X");
+  EXPECT_EQ(counts.writes, 1);
+  EXPECT_TRUE(counts.lower_bound_only);
+}
+
+TEST(AccessCountTest, ProcCallArgumentsCount) {
+  Block body{call("SendCH0", {ExprPtr(var("X")), LValue(lv("Y"))})};
+  EXPECT_EQ(count_accesses(body, "X").reads, 1);
+  EXPECT_EQ(count_accesses(body, "Y").writes, 1);
+}
+
+TEST(SignalRefTest, CollectsUniqueFields) {
+  ExprPtr cond = land(eq(sig("B", "START"), lit(1)),
+                      land(eq(sig("B", "ID"), bin("00")),
+                           eq(sig("B", "START"), lit(1))));
+  auto refs = collect_signal_refs(*cond);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].signal, "B");
+  EXPECT_EQ(refs[0].field, "START");
+  EXPECT_EQ(refs[1].field, "ID");
+}
+
+TEST(SignalRefTest, ExprReadsVariable) {
+  ExprPtr e = add(aref("MEM", var("PC")), lit(7));
+  EXPECT_TRUE(expr_reads_variable(*e, "MEM"));
+  EXPECT_TRUE(expr_reads_variable(*e, "PC"));
+  EXPECT_FALSE(expr_reads_variable(*e, "X"));
+}
+
+TEST(WaitCyclesTest, SumsAndScales) {
+  Block body{
+      wait_for(5),
+      for_stmt("i", lit(0), lit(9), {wait_for(2)}),
+  };
+  EXPECT_EQ(wait_cycles(body), 25);
+}
+
+TEST(WaitCyclesTest, IfTakesHeavierBranch) {
+  Block body{if_stmt(eq(var("c"), lit(1)), {wait_for(3)}, {wait_for(10)})};
+  EXPECT_EQ(wait_cycles(body), 10);
+}
+
+TEST(OpCountTest, CountsAssignmentsAndOperators) {
+  Block body{assign("X", add(var("a"), mul(var("b"), var("c"))))};
+  // 1 assignment + 2 operators.
+  EXPECT_EQ(op_count(body), 3);
+}
+
+TEST(OpCountTest, LoopsScale) {
+  Block body{for_stmt("i", lit(0), lit(9), {assign("X", var("i"))})};
+  // 10 assignments + 10 index updates.
+  EXPECT_EQ(op_count(body), 20);
+}
+
+TEST(AnnotateTest, FillsAccessCountsFromBodies) {
+  System s("t");
+  s.add_variable(Variable("A", Type::array(Type::bits(8), 16)));
+  Process p;
+  p.name = "P";
+  p.body = {for_stmt("i", lit(0), lit(15),
+                     {assign(lv_idx("A", var("i")), var("i"))})};
+  s.add_process(std::move(p));
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "P";
+  ch.variable = "A";
+  ch.dir = ChannelDir::kWrite;
+  ch.data_bits = 8;
+  ch.addr_bits = 4;
+  s.add_channel(std::move(ch));
+
+  ASSERT_TRUE(annotate_channel_accesses(s).is_ok());
+  EXPECT_EQ(s.find_channel("CH0")->accesses, 16);
+}
+
+TEST(AnnotateTest, RespectsAuthorProvidedCounts) {
+  System s("t");
+  s.add_variable(Variable("A", Type::bits(8)));
+  Process p;
+  p.name = "P";
+  s.add_process(std::move(p));
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "P";
+  ch.variable = "A";
+  ch.data_bits = 8;
+  ch.accesses = 99;  // author annotation wins
+  s.add_channel(std::move(ch));
+  ASSERT_TRUE(annotate_channel_accesses(s).is_ok());
+  EXPECT_EQ(s.find_channel("CH0")->accesses, 99);
+}
+
+TEST(AnnotateTest, MissingAccessorIsNotFound) {
+  System s("t");
+  s.add_variable(Variable("A", Type::bits(8)));
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "GHOST";
+  ch.variable = "A";
+  ch.data_bits = 8;
+  s.add_channel(std::move(ch));
+  EXPECT_EQ(annotate_channel_accesses(s).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ifsyn::spec

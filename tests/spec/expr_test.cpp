@@ -1,0 +1,81 @@
+// Expression node construction, downcasts, printing, structural sharing.
+#include "spec/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::spec {
+namespace {
+
+TEST(ExprTest, LiteralNodes) {
+  ExprPtr i = lit(42);
+  ASSERT_NE(i->as<IntLit>(), nullptr);
+  EXPECT_EQ(i->as<IntLit>()->value, 42);
+  EXPECT_EQ(i->to_string(), "42");
+
+  ExprPtr b = bin("0010");
+  ASSERT_NE(b->as<BitsLit>(), nullptr);
+  EXPECT_EQ(b->as<BitsLit>()->value.width(), 4);
+  EXPECT_EQ(b->to_string(), "\"0010\"");
+}
+
+TEST(ExprTest, VariableAndArrayRefs) {
+  ExprPtr v = var("X");
+  EXPECT_EQ(v->as<VarRef>()->name, "X");
+  ExprPtr a = aref("MEM", var("AD"));
+  EXPECT_EQ(a->as<ArrayRef>()->name, "MEM");
+  EXPECT_EQ(a->to_string(), "MEM(AD)");
+}
+
+TEST(ExprTest, SignalRefPrinting) {
+  EXPECT_EQ(sig("B", "START")->to_string(), "B.START");
+  EXPECT_EQ(sig("STAGE")->to_string(), "STAGE");
+}
+
+TEST(ExprTest, SlicePrintsDownto) {
+  // The Fig. 4 word expression: txdata(8*J-1 downto 8*(J-1)).
+  ExprPtr word = slice(var("txdata"), sub(mul(lit(8), var("J")), lit(1)),
+                       mul(lit(8), sub(var("J"), lit(1))));
+  EXPECT_EQ(word->to_string(),
+            "txdata(((8 * J) - 1) downto (8 * (J - 1)))");
+}
+
+TEST(ExprTest, BinaryOperatorsPrint) {
+  EXPECT_EQ(add(lit(1), lit(2))->to_string(), "(1 + 2)");
+  EXPECT_EQ(eq(sig("B", "DONE"), lit(1))->to_string(), "(B.DONE = 1)");
+  EXPECT_EQ(ne(var("a"), var("b"))->to_string(), "(a /= b)");
+  EXPECT_EQ(mod(var("J"), lit(2))->to_string(), "(J mod 2)");
+  EXPECT_EQ(land(var("a"), var("b"))->to_string(), "(a and b)");
+  EXPECT_EQ(concat(var("hi"), var("lo"))->to_string(), "(hi & lo)");
+}
+
+TEST(ExprTest, UnaryOperatorsPrint) {
+  EXPECT_EQ(lnot(var("a"))->to_string(), "(not a)");
+  EXPECT_EQ(un(UnaryOp::kNeg, lit(5))->to_string(), "(- 5)");
+}
+
+TEST(ExprTest, SubtreesAreShared) {
+  // Immutable expressions are shared by pointer; rewriting relies on it.
+  ExprPtr common = var("X");
+  ExprPtr parent = add(common, common);
+  const auto* node = parent->as<BinaryExpr>();
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->lhs.get(), node->rhs.get());
+  EXPECT_EQ(common.use_count(), 3);  // local + two operand slots
+}
+
+TEST(ExprTest, ComparisonFactoriesProduceCorrectOps) {
+  EXPECT_EQ(lt(lit(1), lit(2))->as<BinaryExpr>()->op, BinaryOp::kLt);
+  EXPECT_EQ(le(lit(1), lit(2))->as<BinaryExpr>()->op, BinaryOp::kLe);
+  EXPECT_EQ(gt(lit(1), lit(2))->as<BinaryExpr>()->op, BinaryOp::kGt);
+  EXPECT_EQ(ge(lit(1), lit(2))->as<BinaryExpr>()->op, BinaryOp::kGe);
+  EXPECT_EQ(lor(lit(1), lit(2))->as<BinaryExpr>()->op, BinaryOp::kLogOr);
+}
+
+TEST(ExprTest, AsReturnsNullForOtherKinds) {
+  ExprPtr e = lit(1);
+  EXPECT_EQ(e->as<VarRef>(), nullptr);
+  EXPECT_EQ(e->as<BinaryExpr>(), nullptr);
+}
+
+}  // namespace
+}  // namespace ifsyn::spec

@@ -1,0 +1,124 @@
+// Pseudo-VHDL printer: statements, procedures, processes, systems.
+#include "spec/printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::spec {
+namespace {
+
+TEST(PrinterTest, Assignments) {
+  EXPECT_EQ(print_stmt(*assign("X", lit(32))), "X := 32;\n");
+  EXPECT_EQ(print_stmt(*assign(lv_idx("MEM", var("AD")), add(var("X"), lit(7)))),
+            "MEM(AD) := (X + 7);\n");
+  EXPECT_EQ(print_stmt(*sig_assign("B", "START", lit(1))),
+            "B.START <= 1;\n");
+}
+
+TEST(PrinterTest, SliceTargets) {
+  StmtPtr s = assign(lv_slice("rxdata", lit(15), lit(8)), sig("B", "DATA"));
+  EXPECT_EQ(print_stmt(*s), "rxdata(15 downto 8) := B.DATA;\n");
+}
+
+TEST(PrinterTest, Waits) {
+  EXPECT_EQ(print_stmt(*wait_until(eq(sig("B", "DONE"), lit(1)))),
+            "wait until (B.DONE = 1);\n");
+  EXPECT_EQ(print_stmt(*wait_on({{"B", "ID"}, {"B", "START"}})),
+            "wait on B.ID, B.START;\n");
+  EXPECT_EQ(print_stmt(*wait_for(2)), "wait for 2 cycles;\n");
+}
+
+TEST(PrinterTest, ControlFlowIndents) {
+  StmtPtr loop = for_stmt("J", lit(1), lit(2), {assign("X", var("J"))});
+  EXPECT_EQ(print_stmt(*loop),
+            "for J in 1 to 2 loop\n"
+            "  X := J;\n"
+            "end loop;\n");
+
+  StmtPtr branch = if_stmt(eq(var("c"), lit(1)), {assign("X", lit(1))},
+                           {assign("X", lit(2))});
+  EXPECT_EQ(print_stmt(*branch),
+            "if (c = 1) then\n"
+            "  X := 1;\n"
+            "else\n"
+            "  X := 2;\n"
+            "end if;\n");
+}
+
+TEST(PrinterTest, ForeverAndWhile) {
+  EXPECT_EQ(print_stmt(*forever({wait_for(1)})),
+            "loop\n  wait for 1 cycles;\nend loop;\n");
+  EXPECT_EQ(print_stmt(*while_stmt(lt(var("n"), lit(4)), {})),
+            "while (n < 4) loop\nend loop;\n");
+}
+
+TEST(PrinterTest, CallsWithMixedArgs) {
+  StmtPtr c = call("SendCH2", {ExprPtr(var("AD")), ExprPtr(add(var("X"), lit(7)))});
+  EXPECT_EQ(print_stmt(*c), "SendCH2(AD, (X + 7));\n");
+  StmtPtr r = call("ReceiveCH1", {CallArg(lv("Xtemp"))});
+  EXPECT_EQ(print_stmt(*r), "ReceiveCH1(Xtemp);\n");
+}
+
+TEST(PrinterTest, BusLocks) {
+  EXPECT_EQ(print_stmt(*bus_acquire("B")), "acquire B;\n");
+  EXPECT_EQ(print_stmt(*bus_release("B")), "release B;\n");
+}
+
+TEST(PrinterTest, ProcedureSignature) {
+  Procedure p;
+  p.name = "SendCH0";
+  p.params = {Param{"txdata", ParamDir::kIn, Type::bits(16)}};
+  p.locals.emplace_back("msg", Type::bits(23));
+  p.body = {assign("msg", lit(0))};
+  const std::string text = print_procedure(p);
+  EXPECT_NE(text.find("procedure SendCH0(txdata : in bit_vector(15 downto 0)) is"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("variable msg : bit_vector(22 downto 0);"),
+            std::string::npos);
+  EXPECT_NE(text.find("end SendCH0;"), std::string::npos);
+}
+
+TEST(PrinterTest, ProcessRendersLocalsAndBody) {
+  Process p;
+  p.name = "P";
+  p.locals.emplace_back("AD", Type::integer(16));
+  p.body = {assign("AD", lit(5))};
+  const std::string text = print_process(p);
+  EXPECT_NE(text.find("process P"), std::string::npos);
+  EXPECT_NE(text.find("variable AD : integer<16>;"), std::string::npos);
+  EXPECT_NE(text.find("end process P;"), std::string::npos);
+}
+
+TEST(PrinterTest, SystemOverviewListsEverything) {
+  System s("demo");
+  s.add_variable(Variable("X", Type::bits(16)));
+  Signal b;
+  b.name = "B";
+  b.fields = {{"START", 1}, {"DATA", 8}};
+  s.add_signal(std::move(b));
+  Process p;
+  p.name = "P";
+  s.add_process(std::move(p));
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "P";
+  ch.variable = "X";
+  ch.data_bits = 16;
+  s.add_channel(std::move(ch));
+  BusGroup bus;
+  bus.name = "B";
+  bus.channel_names = {"CH0"};
+  bus.width = 8;
+  s.add_bus(std::move(bus));
+
+  const std::string text = print_system(s);
+  EXPECT_NE(text.find("system demo"), std::string::npos);
+  EXPECT_NE(text.find("variable X"), std::string::npos);
+  EXPECT_NE(text.find("signal B"), std::string::npos);
+  EXPECT_NE(text.find("channel CH0"), std::string::npos);
+  EXPECT_NE(text.find("bus B {CH0}"), std::string::npos);
+  EXPECT_NE(text.find("width=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ifsyn::spec

@@ -1,0 +1,180 @@
+// System container: ownership, lookup, module maps, bus groups, clone,
+// structural validation.
+#include "spec/system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::spec {
+namespace {
+
+System small_system() {
+  System s("t");
+  s.add_variable(Variable("X", Type::bits(16)));
+  s.add_variable(Variable("MEM", Type::array(Type::bits(16), 64)));
+  Process p;
+  p.name = "P";
+  s.add_process(std::move(p));
+  Process q;
+  q.name = "Q";
+  s.add_process(std::move(q));
+  return s;
+}
+
+TEST(SystemTest, LookupByName) {
+  System s = small_system();
+  EXPECT_NE(s.find_variable("X"), nullptr);
+  EXPECT_NE(s.find_process("Q"), nullptr);
+  EXPECT_EQ(s.find_variable("Y"), nullptr);
+  EXPECT_EQ(s.find_process("R"), nullptr);
+  EXPECT_EQ(s.find_channel("CH0"), nullptr);
+}
+
+TEST(SystemTest, DuplicateNamesAssert) {
+  System s = small_system();
+  EXPECT_THROW(s.add_variable(Variable("X", Type::bits(8))), InternalError);
+  Process p;
+  p.name = "P";
+  EXPECT_THROW(s.add_process(std::move(p)), InternalError);
+}
+
+TEST(SystemTest, ModuleMembership) {
+  System s = small_system();
+  s.add_module(Module{"M1", {"P"}, {"X"}});
+  s.add_module(Module{"M2", {"Q"}, {"MEM"}});
+  ASSERT_NE(s.module_of_process("P"), nullptr);
+  EXPECT_EQ(s.module_of_process("P")->name, "M1");
+  EXPECT_EQ(s.module_of_variable("MEM")->name, "M2");
+  EXPECT_EQ(s.module_of_process("missing"), nullptr);
+}
+
+TEST(SystemTest, AddBusMarksChannels) {
+  System s = small_system();
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "P";
+  ch.variable = "X";
+  ch.data_bits = 16;
+  s.add_channel(std::move(ch));
+
+  BusGroup bus;
+  bus.name = "B";
+  bus.channel_names = {"CH0"};
+  s.add_bus(std::move(bus));
+
+  EXPECT_EQ(s.find_channel("CH0")->bus, "B");
+  auto channels = s.channels_of_bus(*s.find_bus("B"));
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0]->name, "CH0");
+}
+
+TEST(SystemTest, ChannelMessageBits) {
+  Channel ch;
+  ch.data_bits = 16;
+  ch.addr_bits = 7;
+  EXPECT_EQ(ch.message_bits(), 23);
+}
+
+TEST(SystemTest, BusGroupWireAccounting) {
+  BusGroup bus;
+  bus.width = 8;
+  bus.control_lines = 2;
+  bus.id_bits = 2;
+  EXPECT_EQ(bus.total_wires(), 12);
+  EXPECT_TRUE(bus.generated());
+  EXPECT_FALSE(BusGroup{}.generated());
+}
+
+TEST(SystemTest, SignalFieldLookup) {
+  Signal sig;
+  sig.name = "B";
+  sig.fields = {{"START", 1}, {"DONE", 1}, {"ID", 2}, {"DATA", 8}};
+  EXPECT_EQ(sig.field("ID")->width, 2);
+  EXPECT_EQ(sig.field("NOPE"), nullptr);
+  EXPECT_EQ(sig.total_width(), 12);
+}
+
+TEST(SystemTest, ValidateAcceptsWellFormed) {
+  System s = small_system();
+  EXPECT_TRUE(s.validate().is_ok());
+}
+
+TEST(SystemTest, ValidateRejectsDanglingChannelEndpoints) {
+  System s = small_system();
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "NOSUCH";
+  ch.variable = "X";
+  ch.data_bits = 16;
+  s.add_channel(std::move(ch));
+  EXPECT_EQ(s.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SystemTest, ValidateRejectsZeroDataBits) {
+  System s = small_system();
+  Channel ch;
+  ch.name = "CH0";
+  ch.accessor = "P";
+  ch.variable = "X";
+  ch.data_bits = 0;
+  s.add_channel(std::move(ch));
+  EXPECT_FALSE(s.validate().is_ok());
+}
+
+TEST(SystemTest, ValidateRejectsDuplicateChannelIds) {
+  System s = small_system();
+  for (int i = 0; i < 2; ++i) {
+    Channel ch;
+    ch.name = "CH" + std::to_string(i);
+    ch.accessor = "P";
+    ch.variable = "X";
+    ch.data_bits = 16;
+    ch.id = 0;  // duplicate
+    s.add_channel(std::move(ch));
+  }
+  BusGroup bus;
+  bus.name = "B";
+  bus.channel_names = {"CH0", "CH1"};
+  s.add_bus(std::move(bus));
+  EXPECT_FALSE(s.validate().is_ok());
+}
+
+TEST(SystemTest, ValidateRejectsDoublyAssignedEntities) {
+  System s = small_system();
+  s.add_module(Module{"M1", {"P"}, {}});
+  s.add_module(Module{"M2", {"P"}, {}});
+  EXPECT_FALSE(s.validate().is_ok());
+}
+
+TEST(SystemTest, ValidateRejectsModuleWithUnknownEntity) {
+  System s = small_system();
+  s.add_module(Module{"M1", {"GHOST"}, {}});
+  EXPECT_FALSE(s.validate().is_ok());
+}
+
+TEST(SystemTest, CloneIsDeepForContainersSharedForTrees) {
+  System s = small_system();
+  s.find_process("P")->body = {assign("X", lit(1))};
+  System c = s.clone("copy");
+  EXPECT_EQ(c.name(), "copy");
+  ASSERT_NE(c.find_process("P"), nullptr);
+  // Distinct Process objects...
+  EXPECT_NE(c.find_process("P"), s.find_process("P"));
+  // ...sharing immutable statement nodes.
+  EXPECT_EQ(c.find_process("P")->body[0].get(),
+            s.find_process("P")->body[0].get());
+  // Mutating the clone's membership does not affect the original.
+  Process r;
+  r.name = "R";
+  c.add_process(std::move(r));
+  EXPECT_EQ(s.find_process("R"), nullptr);
+}
+
+TEST(SystemTest, ProtocolKindNames) {
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kFullHandshake),
+               "full-handshake");
+  EXPECT_STREQ(protocol_kind_name(ProtocolKind::kHardwiredPort),
+               "hardwired-port");
+}
+
+}  // namespace
+}  // namespace ifsyn::spec

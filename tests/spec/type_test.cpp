@@ -1,0 +1,101 @@
+// Type system: widths, address bits, array geometry.
+#include "spec/type.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace ifsyn::spec {
+namespace {
+
+TEST(TypeTest, BitsScalar) {
+  Type t = Type::bits(16);
+  EXPECT_TRUE(t.is_scalar());
+  EXPECT_FALSE(t.is_array());
+  EXPECT_FALSE(t.is_signed());
+  EXPECT_EQ(t.scalar_width(), 16);
+  EXPECT_EQ(t.array_size(), 1);
+  EXPECT_EQ(t.address_bits(), 0);
+  EXPECT_EQ(t.total_bits(), 16);
+  EXPECT_EQ(t.to_string(), "bit_vector(15 downto 0)");
+}
+
+TEST(TypeTest, IntegerIsSigned) {
+  Type t = Type::integer();
+  EXPECT_TRUE(t.is_signed());
+  EXPECT_EQ(t.scalar_width(), 32);
+  EXPECT_EQ(t.to_string(), "integer");
+  EXPECT_EQ(Type::integer(16).to_string(), "integer<16>");
+}
+
+TEST(TypeTest, ArrayGeometry) {
+  // The paper's trru arrays: 128 16-bit entries -> 7 address bits.
+  Type t = Type::array(Type::bits(16), 128);
+  EXPECT_TRUE(t.is_array());
+  EXPECT_EQ(t.scalar_width(), 16);
+  EXPECT_EQ(t.array_size(), 128);
+  EXPECT_EQ(t.address_bits(), 7);
+  EXPECT_EQ(t.total_bits(), 2048);
+  EXPECT_EQ(t.element(), Type::bits(16));
+}
+
+TEST(TypeTest, Fig3MemAddressBits) {
+  // MEM : array(0 to 63) of 16 bits -> 6 address bits.
+  Type mem = Type::array(Type::bits(16), 64);
+  EXPECT_EQ(mem.address_bits(), 6);
+}
+
+TEST(TypeTest, NonPowerOfTwoArraySize) {
+  // InitMemberFunct has 1920 entries -> ceil(log2 1920) = 11 bits.
+  Type t = Type::array(Type::integer(16), 1920);
+  EXPECT_EQ(t.address_bits(), 11);
+}
+
+TEST(TypeTest, SignedArrayElements) {
+  Type t = Type::array(Type::integer(16), 4);
+  EXPECT_TRUE(t.is_signed());
+  EXPECT_TRUE(t.element().is_signed());
+}
+
+TEST(TypeTest, NestedArraysRejected) {
+  Type inner = Type::array(Type::bits(8), 4);
+  EXPECT_THROW(Type::array(inner, 4), InternalError);
+}
+
+TEST(TypeTest, InvalidSizesRejected) {
+  EXPECT_THROW(Type::bits(0), InternalError);
+  EXPECT_THROW(Type::integer(-1), InternalError);
+  EXPECT_THROW(Type::array(Type::bits(8), 0), InternalError);
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Type::bits(8), Type::bits(8));
+  EXPECT_NE(Type::bits(8), Type::bits(9));
+  EXPECT_NE(Type::bits(32), Type::integer(32));
+  EXPECT_EQ(Type::array(Type::bits(8), 4), Type::array(Type::bits(8), 4));
+  EXPECT_NE(Type::array(Type::bits(8), 4), Type::array(Type::integer(8), 4));
+}
+
+/// bits_to_encode is shared between array addressing and protocol
+/// generation's ID assignment ("log2(N) lines").
+class BitsToEncode : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BitsToEncode, MatchesCeilLog2) {
+  const auto [n, expected] = GetParam();
+  EXPECT_EQ(bits_to_encode(n), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, BitsToEncode,
+    ::testing::Values(std::pair{1, 0}, std::pair{2, 1}, std::pair{3, 2},
+                      std::pair{4, 2}, std::pair{5, 3}, std::pair{8, 3},
+                      std::pair{9, 4}, std::pair{64, 6}, std::pair{65, 7},
+                      std::pair{128, 7}, std::pair{1920, 11},
+                      std::pair{2048, 11}, std::pair{2049, 12}));
+
+TEST(TypeTest, BitsToEncodeRejectsNonPositive) {
+  EXPECT_THROW(bits_to_encode(0), InternalError);
+}
+
+}  // namespace
+}  // namespace ifsyn::spec

@@ -1,0 +1,98 @@
+// Status / Result error plumbing.
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = infeasible("no feasible buswidth in [1, 23]");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.to_string(), "INFEASIBLE: no feasible buswidth in [1, 23]");
+}
+
+TEST(StatusTest, AllFactoriesProduceTheirCode) {
+  EXPECT_EQ(invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(simulation_error("x").code(), StatusCode::kSimulationError);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::ok(), Status());
+  EXPECT_EQ(not_found("a"), not_found("a"));
+  EXPECT_NE(not_found("a"), not_found("b"));
+  EXPECT_NE(not_found("a"), invalid_argument("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnsupported), "UNSUPPORTED");
+  EXPECT_STREQ(status_code_name(StatusCode::kSimulationError),
+               "SIMULATION_ERROR");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(not_found("nope"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueAccessOnErrorAsserts) {
+  Result<int> r(not_found("nope"));
+  EXPECT_THROW(r.value(), InternalError);
+}
+
+TEST(ResultTest, ConstructionFromOkStatusAsserts) {
+  EXPECT_THROW(Result<int>(Status::ok()), InternalError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status helper_propagates(bool fail) {
+  IFSYN_RETURN_IF_ERROR(fail ? invalid_argument("inner") : Status::ok());
+  return Status::ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(helper_propagates(false).is_ok());
+  EXPECT_EQ(helper_propagates(true).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssertTest, MessageContainsExpressionAndLocation) {
+  try {
+    IFSYN_ASSERT_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("status_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ifsyn
