@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_channel_merging.dir/bench_fig2_channel_merging.cpp.o"
+  "CMakeFiles/bench_fig2_channel_merging.dir/bench_fig2_channel_merging.cpp.o.d"
+  "bench_fig2_channel_merging"
+  "bench_fig2_channel_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_channel_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

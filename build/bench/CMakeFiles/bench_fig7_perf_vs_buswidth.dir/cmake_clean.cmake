@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_perf_vs_buswidth.dir/bench_fig7_perf_vs_buswidth.cpp.o"
+  "CMakeFiles/bench_fig7_perf_vs_buswidth.dir/bench_fig7_perf_vs_buswidth.cpp.o.d"
+  "bench_fig7_perf_vs_buswidth"
+  "bench_fig7_perf_vs_buswidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_perf_vs_buswidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

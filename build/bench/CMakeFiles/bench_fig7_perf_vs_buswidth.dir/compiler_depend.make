@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_perf_vs_buswidth.
+# This may be replaced when dependencies are built.

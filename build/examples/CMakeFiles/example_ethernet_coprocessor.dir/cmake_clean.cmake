@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ethernet_coprocessor.dir/ethernet_coprocessor.cpp.o"
+  "CMakeFiles/example_ethernet_coprocessor.dir/ethernet_coprocessor.cpp.o.d"
+  "ethernet_coprocessor"
+  "ethernet_coprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ethernet_coprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ethernet_coprocessor.
+# This may be replaced when dependencies are built.

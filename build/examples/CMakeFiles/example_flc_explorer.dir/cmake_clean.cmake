@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flc_explorer.dir/flc_explorer.cpp.o"
+  "CMakeFiles/example_flc_explorer.dir/flc_explorer.cpp.o.d"
+  "flc_explorer"
+  "flc_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flc_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ifsyn_tool.dir/ifsyn_tool.cpp.o"
+  "CMakeFiles/example_ifsyn_tool.dir/ifsyn_tool.cpp.o.d"
+  "ifsyn_tool"
+  "ifsyn_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ifsyn_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

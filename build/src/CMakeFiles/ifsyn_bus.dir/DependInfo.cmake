@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/bus_generator.cpp" "src/CMakeFiles/ifsyn_bus.dir/bus/bus_generator.cpp.o" "gcc" "src/CMakeFiles/ifsyn_bus.dir/bus/bus_generator.cpp.o.d"
+  "/root/repo/src/bus/channel_trace.cpp" "src/CMakeFiles/ifsyn_bus.dir/bus/channel_trace.cpp.o" "gcc" "src/CMakeFiles/ifsyn_bus.dir/bus/channel_trace.cpp.o.d"
+  "/root/repo/src/bus/constraints.cpp" "src/CMakeFiles/ifsyn_bus.dir/bus/constraints.cpp.o" "gcc" "src/CMakeFiles/ifsyn_bus.dir/bus/constraints.cpp.o.d"
+  "/root/repo/src/bus/lane_allocator.cpp" "src/CMakeFiles/ifsyn_bus.dir/bus/lane_allocator.cpp.o" "gcc" "src/CMakeFiles/ifsyn_bus.dir/bus/lane_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ifsyn_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

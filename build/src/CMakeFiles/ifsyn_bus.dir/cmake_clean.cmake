@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_bus.dir/bus/bus_generator.cpp.o"
+  "CMakeFiles/ifsyn_bus.dir/bus/bus_generator.cpp.o.d"
+  "CMakeFiles/ifsyn_bus.dir/bus/channel_trace.cpp.o"
+  "CMakeFiles/ifsyn_bus.dir/bus/channel_trace.cpp.o.d"
+  "CMakeFiles/ifsyn_bus.dir/bus/constraints.cpp.o"
+  "CMakeFiles/ifsyn_bus.dir/bus/constraints.cpp.o.d"
+  "CMakeFiles/ifsyn_bus.dir/bus/lane_allocator.cpp.o"
+  "CMakeFiles/ifsyn_bus.dir/bus/lane_allocator.cpp.o.d"
+  "libifsyn_bus.a"
+  "libifsyn_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_codegen.dir/codegen/vhdl_emitter.cpp.o"
+  "CMakeFiles/ifsyn_codegen.dir/codegen/vhdl_emitter.cpp.o.d"
+  "libifsyn_codegen.a"
+  "libifsyn_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

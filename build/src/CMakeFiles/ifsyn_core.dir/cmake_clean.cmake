@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_core.dir/core/equivalence.cpp.o"
+  "CMakeFiles/ifsyn_core.dir/core/equivalence.cpp.o.d"
+  "CMakeFiles/ifsyn_core.dir/core/interface_synthesizer.cpp.o"
+  "CMakeFiles/ifsyn_core.dir/core/interface_synthesizer.cpp.o.d"
+  "CMakeFiles/ifsyn_core.dir/core/report.cpp.o"
+  "CMakeFiles/ifsyn_core.dir/core/report.cpp.o.d"
+  "libifsyn_core.a"
+  "libifsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/performance_estimator.cpp" "src/CMakeFiles/ifsyn_estimate.dir/estimate/performance_estimator.cpp.o" "gcc" "src/CMakeFiles/ifsyn_estimate.dir/estimate/performance_estimator.cpp.o.d"
+  "/root/repo/src/estimate/rate_model.cpp" "src/CMakeFiles/ifsyn_estimate.dir/estimate/rate_model.cpp.o" "gcc" "src/CMakeFiles/ifsyn_estimate.dir/estimate/rate_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ifsyn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_estimate.dir/estimate/performance_estimator.cpp.o"
+  "CMakeFiles/ifsyn_estimate.dir/estimate/performance_estimator.cpp.o.d"
+  "CMakeFiles/ifsyn_estimate.dir/estimate/rate_model.cpp.o"
+  "CMakeFiles/ifsyn_estimate.dir/estimate/rate_model.cpp.o.d"
+  "libifsyn_estimate.a"
+  "libifsyn_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

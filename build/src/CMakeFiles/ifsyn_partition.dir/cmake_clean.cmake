@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_partition.dir/partition/partitioner.cpp.o"
+  "CMakeFiles/ifsyn_partition.dir/partition/partitioner.cpp.o.d"
+  "libifsyn_partition.a"
+  "libifsyn_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

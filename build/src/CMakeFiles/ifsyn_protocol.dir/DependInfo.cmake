@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/id_assignment.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/id_assignment.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/id_assignment.cpp.o.d"
+  "/root/repo/src/protocol/procedure_synthesis.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/procedure_synthesis.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/procedure_synthesis.cpp.o.d"
+  "/root/repo/src/protocol/protocol_generator.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/protocol_generator.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/protocol_generator.cpp.o.d"
+  "/root/repo/src/protocol/protocol_library.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/protocol_library.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/protocol_library.cpp.o.d"
+  "/root/repo/src/protocol/reference_rewriter.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/reference_rewriter.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/reference_rewriter.cpp.o.d"
+  "/root/repo/src/protocol/trace_analyzer.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/trace_analyzer.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/trace_analyzer.cpp.o.d"
+  "/root/repo/src/protocol/variable_process.cpp" "src/CMakeFiles/ifsyn_protocol.dir/protocol/variable_process.cpp.o" "gcc" "src/CMakeFiles/ifsyn_protocol.dir/protocol/variable_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ifsyn_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

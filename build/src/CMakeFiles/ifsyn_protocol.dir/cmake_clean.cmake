@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_protocol.dir/protocol/id_assignment.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/id_assignment.cpp.o.d"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/procedure_synthesis.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/procedure_synthesis.cpp.o.d"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/protocol_generator.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/protocol_generator.cpp.o.d"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/protocol_library.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/protocol_library.cpp.o.d"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/reference_rewriter.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/reference_rewriter.cpp.o.d"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/trace_analyzer.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/trace_analyzer.cpp.o.d"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/variable_process.cpp.o"
+  "CMakeFiles/ifsyn_protocol.dir/protocol/variable_process.cpp.o.d"
+  "libifsyn_protocol.a"
+  "libifsyn_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_sim.dir/sim/interpreter.cpp.o"
+  "CMakeFiles/ifsyn_sim.dir/sim/interpreter.cpp.o.d"
+  "CMakeFiles/ifsyn_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/ifsyn_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/ifsyn_sim.dir/sim/vcd.cpp.o"
+  "CMakeFiles/ifsyn_sim.dir/sim/vcd.cpp.o.d"
+  "libifsyn_sim.a"
+  "libifsyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

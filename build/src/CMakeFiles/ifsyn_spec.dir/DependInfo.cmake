@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/analysis.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/analysis.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/analysis.cpp.o.d"
+  "/root/repo/src/spec/expr.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/expr.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/expr.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/parser.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/parser.cpp.o.d"
+  "/root/repo/src/spec/printer.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/printer.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/printer.cpp.o.d"
+  "/root/repo/src/spec/stmt.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/stmt.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/stmt.cpp.o.d"
+  "/root/repo/src/spec/system.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/system.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/system.cpp.o.d"
+  "/root/repo/src/spec/type.cpp" "src/CMakeFiles/ifsyn_spec.dir/spec/type.cpp.o" "gcc" "src/CMakeFiles/ifsyn_spec.dir/spec/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ifsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_spec.dir/spec/analysis.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/analysis.cpp.o.d"
+  "CMakeFiles/ifsyn_spec.dir/spec/expr.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/expr.cpp.o.d"
+  "CMakeFiles/ifsyn_spec.dir/spec/parser.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/parser.cpp.o.d"
+  "CMakeFiles/ifsyn_spec.dir/spec/printer.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/printer.cpp.o.d"
+  "CMakeFiles/ifsyn_spec.dir/spec/stmt.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/stmt.cpp.o.d"
+  "CMakeFiles/ifsyn_spec.dir/spec/system.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/system.cpp.o.d"
+  "CMakeFiles/ifsyn_spec.dir/spec/type.cpp.o"
+  "CMakeFiles/ifsyn_spec.dir/spec/type.cpp.o.d"
+  "libifsyn_spec.a"
+  "libifsyn_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_suite.dir/suite/answering_machine.cpp.o"
+  "CMakeFiles/ifsyn_suite.dir/suite/answering_machine.cpp.o.d"
+  "CMakeFiles/ifsyn_suite.dir/suite/ethernet_coprocessor.cpp.o"
+  "CMakeFiles/ifsyn_suite.dir/suite/ethernet_coprocessor.cpp.o.d"
+  "CMakeFiles/ifsyn_suite.dir/suite/fig3_example.cpp.o"
+  "CMakeFiles/ifsyn_suite.dir/suite/fig3_example.cpp.o.d"
+  "CMakeFiles/ifsyn_suite.dir/suite/flc.cpp.o"
+  "CMakeFiles/ifsyn_suite.dir/suite/flc.cpp.o.d"
+  "libifsyn_suite.a"
+  "libifsyn_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

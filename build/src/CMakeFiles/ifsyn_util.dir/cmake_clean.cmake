@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifsyn_util.dir/util/bit_vector.cpp.o"
+  "CMakeFiles/ifsyn_util.dir/util/bit_vector.cpp.o.d"
+  "CMakeFiles/ifsyn_util.dir/util/status.cpp.o"
+  "CMakeFiles/ifsyn_util.dir/util/status.cpp.o.d"
+  "libifsyn_util.a"
+  "libifsyn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifsyn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_generator_test.dir/bus/bus_generator_test.cpp.o"
+  "CMakeFiles/bus_generator_test.dir/bus/bus_generator_test.cpp.o.d"
+  "bus_generator_test"
+  "bus_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_trace_test.dir/bus/channel_trace_test.cpp.o"
+  "CMakeFiles/channel_trace_test.dir/bus/channel_trace_test.cpp.o.d"
+  "channel_trace_test"
+  "channel_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

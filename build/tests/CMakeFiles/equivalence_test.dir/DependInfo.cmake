@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/equivalence_test.cpp" "tests/CMakeFiles/equivalence_test.dir/core/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/core/equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ifsyn_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ifsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_equivalence_test.dir/integration/fuzz_equivalence_test.cpp.o"
+  "CMakeFiles/fuzz_equivalence_test.dir/integration/fuzz_equivalence_test.cpp.o.d"
+  "fuzz_equivalence_test"
+  "fuzz_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

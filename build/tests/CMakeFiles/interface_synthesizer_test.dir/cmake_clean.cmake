@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_synthesizer_test.dir/core/interface_synthesizer_test.cpp.o"
+  "CMakeFiles/interface_synthesizer_test.dir/core/interface_synthesizer_test.cpp.o.d"
+  "interface_synthesizer_test"
+  "interface_synthesizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_synthesizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

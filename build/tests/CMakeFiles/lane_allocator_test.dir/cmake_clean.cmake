@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lane_allocator_test.dir/bus/lane_allocator_test.cpp.o"
+  "CMakeFiles/lane_allocator_test.dir/bus/lane_allocator_test.cpp.o.d"
+  "lane_allocator_test"
+  "lane_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lane_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_estimator_test.dir/estimate/performance_estimator_test.cpp.o"
+  "CMakeFiles/performance_estimator_test.dir/estimate/performance_estimator_test.cpp.o.d"
+  "performance_estimator_test"
+  "performance_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

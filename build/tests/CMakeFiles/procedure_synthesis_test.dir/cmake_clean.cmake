@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedure_synthesis_test.dir/protocol/procedure_synthesis_test.cpp.o"
+  "CMakeFiles/procedure_synthesis_test.dir/protocol/procedure_synthesis_test.cpp.o.d"
+  "procedure_synthesis_test"
+  "procedure_synthesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedure_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

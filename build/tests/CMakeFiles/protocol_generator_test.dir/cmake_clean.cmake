@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_generator_test.dir/protocol/protocol_generator_test.cpp.o"
+  "CMakeFiles/protocol_generator_test.dir/protocol/protocol_generator_test.cpp.o.d"
+  "protocol_generator_test"
+  "protocol_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

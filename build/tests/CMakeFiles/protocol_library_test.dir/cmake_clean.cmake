@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_library_test.dir/protocol/protocol_library_test.cpp.o"
+  "CMakeFiles/protocol_library_test.dir/protocol/protocol_library_test.cpp.o.d"
+  "protocol_library_test"
+  "protocol_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

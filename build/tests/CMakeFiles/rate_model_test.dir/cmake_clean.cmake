@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_model_test.dir/estimate/rate_model_test.cpp.o"
+  "CMakeFiles/rate_model_test.dir/estimate/rate_model_test.cpp.o.d"
+  "rate_model_test"
+  "rate_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_rewriter_test.dir/protocol/reference_rewriter_test.cpp.o"
+  "CMakeFiles/reference_rewriter_test.dir/protocol/reference_rewriter_test.cpp.o.d"
+  "reference_rewriter_test"
+  "reference_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

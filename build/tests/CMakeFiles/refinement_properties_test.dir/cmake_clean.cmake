@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_properties_test.dir/integration/refinement_properties_test.cpp.o"
+  "CMakeFiles/refinement_properties_test.dir/integration/refinement_properties_test.cpp.o.d"
+  "refinement_properties_test"
+  "refinement_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_end_to_end_test.dir/integration/suite_end_to_end_test.cpp.o"
+  "CMakeFiles/suite_end_to_end_test.dir/integration/suite_end_to_end_test.cpp.o.d"
+  "suite_end_to_end_test"
+  "suite_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

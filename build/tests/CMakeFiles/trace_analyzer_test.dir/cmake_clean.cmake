@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_analyzer_test.dir/protocol/trace_analyzer_test.cpp.o"
+  "CMakeFiles/trace_analyzer_test.dir/protocol/trace_analyzer_test.cpp.o.d"
+  "trace_analyzer_test"
+  "trace_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_emitter_test.dir/codegen/vhdl_emitter_test.cpp.o"
+  "CMakeFiles/vhdl_emitter_test.dir/codegen/vhdl_emitter_test.cpp.o.d"
+  "vhdl_emitter_test"
+  "vhdl_emitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
