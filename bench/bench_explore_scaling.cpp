@@ -1,0 +1,142 @@
+// Thread-scaling benchmark for the design-space exploration engine
+// (src/explore): runs the same exploration at 1/2/4/8 worker threads on
+// the FLC and Ethernet suites, reports wall-clock speedup, and asserts
+// the engine's determinism guarantee — the rendered Pareto reports must
+// be byte-identical across all thread counts.
+//
+// Exit code is non-zero when determinism fails, or when the machine has
+// >= 4 cores but the FLC sweep fails to reach 2x speedup at 4 threads.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "explore/report.hpp"
+#include "suite/ethernet_coprocessor.hpp"
+#include "suite/flc.hpp"
+
+using namespace ifsyn;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct SuiteRun {
+  std::string name;
+  spec::System system;
+  explore::ExploreOptions options;
+};
+
+struct Measurement {
+  int threads = 1;
+  double best_ms = 0.0;
+  std::string markdown;
+  std::string json;
+};
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kRepeats = 3;
+
+Measurement measure(const SuiteRun& suite, int threads) {
+  Measurement m;
+  m.threads = threads;
+  explore::ExploreOptions options = suite.options;
+  options.threads = threads;
+  explore::Explorer explorer(suite.system, options);
+  m.best_ms = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const auto start = Clock::now();
+    Result<explore::ExplorationResult> result = explorer.run();
+    const auto stop = Clock::now();
+    if (!result.is_ok()) {
+      std::printf("exploration failed at %d threads: %s\n", threads,
+                  result.status().to_string().c_str());
+      std::exit(1);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < m.best_ms) m.best_ms = ms;
+    if (rep == 0) {
+      m.markdown =
+          explore::render_exploration_markdown(suite.system, options, *result);
+      m.json = explore::render_exploration_json(suite.system, options, *result);
+    }
+  }
+  return m;
+}
+
+/// Runs one suite across all thread counts. Returns the 1->4 thread
+/// speedup; sets `deterministic` false on any byte mismatch.
+double run_suite(const SuiteRun& suite, bool* deterministic) {
+  std::printf("--- %s ---\n", suite.name.c_str());
+  std::printf("%8s | %10s | %8s | %s\n", "threads", "best (ms)", "speedup",
+              "reports identical to 1-thread run");
+
+  std::vector<Measurement> runs;
+  for (int threads : kThreadCounts) runs.push_back(measure(suite, threads));
+
+  double speedup_at_4 = 0.0;
+  for (const Measurement& m : runs) {
+    const bool same = m.markdown == runs[0].markdown && m.json == runs[0].json;
+    if (!same) *deterministic = false;
+    const double speedup = runs[0].best_ms / m.best_ms;
+    if (m.threads == 4) speedup_at_4 = speedup;
+    std::printf("%8d | %10.2f | %7.2fx | %s\n", m.threads, m.best_ms, speedup,
+                m.threads == 1 ? "(baseline)" : (same ? "yes" : "NO"));
+  }
+  std::printf("\n");
+  return speedup_at_4;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Design-space exploration: thread scaling ===\n");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u, repeats per point: %d "
+              "(best-of reported)\n\n",
+              cores, kRepeats);
+
+  // The FLC sweep of the acceptance criterion: full controller, all three
+  // shared protocols, alternative groupings, and enough survivors that
+  // sim validation dominates the wall clock.
+  SuiteRun flc{"FLC sweep (make_flc_full)", suite::make_flc_full(), {}};
+  flc.options.space.protocols = {spec::ProtocolKind::kFullHandshake,
+                                 spec::ProtocolKind::kHalfHandshake,
+                                 spec::ProtocolKind::kFixedDelay};
+  flc.options.space.alternative_groupings = true;
+  flc.options.top_k = 8;
+  flc.options.compute_cycles_override = {
+      {"EVAL_R3", suite::FlcCalibration::kEvalR3ComputeCycles},
+      {"CONV_R2", suite::FlcCalibration::kConvR2ComputeCycles},
+  };
+
+  SuiteRun ethernet{"Ethernet coprocessor", suite::make_ethernet_coprocessor(),
+                    {}};
+  ethernet.options.space.protocols = {spec::ProtocolKind::kFullHandshake,
+                                      spec::ProtocolKind::kHalfHandshake,
+                                      spec::ProtocolKind::kFixedDelay};
+  ethernet.options.space.alternative_groupings = true;
+  ethernet.options.top_k = 8;
+
+  bool deterministic = true;
+  const double flc_speedup = run_suite(flc, &deterministic);
+  run_suite(ethernet, &deterministic);
+
+  std::printf("checks:\n");
+  std::printf("  byte-identical reports across thread counts: %s\n",
+              deterministic ? "PASS" : "FAIL");
+  bool speedup_ok = true;
+  if (cores >= 4) {
+    speedup_ok = flc_speedup >= 2.0;
+    std::printf("  FLC sweep >= 2x speedup at 4 threads:        %s "
+                "(%.2fx)\n",
+                speedup_ok ? "PASS" : "FAIL", flc_speedup);
+  } else {
+    std::printf("  FLC sweep speedup at 4 threads: %.2fx "
+                "(< 4 cores, not enforced)\n",
+                flc_speedup);
+  }
+  return (deterministic && speedup_ok) ? 0 : 1;
+}

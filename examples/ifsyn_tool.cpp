@@ -12,11 +12,27 @@
 //     --vcd <file>                       dump the refined run's waveform
 //     --report <file>                    write a Markdown synthesis report
 //
+//   ifsyn_tool explore <spec.ifs> [options]
+//
+//     --threads N                        worker pool size (default 1)
+//     --top-k K                          sim-validate the best K front points
+//     --protocols full,half,fixed        protocols to enumerate
+//     --widths LO:HI                     width range (default 1:largest msg)
+//     --fixed-delay N                    cycles/word for fixed-delay points
+//     --max-clocks PROC=N                per-process execution-time limit
+//     --alt-groupings                    also try single-bus / per-accessor /
+//                                        per-channel channel groupings
+//     --sim-max-time N                   budget per validation run (cycles)
+//     --report <file>                    write the exploration Markdown
+//     --json <file>                      write the exploration JSON
+//
 // Reads a textual specification (see src/spec/parser.hpp for the
 // language), runs interface synthesis (bus generation for groups without
 // a pinned width + protocol generation), reports the synthesized bus
 // structures, co-simulates original vs refined, and optionally emits
-// VHDL -- the complete Fig. 1 flow from a file.
+// VHDL -- the complete Fig. 1 flow from a file. The explore subcommand
+// instead sweeps the whole design space (grouping x protocol x width) in
+// parallel and prints the Pareto front (see src/explore/).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -27,6 +43,8 @@
 #include "core/equivalence.hpp"
 #include "core/interface_synthesizer.hpp"
 #include "core/report.hpp"
+#include "explore/explorer.hpp"
+#include "explore/report.hpp"
 #include "protocol/trace_analyzer.hpp"
 #include "sim/vcd.hpp"
 #include "spec/parser.hpp"
@@ -41,15 +59,158 @@ int usage(const char* argv0) {
                "usage: %s <spec.ifs> [--protocol full|half|fixed|wired] "
                "[--fixed-delay N] [--arbitrate]\n"
                "          [--emit-vhdl <file>] [--print-spec] [--no-cosim] "
-               "[--max-time N] [--vcd <file>] [--report <file>]\n",
-               argv0);
+               "[--max-time N] [--vcd <file>] [--report <file>]\n"
+               "       %s explore <spec.ifs> [--threads N] [--top-k K] "
+               "[--protocols full,half,fixed]\n"
+               "          [--widths LO:HI] [--fixed-delay N] "
+               "[--max-clocks PROC=N] [--alt-groupings]\n"
+               "          [--sim-max-time N] [--report <file>] "
+               "[--json <file>]\n",
+               argv0, argv0);
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int explore_main(int argc, char** argv, const char* argv0) {
+  std::string spec_path;
+  std::string report_path;
+  std::string json_path;
+  explore::ExploreOptions options;
+  options.top_k = 0;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = std::atoi(next_value("--threads"));
+    } else if (arg == "--top-k") {
+      options.top_k = std::atoi(next_value("--top-k"));
+    } else if (arg == "--protocols") {
+      options.space.protocols.clear();
+      std::string list = next_value("--protocols");
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (name == "full")
+          options.space.protocols.push_back(spec::ProtocolKind::kFullHandshake);
+        else if (name == "half")
+          options.space.protocols.push_back(spec::ProtocolKind::kHalfHandshake);
+        else if (name == "fixed")
+          options.space.protocols.push_back(spec::ProtocolKind::kFixedDelay);
+        else {
+          std::fprintf(stderr, "unknown protocol '%s'\n", name.c_str());
+          return 2;
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--widths") {
+      const std::string range = next_value("--widths");
+      const std::size_t colon = range.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--widths wants LO:HI\n");
+        return 2;
+      }
+      options.space.min_width = std::atoi(range.substr(0, colon).c_str());
+      options.space.max_width = std::atoi(range.substr(colon + 1).c_str());
+    } else if (arg == "--fixed-delay") {
+      options.space.fixed_delay_cycles = std::atoi(next_value("--fixed-delay"));
+    } else if (arg == "--max-clocks") {
+      const std::string constraint = next_value("--max-clocks");
+      const std::size_t eq = constraint.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--max-clocks wants PROC=N\n");
+        return 2;
+      }
+      options.max_execution_clocks[constraint.substr(0, eq)] =
+          std::atoll(constraint.substr(eq + 1).c_str());
+    } else if (arg == "--alt-groupings") {
+      options.space.alternative_groupings = true;
+    } else if (arg == "--sim-max-time") {
+      options.sim_max_time =
+          std::strtoull(next_value("--sim-max-time"), nullptr, 10);
+    } else if (arg == "--report") {
+      report_path = next_value("--report");
+    } else if (arg == "--json") {
+      json_path = next_value("--json");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv0);
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (spec_path.empty()) return usage(argv0);
+
+  Result<spec::System> parsed = spec::parse_system_file(spec_path);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().to_string().c_str());
+    return 1;
+  }
+  spec::System system = std::move(parsed).value();
+
+  explore::Explorer explorer(system, options);
+  Result<explore::ExplorationResult> result = explorer.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "exploration failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+
+  const std::string markdown =
+      explore::render_exploration_markdown(system, options, *result);
+  std::printf("%s", markdown.c_str());
+
+  if (!report_path.empty()) {
+    if (!write_file(report_path, markdown)) return 1;
+    std::printf("wrote exploration report to %s\n", report_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!write_file(json_path,
+                    explore::render_exploration_json(system, options,
+                                                     *result))) {
+      return 1;
+    }
+    std::printf("wrote exploration JSON to %s\n", json_path.c_str());
+  }
+
+  // Exit nonzero when a validated survivor failed co-simulation: the
+  // estimates recommended something the sim refutes.
+  for (std::size_t index : result->validated) {
+    const explore::PointResult& point = result->points[index];
+    if (!point.sim_ok || !point.equivalent) return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "explore") == 0) {
+    return explore_main(argc - 2, argv + 2, argv[0]);
+  }
 
   std::string spec_path;
   std::string vhdl_path;

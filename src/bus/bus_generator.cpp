@@ -94,8 +94,12 @@ Result<BusGenResult> BusGenerator::generate(const spec::BusGroup& bus,
   result.selected_width = winner.width;
   result.selected_bus_rate = winner.bus_rate;
   result.selected_cost = winner.cost;
+  // total_channel_bits is positive whenever the group has channels, but a
+  // zero-width message would make the ratio NaN; report 0 instead.
   result.interconnect_reduction =
-      1.0 - static_cast<double>(winner.width) / result.total_channel_bits;
+      result.total_channel_bits > 0
+          ? 1.0 - static_cast<double>(winner.width) / result.total_channel_bits
+          : 0.0;
   return result;
 }
 

@@ -140,6 +140,12 @@ std::string render_markdown_report(const ReportInputs& inputs) {
        << inputs.synthesis->dedicated_data_pins << " dedicated ("
        << std::fixed << std::setprecision(1)
        << inputs.synthesis->interconnect_reduction * 100 << " % reduction)\n";
+  } else {
+    // No cross-module channels means no dedicated-pin baseline; the
+    // reduction ratio is undefined, so report 0 with a note rather than
+    // dividing by zero.
+    os << "- data pins: 0 merged vs 0 dedicated "
+          "(reduction 0.0 % — no cross-module channels)\n";
   }
   os << "\n";
 

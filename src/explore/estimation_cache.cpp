@@ -1,0 +1,37 @@
+#include "explore/estimation_cache.hpp"
+
+namespace ifsyn::explore {
+
+GroupEstimate EstimationCache::get_or_compute(
+    const EstimationKey& key,
+    const std::function<GroupEstimate()>& compute) {
+  std::promise<GroupEstimate> promise;
+  std::shared_future<GroupEstimate> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      owner = true;
+      future = promise.get_future().share();
+      map_.emplace(key, future);
+    }
+  }
+  if (owner) {
+    // Compute outside the lock so other keys proceed in parallel; threads
+    // that raced on this key block on the shared future below.
+    promise.set_value(compute());
+  }
+  return future.get();
+}
+
+std::size_t EstimationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace ifsyn::explore

@@ -1,0 +1,92 @@
+// ifsyn/explore/estimation_cache.hpp
+//
+// Thread-safe memoization of per-group estimation results, keyed by
+// (group signature, width, protocol, fixed delay). Grouping plans overlap
+// heavily — the same channel set shows up in "as-grouped" and
+// "single-bus", and every plan revisits every width — so the exploration
+// engine would otherwise recompute identical Eq. 1 evaluations many times
+// over.
+//
+// Each key is computed exactly once: the first thread to miss installs a
+// shared future and computes the value outside the lock; concurrent
+// requesters for the same key block on that future instead of duplicating
+// the work. Because "who computes" never changes *what* is computed, and
+// every key misses exactly once, the hit/miss counters are themselves
+// deterministic across thread counts — they can appear in reports without
+// breaking the engine's byte-identical-output guarantee.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "spec/system.hpp"
+
+namespace ifsyn::explore {
+
+struct EstimationKey {
+  std::string group_signature;  ///< GroupingPlan::group_signature
+  int width = 0;
+  spec::ProtocolKind protocol = spec::ProtocolKind::kFullHandshake;
+  int fixed_delay_cycles = 2;
+
+  friend bool operator==(const EstimationKey&,
+                         const EstimationKey&) = default;
+};
+
+struct EstimationKeyHash {
+  std::size_t operator()(const EstimationKey& key) const {
+    std::size_t h = std::hash<std::string>{}(key.group_signature);
+    const auto mix = [&h](std::size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::size_t>(key.width));
+    mix(static_cast<std::size_t>(key.protocol));
+    mix(static_cast<std::size_t>(key.fixed_delay_cycles));
+    return h;
+  }
+};
+
+/// What one (group, width, protocol) evaluation yields: the Eq. 1 verdict
+/// plus the wire budget and the slowest accessor, everything a DesignPoint
+/// aggregates from its groups.
+struct GroupEstimate {
+  bool feasible = false;
+  double bus_rate = 0;           ///< Eq. 2
+  double sum_average_rates = 0;  ///< right side of Eq. 1
+  int id_bits = 0;
+  int control_lines = 0;
+  int total_wires = 0;  ///< width + control + id
+  /// Worst execution time among the processes accessing this group's
+  /// channels (each accessor pays for *all* its channels at this width).
+  long long worst_accessor_clocks = 0;
+  std::string worst_accessor;
+};
+
+class EstimationCache {
+ public:
+  /// Returns the cached estimate for `key`, computing it via `compute` on
+  /// the first request. `compute` must be pure with respect to the key.
+  GroupEstimate get_or_compute(
+      const EstimationKey& key,
+      const std::function<GroupEstimate()>& compute);
+
+  /// Lookups served from memory. Deterministic (see file comment).
+  std::uint64_t hits() const { return hits_; }
+  /// Lookups that computed: exactly one per distinct key.
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<EstimationKey, std::shared_future<GroupEstimate>,
+                     EstimationKeyHash>
+      map_;
+  std::uint64_t hits_ = 0;    // guarded by mu_
+  std::uint64_t misses_ = 0;  // guarded by mu_
+};
+
+}  // namespace ifsyn::explore

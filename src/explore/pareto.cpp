@@ -1,0 +1,44 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+
+namespace ifsyn::explore {
+
+ParetoFront ParetoFront::build(std::vector<ParetoEntry> candidates) {
+  // Sort by (wires, clocks, index): after this, an entry can only be
+  // dominated by an earlier one, and ties collapse onto the lowest index.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ParetoEntry& a, const ParetoEntry& b) {
+              if (a.total_wires != b.total_wires)
+                return a.total_wires < b.total_wires;
+              if (a.worst_case_clocks != b.worst_case_clocks)
+                return a.worst_case_clocks < b.worst_case_clocks;
+              return a.point_index < b.point_index;
+            });
+
+  ParetoFront front;
+  long long best_clocks = 0;
+  bool have_best = false;
+  for (const ParetoEntry& entry : candidates) {
+    // Entries arrive in ascending wire order, so `entry` survives iff it
+    // strictly improves the best clock count seen so far. (Equal clocks
+    // at higher wire cost = dominated; equal everything = duplicate.)
+    if (have_best && entry.worst_case_clocks >= best_clocks) continue;
+    best_clocks = entry.worst_case_clocks;
+    have_best = true;
+    front.entries_.push_back(entry);
+  }
+  return front;
+}
+
+const ParetoEntry* ParetoFront::knee() const {
+  const ParetoEntry* best = nullptr;
+  for (const ParetoEntry& entry : entries_) {
+    if (!best || entry.worst_case_clocks < best->worst_case_clocks) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+}  // namespace ifsyn::explore

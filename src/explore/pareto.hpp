@@ -1,0 +1,59 @@
+// ifsyn/explore/pareto.hpp
+//
+// Pareto front over the exploration's two objectives, both minimized:
+//
+//   total wires        — the interconnect cost the paper's Sec. 3 trades
+//                        against performance (Fig. 8's designer view);
+//   worst-case clocks  — the slowest process's estimated execution time
+//                        (the y-axis of Fig. 7).
+//
+// The front keeps every non-dominated candidate, sorted by ascending wire
+// count (hence descending clocks). The *knee* is the narrowest point that
+// reaches the global clock minimum: exactly where Fig. 7's curves go flat
+// — 23 pins for the FLC, after which "the data transfer cannot be
+// parallelized any further" and more wires buy nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ifsyn::explore {
+
+/// One candidate on (or competing for) the front. `point_index` ties the
+/// entry back to the exploration's full PointResult record.
+struct ParetoEntry {
+  std::size_t point_index = 0;
+  int total_wires = 0;
+  long long worst_case_clocks = 0;
+
+  /// Strict Pareto dominance: no worse in both objectives, better in one.
+  bool dominates(const ParetoEntry& other) const {
+    return total_wires <= other.total_wires &&
+           worst_case_clocks <= other.worst_case_clocks &&
+           (total_wires < other.total_wires ||
+            worst_case_clocks < other.worst_case_clocks);
+  }
+};
+
+class ParetoFront {
+ public:
+  /// Build the front from candidates. Dominated entries are dropped; of
+  /// entries tied on both objectives the lowest point_index survives
+  /// (first in enumeration order — deterministic).
+  static ParetoFront build(std::vector<ParetoEntry> candidates);
+
+  /// Non-dominated entries, ascending total_wires.
+  const std::vector<ParetoEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// The knee (see file comment): the entry with the minimum worst-case
+  /// clocks — on a front that is unique, the last/widest entry. Null when
+  /// the front is empty.
+  const ParetoEntry* knee() const;
+
+ private:
+  std::vector<ParetoEntry> entries_;
+};
+
+}  // namespace ifsyn::explore

@@ -1,0 +1,28 @@
+// ifsyn/explore/report.hpp
+//
+// Rendering of exploration results, in the same Markdown dialect as
+// core/report (the synthesis report this extends) plus a JSON form for
+// tooling. Both renderers iterate only in deterministic orders (point
+// index, front order) and print nothing schedule- or wall-clock-derived,
+// so their output is byte-identical across thread counts — the property
+// the determinism test asserts.
+#pragma once
+
+#include <string>
+
+#include "explore/explorer.hpp"
+
+namespace ifsyn::explore {
+
+/// Markdown document: design-space summary, stats, the Pareto front with
+/// the knee flagged, and the sim-validation verdicts.
+std::string render_exploration_markdown(const spec::System& system,
+                                        const ExploreOptions& options,
+                                        const ExplorationResult& result);
+
+/// JSON object with the same content plus every evaluated point.
+std::string render_exploration_json(const spec::System& system,
+                                    const ExploreOptions& options,
+                                    const ExplorationResult& result);
+
+}  // namespace ifsyn::explore

@@ -1,0 +1,47 @@
+// ifsyn/explore/work_queue.hpp
+//
+// Deterministic fan-out over an indexed work list: N worker threads pull
+// indices from an atomic counter and each writes only its own result
+// slot. Which thread processes which index varies run to run; *what* is
+// computed for each index does not, and results are merged by index, so
+// the output is identical for any thread count — the exploration engine's
+// core determinism guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ifsyn::explore {
+
+/// Invoke `work(i)` for every i in [0, count) using up to `threads`
+/// workers (1 = run inline on the caller). `work` must only touch state
+/// owned by index i (typically `results[i]`) or thread-safe shared state.
+inline void run_indexed(std::size_t count, int threads,
+                        const std::function<void(std::size_t)>& work) {
+  if (count == 0) return;
+  const std::size_t workers =
+      threads <= 1
+          ? 1
+          : std::min<std::size_t>(static_cast<std::size_t>(threads), count);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&next, count, &work] {
+    for (std::size_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
+      work(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();  // the caller is worker 0
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace ifsyn::explore

@@ -90,6 +90,14 @@ BusGroup& System::add_bus(BusGroup b) {
   return *buses_.back();
 }
 
+void System::clear_buses() {
+  buses_.clear();
+  for (auto& ch : channels_) {
+    ch->bus.clear();
+    ch->id = -1;
+  }
+}
+
 const Variable* System::find_variable(const std::string& name) const {
   return find_by_name(variables_, name);
 }

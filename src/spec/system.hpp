@@ -178,6 +178,13 @@ class System {
   Channel& add_channel(Channel c);
   BusGroup& add_bus(BusGroup b);
 
+  /// Drop every bus group and reset the channels' grouping state (bus
+  /// back-pointer and assigned ID). Used by design-space exploration to
+  /// regroup a cloned system under a different channel-to-bus plan. Only
+  /// valid before protocol generation (generated signals/procedures are
+  /// not removed).
+  void clear_buses();
+
   // ---- lookup (null when absent) ----
   const Variable* find_variable(const std::string& name) const;
   Variable* find_variable(const std::string& name);

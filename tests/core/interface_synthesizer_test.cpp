@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/equivalence.hpp"
+#include "partition/partitioner.hpp"
 #include "suite/fig3_example.hpp"
 #include "suite/flc.hpp"
 
@@ -83,20 +84,90 @@ TEST(SynthesizerTest, PinnedWidthIsRespected) {
   EXPECT_TRUE(report->buses.empty());
 }
 
-TEST(SynthesizerTest, InfeasibleGroupSplitsWhenAllowed) {
+TEST(SynthesizerTest, FeasibleGroupDoesNotSplit) {
   System system = suite::make_flc_kernel();
   SynthesisOptions options = flc_options();
   options.auto_split_infeasible = true;
-  // Cap every width search at 8: the two channels together violate Eq. 1.
   InterfaceSynthesizer synth(options);
-  // Constrain via a pinned narrow range using BusGenOptions is not
-  // exposed per-bus; emulate by shrinking messages' room: set max via
-  // constraints is cost-only, so instead cap by splitting the check:
-  // (This scenario is exercised through BusGenerator directly; here we
-  // verify the no-split happy path keeps one bus.)
   Result<SynthesisReport> report = synth.run(system);
   ASSERT_TRUE(report.is_ok());
   EXPECT_TRUE(report->split_buses.empty());
+}
+
+/// Four processes, each streaming 64 words into its own remote array with
+/// no computation in between (compute cycles pinned to 0). Each channel
+/// then saturates exactly half a full-handshake bus at every width, so
+/// any TWO channels exceed Eq. 1 everywhere — w*ceil(b/w) < 2b for all
+/// w <= b — and the group can only be implemented as dedicated buses.
+System make_saturating_system() {
+  System system("saturated");
+  std::vector<partition::ModuleAssignment> assignment{
+      partition::ModuleAssignment{"CHIP_P", {}, {}},
+      partition::ModuleAssignment{"CHIP_M", {}, {}},
+  };
+  for (int p = 0; p < 4; ++p) {
+    const std::string id = std::to_string(p);
+    system.add_variable(
+        Variable("M" + id, Type::array(Type::bits(16), 64)));
+    Process proc;
+    proc.name = "P" + id;
+    proc.body = Block{for_stmt(
+        "i", lit(0), lit(63),
+        Block{assign(lv_idx("M" + id, var("i")),
+                     add(var("i"), lit(p)))})};
+    system.add_process(std::move(proc));
+    assignment[0].processes.push_back("P" + id);
+    assignment[1].variables.push_back("M" + id);
+  }
+  Status status = partition::apply_partition(system, assignment);
+  EXPECT_TRUE(status.is_ok()) << status;
+  status = partition::group_all_channels(system, "SAT");
+  EXPECT_TRUE(status.is_ok()) << status;
+  return system;
+}
+
+TEST(SynthesizerTest, InfeasibleGroupSplitsIntoReportedBuses) {
+  System original = make_saturating_system();
+  System refined = original.clone("saturated_refined");
+
+  SynthesisOptions options;
+  options.auto_split_infeasible = true;
+  options.arbitrate = true;
+  for (int p = 0; p < 4; ++p) {
+    options.compute_cycles_override["P" + std::to_string(p)] = 0;
+  }
+  InterfaceSynthesizer synth(options);
+  Result<SynthesisReport> report = synth.run(refined);
+  ASSERT_TRUE(report.is_ok()) << report.status();
+
+  // All four channels end up on dedicated buses: the original SAT plus
+  // three split-off ones, all reported.
+  ASSERT_EQ(report->split_buses.size(), 3u);
+  ASSERT_EQ(report->buses.size(), 4u);
+  for (const std::string& name : report->split_buses) {
+    const BusGroup* bus = refined.find_bus(name);
+    ASSERT_NE(bus, nullptr) << name;
+    EXPECT_EQ(bus->channel_names.size(), 1u);
+    EXPECT_GT(bus->width, 0);
+  }
+  EXPECT_EQ(refined.find_bus("SAT")->channel_names.size(), 1u);
+
+  // The refinement must still behave like the original spec.
+  Result<EquivalenceReport> eq = check_equivalence(original, refined);
+  ASSERT_TRUE(eq.is_ok()) << eq.status();
+  EXPECT_TRUE(eq->equivalent)
+      << (eq->mismatches.empty() ? "" : eq->mismatches[0]);
+}
+
+TEST(SynthesizerTest, InfeasibleGroupFailsWhenSplittingDisabled) {
+  System system = make_saturating_system();
+  SynthesisOptions options;
+  options.auto_split_infeasible = false;
+  for (int p = 0; p < 4; ++p) {
+    options.compute_cycles_override["P" + std::to_string(p)] = 0;
+  }
+  InterfaceSynthesizer synth(options);
+  EXPECT_EQ(synth.run(system).status().code(), StatusCode::kInfeasible);
 }
 
 TEST(SynthesizerTest, HardwiredBaselineCountsDedicatedPins) {

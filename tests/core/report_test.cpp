@@ -78,6 +78,24 @@ TEST(ReportTest, OptionalSectionsOmitted) {
   EXPECT_NE(md.find("## Channels"), std::string::npos);
 }
 
+TEST(ReportTest, ZeroChannelSystemRendersWithoutNan) {
+  // A system with no cross-module channels has no dedicated-pin baseline:
+  // the reduction ratio must degrade to an annotated 0, never NaN.
+  spec::System lonely("lonely");
+  SynthesisReport empty;
+  ReportInputs inputs;
+  inputs.refined = &lonely;
+  inputs.synthesis = &empty;
+
+  const std::string md = render_markdown_report(inputs);
+  EXPECT_EQ(md.find("nan"), std::string::npos) << md;
+  EXPECT_EQ(md.find("-nan"), std::string::npos) << md;
+  EXPECT_NE(md.find("reduction 0.0 % — no cross-module channels"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("_No cross-module channels._"), std::string::npos);
+}
+
 TEST(ReportTest, RequiredInputsAsserted) {
   ReportInputs inputs;  // all null
   EXPECT_THROW(render_markdown_report(inputs), InternalError);

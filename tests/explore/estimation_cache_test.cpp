@@ -1,0 +1,94 @@
+#include "explore/estimation_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "explore/work_queue.hpp"
+
+namespace ifsyn::explore {
+namespace {
+
+EstimationKey key_for(const std::string& sig, int width) {
+  EstimationKey key;
+  key.group_signature = sig;
+  key.width = width;
+  key.protocol = spec::ProtocolKind::kFullHandshake;
+  return key;
+}
+
+TEST(EstimationCacheTest, ComputesOncePerKey) {
+  EstimationCache cache;
+  int calls = 0;
+  auto compute = [&calls] {
+    ++calls;
+    GroupEstimate est;
+    est.total_wires = 42;
+    return est;
+  };
+  EXPECT_EQ(cache.get_or_compute(key_for("a+b", 8), compute).total_wires, 42);
+  EXPECT_EQ(cache.get_or_compute(key_for("a+b", 8), compute).total_wires, 42);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EstimationCacheTest, DistinctKeysComputeSeparately) {
+  EstimationCache cache;
+  int calls = 0;
+  auto compute = [&calls] {
+    ++calls;
+    return GroupEstimate{};
+  };
+  cache.get_or_compute(key_for("a+b", 8), compute);
+  cache.get_or_compute(key_for("a+b", 9), compute);    // width differs
+  cache.get_or_compute(key_for("a+c", 8), compute);    // group differs
+  EstimationKey half = key_for("a+b", 8);
+  half.protocol = spec::ProtocolKind::kHalfHandshake;  // protocol differs
+  cache.get_or_compute(half, compute);
+  EstimationKey delayed = key_for("a+b", 8);
+  delayed.fixed_delay_cycles = 5;                      // delay differs
+  cache.get_or_compute(delayed, compute);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(EstimationCacheTest, ConcurrentRequestsShareOneComputation) {
+  EstimationCache cache;
+  std::atomic<int> calls{0};
+  constexpr std::size_t kLookups = 64;
+  std::vector<int> results(kLookups);
+  run_indexed(kLookups, /*threads=*/8, [&](std::size_t i) {
+    const GroupEstimate est =
+        cache.get_or_compute(key_for("shared", 4), [&calls] {
+          ++calls;
+          GroupEstimate e;
+          e.total_wires = 7;
+          return e;
+        });
+    results[i] = est.total_wires;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  for (int wires : results) EXPECT_EQ(wires, 7);
+  // The counters are deterministic: one miss, everything else hits.
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), kLookups - 1);
+}
+
+TEST(WorkQueueTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> touched(257);
+    for (auto& t : touched) t = 0;
+    run_indexed(touched.size(), threads,
+                [&](std::size_t i) { ++touched[i]; });
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      EXPECT_EQ(touched[i].load(), 1) << "index " << i << " at " << threads
+                                      << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifsyn::explore

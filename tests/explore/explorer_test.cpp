@@ -1,0 +1,158 @@
+// Engine-level tests, including the two hard guarantees the subsystem
+// makes: (1) results are byte-identical regardless of thread count, and
+// (2) the FLC reproduces Fig. 7's known optimum — under a 2000-clock
+// CONV_R2 constraint the Pareto front holds only buswidths > 4, and the
+// knee sits at 23 pins (16 data + 7 address), where the curves flatten.
+#include "explore/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "explore/report.hpp"
+#include "suite/ethernet_coprocessor.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn::explore {
+namespace {
+
+using suite::FlcCalibration;
+
+ExploreOptions flc_options() {
+  ExploreOptions options;
+  options.compute_cycles_override = {
+      {"EVAL_R3", FlcCalibration::kEvalR3ComputeCycles},
+      {"CONV_R2", FlcCalibration::kConvR2ComputeCycles},
+  };
+  options.max_execution_clocks = {
+      {"CONV_R2", FlcCalibration::kConvR2MaxClocks}};
+  return options;
+}
+
+TEST(ExplorerTest, FlcReproducesFig7Optimum) {
+  spec::System system = suite::make_flc_kernel();
+  Explorer explorer(system, flc_options());
+  Result<ExplorationResult> result = explorer.run();
+  ASSERT_TRUE(result.is_ok()) << result.status();
+
+  ASSERT_FALSE(result->front.empty());
+  for (const ParetoEntry& entry : result->front.entries()) {
+    EXPECT_GT(result->result_for(entry).point.width, 4)
+        << "the 2000-clock CONV_R2 constraint admits only widths > 4";
+  }
+  const ParetoEntry* knee = result->front.knee();
+  ASSERT_NE(knee, nullptr);
+  // Fig. 7: no improvement beyond 23 pins (16 data + 7 address bits).
+  EXPECT_EQ(result->result_for(*knee).point.width, 23);
+  EXPECT_EQ(result->result_for(*knee).data_pins, 23);
+  EXPECT_EQ(knee->worst_case_clocks,
+            FlcCalibration::kEvalR3ComputeCycles + 2 * 128);
+}
+
+TEST(ExplorerTest, ResultsAreIdenticalAcrossThreadCounts) {
+  spec::System system = suite::make_flc_kernel();
+  ExploreOptions options = flc_options();
+  options.space.protocols = {spec::ProtocolKind::kFullHandshake,
+                             spec::ProtocolKind::kHalfHandshake,
+                             spec::ProtocolKind::kFixedDelay};
+  options.space.alternative_groupings = true;
+  options.top_k = 3;  // exercise the sim-validation phase too
+
+  std::string reference_markdown;
+  std::string reference_json;
+  for (int threads : {1, 2, 4, 8}) {
+    options.threads = threads;
+    Explorer explorer(system, options);
+    Result<ExplorationResult> result = explorer.run();
+    ASSERT_TRUE(result.is_ok()) << result.status();
+    const std::string markdown =
+        render_exploration_markdown(system, options, *result);
+    const std::string json =
+        render_exploration_json(system, options, *result);
+    if (threads == 1) {
+      reference_markdown = markdown;
+      reference_json = json;
+      continue;
+    }
+    EXPECT_EQ(markdown, reference_markdown)
+        << "markdown differs at " << threads << " threads";
+    EXPECT_EQ(json, reference_json)
+        << "JSON differs at " << threads << " threads";
+  }
+}
+
+TEST(ExplorerTest, ValidatedSurvivorsAreEquivalentInTheSim) {
+  spec::System system = suite::make_flc_kernel();
+  ExploreOptions options = flc_options();
+  options.threads = 4;
+  options.top_k = 8;
+  Explorer explorer(system, options);
+  Result<ExplorationResult> result = explorer.run();
+  ASSERT_TRUE(result.is_ok()) << result.status();
+
+  ASSERT_FALSE(result->validated.empty());
+  EXPECT_LE(result->validated.size(), 8u);
+  for (std::size_t index : result->validated) {
+    const PointResult& point = result->points[index];
+    EXPECT_TRUE(point.validated);
+    EXPECT_TRUE(point.sim_ok) << "width " << point.point.width;
+    EXPECT_TRUE(point.equivalent) << "width " << point.point.width;
+    EXPECT_GT(point.simulated_clocks, 0u);
+  }
+}
+
+TEST(ExplorerTest, MemoizationCollapsesOverlappingGroupings) {
+  spec::System system = suite::make_flc_kernel();
+  ExploreOptions options = flc_options();
+  options.max_execution_clocks.clear();
+  // per-accessor and per-channel produce the same {ch1}, {ch2} groups, so
+  // beyond plan dedup, every shared group estimate is computed once.
+  options.space.alternative_groupings = true;
+  Explorer explorer(system, options);
+  Result<ExplorationResult> result = explorer.run();
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_GT(result->stats.cache_misses, 0u);
+  // The two plans cover 3 distinct groups over at most 23 widths each.
+  EXPECT_LE(result->stats.cache_misses, 3u * 23u);
+  EXPECT_EQ(result->stats.total_points,
+            result->stats.pruned_points + result->stats.evaluated_points);
+}
+
+TEST(ExplorerTest, ConstraintOnUnknownProcessIsRejected) {
+  spec::System system = suite::make_flc_kernel();
+  ExploreOptions options;
+  options.max_execution_clocks = {{"NO_SUCH_PROCESS", 100}};
+  Explorer explorer(system, options);
+  EXPECT_EQ(explorer.run().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplorerTest, EthernetCoprocessorExploresEndToEnd) {
+  spec::System system = suite::make_ethernet_coprocessor();
+
+  // As grouped, EBUS carries three saturating channels and fails Eq. 1 at
+  // every width — the paper's cue to split the bus. The exploration's
+  // grouping dimension has to discover that on its own.
+  ExploreOptions merged;
+  Explorer merged_explorer(system, merged);
+  Result<ExplorationResult> merged_result = merged_explorer.run();
+  ASSERT_TRUE(merged_result.is_ok()) << merged_result.status();
+  EXPECT_TRUE(merged_result->front.empty());
+  EXPECT_EQ(merged_result->stats.feasible_points, 0u);
+
+  ExploreOptions options;
+  options.space.alternative_groupings = true;
+  options.threads = 4;
+  options.top_k = 1;
+  Explorer explorer(system, options);
+  Result<ExplorationResult> result = explorer.run();
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  ASSERT_FALSE(result->front.empty());
+  for (const ParetoEntry& entry : result->front.entries()) {
+    EXPECT_NE(result->result_for(entry).grouping_name, "as-grouped");
+  }
+  ASSERT_EQ(result->validated.size(), 1u);
+  const PointResult& best = result->points[result->validated[0]];
+  EXPECT_TRUE(best.sim_ok);
+  EXPECT_TRUE(best.equivalent);
+}
+
+}  // namespace
+}  // namespace ifsyn::explore

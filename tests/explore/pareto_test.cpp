@@ -1,0 +1,59 @@
+#include "explore/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifsyn::explore {
+namespace {
+
+TEST(ParetoTest, KeepsOnlyNonDominatedSortedByWires) {
+  ParetoFront front = ParetoFront::build({
+      {0, 26, 1024},  // widest, fastest
+      {1, 12, 1536},
+      {2, 15, 1280},
+      {3, 20, 1280},  // dominated by {2}: more wires, same clocks
+      {4, 30, 1024},  // dominated by {0}: more wires, same clocks
+      {5, 15, 2000},  // dominated by {2}: same wires, more clocks
+  });
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front.entries()[0].point_index, 1u);
+  EXPECT_EQ(front.entries()[1].point_index, 2u);
+  EXPECT_EQ(front.entries()[2].point_index, 0u);
+}
+
+TEST(ParetoTest, TieOnBothObjectivesKeepsLowestIndex) {
+  ParetoFront front = ParetoFront::build({
+      {7, 10, 500},
+      {3, 10, 500},
+  });
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.entries()[0].point_index, 3u);
+}
+
+TEST(ParetoTest, KneeIsTheClockMinimum) {
+  ParetoFront front = ParetoFront::build({
+      {0, 12, 1536},
+      {1, 15, 1280},
+      {2, 26, 1024},
+  });
+  ASSERT_NE(front.knee(), nullptr);
+  EXPECT_EQ(front.knee()->point_index, 2u);
+  EXPECT_EQ(front.knee()->worst_case_clocks, 1024);
+}
+
+TEST(ParetoTest, EmptyFront) {
+  ParetoFront front = ParetoFront::build({});
+  EXPECT_TRUE(front.empty());
+  EXPECT_EQ(front.knee(), nullptr);
+}
+
+TEST(ParetoTest, DominanceIsStrict) {
+  const ParetoEntry a{0, 10, 100};
+  const ParetoEntry b{1, 10, 100};
+  const ParetoEntry c{2, 11, 100};
+  EXPECT_FALSE(a.dominates(b));  // equal on both: no strict improvement
+  EXPECT_TRUE(a.dominates(c));
+  EXPECT_FALSE(c.dominates(a));
+}
+
+}  // namespace
+}  // namespace ifsyn::explore

@@ -10,7 +10,12 @@
 // variables they wrote earlier in program order. The *bus* is still
 // heavily contended -- all processes transfer concurrently through the
 // arbiter -- which is exactly the part being fuzzed.
+// Reproducing a failure: the assertion message names the seed; re-run the
+// binary with IFSYN_FUZZ_SEED=<seed> to make iteration 0 regenerate that
+// exact system. IFSYN_FUZZ_ITERS=<n> widens the sweep (default 40).
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "core/equivalence.hpp"
 #include "partition/partitioner.hpp"
@@ -21,6 +26,27 @@ namespace ifsyn {
 namespace {
 
 using namespace spec;
+
+/// Base seed: IFSYN_FUZZ_SEED when set, else 0. Iteration i fuzzes
+/// base + i, so pointing the env var at a failing seed replays it first.
+std::uint64_t fuzz_base_seed() {
+  static const std::uint64_t base = [] {
+    const char* env = std::getenv("IFSYN_FUZZ_SEED");
+    return env ? std::strtoull(env, nullptr, 10) : 0ull;
+  }();
+  return base;
+}
+
+/// Iteration count: IFSYN_FUZZ_ITERS when set (min 1), else 40.
+int fuzz_iterations() {
+  static const int iters = [] {
+    const char* env = std::getenv("IFSYN_FUZZ_ITERS");
+    if (!env) return 40;
+    const int parsed = std::atoi(env);
+    return parsed > 0 ? parsed : 1;
+  }();
+  return iters;
+}
 
 /// Deterministic 64-bit PRNG (splitmix64).
 class Rng {
@@ -194,7 +220,8 @@ FuzzSystem make_random_system(std::uint64_t seed) {
 class FuzzEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzEquivalence, RandomSystemSurvivesRefinement) {
-  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const std::uint64_t seed =
+      fuzz_base_seed() + static_cast<std::uint64_t>(GetParam());
   FuzzSystem fuzz = make_random_system(seed);
   if (fuzz.system.channels().empty()) {
     GTEST_SKIP() << "seed " << seed << " generated no remote accesses";
@@ -224,7 +251,8 @@ TEST_P(FuzzEquivalence, RandomSystemSurvivesRefinement) {
       << (eq->mismatches.empty() ? "?" : eq->mismatches[0]);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence, ::testing::Range(0, 40));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
+                         ::testing::Range(0, fuzz_iterations()));
 
 }  // namespace
 }  // namespace ifsyn
