@@ -5,6 +5,7 @@
 // linear in channels; the simulator in events).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bus/bus_generator.hpp"
 #include "partition/partitioner.hpp"
 #include "protocol/protocol_generator.hpp"
@@ -142,6 +143,37 @@ void BM_AccessCounting(benchmark::State& state) {
 }
 BENCHMARK(BM_AccessCounting);
 
+/// Console output as usual, plus every per-iteration timing captured into
+/// the BENCH_algorithm_scaling.json companion (ns per iteration).
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(ifsyn::bench::BenchJson* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.report_big_o || run.report_rms) {
+        continue;
+      }
+      json_->set(run.benchmark_name() + "_real_ns", run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  ifsyn::bench::BenchJson* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ifsyn::bench::BenchJson json("algorithm_scaling");
+  JsonCapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.write();
+  return 0;
+}

@@ -12,6 +12,7 @@
 // is scaled around the Eq. 1 minimum.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "bus/channel_trace.hpp"
 
 using namespace ifsyn;
@@ -42,6 +43,12 @@ int main() {
   std::printf("%-8s %-28s %.0f bits/s   (paper: (4 + 12) = 16 b/s)\n\n",
               "bus AB", "Eq. 1 minimum rate", rate);
 
+  bench::BenchJson json("fig2_channel_merging");
+  for (const ChannelTrace& trace : traces) {
+    json.set("average_rate_" + trace.name, trace.average_rate());
+  }
+  json.set("eq1_min_bus_rate", rate);
+
   Result<MergedSchedule> merged = merge_traces(traces, rate);
   if (!merged.is_ok()) {
     std::printf("merge failed: %s\n", merged.status().to_string().c_str());
@@ -61,6 +68,12 @@ int main() {
               "transferred\")\n\n",
               merged->makespan, merged->busy_time,
               merged->utilization * 100);
+  json.set("makespan_s", merged->makespan);
+  json.set("busy_s", merged->busy_time);
+  json.set("utilization", merged->utilization);
+  for (const ScheduledTransfer& t : merged->transfers) {
+    json.set("delay_s_" + t.label, t.delay());
+  }
 
   std::printf("--- arbitration delay vs. bus rate (Sec. 6 study) ---\n");
   std::printf("%-12s %-10s %-12s %-12s %s\n", "rate(b/s)", "makespan",
@@ -72,6 +85,10 @@ int main() {
                 schedule->total_delay,
                 r < rate ? "below Eq. 1: backlog grows"
                          : (r == rate ? "Eq. 1 minimum" : ""));
+    const std::string suffix = "_at_rate_" + std::to_string(static_cast<int>(r));
+    json.set("makespan" + suffix, schedule->makespan);
+    json.set("total_delay" + suffix, schedule->total_delay);
   }
+  json.write();
   return 0;
 }

@@ -15,6 +15,7 @@
 // ceil(23/w) (see DESIGN.md, Substitutions).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "estimate/performance_estimator.hpp"
 #include "protocol/protocol_generator.hpp"
 #include "sim/interpreter.hpp"
@@ -45,6 +46,7 @@ int main() {
   std::printf("       |  (estimator, paper's method)  |"
               "  (generated protocol, simulated)\n");
 
+  bench::BenchJson json("fig7_perf_vs_buswidth");
   bool monotone = true;
   bool plateau = true;
   long long prev_eval = -1, prev_conv = -1, eval_at_23 = 0, conv_at_23 = 0;
@@ -87,6 +89,15 @@ int main() {
     std::printf("%6d | %10lld %10lld | %12llu %12llu%s\n", width, t_eval,
                 t_conv, sim_eval, sim_conv,
                 width == 23 ? "  <- 16 data + 7 addr pins" : "");
+    char key[64];
+    std::snprintf(key, sizeof(key), "w%02d_est_eval_r3", width);
+    json.set(key, static_cast<double>(t_eval));
+    std::snprintf(key, sizeof(key), "w%02d_est_conv_r2", width);
+    json.set(key, static_cast<double>(t_conv));
+    std::snprintf(key, sizeof(key), "w%02d_sim_eval_r3", width);
+    json.set(key, static_cast<double>(sim_eval));
+    std::snprintf(key, sizeof(key), "w%02d_sim_conv_r2", width);
+    json.set(key, static_cast<double>(sim_conv));
   }
 
   std::printf("\nchecks against the paper's claims:\n");
@@ -103,5 +114,9 @@ int main() {
           FlcCalibration::kConvR2MaxClocks;
   std::printf("  CONV_R2 2000-clock constraint admits only widths > 4: %s\n",
               crossover ? "PASS" : "FAIL");
+  json.set("check_monotone", monotone ? 1 : 0);
+  json.set("check_plateau_beyond_23", plateau ? 1 : 0);
+  json.set("check_conv_r2_constraint_crossover", crossover ? 1 : 0);
+  json.write();
   return (monotone && plateau && crossover) ? 0 : 1;
 }

@@ -15,8 +15,10 @@
 // stated cost function -- see DESIGN.md. Our exact reductions are
 // 56.5/60.9/65.2 % (1 - width/46); the paper's rounding prints 56/61/66.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bus/bus_generator.hpp"
 #include "spec/analysis.hpp"
 #include "suite/flc.hpp"
@@ -73,6 +75,7 @@ int main() {
 
   std::printf("%-3s %-52s %7s %12s %12s %10s\n", "", "constraints (weight)",
               "width", "rate(b/clk)", "reduction%", "paper");
+  bench::BenchJson json("fig8_bus_constraints");
   bool all_match = true;
   for (const Design& design : designs) {
     BusGenOptions options;
@@ -88,6 +91,12 @@ int main() {
     const bool match = result->selected_width == design.paper_width &&
                        result->selected_bus_rate == design.paper_rate;
     all_match = all_match && match;
+    const std::string prefix = std::string("design_") + design.name;
+    json.set(prefix + "_selected_width", result->selected_width);
+    json.set(prefix + "_bus_rate", result->selected_bus_rate);
+    json.set(prefix + "_reduction_pct",
+             result->interconnect_reduction * 100);
+    json.set(prefix + "_matches_paper", match ? 1 : 0);
     std::printf("%-3s %-52s %7d %12.1f %12.1f %4d/%.0f/%d%% %s\n",
                 design.name, design.description, result->selected_width,
                 result->selected_bus_rate,
@@ -114,5 +123,7 @@ int main() {
                 eval.feasible ? "feasible" : "infeasible (Eq. 1)",
                 eval.width == result->selected_width ? "  <- selected" : "");
   }
+  json.set("all_designs_match_paper", all_match ? 1 : 0);
+  json.write();
   return all_match ? 0 : 1;
 }

@@ -1,0 +1,67 @@
+// bench/bench_json.hpp
+//
+// Machine-readable companion artifact for the benchmark binaries: each
+// bench_<name> additionally writes BENCH_<name>.json — a flat JSON object
+// mapping metric name to numeric value — into the working directory, so
+// CI or a tracking script can diff runs without scraping stdout.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace ifsyn::bench {
+
+class BenchJson {
+ public:
+  /// `name` is the benchmark's short name; the file written is
+  /// BENCH_<name>.json.
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& metric, double value) {
+    values_[metric] = value;
+  }
+
+  /// Serializes the metrics sorted by name. Integral values print without
+  /// a decimal point so counters stay counters.
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    for (const auto& [metric, value] : values_) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "  \"" << metric << "\": ";
+      if (std::isfinite(value) && value == std::floor(value) &&
+          std::fabs(value) < 1e15) {
+        os << static_cast<long long>(value);
+      } else {
+        os << value;
+      }
+    }
+    os << "\n}\n";
+    return os.str();
+  }
+
+  /// Writes BENCH_<name>.json; prints the path (or a warning) to stdout.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::printf("warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << to_json();
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> values_;  // sorted => stable output
+};
+
+}  // namespace ifsyn::bench

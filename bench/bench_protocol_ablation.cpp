@@ -10,7 +10,9 @@
 //   3. Channel merging itself (the paper's core premise): shared bus vs
 //      dedicated hardwired ports -- the pins-for-time trade.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "bus/lane_allocator.hpp"
 #include "core/equivalence.hpp"
 #include "core/interface_synthesizer.hpp"
@@ -25,7 +27,7 @@ using namespace ifsyn;
 
 namespace {
 
-void protocol_ablation() {
+void protocol_ablation(bench::BenchJson& json) {
   std::printf("--- protocol ablation on the FLC kernel (ch1 + ch2) ---\n");
   std::printf("%-18s %7s %12s %10s %6s\n", "protocol", "wires",
               "sim time", "slowdown", "equiv");
@@ -75,11 +77,16 @@ void protocol_ablation() {
                 static_cast<unsigned long long>(eq->refined_time),
                 t0 > 0 ? eq->refined_time / t0 : 0.0,
                 eq->equivalent ? "yes" : "NO");
+    const std::string prefix = std::string("protocol_") + protocol.name;
+    json.set(prefix + "_wires", wires);
+    json.set(prefix + "_sim_time",
+             static_cast<double>(eq->refined_time));
+    json.set(prefix + "_equivalent", eq->equivalent ? 1 : 0);
   }
   std::printf("\n");
 }
 
-void arbitration_ablation() {
+void arbitration_ablation(bench::BenchJson& json) {
   std::printf("--- arbitration ablation on Fig. 3 (P and Q overlap) ---\n");
   std::printf("%-22s %10s %12s %8s\n", "configuration", "sim time",
               "arb wait", "correct");
@@ -112,13 +119,18 @@ void arbitration_ablation() {
                 static_cast<unsigned long long>(run.result.end_time),
                 static_cast<unsigned long long>(wait),
                 correct ? "yes" : "CORRUPTED/STUCK");
+    const std::string prefix =
+        arbitrate ? "arbitrated_" : "unarbitrated_";
+    json.set(prefix + "sim_time", static_cast<double>(run.result.end_time));
+    json.set(prefix + "arb_wait_cycles", static_cast<double>(wait));
+    json.set(prefix + "correct", correct ? 1 : 0);
   }
   std::printf("(without arbitration, concurrent masters interleave words "
               "on the shared wires --\n exactly the hazard the paper defers "
               "to future work.)\n\n");
 }
 
-void merging_tradeoff() {
+void merging_tradeoff(bench::BenchJson& json) {
   std::printf("--- merging trade-off: shared bus width vs completion time "
               "(FLC kernel) ---\n");
   std::printf("%7s %7s %12s\n", "width", "wires", "sim time");
@@ -133,6 +145,8 @@ void merging_tradeoff() {
     std::printf("%7d %7d %12llu\n", width,
                 refined.find_bus("B")->total_wires(),
                 static_cast<unsigned long long>(run.result.end_time));
+    json.set("merge_sim_time_w" + std::to_string(width),
+             static_cast<double>(run.result.end_time));
   }
   std::printf("(dedicated hardwired wiring for both channels would use 46+ "
               "pins; the shared bus\n trades pins for the serialization "
@@ -161,7 +175,7 @@ spec::System make_streaming_system() {
   return s;
 }
 
-void lane_ablation() {
+void lane_ablation(bench::BenchJson& json) {
   std::printf("--- lane ablation (Sec. 6 \"simultaneous transfers\"): 16 "
               "data lines, two streams ---\n");
   std::printf("%8s %7s %12s %12s\n", "lanes", "wires", "est. busy",
@@ -193,6 +207,10 @@ void lane_ablation() {
                 static_cast<long long>(plan->completion_cycles),
                 static_cast<unsigned long long>(run.result.end_time),
                 lanes == 2 ? "  <- concurrent lanes" : "");
+    json.set("lanes" + std::to_string(lanes) + "_sim_time",
+             static_cast<double>(run.result.end_time));
+    json.set("lanes" + std::to_string(lanes) + "_wires",
+             plan->total_wires);
   }
   std::printf("(two 8-bit lanes move both streams simultaneously; one "
               "16-bit lane serializes them\n behind the arbiter -- the "
@@ -204,10 +222,12 @@ void lane_ablation() {
 int main() {
   std::printf("=== Ablation benches: protocol choice, arbitration, merging, "
               "lanes ===\n\n");
-  protocol_ablation();
-  arbitration_ablation();
-  merging_tradeoff();
+  bench::BenchJson json("protocol_ablation");
+  protocol_ablation(json);
+  arbitration_ablation(json);
+  merging_tradeoff(json);
   std::printf("\n");
-  lane_ablation();
+  lane_ablation(json);
+  json.write();
   return 0;
 }

@@ -9,7 +9,9 @@
 // equivalence -- the full Fig. 1 flow per case study.
 #include <cstdio>
 #include <functional>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/equivalence.hpp"
 #include "core/interface_synthesizer.hpp"
 #include "suite/answering_machine.hpp"
@@ -43,8 +45,10 @@ int main() {
 
   std::printf("%-38s %4s %6s %6s %7s %7s %8s %5s\n", "design", "chs",
               "chbits", "buses", "width", "redu%", "slowdown", "equiv");
+  bench::BenchJson json("suite_end_to_end");
   bool all_ok = true;
 
+  int study_index = 0;
   for (const CaseStudy& study : studies) {
     spec::System original = study.build();
     spec::System refined = original.clone(std::string(original.name()) +
@@ -87,13 +91,22 @@ int main() {
     }
     all_ok = all_ok && eq->equivalent;
 
+    const double slowdown =
+        eq->original_time
+            ? static_cast<double>(eq->refined_time) / eq->original_time
+            : 0.0;
     std::printf("%-38s %4zu %6d %6zu %7d %7.1f %7.1fx %5s\n", study.name,
                 refined.channels().size(), channel_bits,
                 refined.buses().size(), total_width, reduction,
-                eq->original_time ? static_cast<double>(eq->refined_time) /
-                                        eq->original_time
-                                  : 0.0,
-                eq->equivalent ? "yes" : "NO");
+                slowdown, eq->equivalent ? "yes" : "NO");
+    const std::string prefix = "study" + std::to_string(study_index++) + "_";
+    json.set(prefix + "channels", static_cast<double>(refined.channels().size()));
+    json.set(prefix + "channel_bits", channel_bits);
+    json.set(prefix + "buses", static_cast<double>(refined.buses().size()));
+    json.set(prefix + "total_width", total_width);
+    json.set(prefix + "reduction_pct", reduction);
+    json.set(prefix + "slowdown", slowdown);
+    json.set(prefix + "equivalent", eq->equivalent ? 1 : 0);
   }
 
   std::printf("\n(\"redu%%\" is the data-line reduction vs dedicated "
@@ -102,5 +115,7 @@ int main() {
               "the cost the paper's Fig. 7 trades against pins.)\n");
   std::printf("\nall designs functionally equivalent after refinement: %s\n",
               all_ok ? "PASS" : "FAIL");
+  json.set("all_equivalent", all_ok ? 1 : 0);
+  json.write();
   return all_ok ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 //     --max-time N                       co-simulation budget (cycles)
 //     --vcd <file>                       dump the refined run's waveform
 //     --report <file>                    write a Markdown synthesis report
+//     --metrics <file>                   write the metrics registry as JSON
+//     --chrome-trace <file>              write a chrome://tracing trace
 //
 //   ifsyn_tool explore <spec.ifs> [options]
 //
@@ -25,6 +27,8 @@
 //     --sim-max-time N                   budget per validation run (cycles)
 //     --report <file>                    write the exploration Markdown
 //     --json <file>                      write the exploration JSON
+//     --metrics <file>                   write the metrics registry as JSON
+//     --chrome-trace <file>              write a chrome://tracing trace
 //
 // Reads a textual specification (see src/spec/parser.hpp for the
 // language), runs interface synthesis (bus generation for groups without
@@ -45,6 +49,8 @@
 #include "core/report.hpp"
 #include "explore/explorer.hpp"
 #include "explore/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "protocol/trace_analyzer.hpp"
 #include "sim/vcd.hpp"
 #include "spec/parser.hpp"
@@ -60,12 +66,13 @@ int usage(const char* argv0) {
                "[--fixed-delay N] [--arbitrate]\n"
                "          [--emit-vhdl <file>] [--print-spec] [--no-cosim] "
                "[--max-time N] [--vcd <file>] [--report <file>]\n"
+               "          [--metrics <file>] [--chrome-trace <file>]\n"
                "       %s explore <spec.ifs> [--threads N] [--top-k K] "
                "[--protocols full,half,fixed]\n"
                "          [--widths LO:HI] [--fixed-delay N] "
                "[--max-clocks PROC=N] [--alt-groupings]\n"
                "          [--sim-max-time N] [--report <file>] "
-               "[--json <file>]\n",
+               "[--json <file>] [--metrics <file>] [--chrome-trace <file>]\n",
                argv0, argv0);
   return 2;
 }
@@ -84,6 +91,8 @@ int explore_main(int argc, char** argv, const char* argv0) {
   std::string spec_path;
   std::string report_path;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   explore::ExploreOptions options;
   options.top_k = 0;
 
@@ -151,6 +160,10 @@ int explore_main(int argc, char** argv, const char* argv0) {
       report_path = next_value("--report");
     } else if (arg == "--json") {
       json_path = next_value("--json");
+    } else if (arg == "--metrics") {
+      metrics_path = next_value("--metrics");
+    } else if (arg == "--chrome-trace") {
+      trace_path = next_value("--chrome-trace");
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv0);
@@ -169,6 +182,12 @@ int explore_main(int argc, char** argv, const char* argv0) {
     return 1;
   }
   spec::System system = std::move(parsed).value();
+
+  // The explorer falls back to a private registry when none is attached,
+  // so ExplorationResult::metrics serves --metrics either way; the trace
+  // sink records only when --chrome-trace asked for it.
+  obs::TraceSink trace_sink;
+  if (!trace_path.empty()) options.obs.trace = &trace_sink;
 
   explore::Explorer explorer(system, options);
   Result<explore::ExplorationResult> result = explorer.run();
@@ -194,6 +213,15 @@ int explore_main(int argc, char** argv, const char* argv0) {
     }
     std::printf("wrote exploration JSON to %s\n", json_path.c_str());
   }
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path, result->metrics.to_json())) return 1;
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!write_file(trace_path, trace_sink.to_json())) return 1;
+    std::printf("wrote chrome trace (%zu events) to %s\n",
+                trace_sink.event_count(), trace_path.c_str());
+  }
 
   // Exit nonzero when a validated survivor failed co-simulation: the
   // estimates recommended something the sim refutes.
@@ -216,6 +244,8 @@ int main(int argc, char** argv) {
   std::string vhdl_path;
   std::string vcd_path;
   std::string report_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool print_spec = false;
   bool cosim = true;
   std::uint64_t max_time = 10'000'000;
@@ -250,6 +280,10 @@ int main(int argc, char** argv) {
       vcd_path = next_value("--vcd");
     } else if (arg == "--report") {
       report_path = next_value("--report");
+    } else if (arg == "--metrics") {
+      metrics_path = next_value("--metrics");
+    } else if (arg == "--chrome-trace") {
+      trace_path = next_value("--chrome-trace");
     } else if (arg == "--print-spec") {
       print_spec = true;
     } else if (arg == "--no-cosim") {
@@ -282,6 +316,15 @@ int main(int argc, char** argv) {
               original.buses().size());
 
   // ---- synthesize ----------------------------------------------------------
+  // Collect metrics whenever any consumer wants them (--metrics, or the
+  // report's Metrics section); record trace events only on --chrome-trace.
+  obs::MetricsRegistry registry;
+  obs::TraceSink trace_sink;
+  obs::ObsContext obs;
+  if (!metrics_path.empty() || !report_path.empty()) obs.metrics = &registry;
+  if (!trace_path.empty()) obs.trace = &trace_sink;
+  options.obs = obs;
+
   spec::System refined = original.clone(original.name() + "_refined");
   core::InterfaceSynthesizer synth(options);
   Result<core::SynthesisReport> report = synth.run(refined);
@@ -322,7 +365,7 @@ int main(int argc, char** argv) {
   std::optional<core::EquivalenceReport> equivalence;
   if (cosim) {
     Result<core::EquivalenceReport> eq =
-        core::check_equivalence(original, refined, max_time);
+        core::check_equivalence(original, refined, max_time, {}, obs);
     if (!eq.is_ok()) {
       std::fprintf(stderr, "co-simulation failed: %s\n",
                    eq.status().to_string().c_str());
@@ -374,6 +417,11 @@ int main(int argc, char** argv) {
     inputs.synthesis = &*report;
     inputs.equivalence = equivalence ? &*equivalence : nullptr;
     inputs.traffic = traffic.empty() ? nullptr : &traffic;
+    obs::MetricsSnapshot snapshot;
+    if (obs.metrics) {
+      snapshot = registry.snapshot();
+      inputs.metrics = &snapshot;
+    }
     std::ofstream out(report_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
@@ -381,6 +429,26 @@ int main(int argc, char** argv) {
     }
     out << core::render_markdown_report(inputs);
     std::printf("wrote synthesis report to %s\n", report_path.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << registry.snapshot().to_json();
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << trace_sink.to_json();
+    std::printf("wrote chrome trace (%zu events) to %s\n",
+                trace_sink.event_count(), trace_path.c_str());
   }
 
   // ---- emit ---------------------------------------------------------------

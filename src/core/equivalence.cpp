@@ -6,13 +6,15 @@ namespace ifsyn::core {
 
 Result<EquivalenceReport> check_equivalence(
     const spec::System& original, const spec::System& refined,
-    std::uint64_t max_time, const std::vector<std::string>& observed) {
+    std::uint64_t max_time, const std::vector<std::string>& observed,
+    const obs::ObsContext& obs) {
   sim::SimulationRun orig_run = sim::simulate(original, max_time);
   if (!orig_run.result.status.is_ok()) {
     return Status(orig_run.result.status.code(),
                   "original system: " + orig_run.result.status.message());
   }
-  sim::SimulationRun ref_run = sim::simulate(refined, max_time);
+  sim::SimulationRun ref_run =
+      sim::simulate(refined, max_time, /*trace=*/false, obs);
   if (!ref_run.result.status.is_ok()) {
     return Status(ref_run.result.status.code(),
                   "refined system: " + ref_run.result.status.message());

@@ -36,10 +36,13 @@ struct EquivalenceReport {
 };
 
 /// Simulate both systems and diff final state. `observed` empty = every
-/// variable present in both systems.
+/// variable present in both systems. `obs` (optional) instruments the
+/// *refined* run only — its generated buses and protocols are what the
+/// "sim." metrics describe; the unrefined original would dilute them.
 Result<EquivalenceReport> check_equivalence(
     const spec::System& original, const spec::System& refined,
     std::uint64_t max_time = 1'000'000,
-    const std::vector<std::string>& observed = {});
+    const std::vector<std::string>& observed = {},
+    const obs::ObsContext& obs = {});
 
 }  // namespace ifsyn::core

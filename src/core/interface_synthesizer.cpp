@@ -1,5 +1,7 @@
 #include "core/interface_synthesizer.hpp"
 
+#include <optional>
+
 #include "partition/partitioner.hpp"
 #include "spec/analysis.hpp"
 #include "util/assert.hpp"
@@ -10,13 +12,23 @@ InterfaceSynthesizer::InterfaceSynthesizer(SynthesisOptions options)
     : options_(std::move(options)) {}
 
 Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
-  IFSYN_RETURN_IF_ERROR(system.validate());
-  if (system.buses().empty()) {
-    return failed_precondition(
-        "system has no bus groups; partition and group channels first");
+  const obs::ObsContext& obs = options_.obs;
+
+  {
+    obs::ScopedTimer t(obs, "synth.phase.p1_validate_us", "P1 validate",
+                       "synth");
+    IFSYN_RETURN_IF_ERROR(system.validate());
+    if (system.buses().empty()) {
+      return failed_precondition(
+          "system has no bus groups; partition and group channels first");
+    }
   }
 
-  IFSYN_RETURN_IF_ERROR(spec::annotate_channel_accesses(system));
+  {
+    obs::ScopedTimer t(obs, "synth.phase.p2_annotate_us", "P2 annotate",
+                       "synth");
+    IFSYN_RETURN_IF_ERROR(spec::annotate_channel_accesses(system));
+  }
 
   estimate::PerformanceEstimator estimator(system);
   for (const auto& [process, cycles] : options_.compute_cycles_override) {
@@ -27,6 +39,9 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
   SynthesisReport report;
 
   // ---- bus generation per group (widths), with optional splitting ----
+  std::optional<obs::ScopedTimer> bus_gen_timer;
+  bus_gen_timer.emplace(obs, "synth.phase.p3_bus_generation_us",
+                        "P3 bus generation", "synth");
   // Collect names first: splitting adds new groups while we iterate.
   std::vector<std::string> bus_names;
   for (const auto& b : system.buses()) bus_names.push_back(b->name);
@@ -70,6 +85,7 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
       if (!split.is_ok()) return split.status();
       IFSYN_ASSERT_MSG(split.value().size() > 1,
                        "split of infeasible group produced one group");
+      if (obs.metrics) obs.metrics->counter("synth.groups_split").add(1);
 
       // Re-point the original group at the first subgroup and create new
       // groups for the rest; all get queued for generation.
@@ -97,18 +113,31 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
     BusReport bus_report;
     bus_report.bus = group->name;
     bus_report.generation = std::move(result).value();
+    if (obs.metrics) {
+      obs.metrics->counter("synth.buses_generated").add(1);
+      obs.metrics->counter("synth.width_evaluations")
+          .add(bus_report.generation.evaluations.size());
+    }
     report.buses.push_back(std::move(bus_report));
   }
+  bus_gen_timer.reset();
 
   // ---- protocol generation (Sec. 4) over all groups ----
-  protocol::ProtocolGenOptions pg_options;
-  pg_options.protocol = options_.protocol;
-  pg_options.fixed_delay_cycles = options_.fixed_delay_cycles;
-  pg_options.arbitrate = options_.arbitrate;
-  protocol::ProtocolGenerator pg(pg_options);
-  IFSYN_RETURN_IF_ERROR(pg.generate_all(system));
+  {
+    obs::ScopedTimer t(obs, "synth.phase.p4_protocol_generation_us",
+                       "P4 protocol generation", "synth");
+    protocol::ProtocolGenOptions pg_options;
+    pg_options.protocol = options_.protocol;
+    pg_options.fixed_delay_cycles = options_.fixed_delay_cycles;
+    pg_options.arbitrate = options_.arbitrate;
+    pg_options.obs = obs;
+    protocol::ProtocolGenerator pg(pg_options);
+    IFSYN_RETURN_IF_ERROR(pg.generate_all(system));
+  }
 
   // ---- wire accounting ----
+  obs::ScopedTimer wire_timer(obs, "synth.phase.p5_wire_accounting_us",
+                              "P5 wire accounting", "synth");
   for (BusReport& bus_report : report.buses) {
     const spec::BusGroup* group = system.find_bus(bus_report.bus);
     IFSYN_ASSERT(group);

@@ -13,6 +13,7 @@
 
 #include "bus/bus_generator.hpp"
 #include "estimate/performance_estimator.hpp"
+#include "obs/scoped_timer.hpp"
 #include "protocol/protocol_generator.hpp"
 #include "spec/system.hpp"
 #include "util/status.hpp"
@@ -30,6 +31,10 @@ struct SynthesisOptions {
   bool auto_split_infeasible = true;
   /// Calibration: pin compute cycles for named processes.
   std::map<std::string, long long> compute_cycles_override;
+  /// Optional metrics/trace hooks. Phase timings land as wall-clock
+  /// counters synth.phase.p1..p5_*; work counts (buses generated, widths
+  /// evaluated, groups split) as deterministic "synth." counters.
+  obs::ObsContext obs;
 };
 
 struct BusReport {

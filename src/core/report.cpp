@@ -98,8 +98,34 @@ void render_equivalence(std::ostringstream& os,
   if (arbitration_wait > 0) {
     os << "- total arbitration waiting: " << arbitration_wait
        << " cycles\n";
+    for (const auto& proc : equivalence.refined.processes) {
+      if (proc.bus_wait_cycles == 0) continue;
+      os << "  - " << proc.name << ": " << proc.bus_wait_cycles
+         << " cycles blocked on bus locks\n";
+    }
+  }
+  // Per-bus load in the refined run: how busy each generated bus was and
+  // how much of the wall the requesters spent queued for it.
+  for (const sim::BusStats& bus : equivalence.refined.buses) {
+    if (bus.acquisitions == 0) continue;
+    os << "- bus " << bus.bus << ": " << std::fixed << std::setprecision(1)
+       << bus.utilization(equivalence.refined.end_time) * 100
+       << " % utilization (" << bus.hold_cycles << " of "
+       << equivalence.refined.end_time << " cycles held, "
+       << bus.acquisitions << " acquisitions, " << bus.wait_cycles
+       << " cycles waited)\n";
   }
   os << "\n";
+}
+
+void render_metrics(std::ostringstream& os,
+                    const obs::MetricsSnapshot& metrics) {
+  const std::string table = metrics.deterministic_markdown();
+  if (table.empty()) return;
+  os << "## Metrics\n\n";
+  os << "_Deterministic metrics only; wall-clock timings live in the "
+        "--metrics JSON._\n\n";
+  os << table << "\n";
 }
 
 void render_traffic(std::ostringstream& os,
@@ -153,6 +179,7 @@ std::string render_markdown_report(const ReportInputs& inputs) {
   render_buses(os, system, *inputs.synthesis);
   if (inputs.equivalence) render_equivalence(os, *inputs.equivalence);
   if (inputs.traffic) render_traffic(os, *inputs.traffic);
+  if (inputs.metrics) render_metrics(os, *inputs.metrics);
   return os.str();
 }
 

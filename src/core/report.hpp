@@ -14,6 +14,7 @@
 
 #include "core/equivalence.hpp"
 #include "core/interface_synthesizer.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/trace_analyzer.hpp"
 #include "spec/system.hpp"
 
@@ -28,6 +29,9 @@ struct ReportInputs {
   const EquivalenceReport* equivalence = nullptr;
   /// Optional measured traffic (protocol::analyze_trace output).
   const std::vector<protocol::BusTraffic>* traffic = nullptr;
+  /// Optional metrics snapshot; only its deterministic section is
+  /// rendered, so the report stays reproducible run to run.
+  const obs::MetricsSnapshot* metrics = nullptr;
 };
 
 /// Render the report as Markdown. All inputs except `refined` and

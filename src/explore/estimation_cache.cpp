@@ -4,7 +4,8 @@ namespace ifsyn::explore {
 
 GroupEstimate EstimationCache::get_or_compute(
     const EstimationKey& key,
-    const std::function<GroupEstimate()>& compute) {
+    const std::function<GroupEstimate()>& compute,
+    bool* was_hit) {
   std::promise<GroupEstimate> promise;
   std::shared_future<GroupEstimate> future;
   bool owner = false;
@@ -12,15 +13,16 @@ GroupEstimate EstimationCache::get_or_compute(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      ++hits_;
+      hits_->add(1);
       future = it->second;
     } else {
-      ++misses_;
+      misses_->add(1);
       owner = true;
       future = promise.get_future().share();
       map_.emplace(key, future);
     }
   }
+  if (was_hit) *was_hit = !owner;
   if (owner) {
     // Compute outside the lock so other keys proceed in parallel; threads
     // that raced on this key block on the shared future below.

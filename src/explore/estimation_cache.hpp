@@ -14,6 +14,11 @@
 // every key misses exactly once, the hit/miss counters are themselves
 // deterministic across thread counts — they can appear in reports without
 // breaking the engine's byte-identical-output guarantee.
+//
+// Hit/miss accounting is registry-backed (obs::Counter), the same
+// instrumentation idiom as the rest of the system: pass the registry's
+// counters to the constructor to surface them under your chosen names, or
+// default-construct to use private counters nobody else sees.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "spec/system.hpp"
 
 namespace ifsyn::explore {
@@ -68,16 +74,26 @@ struct GroupEstimate {
 
 class EstimationCache {
  public:
+  /// Default: private counters. Pass registry-owned counters (which must
+  /// outlive the cache) to surface hit/miss alongside other metrics.
+  EstimationCache() : hits_(&own_hits_), misses_(&own_misses_) {}
+  EstimationCache(obs::Counter* hits, obs::Counter* misses)
+      : hits_(hits ? hits : &own_hits_),
+        misses_(misses ? misses : &own_misses_) {}
+
   /// Returns the cached estimate for `key`, computing it via `compute` on
   /// the first request. `compute` must be pure with respect to the key.
+  /// `was_hit` (optional) reports whether this lookup was served from
+  /// memory — e.g. to emit a trace instant event at the call site.
   GroupEstimate get_or_compute(
       const EstimationKey& key,
-      const std::function<GroupEstimate()>& compute);
+      const std::function<GroupEstimate()>& compute,
+      bool* was_hit = nullptr);
 
   /// Lookups served from memory. Deterministic (see file comment).
-  std::uint64_t hits() const { return hits_; }
+  std::uint64_t hits() const { return hits_->value(); }
   /// Lookups that computed: exactly one per distinct key.
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t misses() const { return misses_->value(); }
   std::size_t size() const;
 
  private:
@@ -85,8 +101,10 @@ class EstimationCache {
   std::unordered_map<EstimationKey, std::shared_future<GroupEstimate>,
                      EstimationKeyHash>
       map_;
-  std::uint64_t hits_ = 0;    // guarded by mu_
-  std::uint64_t misses_ = 0;  // guarded by mu_
+  obs::Counter own_hits_;
+  obs::Counter own_misses_;
+  obs::Counter* hits_;    // never null
+  obs::Counter* misses_;  // never null
 };
 
 }  // namespace ifsyn::explore

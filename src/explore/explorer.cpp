@@ -1,7 +1,9 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+#include <string>
 
 #include "bus/bus_generator.hpp"
 #include "core/equivalence.hpp"
@@ -93,11 +95,37 @@ Result<ExplorationResult> Explorer::run() const {
                        : std::make_shared<Eq1LowerBoundPruner>();
 
   const bus::BusGenerator generator(base, estimator);
-  EstimationCache cache;
+
+  // Metrics are always collected: into the caller's registry when one is
+  // attached (so they merge with sim/synth metrics), else a private one.
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry& reg =
+      options_.obs.metrics ? *options_.obs.metrics : local_registry;
+  obs::ObsContext obs{&reg, options_.obs.trace};
+  obs::Counter& c_total = reg.counter("explore.points.total");
+  obs::Counter& c_pruned = reg.counter("explore.points.pruned");
+  obs::Counter& c_evaluated = reg.counter("explore.points.evaluated");
+  obs::Counter& c_feasible = reg.counter("explore.points.feasible");
+  obs::Counter& c_candidates = reg.counter("explore.points.candidates");
+  obs::Counter& c_validated = reg.counter("explore.points.validated");
+  obs::Counter& c_hits = reg.counter("explore.cache.hits");
+  obs::Counter& c_misses = reg.counter("explore.cache.misses");
+  obs::Counter& c_busy = reg.counter("explore.worker_busy_us",
+                                     obs::Determinism::kWallClock);
+  // The registry may be shared across runs; stats report this run's delta.
+  const std::uint64_t hits0 = c_hits.value();
+  const std::uint64_t misses0 = c_misses.value();
+  EstimationCache cache(&c_hits, &c_misses);
 
   ExplorationResult out;
   out.points.resize(points.size());
   out.stats.total_points = points.size();
+  c_total.add(points.size());
+
+  const WorkQueueObs estimate_obs{options_.obs.trace, &c_busy, "estimate"};
+  std::optional<obs::ScopedTimer> phase_timer;
+  phase_timer.emplace(obs, "explore.phase.estimate_us", "explore: estimate",
+                      "explore");
 
   // ---- phase 1: estimate every point across the pool -------------------
   run_indexed(points.size(), options_.threads, [&](std::size_t i) {
@@ -120,9 +148,19 @@ Result<ExplorationResult> Explorer::run() const {
       key.width = point.width;
       key.protocol = point.protocol;
       key.fixed_delay_cycles = point.fixed_delay_cycles;
-      const GroupEstimate est = cache.get_or_compute(key, [&] {
-        return estimate_group(base, estimator, generator, group, point);
-      });
+      bool was_hit = false;
+      const GroupEstimate est = cache.get_or_compute(
+          key,
+          [&] {
+            return estimate_group(base, estimator, generator, group, point);
+          },
+          &was_hit);
+      if (options_.obs.trace && !was_hit) {
+        options_.obs.trace->instant_event(
+            "estimate " + key.group_signature + " w" +
+                std::to_string(key.width),
+            "explore");
+      }
       result.feasible = result.feasible && est.feasible;
       result.total_wires += est.total_wires;
       result.data_pins += point.width;
@@ -141,9 +179,12 @@ Result<ExplorationResult> Explorer::run() const {
       }
     }
     out.points[i] = std::move(result);
-  });
+  }, estimate_obs);
+  phase_timer.reset();
 
   // ---- phase 2: merge in point order, build the front ------------------
+  phase_timer.emplace(obs, "explore.phase.merge_us", "explore: merge",
+                      "explore");
   std::vector<ParetoEntry> candidates;
   for (const PointResult& result : out.points) {
     if (result.pruned) {
@@ -159,11 +200,19 @@ Result<ExplorationResult> Explorer::run() const {
                                      result.worst_case_clocks});
   }
   out.front = ParetoFront::build(std::move(candidates));
-  out.stats.cache_hits = cache.hits();
-  out.stats.cache_misses = cache.misses();
+  c_pruned.add(out.stats.pruned_points);
+  c_evaluated.add(out.stats.evaluated_points);
+  c_feasible.add(out.stats.feasible_points);
+  c_candidates.add(out.stats.candidate_points);
+  out.stats.cache_hits = c_hits.value() - hits0;
+  out.stats.cache_misses = c_misses.value() - misses0;
+  phase_timer.reset();
 
   // ---- phase 3: validate the top-K survivors in the sim ----------------
   if (options_.top_k > 0) {
+    phase_timer.emplace(obs, "explore.phase.validate_us",
+                        "explore: validate", "explore");
+    const WorkQueueObs validate_obs{options_.obs.trace, &c_busy, "validate"};
     for (const ParetoEntry& entry : out.front.entries()) {
       if (out.validated.size() >=
           static_cast<std::size_t>(options_.top_k)) {
@@ -176,6 +225,9 @@ Result<ExplorationResult> Explorer::run() const {
       const DesignPoint& point = result.point;
       const GroupingPlan& plan = space.groupings()[point.grouping];
       result.validated = true;
+      obs::Span span(options_.obs.trace,
+                     "validate point " + std::to_string(point.index),
+                     "explore");
 
       spec::System refined =
           base.clone(base.name() + "_x" + std::to_string(point.index));
@@ -191,19 +243,27 @@ Result<ExplorationResult> Explorer::run() const {
       pg_options.protocol = point.protocol;
       pg_options.fixed_delay_cycles = point.fixed_delay_cycles;
       pg_options.arbitrate = options_.arbitrate;
+      pg_options.obs = obs;
       protocol::ProtocolGenerator pg(pg_options);
       if (!pg.generate_all(refined).is_ok()) return;
 
-      const Result<core::EquivalenceReport> eq =
-          core::check_equivalence(base, refined, options_.sim_max_time);
+      // The refined run simulates under the shared registry: validated
+      // points' "sim.*" metrics (bus utilization, handshake latency)
+      // accumulate alongside the "explore.*" ones. The event set is a
+      // pure function of the point, so the sums stay deterministic.
+      const Result<core::EquivalenceReport> eq = core::check_equivalence(
+          base, refined, options_.sim_max_time, {}, obs);
       if (!eq.is_ok()) return;
       result.sim_ok = true;
       result.equivalent = eq->equivalent;
       result.simulated_clocks = eq->refined_time;
-    });
+    }, validate_obs);
     out.stats.validated_points = out.validated.size();
+    c_validated.add(out.validated.size());
+    phase_timer.reset();
   }
 
+  out.metrics = reg.snapshot();
   return out;
 }
 

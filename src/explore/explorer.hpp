@@ -27,6 +27,7 @@
 #include "explore/design_space.hpp"
 #include "explore/estimation_cache.hpp"
 #include "explore/pareto.hpp"
+#include "obs/scoped_timer.hpp"
 #include "spec/system.hpp"
 #include "util/status.hpp"
 
@@ -53,6 +54,13 @@ struct ExploreOptions {
   /// Pruning policy; null = Eq1LowerBoundPruner. Share one instance to
   /// explore with a custom policy.
   std::shared_ptr<const PruningPolicy> pruning;
+  /// Optional instrumentation. With a registry attached, "explore.*"
+  /// counters (points, cache hits, worker busy time) and the validated
+  /// runs' "sim.*" metrics accumulate there; with a trace sink attached,
+  /// phases and worker drains become Chrome-trace spans. When no registry
+  /// is given the explorer uses a private one, so ExplorationResult::
+  /// metrics is populated either way.
+  obs::ObsContext obs;
 };
 
 /// Everything known about one design point after the run.
@@ -74,6 +82,9 @@ struct PointResult {
   std::uint64_t simulated_clocks = 0;  ///< refined run's end-to-end time
 };
 
+/// Per-run convenience view of the "explore.*" registry metrics (the
+/// registry is the source of truth; these are the deltas this run added).
+/// All values are deterministic across thread counts.
 struct ExplorationStats {
   std::size_t total_points = 0;
   std::size_t pruned_points = 0;
@@ -93,6 +104,10 @@ struct ExplorationResult {
   /// Indices of the points validated in the sim, ascending wire count.
   std::vector<std::size_t> validated;
   ExplorationStats stats;
+  /// Snapshot of the metrics registry at the end of the run (the attached
+  /// one, or the explorer's private registry when none was attached). The
+  /// deterministic section is byte-identical across thread counts.
+  obs::MetricsSnapshot metrics;
 
   const PointResult& result_for(const ParetoEntry& entry) const {
     return points[entry.point_index];

@@ -31,6 +31,16 @@ const char* protocol_short_name(spec::ProtocolKind kind) {
   return "?";
 }
 
+void render_metrics_markdown(std::ostringstream& os,
+                             const obs::MetricsSnapshot& metrics) {
+  const std::string table = metrics.deterministic_markdown();
+  if (table.empty()) return;
+  os << "\n## Metrics\n\n";
+  os << "_Deterministic metrics only (byte-identical across thread "
+        "counts); wall-clock timings live in the --metrics JSON._\n\n";
+  os << table;
+}
+
 }  // namespace
 
 std::string render_exploration_markdown(const spec::System& system,
@@ -65,6 +75,7 @@ std::string render_exploration_markdown(const spec::System& system,
   os << "## Pareto front (total wires vs. worst-case clocks)\n\n";
   if (result.front.empty()) {
     os << "_No feasible design point satisfies the constraints._\n";
+    render_metrics_markdown(os, result.metrics);
     return os.str();
   }
   const ParetoEntry* knee = result.front.knee();
@@ -101,6 +112,7 @@ std::string render_exploration_markdown(const spec::System& system,
        << knee->worst_case_clocks
        << "; wider buses buy no further speedup.\n";
   }
+  render_metrics_markdown(os, result.metrics);
   return os.str();
 }
 
@@ -120,6 +132,14 @@ std::string render_exploration_json(const spec::System& system,
      << ", \"validated\": " << result.stats.validated_points
      << ", \"cache_hits\": " << result.stats.cache_hits
      << ", \"cache_misses\": " << result.stats.cache_misses << "},\n";
+
+  // Deterministic section only — the JSON report carries the same
+  // byte-identity guarantee as the markdown one.
+  std::string metrics_json = result.metrics.deterministic_json();
+  while (!metrics_json.empty() && metrics_json.back() == '\n') {
+    metrics_json.pop_back();
+  }
+  os << "  \"metrics\": " << metrics_json << ",\n";
 
   const ParetoEntry* knee = result.front.knee();
   os << "  \"front\": [\n";

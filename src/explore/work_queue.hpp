@@ -6,41 +6,89 @@
 // computed for each index does not, and results are merged by index, so
 // the output is identical for any thread count — the exploration engine's
 // core determinism guarantee.
+//
+// Observability (opt-in via WorkQueueObs): each worker's drain becomes a
+// named span on its own trace track, the remaining queue depth is sampled
+// onto a counter track as indices are claimed, and per-worker busy time
+// accumulates into a kWallClock counter. None of this affects what `work`
+// computes, so the determinism guarantee is untouched.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/scoped_timer.hpp"
+
 namespace ifsyn::explore {
+
+/// Optional instrumentation for one run_indexed call. `label` names the
+/// worker tracks and the queue-depth counter in the trace.
+struct WorkQueueObs {
+  obs::TraceSink* trace = nullptr;
+  /// Accumulates every worker's busy microseconds (wall clock).
+  obs::Counter* busy_us = nullptr;
+  const char* label = "worker";
+};
 
 /// Invoke `work(i)` for every i in [0, count) using up to `threads`
 /// workers (1 = run inline on the caller). `work` must only touch state
 /// owned by index i (typically `results[i]`) or thread-safe shared state.
 inline void run_indexed(std::size_t count, int threads,
-                        const std::function<void(std::size_t)>& work) {
+                        const std::function<void(std::size_t)>& work,
+                        const WorkQueueObs& wq_obs = {}) {
   if (count == 0) return;
   const std::size_t workers =
       threads <= 1
           ? 1
           : std::min<std::size_t>(static_cast<std::size_t>(threads), count);
-  if (workers == 1) {
-    for (std::size_t i = 0; i < count; ++i) work(i);
-    return;
-  }
+
   std::atomic<std::size_t> next{0};
-  auto drain = [&next, count, &work] {
-    for (std::size_t i = next.fetch_add(1); i < count;
-         i = next.fetch_add(1)) {
-      work(i);
+  auto drain = [&next, count, &work, &wq_obs](std::size_t worker) {
+    const auto start = std::chrono::steady_clock::now();
+    if (wq_obs.trace) {
+      wq_obs.trace->set_thread_name(std::string(wq_obs.label) + " " +
+                                    std::to_string(worker));
+    }
+    {
+      obs::Span span(wq_obs.trace, std::string(wq_obs.label) + " drain",
+                     "work_queue");
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        if (wq_obs.trace) {
+          wq_obs.trace->counter_event(
+              std::string(wq_obs.label) + " queue_depth",
+              static_cast<std::int64_t>(count - std::min(i, count)));
+        }
+        work(i);
+      }
+      if (wq_obs.trace) {
+        wq_obs.trace->counter_event(
+            std::string(wq_obs.label) + " queue_depth", 0);
+      }
+    }
+    if (wq_obs.busy_us) {
+      wq_obs.busy_us->add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
     }
   };
+
+  if (workers == 1) {
+    drain(0);
+    return;
+  }
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
-  drain();  // the caller is worker 0
+  for (std::size_t t = 1; t < workers; ++t) {
+    pool.emplace_back([&drain, t] { drain(t); });
+  }
+  drain(0);  // the caller is worker 0
   for (std::thread& t : pool) t.join();
 }
 

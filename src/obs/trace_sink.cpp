@@ -1,0 +1,367 @@
+#include "obs/trace_sink.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ifsyn::obs {
+
+// ---- recording -----------------------------------------------------------
+
+int TraceSink::tid_locked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+int TraceSink::current_tid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tid_locked(std::this_thread::get_id());
+}
+
+void TraceSink::set_thread_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid_locked(std::this_thread::get_id())] = name;
+}
+
+void TraceSink::duration_event(const std::string& name,
+                               const std::string& category,
+                               std::uint64_t ts_us, std::uint64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'X', name, category, ts_us, dur_us, 0,
+                          tid_locked(std::this_thread::get_id())});
+}
+
+void TraceSink::instant_event(const std::string& name,
+                              const std::string& category) {
+  const std::uint64_t ts = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'i', name, category, ts, 0, 0,
+                          tid_locked(std::this_thread::get_id())});
+}
+
+void TraceSink::counter_event(const std::string& name, std::int64_t value) {
+  const std::uint64_t ts = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'C', name, "", ts, 0, value,
+                          tid_locked(std::this_thread::get_id())});
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+// ---- serialization -------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceSink::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [tid, name] : thread_names_) {
+    sep();
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": "
+       << tid << ", \"args\": {\"name\": \"" << json_escape(name) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    sep();
+    os << "  {\"name\": \"" << json_escape(e.name) << "\", \"ph\": \"" << e.ph
+       << "\", \"ts\": " << e.ts << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (!e.category.empty()) {
+      os << ", \"cat\": \"" << json_escape(e.category) << "\"";
+    }
+    switch (e.ph) {
+      case 'X':
+        os << ", \"dur\": " << e.dur;
+        break;
+      case 'i':
+        os << ", \"s\": \"t\"";
+        break;
+      case 'C':
+        os << ", \"args\": {\"value\": " << e.value << "}";
+        break;
+      default:
+        break;
+    }
+    os << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+// ---- validation ----------------------------------------------------------
+//
+// A minimal recursive-descent JSON reader: just enough structure to prove
+// the document parses and to expose objects/arrays/strings/numbers for the
+// schema checks below. Not a general-purpose parser (no \uXXXX decoding).
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  double number = 0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_ && error_->empty()) {
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return parse_string(&out->string);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!consume('{')) return fail("expected '{'");
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!consume('[')) return fail("expected '['");
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array.push_back(std::move(value));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        *out += text_[pos_++];
+      } else {
+        *out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    out->type = JsonValue::Type::kNumber;
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  bool parse_literal(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("expected true/false");
+  }
+
+  bool parse_null(JsonValue* out) {
+    out->type = JsonValue::Type::kNull;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+bool event_error(std::string* error, std::size_t index,
+                 const std::string& why) {
+  if (error && error->empty()) {
+    *error = "traceEvents[" + std::to_string(index) + "]: " + why;
+  }
+  return false;
+}
+
+bool check_event(const JsonValue& event, std::size_t index,
+                 std::string* error) {
+  if (event.type != JsonValue::Type::kObject) {
+    return event_error(error, index, "not an object");
+  }
+  const JsonValue* name = event.get("name");
+  if (!name || name->type != JsonValue::Type::kString) {
+    return event_error(error, index, "missing string \"name\"");
+  }
+  const JsonValue* ph = event.get("ph");
+  if (!ph || ph->type != JsonValue::Type::kString || ph->string.size() != 1) {
+    return event_error(error, index, "missing one-char \"ph\"");
+  }
+  for (const char* key : {"pid", "tid"}) {
+    const JsonValue* v = event.get(key);
+    if (!v || v->type != JsonValue::Type::kNumber) {
+      return event_error(error, index,
+                         std::string("missing numeric \"") + key + "\"");
+    }
+  }
+  const char phase = ph->string[0];
+  if (phase != 'M') {  // metadata events are timestamp-free
+    const JsonValue* ts = event.get("ts");
+    if (!ts || ts->type != JsonValue::Type::kNumber) {
+      return event_error(error, index, "missing numeric \"ts\"");
+    }
+  }
+  if (phase == 'X') {
+    const JsonValue* dur = event.get("dur");
+    if (!dur || dur->type != JsonValue::Type::kNumber) {
+      return event_error(error, index, "complete event missing \"dur\"");
+    }
+  }
+  if (phase == 'C' || phase == 'M') {
+    const JsonValue* args = event.get("args");
+    if (!args || args->type != JsonValue::Type::kObject) {
+      return event_error(error, index, "missing object \"args\"");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_trace_json(const std::string& json, std::string* error) {
+  if (error) error->clear();
+  JsonValue root;
+  JsonParser parser(json, error);
+  if (!parser.parse(&root)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    if (error && error->empty()) *error = "top level is not an object";
+    return false;
+  }
+  const JsonValue* events = root.get("traceEvents");
+  if (!events || events->type != JsonValue::Type::kArray) {
+    if (error && error->empty()) *error = "missing \"traceEvents\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    if (!check_event(events->array[i], i, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace ifsyn::obs

@@ -1,0 +1,101 @@
+// ifsyn/obs/trace_sink.hpp
+//
+// Structured event sink serializing to the Chrome/Perfetto `trace_event`
+// JSON format, so a whole run — per-thread work-queue spans, per-point
+// validation spans, fresh estimations as instant events — can be opened in
+// chrome://tracing or ui.perfetto.dev.
+//
+// Schema emitted (the "JSON Object Format" of the trace-event spec):
+//
+//   { "traceEvents": [
+//       {"name": "...", "cat": "...", "ph": "X", "ts": µs, "dur": µs,
+//        "pid": 1, "tid": N},                         // complete span
+//       {"name": "...", "cat": "...", "ph": "i", "ts": µs, "s": "t",
+//        "pid": 1, "tid": N},                         // instant event
+//       {"name": "...", "ph": "C", "ts": µs, "pid": 1, "tid": N,
+//        "args": {"value": V}},                       // counter track
+//       {"name": "thread_name", "ph": "M", "pid": 1, "tid": N,
+//        "args": {"name": "..."}}                     // thread metadata
+//     ],
+//     "displayTimeUnit": "ms" }
+//
+// Timestamps are host microseconds since sink construction (Chrome traces
+// are wall-clock artifacts by nature; deterministic numbers belong in the
+// MetricsRegistry instead). Thread ids are small integers assigned in
+// registration order; name a thread's track with set_thread_name.
+//
+// Thread safety: all recording methods may be called concurrently; events
+// append under one mutex. Recording is intended for opt-in runs (a CLI
+// --chrome-trace flag), not the always-on hot path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ifsyn::obs {
+
+class TraceSink {
+ public:
+  TraceSink() : t0_(std::chrono::steady_clock::now()) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Host microseconds since the sink was created.
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  /// Small integer id for the calling thread (assigned on first use).
+  int current_tid();
+  /// Names the calling thread's track in the trace viewer.
+  void set_thread_name(const std::string& name);
+
+  /// Complete span ("ph":"X") on the calling thread's track.
+  void duration_event(const std::string& name, const std::string& category,
+                      std::uint64_t ts_us, std::uint64_t dur_us);
+  /// Thread-scoped instant event ("ph":"i") at now.
+  void instant_event(const std::string& name, const std::string& category);
+  /// Counter-track sample ("ph":"C") at now.
+  void counter_event(const std::string& name, std::int64_t value);
+
+  std::size_t event_count() const;
+
+  /// The full JSON document (see file comment).
+  std::string to_json() const;
+
+ private:
+  struct Event {
+    char ph;  // 'X', 'i', 'C'
+    std::string name;
+    std::string category;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;    // 'X' only
+    std::int64_t value = 0;   // 'C' only
+    int tid = 0;
+  };
+
+  int tid_locked(std::thread::id id);
+
+  const std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> tids_;
+  std::map<int, std::string> thread_names_;
+};
+
+/// Validates that `json` is a syntactically well-formed trace-event
+/// document Perfetto will load: a top-level object with a "traceEvents"
+/// array whose elements carry the per-phase required keys ("name", "ph",
+/// "pid", "tid", and "ts"/"dur"/"args" where the phase demands them).
+/// On failure returns false and, if `error` is non-null, explains why.
+bool validate_trace_json(const std::string& json, std::string* error);
+
+}  // namespace ifsyn::obs

@@ -149,6 +149,23 @@ Status ProtocolGenerator::generate_bus(System& system,
     }
     system.add_procedure(std::move(requester));
     system.add_procedure(std::move(server));
+
+    if (options_.obs.metrics) {
+      obs::MetricsRegistry& reg = *options_.obs.metrics;
+      reg.counter("protocol.messages_sliced").add(1);
+      // Words each transaction moves over the data lines at this width —
+      // the slicing the generated procedures implement.
+      const int width = sctx.wires.width;
+      if (width > 0) {
+        reg.counter("protocol.transfer_words_generated")
+            .add(static_cast<std::uint64_t>(
+                (ch->message_bits() + width - 1) / width));
+      }
+      reg.counter("protocol.procedures_generated").add(2);
+    }
+  }
+  if (options_.obs.metrics) {
+    options_.obs.metrics->counter("protocol.buses_generated").add(1);
   }
 
   // ---- step 4: variable-reference update in accessor processes ----
@@ -181,6 +198,9 @@ Status ProtocolGenerator::rewrite_accessors(System& system,
     if (!process) return not_found("accessor process " + process_name);
     ReferenceRewriter rewriter(remotes);
     IFSYN_RETURN_IF_ERROR(rewriter.rewrite(*process));
+    if (options_.obs.metrics) {
+      options_.obs.metrics->counter("protocol.accessors_rewritten").add(1);
+    }
   }
   return Status::ok();
 }
@@ -232,6 +252,9 @@ Status ProtocolGenerator::generate_servers(System& system) {
 
     Process server = make_variable_process(variable, arms);
     system.add_process(std::move(server));
+    if (options_.obs.metrics) {
+      options_.obs.metrics->counter("protocol.servers_generated").add(1);
+    }
 
     // Keep the module map consistent: the server lives where its
     // variable lives.

@@ -21,6 +21,7 @@
 // which is the property the paper claims for its output.
 #pragma once
 
+#include "obs/scoped_timer.hpp"
 #include "protocol/protocol_library.hpp"
 #include "spec/system.hpp"
 #include "util/status.hpp"
@@ -35,6 +36,9 @@ struct ProtocolGenOptions {
   /// Without it, specs whose masters overlap in time will corrupt each
   /// other's handshakes -- exactly as they would in hardware.
   bool arbitrate = false;
+  /// Optional metrics hooks: deterministic "protocol." work counters
+  /// (messages sliced, transfer words generated, procedures, servers).
+  obs::ObsContext obs;
 };
 
 class ProtocolGenerator {

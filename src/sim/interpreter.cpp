@@ -435,10 +435,11 @@ SimTask Interpreter::exec_stmt(const Stmt& stmt, ProcState& state) {
 // ---- convenience ---------------------------------------------------------
 
 SimulationRun simulate(const spec::System& system, std::uint64_t max_time,
-                       bool trace) {
+                       bool trace, const obs::ObsContext& obs) {
   SimulationRun run;
   run.kernel = std::make_unique<Kernel>();
   run.kernel->enable_trace(trace);
+  run.kernel->set_obs(obs);
   run.interpreter = std::make_unique<Interpreter>(system, *run.kernel);
   Status setup = run.interpreter->setup();
   if (!setup.is_ok()) {

@@ -100,8 +100,11 @@ struct SimulationRun {
 };
 
 /// Simulate a system to quiescence. `trace` enables waveform capture.
+/// `obs` (optional) attaches a metrics registry to the kernel; counters
+/// land under the "sim." prefix (see Kernel::set_obs).
 SimulationRun simulate(const spec::System& system,
                        std::uint64_t max_time = 1'000'000,
-                       bool trace = false);
+                       bool trace = false,
+                       const obs::ObsContext& obs = {});
 
 }  // namespace ifsyn::sim

@@ -108,7 +108,7 @@ void Kernel::Awaiter::await_suspend(std::coroutine_handle<> h) {
                        "unknown bus lock " << bus);
       BusLockState& lock = it->second;
       if (lock.holder == nullptr) {
-        lock.holder = proc;
+        kernel->grant_bus(lock, proc, /*contended=*/false);
         proc->wait = WaitKind::kReady;  // got it; continue this sweep
         return;
       }
@@ -139,21 +139,36 @@ Kernel::Awaiter Kernel::acquire_bus(const std::string& bus) {
   return Awaiter{this, WaitKind::kBusLock, 0, {}, {}, bus};
 }
 
+void Kernel::grant_bus(BusLockState& lock, ProcessRuntime* next,
+                       bool contended) {
+  lock.holder = next;
+  lock.hold_start = time_;
+  ++lock.stats.acquisitions;
+  if (contended) ++lock.stats.contended_acquisitions;
+}
+
 void Kernel::release_bus(const std::string& bus) {
   auto it = bus_locks_.find(bus);
   IFSYN_ASSERT_MSG(it != bus_locks_.end(), "unknown bus lock " << bus);
   BusLockState& lock = it->second;
   IFSYN_ASSERT_MSG(lock.holder == current_,
                    "bus " << bus << " released by non-holder");
+  const std::uint64_t held = time_ - lock.hold_start;
+  lock.stats.hold_cycles += held;
+  if (hold_hist_) hold_hist_->observe(held);
   if (lock.waiters.empty()) {
     lock.holder = nullptr;
     return;
   }
   ProcessRuntime* next = lock.waiters.front();
   lock.waiters.pop_front();
-  next->stats.bus_wait_cycles += time_ - next->lock_wait_start;
-  lock.holder = next;
+  const std::uint64_t waited = time_ - next->lock_wait_start;
+  next->stats.bus_wait_cycles += waited;
+  lock.stats.wait_cycles += waited;
+  if (wait_hist_) wait_hist_->observe(waited);
+  grant_bus(lock, next, /*contended=*/true);
   next->wait = WaitKind::kReady;
+  ++stats_.wakeups_bus_grant;
 }
 
 // ---- scheduler -------------------------------------------------------------
@@ -210,6 +225,10 @@ bool Kernel::commit_deltas() {
         " (oscillating zero-delay loop?)");
     return false;
   }
+  ++stats_.delta_cycles;
+  if (delta_ > stats_.max_deltas_in_instant) {
+    stats_.max_deltas_in_instant = delta_;
+  }
 
   std::vector<FieldKey> changed;
   for (const FieldKey& key : dirty_) {
@@ -218,7 +237,16 @@ bool Kernel::commit_deltas() {
     if (*state.pending != state.current) {
       state.current = std::move(*state.pending);
       changed.push_back(key);
+      ++stats_.signal_commits;
       if (trace_enabled_) {
+        if (trace_.size() >= trace_limit_) {
+          run_status_ = simulation_error(
+              "signal trace exceeded cap of " +
+              std::to_string(trace_limit_) + " entries at t=" +
+              std::to_string(time_) +
+              " (raise Kernel::set_trace_limit or disable tracing)");
+          return false;
+        }
         trace_.push_back(TraceEntry{time_, delta_, key, state.current});
       }
     }
@@ -238,9 +266,15 @@ bool Kernel::commit_deltas() {
                          (want.field.empty() || want.field == got.field);
                 });
           });
-      if (hit) proc->wait = WaitKind::kReady;
+      if (hit) {
+        proc->wait = WaitKind::kReady;
+        ++stats_.wakeups_event;
+      }
     } else if (proc->wait == WaitKind::kCondition) {
-      if (proc->condition()) proc->wait = WaitKind::kReady;
+      if (proc->condition()) {
+        proc->wait = WaitKind::kReady;
+        ++stats_.wakeups_condition;
+      }
     }
   }
   return true;
@@ -259,9 +293,11 @@ bool Kernel::advance_time(std::uint64_t max_time) {
   }
   time_ = next;
   delta_ = 0;
+  ++stats_.instants;
   for (auto& proc : processes_) {
     if (proc->wait == WaitKind::kTime && proc->wake_time == time_) {
       proc->wait = WaitKind::kReady;
+      ++stats_.wakeups_time;
     }
   }
   return true;
@@ -271,6 +307,22 @@ SimResult Kernel::run(std::uint64_t max_time) {
   run_status_ = Status::ok();
   time_ = 0;
   delta_ = 0;
+  stats_ = KernelStats{};
+  stats_.instants = 1;  // t=0 always executes
+  for (auto& [name, lock] : bus_locks_) {
+    lock.stats = BusStats{};
+    lock.stats.bus = name;
+  }
+  if (obs_.metrics != nullptr) {
+    // Cycle-valued histograms over per-acquisition bus hold ("transaction
+    // length") and per-grant wait ("arbitration latency") durations.
+    const std::vector<std::uint64_t> bounds = obs::exponential_bounds(1 << 16);
+    hold_hist_ = &obs_.metrics->histogram("sim.bus_hold_cycles", bounds);
+    wait_hist_ = &obs_.metrics->histogram("sim.bus_wait_cycles", bounds);
+  } else {
+    hold_hist_ = nullptr;
+    wait_hist_ = nullptr;
+  }
 
   for (auto& proc : processes_) {
     proc->task = proc->factory();
@@ -295,7 +347,43 @@ SimResult Kernel::run(std::uint64_t max_time) {
     // A process parked on a bus-lock queue at quiescence never completed.
     result.processes.push_back(proc->stats);
   }
+  stats_.trace_entries = trace_.size();
+  result.kernel = stats_;
+  result.buses.reserve(bus_locks_.size());
+  for (const auto& [name, lock] : bus_locks_) {
+    result.buses.push_back(lock.stats);
+  }
+  if (obs_.metrics != nullptr) flush_metrics(result);
   return result;
+}
+
+void Kernel::flush_metrics(const SimResult& result) const {
+  obs::MetricsRegistry& reg = *obs_.metrics;
+  reg.counter("sim.runs").add(1);
+  reg.counter("sim.simulated_cycles").add(result.end_time);
+  reg.counter("sim.instants").add(stats_.instants);
+  reg.counter("sim.delta_cycles").add(stats_.delta_cycles);
+  reg.counter("sim.signal_commits").add(stats_.signal_commits);
+  reg.counter("sim.trace_entries").add(stats_.trace_entries);
+  reg.counter("sim.wakeups.time").add(stats_.wakeups_time);
+  reg.counter("sim.wakeups.event").add(stats_.wakeups_event);
+  reg.counter("sim.wakeups.condition").add(stats_.wakeups_condition);
+  reg.counter("sim.wakeups.bus_grant").add(stats_.wakeups_bus_grant);
+  reg.histogram("sim.deltas_per_instant", obs::exponential_bounds(1 << 16))
+      .observe(stats_.max_deltas_in_instant);
+  for (const BusStats& bus : result.buses) {
+    const std::string prefix = "sim.bus." + bus.bus + ".";
+    reg.counter(prefix + "acquisitions").add(bus.acquisitions);
+    reg.counter(prefix + "contended_acquisitions")
+        .add(bus.contended_acquisitions);
+    reg.counter(prefix + "hold_cycles").add(bus.hold_cycles);
+    reg.counter(prefix + "wait_cycles").add(bus.wait_cycles);
+  }
+  std::uint64_t bus_wait = 0;
+  for (const ProcessStats& proc : result.processes) {
+    bus_wait += proc.bus_wait_cycles;
+  }
+  reg.counter("sim.process_bus_wait_cycles").add(bus_wait);
 }
 
 }  // namespace ifsyn::sim

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/scoped_timer.hpp"
 #include "sim/task.hpp"
 #include "util/bit_vector.hpp"
 #include "util/status.hpp"
@@ -67,11 +68,53 @@ struct ProcessStats {
   std::uint64_t bus_wait_cycles = 0;  ///< time spent blocked on bus locks
 };
 
+/// Scheduler-level counters for one run. Everything here is derived from
+/// simulated events, so it is deterministic for a given system and budget
+/// (see obs/metrics.hpp for the contract these feed).
+struct KernelStats {
+  std::uint64_t instants = 0;        ///< distinct time points executed
+  std::uint64_t delta_cycles = 0;    ///< total commit rounds across the run
+  std::uint64_t max_deltas_in_instant = 0;
+  std::uint64_t signal_commits = 0;  ///< commits that changed a field value
+  std::uint64_t wakeups_time = 0;    ///< processes resumed by `wait for`
+  std::uint64_t wakeups_event = 0;   ///< ... by `wait on` sensitivity hits
+  std::uint64_t wakeups_condition = 0;  ///< ... by `wait until` turning true
+  std::uint64_t wakeups_bus_grant = 0;  ///< ... by acquiring a bus lock
+  std::uint64_t trace_entries = 0;   ///< waveform entries recorded
+};
+
+/// Per-bus-lock accounting (arbitration extension): how long the bus was
+/// held (≈ busy transferring) and how long requesters queued for it. Wait
+/// time of processes still parked at quiescence is not included.
+struct BusStats {
+  std::string bus;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended_acquisitions = 0;  ///< grants that had to queue
+  std::uint64_t hold_cycles = 0;
+  std::uint64_t wait_cycles = 0;
+
+  /// Fraction of the run the bus was held; the report's utilization line.
+  double utilization(std::uint64_t end_time) const {
+    return end_time == 0
+               ? 0.0
+               : static_cast<double>(hold_cycles) /
+                     static_cast<double>(end_time);
+  }
+};
+
 /// Result of Kernel::run.
 struct SimResult {
   Status status;                 ///< ok, or why the run aborted
   std::uint64_t end_time = 0;    ///< simulation time at quiescence
   std::vector<ProcessStats> processes;
+  KernelStats kernel;
+  std::vector<BusStats> buses;   ///< one per declared lock, name order
+
+  const BusStats* find_bus(const std::string& name) const {
+    for (const auto& b : buses)
+      if (b.bus == name) return &b;
+    return nullptr;
+  }
 
   const ProcessStats* find(const std::string& name) const {
     for (const auto& p : processes)
@@ -102,6 +145,21 @@ class Kernel {
   /// Record every committed signal change (off by default).
   void enable_trace(bool on) { trace_enabled_ = on; }
   const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  /// Cap on recorded trace entries. A traced run that would exceed the cap
+  /// aborts with kSimulationError instead of growing without bound on
+  /// pathological specs. Default: kDefaultTraceLimit.
+  void set_trace_limit(std::size_t max_entries) {
+    trace_limit_ = max_entries;
+  }
+
+  /// Attach a metrics registry / trace sink. The kernel batches its
+  /// per-event counts in plain integers during the run (always on, no
+  /// atomics in the hot path) and flushes them into the registry once at
+  /// the end of run() under the "sim." prefix; bus hold/wait durations
+  /// additionally feed the sim.bus_hold_cycles / sim.bus_wait_cycles
+  /// histograms. All flushed values are Determinism::kDeterministic.
+  void set_obs(const obs::ObsContext& ctx) { obs_ = ctx; }
 
   // ---- runtime services (called from inside process coroutines) ---------
 
@@ -165,6 +223,8 @@ class Kernel {
   struct BusLockState {
     ProcessRuntime* holder = nullptr;
     std::deque<ProcessRuntime*> waiters;
+    std::uint64_t hold_start = 0;  ///< time the current holder acquired
+    BusStats stats;
   };
 
   FieldState& field_state(const FieldKey& key);
@@ -179,6 +239,10 @@ class Kernel {
   bool advance_time(std::uint64_t max_time);
 
   void finish_process(ProcessRuntime& proc);
+  /// Grant the lock to `next` at the current time, with accounting.
+  void grant_bus(BusLockState& lock, ProcessRuntime* next, bool contended);
+  /// Push KernelStats and bus histograms into the attached registry.
+  void flush_metrics(const SimResult& result) const;
 
   std::uint64_t time_ = 0;
   std::uint64_t delta_ = 0;  // delta count within the current instant
@@ -191,9 +255,17 @@ class Kernel {
 
   bool trace_enabled_ = false;
   std::vector<TraceEntry> trace_;
+  std::size_t trace_limit_ = kDefaultTraceLimit;
   Status run_status_;
+  KernelStats stats_;
+  obs::ObsContext obs_;
+  // Histogram handles resolved once per run (name lookup off the hot path);
+  // null when no registry is attached.
+  obs::Histogram* hold_hist_ = nullptr;
+  obs::Histogram* wait_hist_ = nullptr;
 
   static constexpr std::uint64_t kMaxDeltasPerInstant = 100'000;
+  static constexpr std::size_t kDefaultTraceLimit = 4'000'000;
 
   friend struct KernelAwaiterAccess;
 };

@@ -1,0 +1,129 @@
+// Integration test for the observability determinism contract: running
+// the explorer over the same system at 1/2/4/8 worker threads with a
+// fresh registry each time must produce byte-identical deterministic
+// metrics (sim.*, synth.*, protocol.*, explore.* counters/histograms),
+// and a traced run must serialize to schema-valid Chrome trace JSON.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explore/explorer.hpp"
+#include "explore/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn::obs {
+namespace {
+
+using suite::FlcCalibration;
+
+explore::ExploreOptions make_options() {
+  explore::ExploreOptions options;
+  options.compute_cycles_override = {
+      {"EVAL_R3", FlcCalibration::kEvalR3ComputeCycles},
+      {"CONV_R2", FlcCalibration::kConvR2ComputeCycles},
+  };
+  options.space.protocols = {spec::ProtocolKind::kFullHandshake,
+                             spec::ProtocolKind::kHalfHandshake};
+  options.top_k = 3;  // exercise sim validation under the shared registry
+  return options;
+}
+
+TEST(ObsDeterminismTest, DeterministicMetricsAreByteIdenticalAcrossThreads) {
+  spec::System system = suite::make_flc_kernel();
+  std::string reference_json;
+  std::string reference_markdown;
+  for (int threads : {1, 2, 4, 8}) {
+    explore::ExploreOptions options = make_options();
+    options.threads = threads;
+    MetricsRegistry registry;  // fresh per run — no cross-run accumulation
+    options.obs.metrics = &registry;
+    explore::Explorer explorer(system, options);
+    Result<explore::ExplorationResult> result = explorer.run();
+    ASSERT_TRUE(result.is_ok()) << result.status();
+
+    const std::string det = result->metrics.deterministic_json();
+    const std::string md = result->metrics.deterministic_markdown();
+    if (threads == 1) {
+      reference_json = det;
+      reference_markdown = md;
+      // Sanity: the snapshot actually contains the instrumented layers.
+      EXPECT_NE(det.find("explore.points.total"), std::string::npos);
+      EXPECT_NE(det.find("explore.cache.misses"), std::string::npos);
+      EXPECT_NE(det.find("sim."), std::string::npos);
+      EXPECT_NE(det.find("protocol."), std::string::npos);
+      continue;
+    }
+    EXPECT_EQ(det, reference_json)
+        << "deterministic metrics differ at " << threads << " threads";
+    EXPECT_EQ(md, reference_markdown)
+        << "metrics markdown differs at " << threads << " threads";
+  }
+}
+
+TEST(ObsDeterminismTest, ReportsWithEmbeddedMetricsStayIdentical) {
+  // The rendered reports embed the deterministic metrics section, so the
+  // engine's byte-identity guarantee must survive the embedding.
+  spec::System system = suite::make_flc_kernel();
+  std::string reference_markdown;
+  std::string reference_json;
+  for (int threads : {1, 4}) {
+    explore::ExploreOptions options = make_options();
+    options.threads = threads;
+    explore::Explorer explorer(system, options);
+    Result<explore::ExplorationResult> result = explorer.run();
+    ASSERT_TRUE(result.is_ok()) << result.status();
+    const std::string markdown =
+        explore::render_exploration_markdown(system, options, *result);
+    const std::string json =
+        explore::render_exploration_json(system, options, *result);
+    EXPECT_NE(markdown.find("## Metrics"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    if (threads == 1) {
+      reference_markdown = markdown;
+      reference_json = json;
+    } else {
+      EXPECT_EQ(markdown, reference_markdown);
+      EXPECT_EQ(json, reference_json);
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, ExplorerWithoutAttachedRegistryStillReportsMetrics) {
+  // The explorer falls back to a private registry, so ExplorationResult
+  // always carries a populated snapshot.
+  spec::System system = suite::make_flc_kernel();
+  explore::ExploreOptions options = make_options();
+  explore::Explorer explorer(system, options);
+  Result<explore::ExplorationResult> result = explorer.run();
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_FALSE(result->metrics.entries.empty());
+  const MetricsSnapshot::Entry* total =
+      result->metrics.find("explore.points.total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->counter, result->stats.total_points);
+}
+
+TEST(ObsDeterminismTest, TracedExplorationProducesValidChromeTrace) {
+  spec::System system = suite::make_flc_kernel();
+  explore::ExploreOptions options = make_options();
+  options.threads = 2;
+  TraceSink sink;
+  options.obs.trace = &sink;
+  explore::Explorer explorer(system, options);
+  Result<explore::ExplorationResult> result = explorer.run();
+  ASSERT_TRUE(result.is_ok()) << result.status();
+
+  EXPECT_GT(sink.event_count(), 0u);
+  const std::string json = sink.to_json();
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+  // The three explorer phases appear as spans.
+  EXPECT_NE(json.find("explore: estimate"), std::string::npos);
+  EXPECT_NE(json.find("explore: merge"), std::string::npos);
+  EXPECT_NE(json.find("explore: validate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ifsyn::obs

@@ -1,0 +1,162 @@
+// Tests for the Chrome trace_event sink: event recording, thread-track
+// metadata, the schema validator (both accepting our own output and
+// rejecting malformed documents), and the RAII Span/ScopedTimer helpers.
+#include "obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+
+namespace ifsyn::obs {
+namespace {
+
+TEST(TraceSinkTest, RecordsAllEventKinds) {
+  TraceSink sink;
+  sink.duration_event("phase", "synth", 10, 25);
+  sink.instant_event("estimate w8", "explore");
+  sink.counter_event("queue_depth", 3);
+  EXPECT_EQ(sink.event_count(), 3u);
+
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 25"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 3}"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"synth\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, ThreadNamesBecomeMetadataEvents) {
+  TraceSink sink;
+  sink.set_thread_name("worker 0");
+  sink.instant_event("tick", "");
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"name\": \"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"worker 0\"}"), std::string::npos);
+
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+}
+
+TEST(TraceSinkTest, DistinctThreadsGetDistinctSmallTids) {
+  TraceSink sink;
+  const int main_tid = sink.current_tid();
+  int worker_tid = -1;
+  std::thread worker([&] { worker_tid = sink.current_tid(); });
+  worker.join();
+  EXPECT_EQ(main_tid, 0);
+  EXPECT_EQ(worker_tid, 1);
+  EXPECT_EQ(sink.current_tid(), 0);  // stable on re-query
+}
+
+TEST(TraceSinkTest, OwnOutputPassesValidation) {
+  TraceSink sink;
+  sink.set_thread_name("main");
+  sink.duration_event("span \"quoted\"", "cat\\egory", 0, 5);
+  sink.instant_event("event\nwith newline", "explore");
+  sink.counter_event("busy", -7);
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(sink.to_json(), &error)) << error;
+
+  // The empty trace is also a valid document.
+  TraceSink empty;
+  EXPECT_TRUE(validate_trace_json(empty.to_json(), &error)) << error;
+}
+
+TEST(TraceSinkTest, ValidatorRejectsMalformedDocuments) {
+  std::string error;
+
+  EXPECT_FALSE(validate_trace_json("not json at all", &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(validate_trace_json("[1, 2, 3]", &error));
+  EXPECT_NE(error.find("not an object"), std::string::npos);
+
+  EXPECT_FALSE(validate_trace_json("{\"displayTimeUnit\": \"ms\"}", &error));
+  EXPECT_NE(error.find("traceEvents"), std::string::npos);
+
+  // Event missing its name.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"ph\": \"i\", \"ts\": 1, \"pid\": 1, "
+      "\"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("name"), std::string::npos);
+
+  // Complete event without a duration.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("dur"), std::string::npos);
+
+  // Counter event without args.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"c\", \"ph\": \"C\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("args"), std::string::npos);
+
+  // Non-metadata event without a timestamp.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"i\", \"ph\": \"i\", \"pid\": 1, "
+      "\"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("ts"), std::string::npos);
+}
+
+TEST(TraceSinkTest, SpanIsNoOpWithoutSink) {
+  // Must not crash or allocate a clock read path.
+  Span span(nullptr, "nothing", "none");
+}
+
+TEST(TraceSinkTest, SpanEmitsOneCompleteEvent) {
+  TraceSink sink;
+  { Span span(&sink, "work", "test"); }
+  ASSERT_EQ(sink.event_count(), 1u);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+}
+
+TEST(TraceSinkTest, ScopedTimerIsNoOpWithEmptyContext) {
+  ObsContext ctx;  // both pointers null
+  EXPECT_FALSE(ctx.enabled());
+  ScopedTimer timer(ctx, "t.us", "span", "cat");
+}
+
+TEST(TraceSinkTest, ScopedTimerFeedsWallClockCounterAndTrace) {
+  MetricsRegistry reg;
+  TraceSink sink;
+  ObsContext ctx{&reg, &sink};
+  EXPECT_TRUE(ctx.enabled());
+  { ScopedTimer timer(ctx, "test.phase_us", "phase", "test"); }
+
+  EXPECT_EQ(sink.event_count(), 1u);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::Entry* e = snap.find("test.phase_us");
+  ASSERT_NE(e, nullptr);
+  // Phase durations are host-clock values and must not leak into the
+  // deterministic section.
+  EXPECT_EQ(e->determinism, Determinism::kWallClock);
+  EXPECT_EQ(snap.deterministic_json().find("test.phase_us"),
+            std::string::npos);
+}
+
+TEST(TraceSinkTest, TimestampsAreMonotonicSinceConstruction) {
+  TraceSink sink;
+  const std::uint64_t a = sink.now_us();
+  const std::uint64_t b = sink.now_us();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace ifsyn::obs

@@ -354,6 +354,75 @@ TEST(KernelTest, ZeroDelayOscillationIsDetected) {
       << result.status;
 }
 
+TEST(KernelTest, DeltaOverflowErrorNamesTheOffendingInstant) {
+  // The oscillation only starts after 42 time units; the abort message
+  // must point at t=42, not at the start of the run.
+  Kernel kernel;
+  kernel.add_signal_field(key("A"), BitVector::from_uint(1, 0));
+  kernel.add_signal_field(key("B"), BitVector::from_uint(1, 0));
+  kernel.add_process("ping", [&]() -> SimTask {
+    { auto aw = kernel.wait_for(42); co_await aw; }
+    for (;;) {
+      kernel.schedule_signal(key("A"), ~kernel.signal_value(key("A")));
+      auto aw = kernel.wait_on(std::vector<FieldKey>{key("B")});
+      co_await aw;
+    }
+  });
+  kernel.add_process("pong", [&]() -> SimTask {
+    for (;;) {
+      auto aw = kernel.wait_on(std::vector<FieldKey>{key("A")});
+      co_await aw;
+      kernel.schedule_signal(key("B"), ~kernel.signal_value(key("B")));
+    }
+  });
+  SimResult result = kernel.run();
+  EXPECT_EQ(result.status.code(), StatusCode::kSimulationError);
+  EXPECT_NE(result.status.message().find("delta"), std::string::npos)
+      << result.status;
+  EXPECT_NE(result.status.message().find("t=42"), std::string::npos)
+      << result.status;
+  EXPECT_GE(result.kernel.max_deltas_in_instant, 100'000u);
+}
+
+TEST(KernelTest, TraceCapAbortsWithErrorInsteadOfGrowingUnbounded) {
+  // A chatty process with tracing on must hit the configured cap and fail
+  // with a descriptive status, not exhaust memory.
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.set_trace_limit(10);
+  kernel.add_signal_field(key("S"), BitVector::from_uint(32, 0));
+  kernel.add_process("chatty", [&]() -> SimTask {
+    for (std::uint32_t i = 1; i <= 1000; ++i) {
+      kernel.schedule_signal(key("S"), BitVector::from_uint(32, i));
+      auto aw = kernel.wait_for(1);
+      co_await aw;
+    }
+  });
+  SimResult result = kernel.run();
+  EXPECT_EQ(result.status.code(), StatusCode::kSimulationError);
+  EXPECT_NE(result.status.message().find("trace"), std::string::npos)
+      << result.status;
+  EXPECT_NE(result.status.message().find("10"), std::string::npos)
+      << result.status;
+  EXPECT_LE(kernel.trace().size(), 10u);
+}
+
+TEST(KernelTest, TraceUnderCapSucceeds) {
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.set_trace_limit(10);
+  kernel.add_signal_field(key("S"), BitVector::from_uint(8, 0));
+  kernel.add_process("p", [&]() -> SimTask {
+    for (std::uint32_t i = 1; i <= 5; ++i) {
+      kernel.schedule_signal(key("S"), BitVector::from_uint(8, i));
+      auto aw = kernel.wait_for(1);
+      co_await aw;
+    }
+  });
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  EXPECT_EQ(kernel.trace().size(), 5u);
+}
+
 TEST(KernelTest, WideSignalValuesFlowThrough) {
   Kernel kernel;
   kernel.add_signal_field(key("WIDE"), BitVector(130));
