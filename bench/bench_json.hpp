@@ -8,12 +8,22 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ifsyn::bench {
+
+/// True when IFSYN_BENCH_SMOKE is set (and not "0"): benchmarks shrink
+/// their workloads and skip machine-dependent pass/fail gates so CI can
+/// exercise every binary quickly. Smoke numbers are not comparable.
+inline bool smoke_mode() {
+  const char* env = std::getenv("IFSYN_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
 
 class BenchJson {
  public:

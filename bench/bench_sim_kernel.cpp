@@ -1,0 +1,289 @@
+// Microbenchmark for the discrete-event simulation kernel hot paths:
+// timed-waiter scheduling (advance_time), event-sensitivity wakeups
+// (commit_deltas), wildcard record sensitivity, condition waiters, and
+// the FLC example end-to-end through the interpreter.
+//
+// Each workload is synthetic but shaped like the traffic the explorer's
+// validation phase generates: many processes, many signals, and wakeup
+// patterns that used to cost O(processes) or
+// O(waiters x sensitivity x changed) per scheduler step.
+//
+// Writes BENCH_sim_kernel.json. IFSYN_BENCH_SMOKE=1 shrinks the workloads
+// for CI smoke runs; numbers from smoke mode are not comparable.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/kernel.hpp"
+#include "sim/task.hpp"
+#include "suite/flc.hpp"
+#include "util/bit_vector.hpp"
+
+using namespace ifsyn;
+using namespace ifsyn::sim;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct WorkloadResult {
+  double best_ms = 1e300;
+  SimResult sim;
+};
+
+/// Runs `build` + Kernel::run `repeats` times, keeping the best wall time.
+template <typename BuildFn>
+WorkloadResult run_workload(const char* name, int repeats, BuildFn build,
+                            std::uint64_t max_time = 50'000'000) {
+  WorkloadResult out;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Kernel kernel;
+    build(kernel);
+    const auto start = Clock::now();
+    SimResult result = kernel.run(max_time);
+    const auto stop = Clock::now();
+    if (!result.status.is_ok()) {
+      std::printf("workload %s failed: %s\n", name,
+                  result.status.to_string().c_str());
+      std::exit(1);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < out.best_ms) {
+      out.best_ms = ms;
+      out.sim = std::move(result);
+    }
+  }
+  return out;
+}
+
+FieldKey key(std::string sig, std::string field = "") {
+  return FieldKey{std::move(sig), std::move(field)};
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = ifsyn::bench::smoke_mode();
+  const int repeats = smoke ? 1 : 3;
+  std::printf("=== Simulation kernel microbenchmarks%s ===\n",
+              smoke ? " (smoke mode)" : "");
+
+  ifsyn::bench::BenchJson json("sim_kernel");
+  json.set("smoke", smoke ? 1 : 0);
+
+  // ---- 1. timed wheel: many processes sleeping on staggered periods ----
+  // Stresses advance_time (pop next instant) and ready dispatch; the old
+  // kernel rescanned every process twice per instant.
+  {
+    const int procs = smoke ? 64 : 512;
+    const int sleeps = smoke ? 64 : 512;
+    auto result = run_workload("timed_wheel", repeats, [&](Kernel& kernel) {
+      for (int p = 0; p < procs; ++p) {
+        kernel.add_process(
+            "t" + std::to_string(p), [&kernel, p, sleeps]() -> SimTask {
+              const std::uint64_t period = 1 + (p % 13);
+              for (int i = 0; i < sleeps; ++i) {
+                auto aw = kernel.wait_for(period);
+                co_await aw;
+              }
+            });
+      }
+    });
+    std::printf("timed_wheel      %4d procs x %4d sleeps: %9.2f ms "
+                "(%llu instants)\n",
+                procs, sleeps, result.best_ms,
+                static_cast<unsigned long long>(result.sim.kernel.instants));
+    json.set("timed_wheel_ms", result.best_ms);
+    json.set("timed_wheel_instants",
+             static_cast<double>(result.sim.kernel.instants));
+  }
+
+  // ---- 2. event wakeups: one waiter per signal, round-robin driver ----
+  // Each commit used to scan every waiting process and string-compare its
+  // whole sensitivity list; the sensitivity index touches only the one
+  // process parked on the changed signal.
+  {
+    const int signals = smoke ? 64 : 384;
+    const int rounds = smoke ? 32 : 256;
+    auto result = run_workload("event_wakeup", repeats, [&](Kernel& kernel) {
+      for (int s = 0; s < signals; ++s) {
+        kernel.add_signal_field(key("S" + std::to_string(s)), BitVector(1));
+      }
+      for (int s = 0; s < signals; ++s) {
+        kernel.add_process(
+            "w" + std::to_string(s), [&kernel, s, rounds]() -> SimTask {
+              const FieldKey k{"S" + std::to_string(s), ""};
+              for (int r = 0; r < rounds; ++r) {
+                std::vector<FieldKey> sens{k};
+                auto aw = kernel.wait_on(std::move(sens));
+                co_await aw;
+              }
+            });
+      }
+      kernel.add_process("driver", [&kernel, rounds, signals]() -> SimTask {
+        for (int r = 0; r < rounds; ++r) {
+          for (int s = 0; s < signals; ++s) {
+            const FieldKey k{"S" + std::to_string(s), ""};
+            kernel.schedule_signal(
+                k, BitVector::from_uint(1, r % 2 == 0 ? 1 : 0));
+            auto aw = kernel.wait_for(1);
+            co_await aw;
+          }
+        }
+      });
+    });
+    std::printf("event_wakeup     %4d signals x %4d rounds: %8.2f ms "
+                "(%llu event wakeups)\n",
+                signals, rounds, result.best_ms,
+                static_cast<unsigned long long>(
+                    result.sim.kernel.wakeups_event));
+    json.set("event_wakeup_ms", result.best_ms);
+    json.set("event_wakeup_wakeups",
+             static_cast<double>(result.sim.kernel.wakeups_event));
+  }
+
+  // ---- 3. wildcard record sensitivity: FieldKey{sig, ""} fan-out ----
+  // Waiters subscribe to a whole record; the driver commits one field at a
+  // time. Exercises wildcard expansion in the sensitivity index.
+  {
+    const int fields = 16;
+    const int waiters = smoke ? 16 : 96;
+    const int rounds = smoke ? 64 : 512;
+    auto result = run_workload("wildcard", repeats, [&](Kernel& kernel) {
+      for (int f = 0; f < fields; ++f) {
+        kernel.add_signal_field(key("REC", "F" + std::to_string(f)),
+                                BitVector(8));
+      }
+      for (int w = 0; w < waiters; ++w) {
+        kernel.add_process(
+            "w" + std::to_string(w), [&kernel, rounds]() -> SimTask {
+              for (int r = 0; r < rounds; ++r) {
+                std::vector<FieldKey> sens{FieldKey{"REC", ""}};
+                auto aw = kernel.wait_on(std::move(sens));
+                co_await aw;
+              }
+            });
+      }
+      kernel.add_process("driver", [&kernel, rounds, fields]() -> SimTask {
+        for (int r = 0; r < rounds; ++r) {
+          const FieldKey k{"REC", "F" + std::to_string(r % fields)};
+          kernel.schedule_signal(k, BitVector::from_uint(8, 1 + r % 255));
+          auto aw = kernel.wait_for(1);
+          co_await aw;
+        }
+      });
+    });
+    std::printf("wildcard         %4d waiters x %4d rounds: %8.2f ms "
+                "(%llu event wakeups)\n",
+                waiters, rounds, result.best_ms,
+                static_cast<unsigned long long>(
+                    result.sim.kernel.wakeups_event));
+    json.set("wildcard_ms", result.best_ms);
+    json.set("wildcard_wakeups",
+             static_cast<double>(result.sim.kernel.wakeups_event));
+  }
+
+  // ---- 4. condition waiters: four-phase handshakes via wait until ----
+  // Condition re-evaluation is inherently O(condition waiters) per commit;
+  // the win is not scanning every non-condition process along the way.
+  {
+    const int pairs = smoke ? 16 : 96;
+    const int words = smoke ? 32 : 128;
+    auto result = run_workload("condition", repeats, [&](Kernel& kernel) {
+      for (int p = 0; p < pairs; ++p) {
+        kernel.add_signal_field(key("REQ" + std::to_string(p)), BitVector(1));
+        kernel.add_signal_field(key("ACK" + std::to_string(p)), BitVector(1));
+      }
+      for (int p = 0; p < pairs; ++p) {
+        kernel.add_process(
+            "send" + std::to_string(p), [&kernel, p, words]() -> SimTask {
+              const FieldKey req{"REQ" + std::to_string(p), ""};
+              const FieldKey ack{"ACK" + std::to_string(p), ""};
+              for (int i = 0; i < words; ++i) {
+                kernel.schedule_signal(req, BitVector::from_uint(1, 1));
+                { auto aw = kernel.wait_for(1); co_await aw; }
+                {
+                  auto aw = kernel.wait_until([&kernel, ack]() {
+                    return kernel.signal_value(ack).to_uint() == 1;
+                  });
+                  co_await aw;
+                }
+                kernel.schedule_signal(req, BitVector::from_uint(1, 0));
+                { auto aw = kernel.wait_for(1); co_await aw; }
+                {
+                  auto aw = kernel.wait_until([&kernel, ack]() {
+                    return kernel.signal_value(ack).to_uint() == 0;
+                  });
+                  co_await aw;
+                }
+              }
+            });
+        kernel.add_process(
+            "recv" + std::to_string(p), [&kernel, p, words]() -> SimTask {
+              const FieldKey req{"REQ" + std::to_string(p), ""};
+              const FieldKey ack{"ACK" + std::to_string(p), ""};
+              for (int i = 0; i < words; ++i) {
+                {
+                  auto aw = kernel.wait_until([&kernel, req]() {
+                    return kernel.signal_value(req).to_uint() == 1;
+                  });
+                  co_await aw;
+                }
+                kernel.schedule_signal(ack, BitVector::from_uint(1, 1));
+                {
+                  auto aw = kernel.wait_until([&kernel, req]() {
+                    return kernel.signal_value(req).to_uint() == 0;
+                  });
+                  co_await aw;
+                }
+                kernel.schedule_signal(ack, BitVector::from_uint(1, 0));
+              }
+            });
+      }
+    });
+    std::printf("condition        %4d pairs   x %4d words:  %8.2f ms "
+                "(%llu condition wakeups)\n",
+                pairs, words, result.best_ms,
+                static_cast<unsigned long long>(
+                    result.sim.kernel.wakeups_condition));
+    json.set("condition_ms", result.best_ms);
+    json.set("condition_wakeups",
+             static_cast<double>(result.sim.kernel.wakeups_condition));
+  }
+
+  // ---- 5. FLC example through the interpreter ----
+  // End-to-end: elaboration-time interning plus kernel scheduling on the
+  // paper's fuzzy-logic controller spec.
+  {
+    const int flc_repeats = smoke ? 1 : 5;
+    const spec::System flc = suite::make_flc_full();
+    double best_ms = 1e300;
+    std::uint64_t end_time = 0;
+    for (int rep = 0; rep < flc_repeats; ++rep) {
+      const auto start = Clock::now();
+      SimulationRun run = simulate(flc);
+      const auto stop = Clock::now();
+      if (!run.result.status.is_ok()) {
+        std::printf("FLC simulation failed: %s\n",
+                    run.result.status.to_string().c_str());
+        return 1;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (ms < best_ms) best_ms = ms;
+      end_time = run.result.end_time;
+    }
+    std::printf("flc_interpreter  full controller, %d reps:   %8.2f ms "
+                "(%llu cycles)\n",
+                flc_repeats, best_ms,
+                static_cast<unsigned long long>(end_time));
+    json.set("flc_interpreter_ms", best_ms);
+    json.set("flc_end_time", static_cast<double>(end_time));
+  }
+
+  json.write();
+  return 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files emitted by the bench binaries.
+
+Schema (see bench/bench_json.hpp): each file is a single flat JSON object
+mapping metric names to finite numbers. Empty objects, nested values,
+strings, booleans, NaN and infinities are all rejected, so CI catches a
+bench binary that silently stops exporting its numbers.
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero on the first violation, printing the offending file/key.
+"""
+
+import json
+import math
+import sys
+
+
+def validate(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            # parse_constant rejects the non-standard NaN/Infinity literals
+            # Python's json module would otherwise accept silently.
+            data = json.load(f, parse_constant=lambda c: (_ for _ in ()).throw(
+                ValueError(f"non-finite constant {c!r}")))
+        except ValueError as e:
+            raise SystemExit(f"{path}: invalid JSON: {e}")
+
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: top-level value must be an object, "
+                         f"got {type(data).__name__}")
+    if not data:
+        raise SystemExit(f"{path}: object is empty (no metrics exported)")
+
+    for key, value in data.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SystemExit(f"{path}: key {key!r} has non-numeric value "
+                             f"{value!r}")
+        if not math.isfinite(value):
+            raise SystemExit(f"{path}: key {key!r} is not finite: {value!r}")
+
+    print(f"{path}: OK ({len(data)} metrics)")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

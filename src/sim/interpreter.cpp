@@ -60,6 +60,15 @@ Status Interpreter::setup() {
     if (b->arbitrated) kernel_.add_bus_lock(b->name);
   }
 
+  // Interning pre-pass: resolve every signal/bus reference in the spec to
+  // its dense kernel id. Must run after the declarations above.
+  signal_refs_.clear();
+  assign_slots_.clear();
+  wait_sets_.clear();
+  bus_refs_.clear();
+  for (const auto& p : system_.processes()) intern_block(p->body);
+  for (const auto& pr : system_.procedures()) intern_block(pr->body);
+
   for (const auto& p : system_.processes()) {
     const spec::Process* proc = p.get();
     ProcState& state = proc_states_[proc->name];
@@ -69,6 +78,99 @@ Status Interpreter::setup() {
         proc->restarts);
   }
   return Status::ok();
+}
+
+// ---- elaboration-time interning -------------------------------------------
+
+void Interpreter::intern_expr(const spec::Expr& expr) {
+  using namespace spec;
+  std::visit(
+      [this](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayRef>) {
+          intern_expr(*node.index);
+        } else if constexpr (std::is_same_v<T, SliceExpr>) {
+          intern_expr(*node.base);
+          intern_expr(*node.hi);
+          intern_expr(*node.lo);
+        } else if constexpr (std::is_same_v<T, SignalRef>) {
+          const SignalId id =
+              kernel_.find_signal_id(FieldKey{node.signal, node.field});
+          if (id != kInvalidSignalId) signal_refs_.emplace(&node, id);
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          intern_expr(*node.operand);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          intern_expr(*node.lhs);
+          intern_expr(*node.rhs);
+        }
+        // IntLit / BitsLit / VarRef: nothing to resolve.
+      },
+      expr.node());
+}
+
+void Interpreter::intern_lvalue(const spec::LValue& lv) {
+  if (lv.index) intern_expr(*lv.index);
+  if (lv.slice_hi) intern_expr(*lv.slice_hi);
+  if (lv.slice_lo) intern_expr(*lv.slice_lo);
+}
+
+void Interpreter::intern_block(const spec::Block& block) {
+  using namespace spec;
+  for (const auto& stmt : block) {
+    if (const auto* s = stmt->as<VarAssign>()) {
+      intern_lvalue(s->target);
+      intern_expr(*s->value);
+    } else if (const auto* s = stmt->as<SignalAssign>()) {
+      const SignalId id =
+          kernel_.find_signal_id(FieldKey{s->signal, s->field});
+      if (id != kInvalidSignalId) {
+        assign_slots_.emplace(
+            s, AssignSlot{id, kernel_.signal_value(id).width()});
+      }
+      intern_expr(*s->value);
+    } else if (const auto* s = stmt->as<WaitUntil>()) {
+      intern_expr(*s->cond);
+    } else if (const auto* s = stmt->as<WaitOn>()) {
+      // Unknown keys resolve to nothing: under the old scan they could
+      // never match, so dropping them preserves never-wakes semantics.
+      std::vector<SignalId> ids;
+      ids.reserve(s->sensitivity.size());
+      for (const auto& sf : s->sensitivity) {
+        const SignalId id =
+            sf.field.empty()
+                ? kernel_.find_wildcard_id(sf.signal)
+                : kernel_.find_signal_id(FieldKey{sf.signal, sf.field});
+        if (id != kInvalidSignalId) ids.push_back(id);
+      }
+      wait_sets_.emplace(s, std::move(ids));
+    } else if (const auto* s = stmt->as<WaitFor>()) {
+      intern_expr(*s->cycles);
+    } else if (const auto* s = stmt->as<IfStmt>()) {
+      intern_expr(*s->cond);
+      intern_block(s->then_body);
+      intern_block(s->else_body);
+    } else if (const auto* s = stmt->as<ForStmt>()) {
+      intern_expr(*s->from);
+      intern_expr(*s->to);
+      intern_block(s->body);
+    } else if (const auto* s = stmt->as<WhileStmt>()) {
+      intern_expr(*s->cond);
+      intern_block(s->body);
+    } else if (const auto* s = stmt->as<ForeverStmt>()) {
+      intern_block(s->body);
+    } else if (const auto* s = stmt->as<ProcCall>()) {
+      for (const auto& arg : s->args) {
+        if (const auto* e = std::get_if<ExprPtr>(&arg)) {
+          intern_expr(**e);
+        } else {
+          intern_lvalue(std::get<LValue>(arg));
+        }
+      }
+    } else if (const auto* s = stmt->as<BusLock>()) {
+      const BusId id = kernel_.find_bus_id(s->bus);
+      if (id != kInvalidBusId) bus_refs_.emplace(s, id);
+    }
+  }
 }
 
 const spec::Value& Interpreter::value_of(const std::string& variable) const {
@@ -108,118 +210,129 @@ spec::Value& Interpreter::lookup_or_fail(ProcState& state,
 // ---- expression evaluation --------------------------------------------
 
 std::int64_t Interpreter::eval_int(const Expr& expr, ProcState& state) {
+  // Loop bounds, slice indices and wait durations are usually literals;
+  // skip the Scalar round-trip (make_int(v).to_int() == v for any v).
+  if (const auto* lit = std::get_if<spec::IntLit>(&expr.node())) {
+    return lit->value;
+  }
   return eval(expr, state).to_int();
 }
 
+// Dispatch is a get_if chain ordered by hot-loop frequency rather than
+// std::visit: the chain is a handful of integer compares that the compiler
+// inlines through, where the visit jump table costs an indirect call per
+// evaluated node.
 Scalar Interpreter::eval(const Expr& expr, ProcState& state) {
   using namespace spec;
-  return std::visit(
-      [this, &state](const auto& node) -> Scalar {
-        using T = std::decay_t<decltype(node)>;
-        if constexpr (std::is_same_v<T, IntLit>) {
-          return make_int(node.value);
-        } else if constexpr (std::is_same_v<T, BitsLit>) {
-          return Scalar{node.value, false};
-        } else if constexpr (std::is_same_v<T, VarRef>) {
-          const Value& v = lookup_or_fail(state, node.name);
-          IFSYN_ASSERT_MSG(!v.is_array(),
-                           "array '" << node.name
-                                     << "' used without an index");
-          return Scalar{v.get(), v.type().is_signed()};
-        } else if constexpr (std::is_same_v<T, ArrayRef>) {
-          const std::int64_t index = eval_int(*node.index, state);
-          const Value& v = lookup_or_fail(state, node.name);
-          IFSYN_ASSERT_MSG(v.is_array(),
-                           "indexing non-array '" << node.name << "'");
-          return Scalar{v.at(static_cast<int>(index)),
-                        v.type().is_signed()};
-        } else if constexpr (std::is_same_v<T, SliceExpr>) {
-          const Scalar base = eval(*node.base, state);
-          const int hi = static_cast<int>(eval_int(*node.hi, state));
-          const int lo = static_cast<int>(eval_int(*node.lo, state));
-          return Scalar{base.bits.slice(hi, lo), false};
-        } else if constexpr (std::is_same_v<T, SignalRef>) {
-          return Scalar{
-              kernel_.signal_value(FieldKey{node.signal, node.field}), false};
-        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
-          const Scalar operand = eval(*node.operand, state);
-          switch (node.op) {
-            case UnaryOp::kNot:
-              return Scalar{~operand.bits, operand.is_signed};
-            case UnaryOp::kNeg:
-              return make_int(-operand.to_int());
-            case UnaryOp::kLogNot:
-              return make_bool(!operand.truthy());
-          }
-          IFSYN_ASSERT(false);
-        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
-          const Scalar lhs = eval(*node.lhs, state);
-          const Scalar rhs = eval(*node.rhs, state);
-          const bool any_signed = lhs.is_signed || rhs.is_signed;
-          const int max_width = std::max(lhs.bits.width(), rhs.bits.width());
+  const auto& alt = expr.node();
+  if (const auto* node = std::get_if<SignalRef>(&alt)) {
+    if (const SignalId* id = signal_refs_.find(node)) {
+      return Scalar{kernel_.signal_value(*id), false};
+    }
+    // Not interned: unknown at setup (or node outside the walked
+    // spec); the name path asserts exactly as it always did.
+    return Scalar{kernel_.signal_value(FieldKey{node->signal, node->field}),
+                  false};
+  }
+  if (const auto* node = std::get_if<VarRef>(&alt)) {
+    const Value& v = lookup_or_fail(state, node->name);
+    IFSYN_ASSERT_MSG(!v.is_array(),
+                     "array '" << node->name << "' used without an index");
+    return Scalar{v.get(), v.type().is_signed()};
+  }
+  if (const auto* node = std::get_if<IntLit>(&alt)) {
+    return make_int(node->value);
+  }
+  if (const auto* node = std::get_if<BinaryExpr>(&alt)) {
+    const Scalar lhs = eval(*node->lhs, state);
+    const Scalar rhs = eval(*node->rhs, state);
+    const bool any_signed = lhs.is_signed || rhs.is_signed;
+    const int max_width = std::max(lhs.bits.width(), rhs.bits.width());
 
-          auto wide_equal = [&]() {
-            return extend(lhs, max_width) == extend(rhs, max_width);
-          };
+    auto wide_equal = [&]() {
+      return extend(lhs, max_width) == extend(rhs, max_width);
+    };
 
-          switch (node.op) {
-            case BinaryOp::kAdd: return make_int(lhs.to_int() + rhs.to_int());
-            case BinaryOp::kSub: return make_int(lhs.to_int() - rhs.to_int());
-            case BinaryOp::kMul: return make_int(lhs.to_int() * rhs.to_int());
-            case BinaryOp::kDiv: {
-              const std::int64_t d = rhs.to_int();
-              IFSYN_ASSERT_MSG(d != 0, "division by zero");
-              return make_int(lhs.to_int() / d);
-            }
-            case BinaryOp::kMod: {
-              const std::int64_t d = rhs.to_int();
-              IFSYN_ASSERT_MSG(d != 0, "mod by zero");
-              return make_int(lhs.to_int() % d);
-            }
-            case BinaryOp::kAnd:
-              return Scalar{extend(lhs, max_width) & extend(rhs, max_width),
-                            false};
-            case BinaryOp::kOr:
-              return Scalar{extend(lhs, max_width) | extend(rhs, max_width),
-                            false};
-            case BinaryOp::kXor:
-              return Scalar{extend(lhs, max_width) ^ extend(rhs, max_width),
-                            false};
-            case BinaryOp::kConcat:
-              return Scalar{lhs.bits.concat(rhs.bits), false};
-            case BinaryOp::kEq: return make_bool(wide_equal());
-            case BinaryOp::kNe: return make_bool(!wide_equal());
-            case BinaryOp::kLt:
-              return make_bool(any_signed
-                                   ? lhs.to_int() < rhs.to_int()
-                                   : extend(lhs, max_width)
-                                         .unsigned_less(extend(rhs, max_width)));
-            case BinaryOp::kLe:
-              return make_bool(any_signed
-                                   ? lhs.to_int() <= rhs.to_int()
-                                   : !extend(rhs, max_width)
-                                          .unsigned_less(extend(lhs, max_width)));
-            case BinaryOp::kGt:
-              return make_bool(any_signed
-                                   ? lhs.to_int() > rhs.to_int()
-                                   : extend(rhs, max_width)
-                                         .unsigned_less(extend(lhs, max_width)));
-            case BinaryOp::kGe:
-              return make_bool(any_signed
-                                   ? lhs.to_int() >= rhs.to_int()
-                                   : !extend(lhs, max_width)
-                                          .unsigned_less(extend(rhs, max_width)));
-            case BinaryOp::kLogAnd:
-              return make_bool(lhs.truthy() && rhs.truthy());
-            case BinaryOp::kLogOr:
-              return make_bool(lhs.truthy() || rhs.truthy());
-          }
-          IFSYN_ASSERT(false);
-        }
-        IFSYN_ASSERT(false);
-        return Scalar{};
-      },
-      expr.node());
+    switch (node->op) {
+      case BinaryOp::kAdd: return make_int(lhs.to_int() + rhs.to_int());
+      case BinaryOp::kSub: return make_int(lhs.to_int() - rhs.to_int());
+      case BinaryOp::kMul: return make_int(lhs.to_int() * rhs.to_int());
+      case BinaryOp::kDiv: {
+        const std::int64_t d = rhs.to_int();
+        IFSYN_ASSERT_MSG(d != 0, "division by zero");
+        return make_int(lhs.to_int() / d);
+      }
+      case BinaryOp::kMod: {
+        const std::int64_t d = rhs.to_int();
+        IFSYN_ASSERT_MSG(d != 0, "mod by zero");
+        return make_int(lhs.to_int() % d);
+      }
+      case BinaryOp::kAnd:
+        return Scalar{extend(lhs, max_width) & extend(rhs, max_width), false};
+      case BinaryOp::kOr:
+        return Scalar{extend(lhs, max_width) | extend(rhs, max_width), false};
+      case BinaryOp::kXor:
+        return Scalar{extend(lhs, max_width) ^ extend(rhs, max_width), false};
+      case BinaryOp::kConcat:
+        return Scalar{lhs.bits.concat(rhs.bits), false};
+      case BinaryOp::kEq: return make_bool(wide_equal());
+      case BinaryOp::kNe: return make_bool(!wide_equal());
+      case BinaryOp::kLt:
+        return make_bool(any_signed
+                             ? lhs.to_int() < rhs.to_int()
+                             : extend(lhs, max_width)
+                                   .unsigned_less(extend(rhs, max_width)));
+      case BinaryOp::kLe:
+        return make_bool(any_signed
+                             ? lhs.to_int() <= rhs.to_int()
+                             : !extend(rhs, max_width)
+                                    .unsigned_less(extend(lhs, max_width)));
+      case BinaryOp::kGt:
+        return make_bool(any_signed
+                             ? lhs.to_int() > rhs.to_int()
+                             : extend(rhs, max_width)
+                                   .unsigned_less(extend(lhs, max_width)));
+      case BinaryOp::kGe:
+        return make_bool(any_signed
+                             ? lhs.to_int() >= rhs.to_int()
+                             : !extend(lhs, max_width)
+                                    .unsigned_less(extend(rhs, max_width)));
+      case BinaryOp::kLogAnd:
+        return make_bool(lhs.truthy() && rhs.truthy());
+      case BinaryOp::kLogOr:
+        return make_bool(lhs.truthy() || rhs.truthy());
+    }
+    IFSYN_ASSERT(false);
+  }
+  if (const auto* node = std::get_if<UnaryExpr>(&alt)) {
+    const Scalar operand = eval(*node->operand, state);
+    switch (node->op) {
+      case UnaryOp::kNot:
+        return Scalar{~operand.bits, operand.is_signed};
+      case UnaryOp::kNeg:
+        return make_int(-operand.to_int());
+      case UnaryOp::kLogNot:
+        return make_bool(!operand.truthy());
+    }
+    IFSYN_ASSERT(false);
+  }
+  if (const auto* node = std::get_if<SliceExpr>(&alt)) {
+    const Scalar base = eval(*node->base, state);
+    const int hi = static_cast<int>(eval_int(*node->hi, state));
+    const int lo = static_cast<int>(eval_int(*node->lo, state));
+    return Scalar{base.bits.slice(hi, lo), false};
+  }
+  if (const auto* node = std::get_if<ArrayRef>(&alt)) {
+    const std::int64_t index = eval_int(*node->index, state);
+    const Value& v = lookup_or_fail(state, node->name);
+    IFSYN_ASSERT_MSG(v.is_array(), "indexing non-array '" << node->name << "'");
+    return Scalar{v.at(static_cast<int>(index)), v.type().is_signed()};
+  }
+  if (const auto* node = std::get_if<BitsLit>(&alt)) {
+    return Scalar{node->value, false};
+  }
+  IFSYN_ASSERT(false);
+  return Scalar{};
 }
 
 // ---- stores -------------------------------------------------------------
@@ -264,6 +377,11 @@ void Interpreter::store(ProcState& state, const spec::LValue& target,
 
 void Interpreter::exec_signal_assign(const spec::SignalAssign& sa,
                                      ProcState& state) {
+  if (const AssignSlot* slot = assign_slots_.find(&sa)) {
+    Scalar value = eval(*sa.value, state);
+    kernel_.schedule_signal(slot->id, extend(value, slot->width));
+    return;
+  }
   const FieldKey key{sa.signal, sa.field};
   const int width = kernel_.signal_value(key).width();
   Scalar value = eval(*sa.value, state);
@@ -291,12 +409,6 @@ SimTask Interpreter::run_process(const spec::Process& process,
   co_await body;
 }
 
-SimTask Interpreter::exec_block(const Block& block, ProcState& state) {
-  for (const auto& stmt : block) {
-    SimTask task = exec_stmt(*stmt, state);
-    co_await task;
-  }
-}
 
 SimTask Interpreter::exec_call(const spec::ProcCall& call, ProcState& state) {
   const spec::Procedure* proc = system_.find_procedure(call.proc);
@@ -348,87 +460,107 @@ SimTask Interpreter::exec_call(const spec::ProcCall& call, ProcState& state) {
   }
 }
 
-SimTask Interpreter::exec_stmt(const Stmt& stmt, ProcState& state) {
+SimTask Interpreter::exec_block(const Block& block, ProcState& state) {
   using namespace spec;
-  // A coroutine cannot co_await inside std::visit's lambda, so dispatch
-  // manually on the node kind.
-  if (const auto* s = stmt.as<VarAssign>()) {
-    store(state, s->target, eval(*s->value, state));
-  } else if (const auto* s = stmt.as<SignalAssign>()) {
-    exec_signal_assign(*s, state);
-  } else if (const auto* s = stmt.as<WaitUntil>()) {
-    // Capture by reference: the frames outlive the wait because the
-    // coroutine frame (and the ProcState it points to) stays alive.
-    const ExprPtr cond = s->cond;
-    auto awaiter = kernel_.wait_until(
-        [this, cond, &state]() { return eval(*cond, state).truthy(); });
-    co_await awaiter;
-  } else if (const auto* s = stmt.as<WaitOn>()) {
-    std::vector<FieldKey> keys;
-    keys.reserve(s->sensitivity.size());
-    for (const auto& sf : s->sensitivity)
-      keys.push_back(FieldKey{sf.signal, sf.field});
-    auto awaiter = kernel_.wait_on(std::move(keys));
-    co_await awaiter;
-  } else if (const auto* s = stmt.as<WaitFor>()) {
-    const std::int64_t cycles = eval_int(*s->cycles, state);
-    IFSYN_ASSERT_MSG(cycles >= 0, "negative wait duration");
-    auto awaiter = kernel_.wait_for(static_cast<std::uint64_t>(cycles));
-    co_await awaiter;
-  } else if (const auto* s = stmt.as<IfStmt>()) {
-    if (eval(*s->cond, state).truthy()) {
-      SimTask branch = exec_block(s->then_body, state);
-      co_await branch;
-    } else {
-      SimTask branch = exec_block(s->else_body, state);
-      co_await branch;
-    }
-  } else if (const auto* s = stmt.as<ForStmt>()) {
-    const std::int64_t from = eval_int(*s->from, state);
-    const std::int64_t to = eval_int(*s->to, state);
-    // The loop variable lives in the current innermost frame for the
-    // duration of the loop, shadowing any same-named outer variable.
-    // Index, not reference: procedure calls in the body push frames and
-    // may reallocate the frame vector.
-    const std::size_t frame_idx = state.frames.size() - 1;
-    auto vars_at = [&state, frame_idx]() -> Frame& {
-      return state.frames[frame_idx];
-    };
-    auto prev = vars_at().vars.count(s->var)
-                    ? std::optional(vars_at().vars.at(s->var))
-                    : std::nullopt;
-    for (std::int64_t i = from; i <= to; ++i) {
-      vars_at().vars.insert_or_assign(s->var, spec::Value::integer(i));
-      SimTask body = exec_block(s->body, state);
-      co_await body;
-    }
-    if (prev) {
-      vars_at().vars.insert_or_assign(s->var, std::move(*prev));
-    } else {
-      vars_at().vars.erase(s->var);
-    }
-  } else if (const auto* s = stmt.as<WhileStmt>()) {
-    while (eval(*s->cond, state).truthy()) {
-      SimTask body = exec_block(s->body, state);
-      co_await body;
-    }
-  } else if (const auto* s = stmt.as<ForeverStmt>()) {
-    for (;;) {
-      SimTask body = exec_block(s->body, state);
-      co_await body;
-    }
-  } else if (const auto* s = stmt.as<ProcCall>()) {
-    SimTask callee = exec_call(*s, state);
-    co_await callee;
-  } else if (const auto* s = stmt.as<BusLock>()) {
-    if (s->acquire) {
-      auto awaiter = kernel_.acquire_bus(s->bus);
+  // Statements dispatch inline: a per-statement child coroutine would cost
+  // one frame allocation per executed statement, which dominated the
+  // interpreter's profile. Only constructs that truly nest (branch/loop
+  // bodies, procedure calls) spawn a child task. A coroutine cannot
+  // co_await inside std::visit's lambda, so dispatch is manual.
+  for (const auto& stmt_ptr : block) {
+    const Stmt& stmt = *stmt_ptr;
+    if (const auto* s = stmt.as<VarAssign>()) {
+      store(state, s->target, eval(*s->value, state));
+    } else if (const auto* s = stmt.as<SignalAssign>()) {
+      exec_signal_assign(*s, state);
+    } else if (const auto* s = stmt.as<WaitUntil>()) {
+      // Capture by reference: the frames outlive the wait because the
+      // coroutine frame (and the ProcState it points to) stays alive.
+      const ExprPtr cond = s->cond;
+      auto awaiter = kernel_.wait_until(
+          [this, cond, &state]() { return eval(*cond, state).truthy(); });
       co_await awaiter;
+    } else if (const auto* s = stmt.as<WaitOn>()) {
+      if (const std::vector<SignalId>* ids = wait_sets_.find(s)) {
+        // The interned id span stays valid across the suspension: it
+        // points into wait_sets_, which outlives every kernel run.
+        auto awaiter = kernel_.wait_on(std::span<const SignalId>(*ids));
+        co_await awaiter;
+      } else {
+        std::vector<FieldKey> keys;
+        keys.reserve(s->sensitivity.size());
+        for (const auto& sf : s->sensitivity)
+          keys.push_back(FieldKey{sf.signal, sf.field});
+        auto awaiter = kernel_.wait_on(std::move(keys));
+        co_await awaiter;
+      }
+    } else if (const auto* s = stmt.as<WaitFor>()) {
+      const std::int64_t cycles = eval_int(*s->cycles, state);
+      IFSYN_ASSERT_MSG(cycles >= 0, "negative wait duration");
+      auto awaiter = kernel_.wait_for(static_cast<std::uint64_t>(cycles));
+      co_await awaiter;
+    } else if (const auto* s = stmt.as<IfStmt>()) {
+      if (eval(*s->cond, state).truthy()) {
+        SimTask branch = exec_block(s->then_body, state);
+        co_await branch;
+      } else {
+        SimTask branch = exec_block(s->else_body, state);
+        co_await branch;
+      }
+    } else if (const auto* s = stmt.as<ForStmt>()) {
+      const std::int64_t from = eval_int(*s->from, state);
+      const std::int64_t to = eval_int(*s->to, state);
+      // The loop variable lives in the current innermost frame for the
+      // duration of the loop, shadowing any same-named outer variable.
+      // Index, not reference: procedure calls in the body push frames and
+      // may reallocate the frame vector.
+      const std::size_t frame_idx = state.frames.size() - 1;
+      auto vars_at = [&state, frame_idx]() -> Frame& {
+        return state.frames[frame_idx];
+      };
+      auto prev = vars_at().vars.count(s->var)
+                      ? std::optional(vars_at().vars.at(s->var))
+                      : std::nullopt;
+      for (std::int64_t i = from; i <= to; ++i) {
+        vars_at().vars.insert_or_assign(s->var, spec::Value::integer(i));
+        SimTask body = exec_block(s->body, state);
+        co_await body;
+      }
+      if (prev) {
+        vars_at().vars.insert_or_assign(s->var, std::move(*prev));
+      } else {
+        vars_at().vars.erase(s->var);
+      }
+    } else if (const auto* s = stmt.as<WhileStmt>()) {
+      while (eval(*s->cond, state).truthy()) {
+        SimTask body = exec_block(s->body, state);
+        co_await body;
+      }
+    } else if (const auto* s = stmt.as<ForeverStmt>()) {
+      for (;;) {
+        SimTask body = exec_block(s->body, state);
+        co_await body;
+      }
+    } else if (const auto* s = stmt.as<ProcCall>()) {
+      SimTask callee = exec_call(*s, state);
+      co_await callee;
+    } else if (const auto* s = stmt.as<BusLock>()) {
+      if (const BusId* bus = bus_refs_.find(s)) {
+        if (s->acquire) {
+          auto awaiter = kernel_.acquire_bus(*bus);
+          co_await awaiter;
+        } else {
+          kernel_.release_bus(*bus);
+        }
+      } else if (s->acquire) {
+        auto awaiter = kernel_.acquire_bus(s->bus);
+        co_await awaiter;
+      } else {
+        kernel_.release_bus(s->bus);
+      }
     } else {
-      kernel_.release_bus(s->bus);
+      IFSYN_ASSERT_MSG(false, "unhandled statement kind");
     }
-  } else {
-    IFSYN_ASSERT_MSG(false, "unhandled statement kind");
   }
 }
 

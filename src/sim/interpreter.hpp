@@ -29,6 +29,7 @@
 
 #include "sim/kernel.hpp"
 #include "spec/system.hpp"
+#include "util/ptr_map.hpp"
 
 namespace ifsyn::sim {
 
@@ -76,17 +77,38 @@ class Interpreter {
 
   // ---- statement execution (coroutines) ----
   SimTask run_process(const spec::Process& process, ProcState& state);
+  /// Executes a statement list. Statements dispatch inline (one coroutine
+  /// per block, not per statement); branch/loop bodies and procedure
+  /// calls recurse through child tasks.
   SimTask exec_block(const spec::Block& block, ProcState& state);
-  SimTask exec_stmt(const spec::Stmt& stmt, ProcState& state);
   SimTask exec_call(const spec::ProcCall& call, ProcState& state);
 
   void store(ProcState& state, const spec::LValue& target, Scalar value);
   void exec_signal_assign(const spec::SignalAssign& sa, ProcState& state);
 
+  // ---- elaboration-time interning (setup pre-pass) ----
+  // Every signal/bus name in the spec is resolved to its dense kernel id
+  // once, keyed by AST node address (nodes are shared_ptr-held and stable
+  // for the system's lifetime), so the execution hot paths never do string
+  // lookups. Unknown names are deliberately left uncached: the eval-time
+  // name fallback then reproduces the original lazy error timing for
+  // references in code that never executes.
+  struct AssignSlot {
+    SignalId id = kInvalidSignalId;
+    int width = 0;
+  };
+  void intern_block(const spec::Block& block);
+  void intern_expr(const spec::Expr& expr);
+  void intern_lvalue(const spec::LValue& lv);
+
   const spec::System& system_;
   Kernel& kernel_;
   std::map<std::string, spec::Value> globals_;
   std::map<std::string, ProcState> proc_states_;
+  PtrMap<SignalId> signal_refs_;
+  PtrMap<AssignSlot> assign_slots_;
+  PtrMap<std::vector<SignalId>> wait_sets_;
+  PtrMap<BusId> bus_refs_;
 };
 
 /// Convenience: set up a kernel+interpreter for `system`, run it, and

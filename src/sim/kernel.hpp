@@ -18,6 +18,16 @@
 // rendezvous. The level-sensitive reading preserves the paper's protocol
 // semantics (Fig. 4) and is robust to arbitrary interleaving.
 //
+// Data plane (see DESIGN.md Sec. 9): every signal field is interned at
+// declaration time into a dense SignalId indexing a flat FieldState
+// vector, so the hot paths never touch string keys. The scheduler is
+// indexed rather than scan-based: an index-ordered ready bitmap replaces
+// the all-process sweep, a min-heap of timed waiters replaces the
+// next-instant scan, and a per-signal intrusive waiter list (plus a
+// dedicated condition-waiter list) replaces the O(waiters x sensitivity x
+// changed) wakeup matching. The FieldKey name layer remains the public
+// declaration/inspection API; names resolve to SignalIds once.
+//
 // The kernel also implements the bus-arbitration extension (paper Sec. 6
 // future work): named FIFO locks with per-process wait-time accounting.
 #pragma once
@@ -29,6 +39,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +62,21 @@ struct FieldKey {
     return field.empty() ? signal : signal + "." + field;
   }
 };
+
+/// Dense handle for one declared signal field: an index into the kernel's
+/// flat field-state vector, assigned in declaration order. Resolve names
+/// once via Kernel::signal_id and use the id on every hot-path access.
+///
+/// Ids with kWildcardBit set are whole-signal sensitivity handles (from
+/// Kernel::wildcard_id): valid only inside wait_on sensitivity lists,
+/// where they match a commit on any field of the signal.
+using SignalId = std::uint32_t;
+inline constexpr SignalId kInvalidSignalId = 0xffffffffu;
+inline constexpr SignalId kWildcardBit = 0x80000000u;
+
+/// Dense handle for one declared bus lock, in declaration order.
+using BusId = std::uint32_t;
+inline constexpr BusId kInvalidBusId = 0xffffffffu;
 
 /// One committed signal change, for waveform inspection in tests/benches.
 struct TraceEntry {
@@ -132,6 +159,8 @@ class Kernel {
   // ---- configuration ----------------------------------------------------
 
   /// Declare a signal field with an initial value (all zeros typical).
+  /// Fields are interned in declaration order; the first declaration gets
+  /// SignalId 0.
   void add_signal_field(const FieldKey& key, BitVector initial);
 
   /// Declare a named bus lock (arbitration extension).
@@ -161,19 +190,47 @@ class Kernel {
   /// histograms. All flushed values are Determinism::kDeterministic.
   void set_obs(const obs::ObsContext& ctx) { obs_ = ctx; }
 
+  // ---- name resolution (cold path; resolve once, keep the id) -----------
+
+  /// Dense id of a declared field. Asserts when the key is unknown.
+  SignalId signal_id(const FieldKey& key) const;
+
+  /// Whole-signal sensitivity handle (kWildcardBit-tagged): use in
+  /// wait_on sensitivity lists to wake on a commit to any field of
+  /// `signal`. Asserts when no field of the signal is declared.
+  SignalId wildcard_id(const std::string& signal) const;
+
+  /// Non-asserting lookups for elaboration pre-passes that must preserve
+  /// lazy error timing: unknown names return the kInvalid sentinel.
+  SignalId find_signal_id(const FieldKey& key) const;
+  SignalId find_wildcard_id(const std::string& signal) const;
+  BusId find_bus_id(const std::string& bus) const;
+
+  /// Dense id of a declared bus lock. Asserts when the name is unknown.
+  BusId bus_id(const std::string& bus) const;
+
+  /// All declared signal fields, in declaration (elaboration) order.
+  /// Returns the cached key list; the reference stays valid until the
+  /// next add_signal_field.
+  const std::vector<FieldKey>& signal_keys() const { return keys_; }
+
   // ---- runtime services (called from inside process coroutines) ---------
 
   /// Current value of a signal field.
   const BitVector& signal_value(const FieldKey& key) const;
+  const BitVector& signal_value(SignalId id) const {
+    return fields_[id].current;
+  }
 
   /// Value the field was declared with (time-0 value, for waveform dumps).
   const BitVector& initial_value(const FieldKey& key) const;
-
-  /// All declared signal fields, in key order.
-  std::vector<FieldKey> signal_keys() const;
+  const BitVector& initial_value(SignalId id) const {
+    return fields_[id].initial;
+  }
 
   /// Schedule `value` onto the field; commits at the next delta boundary.
   void schedule_signal(const FieldKey& key, BitVector value);
+  void schedule_signal(SignalId id, BitVector value);
 
   std::uint64_t now() const { return time_; }
 
@@ -181,34 +238,62 @@ class Kernel {
   // scheduler understands. Use as: `co_await kernel.wait_for(2);`
   struct Awaiter;
   Awaiter wait_for(std::uint64_t cycles);
+  /// Name-based sensitivity; `field==""` keys match a commit to any field
+  /// of the signal (whole-signal wildcard). Unknown keys never match (and
+  /// so never wake), mirroring the original scan-based semantics.
   Awaiter wait_on(std::vector<FieldKey> sensitivity);
+  /// Interned sensitivity: ids must outlive the co_await (callers keep
+  /// them in elaboration-time caches).
+  Awaiter wait_on(std::span<const SignalId> sensitivity);
   /// `cond` is re-evaluated after every delta commit; it must read only
   /// signals (not time), which is all the IR's wait-until allows.
   Awaiter wait_until(std::function<bool()> cond);
   Awaiter acquire_bus(const std::string& bus);
+  Awaiter acquire_bus(BusId bus);
   void release_bus(const std::string& bus);
+  void release_bus(BusId bus);
 
   // ---- execution ---------------------------------------------------------
 
   /// Run to quiescence (no runnable process, no pending signal update, no
   /// timed waiter) or until `max_time` cycles, whichever first. Exceeding
   /// max_time or the per-instant delta limit yields kSimulationError.
+  /// Each run starts a fresh trace and fresh statistics; signal values
+  /// carry over from the previous run (matching VHDL re-simulation of a
+  /// warm design is not a goal — this simply preserves the historical
+  /// inspect-after-run contract).
   SimResult run(std::uint64_t max_time = 1'000'000);
 
  private:
   enum class WaitKind { kReady, kTime, kEvent, kCondition, kBusLock, kDone };
 
+  struct ProcessRuntime;
+
+  /// One registration of a process on one sensitivity waiter list. Nodes
+  /// are owned by the process (`event_nodes`) and linked intrusively into
+  /// a per-field doubly-linked list — or, when `sig` carries kWildcardBit,
+  /// into the whole-signal wildcard list — so both wake-by-signal (walk
+  /// the list) and unsubscribe-on-wake (unlink every node) are O(degree).
+  struct EventNode {
+    ProcessRuntime* proc = nullptr;
+    EventNode* prev = nullptr;
+    EventNode* next = nullptr;
+    SignalId sig = kInvalidSignalId;
+  };
+
   struct ProcessRuntime {
     std::string name;
     std::function<SimTask()> factory;
     bool restarts = false;
+    std::uint32_t index = 0;  ///< position in processes_, scheduler identity
     SimTask task;
     std::coroutine_handle<> resume_point;
 
     WaitKind wait = WaitKind::kReady;
     std::uint64_t wake_time = 0;
-    std::vector<FieldKey> sensitivity;
+    std::vector<EventNode> event_nodes;  ///< linked while wait == kEvent
     std::function<bool()> condition;
+    std::uint32_t cond_slot = 0;  ///< position in condition_waiters_
     std::uint64_t lock_wait_start = 0;
 
     ProcessStats stats;
@@ -218,17 +303,44 @@ class Kernel {
     BitVector current;
     BitVector initial;
     std::optional<BitVector> pending;
+    EventNode* waiters = nullptr;   ///< head of this field's waiter list
+    std::uint32_t signal_ord = 0;   ///< owning signal, for wildcard wakes
   };
 
   struct BusLockState {
+    std::string name;
     ProcessRuntime* holder = nullptr;
     std::deque<ProcessRuntime*> waiters;
     std::uint64_t hold_start = 0;  ///< time the current holder acquired
     BusStats stats;
   };
 
+  /// Timed waiter heap entry; min-ordered by wake time. Ties pop in
+  /// arbitrary order — wakeups only set index-ordered ready bits, so tie
+  /// order is unobservable.
+  struct TimedEntry {
+    std::uint64_t time;
+    std::uint32_t index;
+    friend bool operator>(const TimedEntry& a, const TimedEntry& b) {
+      return a.time > b.time;
+    }
+  };
+
   FieldState& field_state(const FieldKey& key);
   const FieldState& field_state(const FieldKey& key) const;
+
+  // ---- ready bitmap ------------------------------------------------------
+  // Index-ordered so that dispatch replicates the original
+  // sweep-in-registration-order semantics exactly (determinism contract),
+  // while only ever touching set bits.
+  void make_ready(ProcessRuntime& proc);
+  std::size_t next_ready(std::size_t from) const;  ///< npos when none
+
+  // ---- sensitivity index -------------------------------------------------
+  void link_event_waiter(ProcessRuntime& proc,
+                         std::span<const SignalId> sensitivity);
+  void unlink_event_waiter(ProcessRuntime& proc);
+  void remove_condition_waiter(ProcessRuntime& proc);
 
   /// Resume every kReady process until all are suspended or done.
   void run_ready();
@@ -248,10 +360,27 @@ class Kernel {
   std::uint64_t delta_ = 0;  // delta count within the current instant
   ProcessRuntime* current_ = nullptr;
 
-  std::map<FieldKey, FieldState> fields_;
-  std::vector<FieldKey> dirty_;  // fields with pending values, in order
-  std::map<std::string, BusLockState> bus_locks_;
+  // Interning tables: dense state plus the name layer resolving into it.
+  std::vector<FieldState> fields_;          // indexed by SignalId
+  std::vector<FieldKey> keys_;              // id -> declared key
+  std::map<FieldKey, SignalId> index_;      // name -> id (cold path)
+  std::map<std::string, std::uint32_t> signal_ord_;  // name -> ordinal
+  std::vector<EventNode*> wildcard_waiters_;  // ordinal -> wildcard list
+
+  std::vector<SignalId> dirty_;    // fields with pending values, in order
+  std::vector<SignalId> changed_;  // scratch reused across commits
+
+  std::vector<BusLockState> bus_locks_;       // indexed by BusId
+  std::map<std::string, BusId> bus_index_;    // name -> id (also name order)
   std::vector<std::unique_ptr<ProcessRuntime>> processes_;
+
+  // Indexed scheduler state.
+  std::vector<std::uint64_t> ready_bits_;  // 1 bit per process index
+  std::size_t ready_count_ = 0;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_;
+  std::vector<ProcessRuntime*> condition_waiters_;
 
   bool trace_enabled_ = false;
   std::vector<TraceEntry> trace_;
@@ -264,6 +393,7 @@ class Kernel {
   obs::Histogram* hold_hist_ = nullptr;
   obs::Histogram* wait_hist_ = nullptr;
 
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   static constexpr std::uint64_t kMaxDeltasPerInstant = 100'000;
   static constexpr std::size_t kDefaultTraceLimit = 4'000'000;
 
@@ -272,12 +402,14 @@ class Kernel {
 
 /// The one awaiter type used for every kernel suspension.
 struct Kernel::Awaiter {
-  Kernel* kernel;
-  WaitKind kind;
+  Kernel* kernel = nullptr;
+  WaitKind kind = WaitKind::kReady;
   std::uint64_t cycles = 0;
-  std::vector<FieldKey> sensitivity;
+  std::vector<FieldKey> sensitivity;           ///< name-based wait_on
+  std::span<const SignalId> sensitivity_ids;   ///< interned wait_on
   std::function<bool()> condition;
   std::string bus;
+  BusId bus_id = kInvalidBusId;
 
   bool await_ready() const noexcept;
   void await_suspend(std::coroutine_handle<> h);

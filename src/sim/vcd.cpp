@@ -37,7 +37,7 @@ std::string trace_to_vcd(const Kernel& kernel, const VcdOptions& options) {
   os << "$timescale " << options.timescale << " $end\n";
   os << "$scope module " << options.scope << " $end\n";
 
-  const std::vector<FieldKey> keys = kernel.signal_keys();
+  const std::vector<FieldKey>& keys = kernel.signal_keys();
   std::map<FieldKey, std::string> ids;
   int index = 0;
   for (const FieldKey& key : keys) {

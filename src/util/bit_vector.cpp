@@ -6,25 +6,14 @@
 
 namespace ifsyn {
 
-BitVector::BitVector(int width) : width_(width) {
-  IFSYN_ASSERT_MSG(width >= 0, "negative BitVector width " << width);
-  words_.assign(word_count(width), 0);
-}
-
-BitVector BitVector::from_uint(int width, std::uint64_t value) {
-  BitVector bv(width);
-  if (!bv.words_.empty()) bv.words_[0] = value;
-  bv.clear_padding();
-  return bv;
-}
-
 BitVector BitVector::from_int(int width, std::int64_t value) {
   BitVector bv(width);
-  if (!bv.words_.empty()) {
+  if (width > 0) {
     // Sign-extend across all words, then mask to width.
     const std::uint64_t pattern = value < 0 ? ~std::uint64_t{0} : 0;
-    std::fill(bv.words_.begin(), bv.words_.end(), pattern);
-    bv.words_[0] = static_cast<std::uint64_t>(value);
+    std::uint64_t* w = bv.words();
+    std::fill_n(w, bv.nwords(), pattern);
+    w[0] = static_cast<std::uint64_t>(value);
   }
   bv.clear_padding();
   return bv;
@@ -45,24 +34,6 @@ BitVector BitVector::from_binary_string(std::string_view bits) {
     bv.set_bit(index--, c == '1');
   }
   return bv;
-}
-
-bool BitVector::bit(int index) const {
-  IFSYN_ASSERT_MSG(index >= 0 && index < width_,
-                   "bit index " << index << " out of range [0," << width_
-                                << ")");
-  return (words_[index / kWordBits] >> (index % kWordBits)) & 1u;
-}
-
-void BitVector::set_bit(int index, bool value) {
-  IFSYN_ASSERT_MSG(index >= 0 && index < width_,
-                   "bit index " << index << " out of range [0," << width_
-                                << ")");
-  const std::uint64_t mask = std::uint64_t{1} << (index % kWordBits);
-  if (value)
-    words_[index / kWordBits] |= mask;
-  else
-    words_[index / kWordBits] &= ~mask;
 }
 
 BitVector BitVector::slice(int hi, int lo) const {
@@ -94,61 +65,54 @@ BitVector BitVector::concat(const BitVector& low) const {
 BitVector BitVector::resized(int new_width) const {
   BitVector out(new_width);
   const int n = std::min(word_count(width_), word_count(new_width));
-  std::copy_n(words_.begin(), n, out.words_.begin());
+  std::copy_n(words(), n, out.words());
   out.clear_padding();
   return out;
 }
 
-std::uint64_t BitVector::to_uint() const {
-  for (std::size_t w = 1; w < words_.size(); ++w)
-    IFSYN_ASSERT_MSG(words_[w] == 0,
+std::uint64_t BitVector::to_uint_wide() const {
+  for (std::size_t w = 1; w < heap_.size(); ++w)
+    IFSYN_ASSERT_MSG(heap_[w] == 0,
                      "BitVector value does not fit in 64 bits: "
                          << to_hex_string());
-  return words_.empty() ? 0 : words_[0];
-}
-
-std::int64_t BitVector::to_int() const {
-  IFSYN_ASSERT_MSG(width_ > 0 && width_ <= 64,
-                   "to_int requires width in [1,64], got " << width_);
-  std::uint64_t v = words_[0];
-  if (width_ < 64 && bit(width_ - 1)) {
-    v |= ~((std::uint64_t{1} << width_) - 1);  // sign-extend
-  }
-  return static_cast<std::int64_t>(v);
-}
-
-bool BitVector::is_zero() const {
-  return std::all_of(words_.begin(), words_.end(),
-                     [](std::uint64_t w) { return w == 0; });
+  return heap_[0];
 }
 
 BitVector BitVector::operator&(const BitVector& rhs) const {
   IFSYN_ASSERT(width_ == rhs.width_);
   BitVector out(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    out.words_[i] = words_[i] & rhs.words_[i];
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = rhs.words();
+  std::uint64_t* o = out.words();
+  for (int i = 0, n = nwords(); i < n; ++i) o[i] = a[i] & b[i];
   return out;
 }
 
 BitVector BitVector::operator|(const BitVector& rhs) const {
   IFSYN_ASSERT(width_ == rhs.width_);
   BitVector out(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    out.words_[i] = words_[i] | rhs.words_[i];
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = rhs.words();
+  std::uint64_t* o = out.words();
+  for (int i = 0, n = nwords(); i < n; ++i) o[i] = a[i] | b[i];
   return out;
 }
 
 BitVector BitVector::operator^(const BitVector& rhs) const {
   IFSYN_ASSERT(width_ == rhs.width_);
   BitVector out(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    out.words_[i] = words_[i] ^ rhs.words_[i];
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = rhs.words();
+  std::uint64_t* o = out.words();
+  for (int i = 0, n = nwords(); i < n; ++i) o[i] = a[i] ^ b[i];
   return out;
 }
 
 BitVector BitVector::operator~() const {
   BitVector out(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  const std::uint64_t* a = words();
+  std::uint64_t* o = out.words();
+  for (int i = 0, n = nwords(); i < n; ++i) o[i] = ~a[i];
   out.clear_padding();
   return out;
 }
@@ -156,13 +120,16 @@ BitVector BitVector::operator~() const {
 BitVector BitVector::operator+(const BitVector& rhs) const {
   IFSYN_ASSERT(width_ == rhs.width_);
   BitVector out(width_);
+  const std::uint64_t* aw = words();
+  const std::uint64_t* bw = rhs.words();
+  std::uint64_t* o = out.words();
   std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t a = words_[i];
-    const std::uint64_t b = rhs.words_[i];
+  for (int i = 0, n = nwords(); i < n; ++i) {
+    const std::uint64_t a = aw[i];
+    const std::uint64_t b = bw[i];
     const std::uint64_t sum = a + b;
     const std::uint64_t sum2 = sum + carry;
-    out.words_[i] = sum2;
+    o[i] = sum2;
     carry = (sum < a) || (sum2 < sum) ? 1 : 0;
   }
   out.clear_padding();
@@ -173,27 +140,28 @@ BitVector BitVector::operator-(const BitVector& rhs) const {
   // a - b == a + ~b + 1 (mod 2^width)
   IFSYN_ASSERT(width_ == rhs.width_);
   BitVector out(width_);
+  const std::uint64_t* aw = words();
+  const std::uint64_t* bw = rhs.words();
+  std::uint64_t* o = out.words();
   std::uint64_t borrow = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t a = words_[i];
-    const std::uint64_t b = rhs.words_[i];
+  for (int i = 0, n = nwords(); i < n; ++i) {
+    const std::uint64_t a = aw[i];
+    const std::uint64_t b = bw[i];
     const std::uint64_t diff = a - b;
     const std::uint64_t diff2 = diff - borrow;
-    out.words_[i] = diff2;
+    o[i] = diff2;
     borrow = (a < b) || (diff < borrow) ? 1 : 0;
   }
   out.clear_padding();
   return out;
 }
 
-bool operator==(const BitVector& a, const BitVector& b) {
-  return a.width_ == b.width_ && a.words_ == b.words_;
-}
-
 bool BitVector::unsigned_less(const BitVector& rhs) const {
   IFSYN_ASSERT(width_ == rhs.width_);
-  for (std::size_t i = words_.size(); i-- > 0;) {
-    if (words_[i] != rhs.words_[i]) return words_[i] < rhs.words_[i];
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = rhs.words();
+  for (int i = nwords(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i];
   }
   return false;
 }
@@ -218,13 +186,6 @@ std::string BitVector::to_hex_string() const {
     out.push_back(kDigits[nibble]);
   }
   return out;
-}
-
-void BitVector::clear_padding() {
-  const int rem = width_ % kWordBits;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (std::uint64_t{1} << rem) - 1;
-  }
 }
 
 std::ostream& operator<<(std::ostream& os, const BitVector& bv) {

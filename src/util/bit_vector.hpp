@@ -8,6 +8,13 @@
 // message into ceil(bits/width) bus words with `slice`, and the refined
 // specification reassembles it with `set_slice` -- exactly the
 // `txdata(8*J-1 downto 8*(J-1))` loops of Fig. 4 in the paper.
+//
+// Storage: values of width <= 64 live in a single inline word (no heap
+// allocation); wider values spill to a heap-backed word array. The
+// interpreter's expression evaluator creates and copies BitVectors per
+// AST node per delta cycle, and nearly every signal/variable in a spec is
+// a flag or a bus word, so the inline path is what the simulation hot
+// loop sees.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/assert.hpp"
 
 namespace ifsyn {
 
@@ -24,10 +33,20 @@ class BitVector {
   BitVector() = default;
 
   /// `width` zero bits.
-  explicit BitVector(int width);
+  explicit BitVector(int width) : width_(width) {
+    IFSYN_ASSERT_MSG(width >= 0, "negative BitVector width " << width);
+    if (width > kWordBits) heap_.assign(word_count(width), 0);
+  }
 
   /// `width` bits holding `value mod 2^width` (unsigned interpretation).
-  static BitVector from_uint(int width, std::uint64_t value);
+  static BitVector from_uint(int width, std::uint64_t value) {
+    BitVector bv(width);
+    if (width > 0) {
+      bv.words()[0] = value;
+      bv.clear_padding();
+    }
+    return bv;
+  }
 
   /// `width` bits holding the two's-complement encoding of `value`.
   static BitVector from_int(int width, std::int64_t value);
@@ -42,8 +61,22 @@ class BitVector {
   bool empty() const { return width_ == 0; }
 
   /// Bit access; index 0 is the LSB. Asserts 0 <= index < width.
-  bool bit(int index) const;
-  void set_bit(int index, bool value);
+  bool bit(int index) const {
+    IFSYN_ASSERT_MSG(index >= 0 && index < width_,
+                     "bit index " << index << " out of range [0," << width_
+                                  << ")");
+    return (words()[index / kWordBits] >> (index % kWordBits)) & 1u;
+  }
+  void set_bit(int index, bool value) {
+    IFSYN_ASSERT_MSG(index >= 0 && index < width_,
+                     "bit index " << index << " out of range [0," << width_
+                                  << ")");
+    const std::uint64_t mask = std::uint64_t{1} << (index % kWordBits);
+    if (value)
+      words()[index / kWordBits] |= mask;
+    else
+      words()[index / kWordBits] &= ~mask;
+  }
 
   /// VHDL-style slice `(hi downto lo)`, inclusive on both ends.
   /// Asserts 0 <= lo <= hi < width. Result width = hi - lo + 1.
@@ -62,13 +95,29 @@ class BitVector {
 
   /// Unsigned value. Asserts that the value fits in 64 bits (i.e. all bits
   /// above 63 are zero); width itself may exceed 64.
-  std::uint64_t to_uint() const;
+  std::uint64_t to_uint() const {
+    if (width_ <= kWordBits) return width_ == 0 ? 0 : word0_;
+    return to_uint_wide();
+  }
 
   /// Two's-complement signed value. Asserts width <= 64 and width > 0.
-  std::int64_t to_int() const;
+  std::int64_t to_int() const {
+    IFSYN_ASSERT_MSG(width_ > 0 && width_ <= 64,
+                     "to_int requires width in [1,64], got " << width_);
+    std::uint64_t v = word0_;
+    if (width_ < 64 && ((v >> (width_ - 1)) & 1u)) {
+      v |= ~((std::uint64_t{1} << width_) - 1);  // sign-extend
+    }
+    return static_cast<std::int64_t>(v);
+  }
 
   /// True iff every bit is zero. (Width-0 vectors are zero.)
-  bool is_zero() const;
+  bool is_zero() const {
+    if (width_ <= kWordBits) return word0_ == 0;
+    for (std::uint64_t w : heap_)
+      if (w != 0) return false;
+    return true;
+  }
 
   /// Bitwise operators; both operands must have equal width.
   BitVector operator&(const BitVector& rhs) const;
@@ -82,7 +131,11 @@ class BitVector {
 
   /// Unsigned comparison. Equality requires equal width AND equal bits;
   /// ordering compares values and asserts equal width.
-  friend bool operator==(const BitVector& a, const BitVector& b);
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    if (a.width_ != b.width_) return false;
+    if (a.width_ <= kWordBits) return a.word0_ == b.word0_;
+    return a.heap_ == b.heap_;
+  }
   friend bool operator!=(const BitVector& a, const BitVector& b) {
     return !(a == b);
   }
@@ -97,12 +150,25 @@ class BitVector {
  private:
   static constexpr int kWordBits = 64;
   static int word_count(int width) { return (width + kWordBits - 1) / kWordBits; }
+  /// Number of storage words backing this value.
+  int nwords() const { return word_count(width_); }
+  /// Pointer to word storage: the inline word for width <= 64, else the
+  /// heap array. Valid to dereference only for indices < nwords().
+  std::uint64_t* words() { return width_ <= kWordBits ? &word0_ : heap_.data(); }
+  const std::uint64_t* words() const {
+    return width_ <= kWordBits ? &word0_ : heap_.data();
+  }
   /// Zero any storage bits above `width_` (kept as an invariant so that
   /// equality and to_uint can operate word-wise).
-  void clear_padding();
+  void clear_padding() {
+    const int rem = width_ % kWordBits;
+    if (rem != 0) words()[nwords() - 1] &= (std::uint64_t{1} << rem) - 1;
+  }
+  std::uint64_t to_uint_wide() const;
 
   int width_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::uint64_t word0_ = 0;            // storage when width_ <= 64
+  std::vector<std::uint64_t> heap_;    // storage when width_ > 64
 };
 
 std::ostream& operator<<(std::ostream& os, const BitVector& bv);

@@ -1,0 +1,95 @@
+// ifsyn/util/ptr_map.hpp
+//
+// PtrMap<V>: a pointer-keyed hash map tuned for elaborate-once /
+// look-up-forever tables (the interpreter's AST-node interning caches).
+//
+// Open addressing with linear probing over a power-of-two table, so a hit
+// costs one multiplicative hash, a mask, and usually a single probe into a
+// contiguous slot array. std::unordered_map pays a prime-modulus division
+// plus a bucket-node indirection per lookup, which is measurable when the
+// simulation hot loop does one lookup per evaluated AST node.
+//
+// Restrictions that keep it simple: keys are non-null `const void*`,
+// entries can be inserted but never erased (clear() drops everything),
+// and iteration order is unspecified.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ifsyn {
+
+template <typename V>
+class PtrMap {
+ public:
+  /// Drop all entries.
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Insert `key -> value` unless `key` is already present (matching
+  /// std::unordered_map::emplace: an existing entry wins).
+  void emplace(const void* key, V value) {
+    IFSYN_ASSERT(key != nullptr);
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    Slot& slot = probe(slots_, key);
+    if (slot.key != nullptr) return;
+    slot.key = key;
+    slot.value = std::move(value);
+    ++size_;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent. Stable until
+  /// the next emplace() or clear().
+  const V* find(const void* key) const {
+    if (slots_.empty()) return nullptr;
+    const Slot& slot = probe(const_cast<std::vector<Slot>&>(slots_), key);
+    return slot.key != nullptr ? &slot.value : nullptr;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    const void* key = nullptr;  // nullptr marks an empty slot
+    V value{};
+  };
+
+  static std::size_t hash(const void* p) {
+    // splitmix64-style finalizer; pointer low bits alone are too regular
+    // (allocation alignment) to index a power-of-two table directly.
+    std::uint64_t x = reinterpret_cast<std::uintptr_t>(p);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  /// First slot holding `key`, or the empty slot where it would go.
+  static Slot& probe(std::vector<Slot>& slots, const void* key) {
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (slots[i].key != nullptr && slots[i].key != key) i = (i + 1) & mask;
+    return slots[i];
+  }
+
+  void grow() {
+    std::vector<Slot> next(slots_.empty() ? 16 : slots_.size() * 2);
+    for (Slot& old : slots_) {
+      if (old.key == nullptr) continue;
+      Slot& slot = probe(next, old.key);
+      slot.key = old.key;
+      slot.value = std::move(old.value);
+    }
+    slots_ = std::move(next);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ifsyn

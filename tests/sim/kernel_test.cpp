@@ -497,5 +497,154 @@ TEST(KernelTest, QuiescenceWithWaitingServerIsNormal) {
   EXPECT_FALSE(result.find("server")->completed);
 }
 
+TEST(KernelTest, SecondRunStartsAFreshTrace) {
+  // Regression: run() used to reset stats but keep appending to the
+  // previous run's trace, so re-running a kernel produced a waveform with
+  // stale leading entries (and a VCD with duplicated history).
+  Kernel kernel;
+  kernel.enable_trace(true);
+  kernel.add_signal_field(key("S"), BitVector::from_uint(4, 0));
+  int runs = 0;
+  kernel.add_process("p", [&]() -> SimTask {
+    ++runs;
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    kernel.schedule_signal(key("S"), BitVector::from_uint(4, runs));
+  });
+
+  ASSERT_TRUE(kernel.run().status.is_ok());
+  ASSERT_EQ(kernel.trace().size(), 1u);
+  EXPECT_EQ(kernel.trace()[0].value.to_uint(), 1u);
+
+  SimResult second = kernel.run();
+  ASSERT_TRUE(second.status.is_ok());
+  ASSERT_EQ(kernel.trace().size(), 1u) << "second run appended to old trace";
+  EXPECT_EQ(kernel.trace()[0].value.to_uint(), 2u);
+  EXPECT_EQ(second.kernel.trace_entries, 1u);
+}
+
+TEST(KernelTest, SignalKeysReturnsDeclarationOrder) {
+  Kernel kernel;
+  kernel.add_signal_field(key("Z"), BitVector(1));
+  kernel.add_signal_field(key("A", "F1"), BitVector(8));
+  kernel.add_signal_field(key("A", "F0"), BitVector(8));
+  const std::vector<FieldKey>& keys = kernel.signal_keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], key("Z"));
+  EXPECT_EQ(keys[1], key("A", "F1"));
+  EXPECT_EQ(keys[2], key("A", "F0"));
+  // The cached list is stable: repeated calls return the same object.
+  EXPECT_EQ(&kernel.signal_keys(), &keys);
+}
+
+TEST(KernelTest, InternedIdsMirrorTheNameApi) {
+  Kernel kernel;
+  kernel.add_signal_field(key("X"), BitVector::from_uint(8, 7));
+  kernel.add_signal_field(key("B", "DATA"), BitVector(8));
+  const SignalId x = kernel.signal_id(key("X"));
+  const SignalId data = kernel.signal_id(key("B", "DATA"));
+  EXPECT_EQ(x, 0u);
+  EXPECT_EQ(data, 1u);
+  EXPECT_EQ(kernel.initial_value(x).to_uint(), 7u);
+
+  kernel.add_process("p", [&]() -> SimTask {
+    kernel.schedule_signal(data, BitVector::from_uint(8, 0x5a));
+    { auto aw = kernel.wait_for(1); co_await aw; }
+  });
+  kernel.add_process("w", [&]() -> SimTask {
+    const std::vector<SignalId> sens{data};
+    {
+      auto aw = kernel.wait_on(std::span<const SignalId>(sens));
+      co_await aw;
+    }
+    kernel.schedule_signal(x, kernel.signal_value(data));
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(kernel.signal_value(key("X")).to_uint(), 0x5au);
+  EXPECT_EQ(kernel.signal_value(x).to_uint(), 0x5au);
+  EXPECT_EQ(result.kernel.wakeups_event, 1u);
+}
+
+TEST(KernelTest, WildcardSensitivityWakesOnAnyFieldCommit) {
+  // FieldKey{sig, ""} subscribes to the whole record: commits to different
+  // fields must each wake the waiter, and a commit to an unrelated signal
+  // must not.
+  Kernel kernel;
+  kernel.add_signal_field(key("B", "START"), BitVector(1));
+  kernel.add_signal_field(key("B", "DATA"), BitVector(8));
+  kernel.add_signal_field(key("OTHER"), BitVector(1));
+  std::vector<std::uint64_t> wake_times;
+  kernel.add_process("w", [&]() -> SimTask {
+    for (int i = 0; i < 2; ++i) {
+      { std::vector<FieldKey> sens{key("B")}; auto aw = kernel.wait_on(std::move(sens)); co_await aw; }
+      wake_times.push_back(kernel.now());
+    }
+  });
+  kernel.add_process("driver", [&]() -> SimTask {
+    kernel.schedule_signal(key("OTHER"), BitVector::from_uint(1, 1));
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    kernel.schedule_signal(key("B", "START"), BitVector::from_uint(1, 1));
+    { auto aw = kernel.wait_for(1); co_await aw; }
+    kernel.schedule_signal(key("B", "DATA"), BitVector::from_uint(8, 0x42));
+  });
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  ASSERT_EQ(wake_times.size(), 2u);
+  EXPECT_EQ(wake_times[0], 1u);  // B.START commit; OTHER did not wake it
+  EXPECT_EQ(wake_times[1], 2u);  // B.DATA commit
+  EXPECT_EQ(result.kernel.wakeups_event, 2u);
+}
+
+TEST(KernelTest, BusLockFairnessUnderContention) {
+  // Three waiters queue behind a holder; grants must come in FIFO order
+  // and the accounting must attribute each waiter's queueing time.
+  Kernel kernel;
+  kernel.add_bus_lock("BUS");
+  std::vector<std::string> grant_order;
+  kernel.add_process("holder", [&]() -> SimTask {
+    { auto aw = kernel.acquire_bus("BUS"); co_await aw; }
+    grant_order.push_back("holder");
+    { auto aw = kernel.wait_for(4); co_await aw; }
+    kernel.release_bus("BUS");
+  });
+  // `name` by value: reference parameters would dangle once the factory's
+  // temporary dies at the coroutine's first suspension.
+  auto contender = [&](std::string name, std::uint64_t start,
+                       std::uint64_t hold) -> SimTask {
+    { auto aw = kernel.wait_for(start); co_await aw; }
+    { auto aw = kernel.acquire_bus("BUS"); co_await aw; }
+    grant_order.push_back(name);
+    { auto aw = kernel.wait_for(hold); co_await aw; }
+    kernel.release_bus("BUS");
+  };
+  // Queue order is arrival order: c3 (t=1), c1 (t=2), c2 (t=3) — not
+  // registration or name order.
+  kernel.add_process("c1", [&]() { return contender("c1", 2, 2); });
+  kernel.add_process("c2", [&]() { return contender("c2", 3, 2); });
+  kernel.add_process("c3", [&]() { return contender("c3", 1, 2); });
+
+  SimResult result = kernel.run();
+  ASSERT_TRUE(result.status.is_ok());
+  ASSERT_EQ(grant_order.size(), 4u);
+  EXPECT_EQ(grant_order[0], "holder");
+  EXPECT_EQ(grant_order[1], "c3");
+  EXPECT_EQ(grant_order[2], "c1");
+  EXPECT_EQ(grant_order[3], "c2");
+
+  const BusStats* bus = result.find_bus("BUS");
+  ASSERT_NE(bus, nullptr);
+  EXPECT_EQ(bus->acquisitions, 4u);
+  EXPECT_EQ(bus->contended_acquisitions, 3u);
+  // holder releases at t=4: c3 (queued at t=1) waited 3. c3 releases at
+  // t=6: c1 (queued at t=2) waited 4. c1 releases at t=8: c2 (queued at
+  // t=3) waited 5. Total queueing 3 + 4 + 5 = 12.
+  EXPECT_EQ(bus->wait_cycles, 12u);
+  EXPECT_EQ(result.find("c3")->bus_wait_cycles, 3u);
+  EXPECT_EQ(result.find("c1")->bus_wait_cycles, 4u);
+  EXPECT_EQ(result.find("c2")->bus_wait_cycles, 5u);
+  EXPECT_EQ(bus->hold_cycles, 4u + 2u + 2u + 2u);
+  EXPECT_EQ(result.kernel.wakeups_bus_grant, 3u);
+}
+
 }  // namespace
 }  // namespace ifsyn::sim
