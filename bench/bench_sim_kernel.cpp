@@ -17,6 +17,7 @@
 
 #include "bench_json.hpp"
 #include "sim/interpreter.hpp"
+#include "spec/system.hpp"
 #include "sim/kernel.hpp"
 #include "sim/task.hpp"
 #include "suite/flc.hpp"
@@ -254,34 +255,125 @@ int main() {
              static_cast<double>(result.sim.kernel.wakeups_condition));
   }
 
-  // ---- 5. FLC example through the interpreter ----
-  // End-to-end: elaboration-time interning plus kernel scheduling on the
-  // paper's fuzzy-logic controller spec.
+  // ---- 5. FLC example through the interpreter, per engine ----
+  // End-to-end: compile/intern time plus data-plane execution on the
+  // paper's fuzzy-logic controller spec. Run once per engine so the
+  // bytecode VM's speedup over the AST reference walker is recorded.
   {
     const int flc_repeats = smoke ? 1 : 5;
     const spec::System flc = suite::make_flc_full();
-    double best_ms = 1e300;
-    std::uint64_t end_time = 0;
-    for (int rep = 0; rep < flc_repeats; ++rep) {
-      const auto start = Clock::now();
-      SimulationRun run = simulate(flc);
-      const auto stop = Clock::now();
-      if (!run.result.status.is_ok()) {
-        std::printf("FLC simulation failed: %s\n",
-                    run.result.status.to_string().c_str());
-        return 1;
+    double engine_ms[2] = {1e300, 1e300};
+    std::uint64_t end_time[2] = {0, 0};
+    for (Engine engine : {Engine::kVm, Engine::kAst}) {
+      const int idx = engine == Engine::kVm ? 0 : 1;
+      for (int rep = 0; rep < flc_repeats; ++rep) {
+        const auto start = Clock::now();
+        SimulationRun run = simulate(flc, 1'000'000, false, {}, engine);
+        const auto stop = Clock::now();
+        if (!run.result.status.is_ok()) {
+          std::printf("FLC simulation (%s) failed: %s\n",
+                      idx == 0 ? "vm" : "ast",
+                      run.result.status.to_string().c_str());
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < engine_ms[idx]) engine_ms[idx] = ms;
+        end_time[idx] = run.result.end_time;
       }
-      const double ms =
-          std::chrono::duration<double, std::milli>(stop - start).count();
-      if (ms < best_ms) best_ms = ms;
-      end_time = run.result.end_time;
     }
-    std::printf("flc_interpreter  full controller, %d reps:   %8.2f ms "
+    if (end_time[0] != end_time[1]) {
+      std::printf("FLC engines disagree on end_time: vm=%llu ast=%llu\n",
+                  static_cast<unsigned long long>(end_time[0]),
+                  static_cast<unsigned long long>(end_time[1]));
+      return 1;
+    }
+    const double speedup = engine_ms[0] > 0 ? engine_ms[1] / engine_ms[0] : 0;
+    std::printf("flc_interpreter  vm %8.2f ms | ast %8.2f ms | %.2fx "
                 "(%llu cycles)\n",
-                flc_repeats, best_ms,
-                static_cast<unsigned long long>(end_time));
-    json.set("flc_interpreter_ms", best_ms);
-    json.set("flc_end_time", static_cast<double>(end_time));
+                engine_ms[0], engine_ms[1], speedup,
+                static_cast<unsigned long long>(end_time[0]));
+    // flc_interpreter_ms keeps its historical meaning: the default engine.
+    json.set("flc_interpreter_ms", engine_ms[0]);
+    json.set("flc_interpreter_vm_ms", engine_ms[0]);
+    json.set("flc_interpreter_ast_ms", engine_ms[1]);
+    json.set("flc_speedup", speedup);
+    json.set("flc_end_time", static_cast<double>(end_time[0]));
+  }
+
+  // ---- 6. dense wakeups through the interpreter, per engine ----
+  // A spec-level workload dominated by data-plane interpretation: one
+  // driver toggles CLK every cycle, each listener wakes on every edge and
+  // runs an arithmetic inner loop. Kernel scheduling is identical across
+  // engines, so the ratio isolates AST walking vs bytecode dispatch.
+  {
+    const int listeners = smoke ? 4 : 16;
+    const int rounds = smoke ? 32 : 512;
+    const int inner = 16;
+    spec::System dense("dense_wakeup");
+    dense.add_signal(spec::Signal{"CLK", {spec::SignalField{"", 1}}});
+    for (int l = 0; l < listeners; ++l) {
+      const std::string acc = "ACC" + std::to_string(l);
+      dense.add_variable(
+          spec::Variable(acc, spec::Type::integer(32), spec::Value::integer(l)));
+      spec::Process p;
+      p.name = "listen" + std::to_string(l);
+      p.body = {spec::for_stmt(
+          "r", spec::lit(1), spec::lit(rounds),
+          {spec::wait_on({spec::SignalFieldId{"CLK", ""}}),
+           spec::for_stmt(
+               "k", spec::lit(1), spec::lit(inner),
+               {spec::assign(
+                   acc, spec::mod(spec::add(spec::mul(spec::var(acc),
+                                                      spec::lit(5)),
+                                            spec::add(spec::var("k"),
+                                                      spec::var("r"))),
+                                  spec::lit(9973)))})})};
+      dense.add_process(std::move(p));
+    }
+    {
+      spec::Process p;
+      p.name = "driver";
+      p.body = {spec::for_stmt(
+          "r", spec::lit(1), spec::lit(rounds),
+          {spec::sig_assign("CLK", "", spec::mod(spec::var("r"), spec::lit(2))),
+           spec::wait_for(1)})};
+      dense.add_process(std::move(p));
+    }
+
+    double engine_ms[2] = {1e300, 1e300};
+    std::uint64_t end_time[2] = {0, 0};
+    for (Engine engine : {Engine::kVm, Engine::kAst}) {
+      const int idx = engine == Engine::kVm ? 0 : 1;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto start = Clock::now();
+        SimulationRun run = simulate(dense, 10'000'000, false, {}, engine);
+        const auto stop = Clock::now();
+        if (!run.result.status.is_ok()) {
+          std::printf("dense_wakeup (%s) failed: %s\n", idx == 0 ? "vm" : "ast",
+                      run.result.status.to_string().c_str());
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < engine_ms[idx]) engine_ms[idx] = ms;
+        end_time[idx] = run.result.end_time;
+      }
+    }
+    if (end_time[0] != end_time[1]) {
+      std::printf("dense_wakeup engines disagree on end_time: vm=%llu "
+                  "ast=%llu\n",
+                  static_cast<unsigned long long>(end_time[0]),
+                  static_cast<unsigned long long>(end_time[1]));
+      return 1;
+    }
+    const double speedup = engine_ms[0] > 0 ? engine_ms[1] / engine_ms[0] : 0;
+    std::printf("dense_wakeup     vm %8.2f ms | ast %8.2f ms | %.2fx "
+                "(%d listeners x %d rounds)\n",
+                engine_ms[0], engine_ms[1], speedup, listeners, rounds);
+    json.set("dense_wakeup_vm_ms", engine_ms[0]);
+    json.set("dense_wakeup_ast_ms", engine_ms[1]);
+    json.set("dense_wakeup_speedup", speedup);
   }
 
   json.write();

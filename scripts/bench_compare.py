@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files (see bench/bench_json.hpp).
+
+Two modes:
+
+  Structural (--keys-only): both files must export exactly the same metric
+  key set. Values are ignored. This is what CI runs — smoke-mode numbers on
+  shared runners are meaningless, but a bench binary that silently drops a
+  metric (or grows one nobody baselined) should fail the build.
+
+  Value compare (default): every metric present in both files is diffed
+  against a relative tolerance. Keys whose name ends in a counting suffix
+  (_wakeups, _instants, _cycles, _end_time, ...) or that are workload
+  descriptors must match exactly: they are deterministic event counts, and
+  a drift there is a behavior change, not noise. Timing keys (everything
+  else, typically *_ms and *_speedup) may drift within --tolerance.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--tolerance 0.5] [--keys-only]
+
+Exit status: 0 = comparable, 1 = mismatch (details on stdout), 2 = usage.
+"""
+
+import argparse
+import json
+import sys
+
+# Metric-name suffixes that denote deterministic counts: simulation event
+# totals and workload shapes, not wall-clock measurements. These must be
+# bit-equal between runs of the same code on any host.
+EXACT_SUFFIXES = (
+    "_wakeups",
+    "_instants",
+    "_cycles",
+    "_end_time",
+    "_iterations",
+    "_count",
+    "smoke",
+)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or not data:
+        raise SystemExit(f"{path}: not a non-empty flat JSON object")
+    return data
+
+
+def is_exact_key(key):
+    return key.endswith(EXACT_SUFFIXES)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="max relative drift for timing metrics (default 0.5 = 50%%)",
+    )
+    parser.add_argument(
+        "--keys-only",
+        action="store_true",
+        help="compare metric key sets only (structural mode, used by CI)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+
+    missing = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    for key in missing:
+        failures.append(f"metric {key!r} present in baseline but missing now")
+    for key in added:
+        failures.append(
+            f"metric {key!r} is new (not in baseline — re-baseline if intended)"
+        )
+
+    if not args.keys_only:
+        for key in sorted(set(base) & set(cur)):
+            # "smoke" flags which mode produced the file; a value compare
+            # across modes would be meaningless, so it gates instead.
+            if key == "smoke":
+                if base[key] != cur[key]:
+                    failures.append(
+                        f"smoke mode differs (baseline {base[key]}, "
+                        f"current {cur[key]}) — value compare needs same mode"
+                    )
+                continue
+            b, c = float(base[key]), float(cur[key])
+            if is_exact_key(key):
+                if b != c:
+                    failures.append(
+                        f"count metric {key!r} changed: {b:g} -> {c:g}"
+                    )
+                continue
+            ref = max(abs(b), abs(c))
+            drift = 0.0 if ref == 0.0 else abs(c - b) / ref
+            if drift > args.tolerance:
+                failures.append(
+                    f"timing metric {key!r} drifted {drift:.1%} "
+                    f"(> {args.tolerance:.0%}): {b:g} -> {c:g}"
+                )
+
+    mode = "keys-only" if args.keys_only else f"tolerance {args.tolerance:.0%}"
+    if failures:
+        print(f"{args.baseline} vs {args.current} [{mode}]: MISMATCH")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    shared = len(set(base) & set(cur))
+    print(f"{args.baseline} vs {args.current} [{mode}]: OK ({shared} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

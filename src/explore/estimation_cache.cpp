@@ -26,7 +26,19 @@ GroupEstimate EstimationCache::get_or_compute(
   if (owner) {
     // Compute outside the lock so other keys proceed in parallel; threads
     // that raced on this key block on the shared future below.
-    promise.set_value(compute());
+    try {
+      promise.set_value(compute());
+    } catch (...) {
+      // Propagate the failure to every waiter (a promise abandoned without
+      // a value would block them forever), then drop the poisoned entry so
+      // a later attempt re-runs compute instead of rethrowing stale errors.
+      promise.set_exception(std::current_exception());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.erase(key);
+      }
+      return future.get();  // rethrows for the owner too
+    }
   }
   return future.get();
 }

@@ -1,0 +1,170 @@
+// ifsyn/sim/bytecode/program.hpp
+//
+// The register bytecode the simulation data plane compiles specs into.
+//
+// One ProcProgram per process holds a flat instruction array covering the
+// process body plus a specialized copy of every procedure the process can
+// reach (specialization resolves free names against *that process's*
+// locals, so operand slots are plain indices — no runtime name lookup).
+// All string/name resolution, signal/bus interning, constant folding and
+// wait-set construction happen once in the compiler (compiler.cpp); the
+// VM (vm.cpp) then executes straight-line code from a resumable program
+// counter with one coroutine per process.
+//
+// Design notes (full ISA reference in DESIGN.md Sec. 10):
+//   - Register machine: expression temporaries live in a per-process
+//     Scalar register file. Registers are never live across a kernel
+//     suspension or a procedure call, so the file needs no save/restore.
+//   - Three operand spaces: kGlobal (system variables, shared), kProcess
+//     (process locals, persist across calls within one activation) and
+//     kFrame (current procedure activation).
+//   - Lazy errors: anything the AST engine only reports when the faulty
+//     statement *executes* (undeclared variables, unknown signals, calls
+//     to missing procedures) compiles to a kTrap carrying the message, so
+//     error timing matches the reference engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/scalar.hpp"
+#include "spec/type.hpp"
+#include "spec/value.hpp"
+
+namespace ifsyn::sim::bytecode {
+
+enum class Op : std::uint8_t {
+  // ---- expression ops (also legal inside condition programs) ----
+  kConst,          ///< r[dst] = consts[a]
+  kLoadVar,        ///< r[dst] = scalar at (aux:space, a:slot)
+  kLoadArray,      ///< r[dst] = (aux:space, a:slot)[ r[b].to_int() ]
+  kLoadSignal,     ///< r[dst] = value of SignalId a (unsigned)
+  kUnary,          ///< r[dst] = unary(aux:UnaryOp, r[a])
+  kBinary,         ///< r[dst] = binary(aux:BinaryOp, r[a], r[b])
+  kSlice,          ///< r[dst] = r[a].bits.slice(r[b], r[c])
+  kToInt,          ///< r[dst] = make_int(r[a].to_int()) — eval_int semantics
+  kTrap,           ///< throw InternalError(traps[a]) — lazy error sites
+
+  // ---- stores ----
+  kStoreVar,       ///< (aux,a) .set(extend(r[b], c:width))
+  kStoreArrayElem, ///< (aux,a)[r[b]] = extend(r[c], d:width)
+  kStoreSlice,     ///< (aux,a).bits(r[b] downto r[c]) = r[dst]
+  kStoreArraySlice,///< (aux,a)[r[b]].bits(r[c] downto r[d]) = r[dst]
+  kSaveVar,        ///< (aux,a) = copy of (aux,b) — loop shadow save
+  kRestoreVar,     ///< (aux,a) = move (aux,b)   — loop shadow restore
+  kSignalAssign,   ///< schedule SignalId a <= extend(r[c], b:width)
+
+  // ---- control flow ----
+  kJump,           ///< pc = a
+  kJumpIfFalse,    ///< pc = r[a].truthy() ? pc+1 : b
+  kLoopTest,       ///< fused for-loop head: counter (aux,a) > limit (aux,b)
+                   ///< ? pc = c : store loop var (aux,d) = Value::integer(
+                   ///< counter) and fall through to the body
+  kLoopInc,        ///< fused for-loop back edge: 64-bit counter (aux,a) += 1,
+                   ///< pc = b
+  kCall,           ///< enter callsites[a] (push return frame, copy-in)
+  kLoadRet,        ///< r[dst] = scalar of ret_frame[a] (post-call copy-out)
+  kReturn,         ///< pop call frame, resume at saved pc
+  kHalt,           ///< process body complete (co_return)
+
+  // ---- kernel suspensions ----
+  kWaitFor,        ///< co_await wait_for(r[a].to_int()); asserts >= 0
+  kWaitOn,         ///< co_await wait_on(wait_sets[a])
+  kWaitUntil,      ///< co_await wait_until(eval of conds[a])
+  kAcquireBus,     ///< co_await acquire_bus(BusId a)
+  kReleaseBus,     ///< release_bus(BusId a)
+};
+
+/// Which storage a slot operand indexes.
+enum class Space : std::uint8_t {
+  kGlobal,   ///< system-level variables (shared by all processes)
+  kProcess,  ///< process-local frame (persists across calls)
+  kFrame,    ///< current procedure activation frame
+};
+
+/// One instruction. Fixed-width and deliberately roomy: `aux` carries the
+/// operand space or the packed Unary/BinaryOp, `dst` a destination (or
+/// value-source) register, and a..d are slot indices, register numbers,
+/// widths, pool indices or jump targets depending on the op (see Op docs).
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t aux = 0;
+  std::uint16_t dst = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t d = 0;
+};
+
+/// Static description of one frame slot; frames are materialized per
+/// activation from this layout. `init` is empty for zero-initialization
+/// and for the compiler's hidden slots (loop counters/limits/saves).
+struct SlotInfo {
+  spec::Type type;
+  std::optional<spec::Value> init;
+  std::string name;  ///< declared name, or "<hidden>" — debugging only
+};
+
+struct FrameLayout {
+  std::vector<SlotInfo> slots;
+};
+
+/// One lowered `ProcCall`: where to jump, which frame layout to
+/// materialize, and how to copy the already-evaluated `in` actuals
+/// (sitting in registers) into the new frame's parameter slots.
+struct CallSite {
+  std::uint32_t entry_pc = 0;
+  std::uint32_t frame_layout = 0;
+  struct InArg {
+    std::uint32_t slot;  ///< parameter slot in the callee frame
+    std::uint16_t reg;   ///< caller register holding the evaluated actual
+    int width;           ///< parameter scalar width (extend target)
+  };
+  std::vector<InArg> in_args;
+};
+
+/// A `wait until` condition lowered into `cond_code`: the VM evaluates
+/// instructions [start, start+count) and reads the result register. The
+/// kernel re-runs this after every delta commit while the process is
+/// parked, exactly like the AST engine's condition lambda.
+struct CondProgram {
+  std::uint32_t start = 0;
+  std::uint32_t count = 0;
+  std::uint16_t result_reg = 0;
+};
+
+/// Everything needed to execute one process: code, pools, frame layouts.
+struct ProcProgram {
+  std::string process_name;
+  bool restarts = false;
+
+  std::vector<Instr> code;       ///< body + specialized procedures
+  std::uint32_t entry = 0;       ///< pc of the process body
+  std::vector<Instr> cond_code;  ///< wait-until condition programs
+
+  std::vector<Scalar> consts;
+  std::vector<std::vector<SignalId>> wait_sets;
+  std::vector<CallSite> callsites;
+  std::vector<CondProgram> conds;
+  std::vector<std::string> traps;
+
+  /// [0] is the process-local frame; the rest are procedure frames.
+  std::vector<FrameLayout> frame_layouts;
+
+  std::uint16_t num_regs = 0;
+};
+
+/// Compiled form of a whole system: the shared global-variable layout plus
+/// one program per process (in system declaration order).
+struct CompiledSystem {
+  std::vector<SlotInfo> global_slots;           ///< system variable order
+  std::map<std::string, std::uint32_t> global_index;
+  std::vector<ProcProgram> processes;
+  std::uint64_t total_instructions = 0;         ///< code + cond_code
+};
+
+}  // namespace ifsyn::sim::bytecode

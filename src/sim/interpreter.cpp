@@ -1,7 +1,10 @@
 #include "sim/interpreter.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
+#include "sim/bytecode/vm.hpp"
 #include "util/assert.hpp"
 
 namespace ifsyn::sim {
@@ -10,44 +13,27 @@ using spec::Block;
 using spec::Expr;
 using spec::Stmt;
 
-std::int64_t Scalar::to_int() const {
-  if (bits.width() == 0) return 0;
-  if (is_signed) return bits.to_int();
-  return static_cast<std::int64_t>(bits.to_uint());
+// Scalar and the shared operator semantics (extend / make_int / make_bool /
+// eval_unary_op / eval_binary_op) live in sim/scalar.hpp, used verbatim by
+// both this engine and the bytecode VM.
+
+Engine engine_from_env() {
+  const char* env = std::getenv("IFSYN_SIM_ENGINE");
+  if (env && std::strcmp(env, "ast") == 0) return Engine::kAst;
+  return Engine::kVm;
 }
-
-namespace {
-
-/// Widen to `width` bits honoring the scalar's signedness.
-BitVector extend(const Scalar& s, int width) {
-  if (s.bits.width() == width) return s.bits;
-  if (s.bits.width() > width) return s.bits.resized(width);
-  if (s.is_signed && s.bits.width() > 0) {
-    return BitVector::from_int(width, s.bits.to_int());
-  }
-  return s.bits.resized(width);
-}
-
-Scalar make_bool(bool b) {
-  return Scalar{BitVector::from_uint(1, b ? 1 : 0), false};
-}
-
-Scalar make_int(std::int64_t v) {
-  return Scalar{BitVector::from_int(64, v), true};
-}
-
-}  // namespace
 
 Interpreter::Interpreter(const spec::System& system, Kernel& kernel)
-    : system_(system), kernel_(kernel) {}
+    : Interpreter(system, kernel, engine_from_env()) {}
+
+Interpreter::Interpreter(const spec::System& system, Kernel& kernel,
+                         Engine engine)
+    : system_(system), kernel_(kernel), engine_(engine) {}
+
+Interpreter::~Interpreter() = default;
 
 Status Interpreter::setup() {
   IFSYN_RETURN_IF_ERROR(system_.validate());
-
-  globals_.clear();
-  for (const auto& v : system_.variables()) {
-    globals_.emplace(v->name, v->init ? *v->init : spec::Value(v->type));
-  }
 
   for (const auto& s : system_.signals()) {
     for (const auto& f : s->fields) {
@@ -58,6 +44,19 @@ Status Interpreter::setup() {
 
   for (const auto& b : system_.buses()) {
     if (b->arbitrated) kernel_.add_bus_lock(b->name);
+  }
+
+  if (engine_ == Engine::kVm) {
+    // Compile-and-register path: the Vm owns global storage, compiled
+    // programs and process registration; value_of/set_value delegate.
+    vm_ = std::make_unique<bytecode::Vm>(system_, kernel_);
+    vm_->setup();
+    return Status::ok();
+  }
+
+  globals_.clear();
+  for (const auto& v : system_.variables()) {
+    globals_.emplace(v->name, v->init ? *v->init : spec::Value(v->type));
   }
 
   // Interning pre-pass: resolve every signal/bus reference in the spec to
@@ -174,12 +173,17 @@ void Interpreter::intern_block(const spec::Block& block) {
 }
 
 const spec::Value& Interpreter::value_of(const std::string& variable) const {
+  if (vm_) return vm_->value_of(variable);
   auto it = globals_.find(variable);
   IFSYN_ASSERT_MSG(it != globals_.end(), "unknown variable " << variable);
   return it->second;
 }
 
 void Interpreter::set_value(const std::string& variable, spec::Value value) {
+  if (vm_) {
+    vm_->set_value(variable, std::move(value));
+    return;
+  }
   auto it = globals_.find(variable);
   IFSYN_ASSERT_MSG(it != globals_.end(), "unknown variable " << variable);
   IFSYN_ASSERT_MSG(it->second.type() == value.type(),
@@ -246,75 +250,11 @@ Scalar Interpreter::eval(const Expr& expr, ProcState& state) {
   if (const auto* node = std::get_if<BinaryExpr>(&alt)) {
     const Scalar lhs = eval(*node->lhs, state);
     const Scalar rhs = eval(*node->rhs, state);
-    const bool any_signed = lhs.is_signed || rhs.is_signed;
-    const int max_width = std::max(lhs.bits.width(), rhs.bits.width());
-
-    auto wide_equal = [&]() {
-      return extend(lhs, max_width) == extend(rhs, max_width);
-    };
-
-    switch (node->op) {
-      case BinaryOp::kAdd: return make_int(lhs.to_int() + rhs.to_int());
-      case BinaryOp::kSub: return make_int(lhs.to_int() - rhs.to_int());
-      case BinaryOp::kMul: return make_int(lhs.to_int() * rhs.to_int());
-      case BinaryOp::kDiv: {
-        const std::int64_t d = rhs.to_int();
-        IFSYN_ASSERT_MSG(d != 0, "division by zero");
-        return make_int(lhs.to_int() / d);
-      }
-      case BinaryOp::kMod: {
-        const std::int64_t d = rhs.to_int();
-        IFSYN_ASSERT_MSG(d != 0, "mod by zero");
-        return make_int(lhs.to_int() % d);
-      }
-      case BinaryOp::kAnd:
-        return Scalar{extend(lhs, max_width) & extend(rhs, max_width), false};
-      case BinaryOp::kOr:
-        return Scalar{extend(lhs, max_width) | extend(rhs, max_width), false};
-      case BinaryOp::kXor:
-        return Scalar{extend(lhs, max_width) ^ extend(rhs, max_width), false};
-      case BinaryOp::kConcat:
-        return Scalar{lhs.bits.concat(rhs.bits), false};
-      case BinaryOp::kEq: return make_bool(wide_equal());
-      case BinaryOp::kNe: return make_bool(!wide_equal());
-      case BinaryOp::kLt:
-        return make_bool(any_signed
-                             ? lhs.to_int() < rhs.to_int()
-                             : extend(lhs, max_width)
-                                   .unsigned_less(extend(rhs, max_width)));
-      case BinaryOp::kLe:
-        return make_bool(any_signed
-                             ? lhs.to_int() <= rhs.to_int()
-                             : !extend(rhs, max_width)
-                                    .unsigned_less(extend(lhs, max_width)));
-      case BinaryOp::kGt:
-        return make_bool(any_signed
-                             ? lhs.to_int() > rhs.to_int()
-                             : extend(rhs, max_width)
-                                   .unsigned_less(extend(lhs, max_width)));
-      case BinaryOp::kGe:
-        return make_bool(any_signed
-                             ? lhs.to_int() >= rhs.to_int()
-                             : !extend(lhs, max_width)
-                                    .unsigned_less(extend(rhs, max_width)));
-      case BinaryOp::kLogAnd:
-        return make_bool(lhs.truthy() && rhs.truthy());
-      case BinaryOp::kLogOr:
-        return make_bool(lhs.truthy() || rhs.truthy());
-    }
-    IFSYN_ASSERT(false);
+    return eval_binary_op(node->op, lhs, rhs);
   }
   if (const auto* node = std::get_if<UnaryExpr>(&alt)) {
     const Scalar operand = eval(*node->operand, state);
-    switch (node->op) {
-      case UnaryOp::kNot:
-        return Scalar{~operand.bits, operand.is_signed};
-      case UnaryOp::kNeg:
-        return make_int(-operand.to_int());
-      case UnaryOp::kLogNot:
-        return make_bool(!operand.truthy());
-    }
-    IFSYN_ASSERT(false);
+    return eval_unary_op(node->op, operand);
   }
   if (const auto* node = std::get_if<SliceExpr>(&alt)) {
     const Scalar base = eval(*node->base, state);
@@ -567,12 +507,13 @@ SimTask Interpreter::exec_block(const Block& block, ProcState& state) {
 // ---- convenience ---------------------------------------------------------
 
 SimulationRun simulate(const spec::System& system, std::uint64_t max_time,
-                       bool trace, const obs::ObsContext& obs) {
+                       bool trace, const obs::ObsContext& obs,
+                       Engine engine) {
   SimulationRun run;
   run.kernel = std::make_unique<Kernel>();
   run.kernel->enable_trace(trace);
   run.kernel->set_obs(obs);
-  run.interpreter = std::make_unique<Interpreter>(system, *run.kernel);
+  run.interpreter = std::make_unique<Interpreter>(system, *run.kernel, engine);
   Status setup = run.interpreter->setup();
   if (!setup.is_ok()) {
     run.result.status = setup;

@@ -24,30 +24,50 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/kernel.hpp"
+#include "sim/scalar.hpp"
 #include "spec/system.hpp"
 #include "util/ptr_map.hpp"
 
 namespace ifsyn::sim {
 
-/// A scalar produced by expression evaluation: bits plus signedness
-/// (signedness decides extension and comparison rules).
-struct Scalar {
-  BitVector bits;
-  bool is_signed = false;
+namespace bytecode {
+class Vm;
+}
 
-  std::int64_t to_int() const;
-  bool truthy() const { return !bits.is_zero(); }
+/// Which execution engine runs the spec's processes.
+///
+/// kVm (default) compiles every process to register bytecode once at setup
+/// and runs a dispatch loop (sim/bytecode/); kAst walks the statement/
+/// expression trees directly — slower, but structurally close to the IR,
+/// so it serves as the reference the VM is differentially fuzzed against.
+enum class Engine {
+  kVm,
+  kAst,
 };
+
+/// Engine selected by the IFSYN_SIM_ENGINE environment variable:
+/// "ast" picks the AST reference engine, anything else (including unset)
+/// picks the bytecode VM. Read per call — tests toggle it with setenv.
+Engine engine_from_env();
 
 class Interpreter {
  public:
-  /// Binds the interpreter to a system and a kernel. Both must outlive the
-  /// interpreter and the kernel's run.
+  /// Binds the interpreter to a system and a kernel, with the engine taken
+  /// from IFSYN_SIM_ENGINE. Both must outlive the interpreter and the
+  /// kernel's run.
   Interpreter(const spec::System& system, Kernel& kernel);
+
+  /// Same, with an explicit engine choice.
+  Interpreter(const spec::System& system, Kernel& kernel, Engine engine);
+
+  ~Interpreter();
+
+  Engine engine() const { return engine_; }
 
   /// Declare the system's signals, bus locks and processes on the kernel
   /// and initialize variable storage. Call once before Kernel::run.
@@ -103,6 +123,10 @@ class Interpreter {
 
   const spec::System& system_;
   Kernel& kernel_;
+  Engine engine_ = Engine::kVm;
+  /// Engaged iff engine_ == kVm after setup(); owns compiled programs and
+  /// all VM-side storage (globals live in the Vm then, not in globals_).
+  std::unique_ptr<bytecode::Vm> vm_;
   std::map<std::string, spec::Value> globals_;
   std::map<std::string, ProcState> proc_states_;
   PtrMap<SignalId> signal_refs_;
@@ -123,10 +147,12 @@ struct SimulationRun {
 
 /// Simulate a system to quiescence. `trace` enables waveform capture.
 /// `obs` (optional) attaches a metrics registry to the kernel; counters
-/// land under the "sim." prefix (see Kernel::set_obs).
+/// land under the "sim." prefix (see Kernel::set_obs). `engine` defaults
+/// to the IFSYN_SIM_ENGINE selection (bytecode VM unless overridden).
 SimulationRun simulate(const spec::System& system,
                        std::uint64_t max_time = 1'000'000,
                        bool trace = false,
-                       const obs::ObsContext& obs = {});
+                       const obs::ObsContext& obs = {},
+                       Engine engine = engine_from_env());
 
 }  // namespace ifsyn::sim

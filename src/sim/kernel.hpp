@@ -190,6 +190,11 @@ class Kernel {
   /// histograms. All flushed values are Determinism::kDeterministic.
   void set_obs(const obs::ObsContext& ctx) { obs_ = ctx; }
 
+  /// The attached observability hooks (default-empty when none were set).
+  /// Execution engines layered on the kernel register their own metrics
+  /// (e.g. the bytecode VM's sim.vm.* counters) through the same context.
+  const obs::ObsContext& obs() const { return obs_; }
+
   // ---- name resolution (cold path; resolve once, keep the id) -----------
 
   /// Dense id of a declared field. Asserts when the key is unknown.

@@ -1,0 +1,149 @@
+// ifsyn/sim/scalar.hpp
+//
+// Scalar — the value produced by expression evaluation (bits plus
+// signedness) — and the arithmetic shared by both execution engines.
+//
+// The AST interpreter (sim/interpreter.cpp) and the bytecode VM
+// (sim/bytecode/vm.cpp) must agree bit-for-bit on every operator: the
+// differential fuzz harness diffs final variable state and traces between
+// the two, and the equivalence checker's verdicts must not depend on which
+// engine ran. Centralizing extend/make_int/eval_binary_op here makes that
+// agreement structural instead of a copy-paste invariant.
+//
+// Semantics (VHDL-flavored, see DESIGN.md Sec. 10.2):
+//   - arithmetic (+ - * / mod, unary -) goes through 64-bit signed
+//     integers: operands convert with to_int() (sign- or zero-extending
+//     by their own signedness) and results are 64-bit signed scalars;
+//   - bitwise ops extend both operands to the wider width (honoring each
+//     operand's signedness) and yield an unsigned result;
+//   - comparisons are signed iff either operand is signed, otherwise
+//     unsigned over the width-extended bits;
+//   - the boolean connectives and/or are *non-short-circuit* (both sides
+//     of `a and b` evaluate), matching VHDL and the AST engine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "spec/expr.hpp"
+#include "util/assert.hpp"
+#include "util/bit_vector.hpp"
+
+namespace ifsyn::sim {
+
+/// A scalar produced by expression evaluation: bits plus signedness
+/// (signedness decides extension and comparison rules).
+struct Scalar {
+  BitVector bits;
+  bool is_signed = false;
+
+  std::int64_t to_int() const {
+    if (bits.width() == 0) return 0;
+    if (is_signed) return bits.to_int();
+    return static_cast<std::int64_t>(bits.to_uint());
+  }
+  bool truthy() const { return !bits.is_zero(); }
+};
+
+/// Widen to `width` bits honoring the scalar's signedness.
+inline BitVector extend(const Scalar& s, int width) {
+  if (s.bits.width() == width) return s.bits;
+  if (s.bits.width() > width) return s.bits.resized(width);
+  if (s.is_signed && s.bits.width() > 0) {
+    return BitVector::from_int(width, s.bits.to_int());
+  }
+  return s.bits.resized(width);
+}
+
+inline Scalar make_bool(bool b) {
+  return Scalar{BitVector::from_uint(1, b ? 1 : 0), false};
+}
+
+inline Scalar make_int(std::int64_t v) {
+  // from_uint(64, x) and from_int(64, x) produce identical bits (two's
+  // complement is the identity at full word width); from_uint stays inline.
+  return Scalar{BitVector::from_uint(64, static_cast<std::uint64_t>(v)),
+                true};
+}
+
+inline Scalar eval_unary_op(spec::UnaryOp op, const Scalar& operand) {
+  switch (op) {
+    case spec::UnaryOp::kNot:
+      return Scalar{~operand.bits, operand.is_signed};
+    case spec::UnaryOp::kNeg:
+      return make_int(-operand.to_int());
+    case spec::UnaryOp::kLogNot:
+      return make_bool(!operand.truthy());
+  }
+  IFSYN_ASSERT(false);
+  return Scalar{};
+}
+
+inline Scalar eval_binary_op(spec::BinaryOp op, const Scalar& lhs,
+                             const Scalar& rhs) {
+  using spec::BinaryOp;
+  const bool any_signed = lhs.is_signed || rhs.is_signed;
+  const int max_width = std::max(lhs.bits.width(), rhs.bits.width());
+  // When widths already match, extend() is the identity; skipping it
+  // avoids two BitVector copies per comparison/bitwise op on the
+  // simulation hot path (results are bit-identical by construction).
+  const bool same_width = lhs.bits.width() == rhs.bits.width();
+
+  auto wide_equal = [&]() {
+    if (same_width) return lhs.bits == rhs.bits;
+    return extend(lhs, max_width) == extend(rhs, max_width);
+  };
+  auto wide_less = [&](const Scalar& a, const Scalar& b) {
+    if (same_width) return a.bits.unsigned_less(b.bits);
+    return extend(a, max_width).unsigned_less(extend(b, max_width));
+  };
+
+  switch (op) {
+    case BinaryOp::kAdd: return make_int(lhs.to_int() + rhs.to_int());
+    case BinaryOp::kSub: return make_int(lhs.to_int() - rhs.to_int());
+    case BinaryOp::kMul: return make_int(lhs.to_int() * rhs.to_int());
+    case BinaryOp::kDiv: {
+      const std::int64_t d = rhs.to_int();
+      IFSYN_ASSERT_MSG(d != 0, "division by zero");
+      return make_int(lhs.to_int() / d);
+    }
+    case BinaryOp::kMod: {
+      const std::int64_t d = rhs.to_int();
+      IFSYN_ASSERT_MSG(d != 0, "mod by zero");
+      return make_int(lhs.to_int() % d);
+    }
+    case BinaryOp::kAnd:
+      if (same_width) return Scalar{lhs.bits & rhs.bits, false};
+      return Scalar{extend(lhs, max_width) & extend(rhs, max_width), false};
+    case BinaryOp::kOr:
+      if (same_width) return Scalar{lhs.bits | rhs.bits, false};
+      return Scalar{extend(lhs, max_width) | extend(rhs, max_width), false};
+    case BinaryOp::kXor:
+      if (same_width) return Scalar{lhs.bits ^ rhs.bits, false};
+      return Scalar{extend(lhs, max_width) ^ extend(rhs, max_width), false};
+    case BinaryOp::kConcat:
+      return Scalar{lhs.bits.concat(rhs.bits), false};
+    case BinaryOp::kEq: return make_bool(wide_equal());
+    case BinaryOp::kNe: return make_bool(!wide_equal());
+    case BinaryOp::kLt:
+      return make_bool(any_signed ? lhs.to_int() < rhs.to_int()
+                                  : wide_less(lhs, rhs));
+    case BinaryOp::kLe:
+      return make_bool(any_signed ? lhs.to_int() <= rhs.to_int()
+                                  : !wide_less(rhs, lhs));
+    case BinaryOp::kGt:
+      return make_bool(any_signed ? lhs.to_int() > rhs.to_int()
+                                  : wide_less(rhs, lhs));
+    case BinaryOp::kGe:
+      return make_bool(any_signed ? lhs.to_int() >= rhs.to_int()
+                                  : !wide_less(lhs, rhs));
+    case BinaryOp::kLogAnd:
+      return make_bool(lhs.truthy() && rhs.truthy());
+    case BinaryOp::kLogOr:
+      return make_bool(lhs.truthy() || rhs.truthy());
+  }
+  IFSYN_ASSERT(false);
+  return Scalar{};
+}
+
+}  // namespace ifsyn::sim

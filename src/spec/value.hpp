@@ -36,11 +36,27 @@ class Value {
     return v;
   }
 
+  /// Re-type to a zero value of `type` in place. Equivalent to
+  /// `*this = Value(type)` but reuses the element storage's capacity —
+  /// the simulation VM recycles procedure frames through this.
+  void reinit(const Type& type) {
+    type_ = type;
+    elems_.assign(static_cast<std::size_t>(type.array_size()),
+                  BitVector(type.scalar_width()));
+  }
+
   const Type& type() const { return type_; }
   bool is_array() const { return type_.is_array(); }
 
   /// Scalar payload. Asserts the value is scalar.
   const BitVector& get() const {
+    IFSYN_ASSERT(!is_array());
+    return elems_[0];
+  }
+  /// Mutable scalar payload, for in-place updates (the simulation VM's
+  /// store fast paths and loop counters). Callers must keep the payload
+  /// width equal to type().scalar_width(). Asserts the value is scalar.
+  BitVector& scalar_bits() {
     IFSYN_ASSERT(!is_array());
     return elems_[0];
   }

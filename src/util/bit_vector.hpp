@@ -51,6 +51,19 @@ class BitVector {
   /// `width` bits holding the two's-complement encoding of `value`.
   static BitVector from_int(int width, std::int64_t value);
 
+  /// Overwrite in place with `value mod 2^width` for width <= 64 —
+  /// equivalent to `*this = from_uint(width, value)` without constructing
+  /// a temporary. Hot path for the simulation VM's register file.
+  void assign_uint(int width, std::uint64_t value) {
+    IFSYN_ASSERT_MSG(width >= 0 && width <= kWordBits,
+                     "assign_uint width " << width << " out of [0,64]");
+    width_ = width;
+    word0_ = width == 0 ? 0 : value;
+    if (!heap_.empty()) heap_.clear();
+    const int rem = width % kWordBits;
+    if (rem != 0) word0_ &= (std::uint64_t{1} << rem) - 1;
+  }
+
   /// Parse an MSB-first binary string, e.g. "00101". Underscores are
   /// ignored so literals can be grouped ("0010_1100"). Width = number of
   /// binary digits. Asserts on any other character.

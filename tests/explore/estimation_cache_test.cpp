@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "explore/work_queue.hpp"
 
@@ -75,6 +76,64 @@ TEST(EstimationCacheTest, ConcurrentRequestsShareOneComputation) {
   // The counters are deterministic: one miss, everything else hits.
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), kLookups - 1);
+}
+
+TEST(EstimationCacheTest, ThrowingComputePropagatesAndDoesNotPoison) {
+  // Regression: a throwing compute() used to abandon the owner's promise,
+  // so every thread racing on the key blocked forever on the shared
+  // future. The owner must rethrow, waiters must see the exception, and
+  // the entry must be erased so a later attempt recomputes.
+  EstimationCache cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   key_for("boom", 8),
+                   []() -> GroupEstimate {
+                     throw std::runtime_error("estimator failed");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // poisoned entry was erased
+
+  int calls = 0;
+  const GroupEstimate est =
+      cache.get_or_compute(key_for("boom", 8), [&calls] {
+        ++calls;
+        GroupEstimate e;
+        e.total_wires = 11;
+        return e;
+      });
+  EXPECT_EQ(est.total_wires, 11);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EstimationCacheTest, ConcurrentThrowingComputeUnblocksAllWaiters) {
+  // The deadlock scenario: many threads race on one key while the owner's
+  // compute throws. Every lookup must return (either with the owner's
+  // exception or, after the erase, with a freshly computed value) instead
+  // of blocking forever.
+  EstimationCache cache;
+  std::atomic<int> calls{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> successes{0};
+  constexpr std::size_t kLookups = 64;
+  run_indexed(kLookups, /*threads=*/8, [&](std::size_t) {
+    try {
+      const GroupEstimate est =
+          cache.get_or_compute(key_for("flaky", 4), [&calls] {
+            if (calls.fetch_add(1) == 0) {
+              throw std::runtime_error("first compute fails");
+            }
+            GroupEstimate e;
+            e.total_wires = 9;
+            return e;
+          });
+      EXPECT_EQ(est.total_wires, 9);
+      ++successes;
+    } catch (const std::runtime_error&) {
+      ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load() + successes.load(),
+            static_cast<int>(kLookups));
+  EXPECT_GE(failures.load(), 1);  // at least the owner saw the exception
 }
 
 TEST(WorkQueueTest, CoversEveryIndexExactlyOnce) {

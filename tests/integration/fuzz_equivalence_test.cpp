@@ -16,10 +16,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 
 #include "core/equivalence.hpp"
 #include "partition/partitioner.hpp"
 #include "protocol/protocol_generator.hpp"
+#include "sim/interpreter.hpp"
 #include "spec/system.hpp"
 
 namespace ifsyn {
@@ -252,6 +254,94 @@ TEST_P(FuzzEquivalence, RandomSystemSurvivesRefinement) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
+                         ::testing::Range(0, fuzz_iterations()));
+
+// ---- engine differential testing ------------------------------------------
+// Every fuzzed system (original and its refined form) runs through both
+// execution engines — the bytecode VM and the AST reference interpreter —
+// with tracing on, and the runs must agree byte-for-byte: status, end
+// time, every committed signal change, per-process statistics, and the
+// final value of every system variable. This is the primary correctness
+// harness for the VM's lowering pass.
+
+/// Run `system` on one engine with tracing enabled.
+sim::SimulationRun run_engine(const System& system, sim::Engine engine) {
+  return sim::simulate(system, 10'000'000, /*trace=*/true, /*obs=*/{},
+                       engine);
+}
+
+void expect_runs_identical(const System& system, std::uint64_t seed,
+                           const char* label) {
+  const sim::SimulationRun vm = run_engine(system, sim::Engine::kVm);
+  const sim::SimulationRun ast = run_engine(system, sim::Engine::kAst);
+  SCOPED_TRACE(::testing::Message()
+               << "seed " << seed << " (" << label << ")");
+
+  ASSERT_EQ(vm.result.status.is_ok(), ast.result.status.is_ok())
+      << "vm: " << vm.result.status << " ast: " << ast.result.status;
+  if (!vm.result.status.is_ok()) return;  // both failed the same way
+  EXPECT_EQ(vm.result.end_time, ast.result.end_time);
+
+  // Process results.
+  ASSERT_EQ(vm.result.processes.size(), ast.result.processes.size());
+  for (std::size_t i = 0; i < vm.result.processes.size(); ++i) {
+    const sim::ProcessStats& pv = vm.result.processes[i];
+    const sim::ProcessStats& pa = ast.result.processes[i];
+    EXPECT_EQ(pv.name, pa.name);
+    EXPECT_EQ(pv.completed, pa.completed) << pv.name;
+    EXPECT_EQ(pv.finish_time, pa.finish_time) << pv.name;
+    EXPECT_EQ(pv.activations, pa.activations) << pv.name;
+    EXPECT_EQ(pv.bus_wait_cycles, pa.bus_wait_cycles) << pv.name;
+  }
+
+  // Committed signal changes (waveform identity).
+  const auto& tv = vm.kernel->trace();
+  const auto& ta = ast.kernel->trace();
+  ASSERT_EQ(tv.size(), ta.size());
+  for (std::size_t i = 0; i < tv.size(); ++i) {
+    EXPECT_TRUE(tv[i].time == ta[i].time && tv[i].delta == ta[i].delta &&
+                tv[i].key == ta[i].key && tv[i].value == ta[i].value)
+        << "trace entry " << i << ": vm " << tv[i].key.to_string() << "@"
+        << tv[i].time << "." << tv[i].delta << " ast "
+        << ta[i].key.to_string() << "@" << ta[i].time << "." << ta[i].delta;
+  }
+
+  // Final variable state.
+  for (const auto& v : system.variables()) {
+    EXPECT_EQ(vm.interpreter->value_of(v->name),
+              ast.interpreter->value_of(v->name))
+        << "variable " << v->name;
+  }
+}
+
+class FuzzEngineDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEngineDifferential, VmMatchesAstEngine) {
+  const std::uint64_t seed =
+      fuzz_base_seed() + static_cast<std::uint64_t>(GetParam());
+  FuzzSystem fuzz = make_random_system(seed);
+  expect_runs_identical(fuzz.system, seed, "original");
+
+  if (fuzz.system.channels().empty()) return;  // nothing to refine
+
+  Rng rng(seed * 7919 + 17);
+  System refined = fuzz.system.clone("refined");
+  refined.find_bus("FB")->width = rng.range(1, fuzz.largest_message);
+
+  protocol::ProtocolGenOptions options;
+  const int protocol_pick = rng.range(0, 2);
+  options.protocol = protocol_pick == 0   ? ProtocolKind::kFullHandshake
+                     : protocol_pick == 1 ? ProtocolKind::kHalfHandshake
+                                          : ProtocolKind::kFixedDelay;
+  options.fixed_delay_cycles = rng.range(2, 3);
+  options.arbitrate = true;
+  protocol::ProtocolGenerator generator(options);
+  Status status = generator.generate_all(refined);
+  ASSERT_TRUE(status.is_ok()) << "seed " << seed << ": " << status;
+  expect_runs_identical(refined, seed, "refined");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEngineDifferential,
                          ::testing::Range(0, fuzz_iterations()));
 
 }  // namespace
