@@ -53,9 +53,9 @@ int main() {
 
   for (int width = 1; width <= 28; ++width) {
     const long long t_eval = estimator.execution_time(
-        "EVAL_R3", width, spec::ProtocolKind::kFullHandshake);
+        "EVAL_R3", width, spec::ProtocolKind::kFullHandshake, 2);
     const long long t_conv = estimator.execution_time(
-        "CONV_R2", width, spec::ProtocolKind::kFullHandshake);
+        "CONV_R2", width, spec::ProtocolKind::kFullHandshake, 2);
     if (prev_eval >= 0 && (t_eval > prev_eval || t_conv > prev_conv)) {
       monotone = false;
     }
@@ -107,10 +107,10 @@ int main() {
               plateau ? "PASS" : "FAIL");
   const bool crossover =
       estimator.execution_time("CONV_R2", 4,
-                               spec::ProtocolKind::kFullHandshake) >
+                               spec::ProtocolKind::kFullHandshake, 2) >
           FlcCalibration::kConvR2MaxClocks &&
       estimator.execution_time("CONV_R2", 5,
-                               spec::ProtocolKind::kFullHandshake) <=
+                               spec::ProtocolKind::kFullHandshake, 2) <=
           FlcCalibration::kConvR2MaxClocks;
   std::printf("  CONV_R2 2000-clock constraint admits only widths > 4: %s\n",
               crossover ? "PASS" : "FAIL");

@@ -188,7 +188,7 @@ void lane_ablation(bench::BenchJson& json) {
     bus::LaneAllocator allocator(system, estimator);
     Result<bus::LanePlan> plan = allocator.plan(
         *system.find_bus("SB"), 16, lanes,
-        spec::ProtocolKind::kFullHandshake);
+        spec::ProtocolKind::kFullHandshake, 2);
     if (!plan.is_ok()) {
       std::printf("%8d plan failed: %s\n", lanes,
                   plan.status().to_string().c_str());

@@ -37,9 +37,9 @@ int main() {
   for (int w : {1, 2, 4, 6, 8, 12, 16, 20, 23, 24, 28}) {
     std::printf("%8d %12lld %12lld\n", w,
                 estimator.execution_time("EVAL_R3", w,
-                                         spec::ProtocolKind::kFullHandshake),
+                                         spec::ProtocolKind::kFullHandshake, 2),
                 estimator.execution_time("CONV_R2", w,
-                                         spec::ProtocolKind::kFullHandshake));
+                                         spec::ProtocolKind::kFullHandshake, 2));
   }
   std::printf("(curves flatten at 23 pins = 16 data + 7 address bits)\n\n");
 

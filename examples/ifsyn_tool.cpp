@@ -14,6 +14,18 @@
 //     --metrics <file>                   write the metrics registry as JSON
 //     --chrome-trace <file>              write a chrome://tracing trace
 //
+//   ifsyn_tool check <spec.ifs | builtin:flc|am|ethernet|fig3> [options]
+//
+//     --protocol full|half|fixed|wired   protocol selection (default full)
+//     --fixed-delay N                    cycles/word for the fixed-delay protocol
+//     --arbitrate                        serialize masters with a bus lock
+//     --metrics <file>                   write the metrics registry as JSON
+//
+//     Synthesizes the spec (checker gate off), then runs the static
+//     protocol checker (src/check) and prints every diagnostic. Exit 0
+//     only when the refined system is clean. The builtin: targets check
+//     the built-in case-study suite without needing a spec file.
+//
 //   ifsyn_tool explore <spec.ifs> [options]
 //
 //     --threads N                        worker pool size (default 1)
@@ -43,8 +55,13 @@
 #include <fstream>
 #include <string>
 
+#include "check/checker.hpp"
 #include "codegen/vhdl_emitter.hpp"
 #include "core/equivalence.hpp"
+#include "suite/answering_machine.hpp"
+#include "suite/ethernet_coprocessor.hpp"
+#include "suite/fig3_example.hpp"
+#include "suite/flc.hpp"
 #include "core/interface_synthesizer.hpp"
 #include "core/report.hpp"
 #include "explore/explorer.hpp"
@@ -67,13 +84,17 @@ int usage(const char* argv0) {
                "          [--emit-vhdl <file>] [--print-spec] [--no-cosim] "
                "[--max-time N] [--vcd <file>] [--report <file>]\n"
                "          [--metrics <file>] [--chrome-trace <file>]\n"
+               "       %s check <spec.ifs|builtin:flc|builtin:am|"
+               "builtin:ethernet|builtin:fig3>\n"
+               "          [--protocol full|half|fixed|wired] "
+               "[--fixed-delay N] [--arbitrate] [--metrics <file>]\n"
                "       %s explore <spec.ifs> [--threads N] [--top-k K] "
                "[--protocols full,half,fixed]\n"
                "          [--widths LO:HI] [--fixed-delay N] "
                "[--max-clocks PROC=N] [--alt-groupings]\n"
                "          [--sim-max-time N] [--report <file>] "
                "[--json <file>] [--metrics <file>] [--chrome-trace <file>]\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -85,6 +106,131 @@ bool write_file(const std::string& path, const std::string& content) {
   }
   out << content;
   return true;
+}
+
+/// Load the system to check: a builtin case study or a parsed spec file.
+/// Builtins also fill the calibration overrides their tests synthesize
+/// with, so the rate re-check runs under the same model.
+Result<spec::System> load_check_target(const std::string& target,
+                                       core::SynthesisOptions& options) {
+  if (target == "builtin:flc") {
+    options.compute_cycles_override = {
+        {"EVAL_R3", suite::FlcCalibration::kEvalR3ComputeCycles},
+        {"CONV_R2", suite::FlcCalibration::kConvR2ComputeCycles},
+    };
+    return suite::make_flc_kernel();
+  }
+  if (target == "builtin:am") {
+    options.arbitrate = true;  // concurrent masters share AMBUS
+    return suite::make_answering_machine();
+  }
+  if (target == "builtin:ethernet") {
+    options.arbitrate = true;
+    return suite::make_ethernet_coprocessor();
+  }
+  if (target == "builtin:fig3") return suite::make_fig3_system();
+  if (target.rfind("builtin:", 0) == 0) {
+    return invalid_argument("unknown builtin '" + target +
+                            "' (flc, am, ethernet, fig3)");
+  }
+  return spec::parse_system_file(target);
+}
+
+int check_main(int argc, char** argv, const char* argv0) {
+  std::string target;
+  std::string metrics_path;
+  core::SynthesisOptions options;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const std::string p = next_value("--protocol");
+      if (p == "full") options.protocol = spec::ProtocolKind::kFullHandshake;
+      else if (p == "half") options.protocol = spec::ProtocolKind::kHalfHandshake;
+      else if (p == "fixed") options.protocol = spec::ProtocolKind::kFixedDelay;
+      else if (p == "wired") options.protocol = spec::ProtocolKind::kHardwiredPort;
+      else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
+        return 2;
+      }
+    } else if (arg == "--fixed-delay") {
+      options.fixed_delay_cycles = std::atoi(next_value("--fixed-delay"));
+    } else if (arg == "--arbitrate") {
+      options.arbitrate = true;
+    } else if (arg == "--metrics") {
+      metrics_path = next_value("--metrics");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv0);
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (target.empty()) return usage(argv0);
+
+  Result<spec::System> loaded = load_check_target(target, options);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", target.c_str(),
+                 loaded.status().to_string().c_str());
+    return 1;
+  }
+  spec::System system = std::move(loaded).value();
+
+  obs::MetricsRegistry registry;
+  obs::ObsContext obs;
+  if (!metrics_path.empty()) obs.metrics = &registry;
+  options.obs = obs;
+  // The gate inside the synthesizer would turn findings into a synthesis
+  // failure; here we want the full diagnostic list instead.
+  options.run_checker = false;
+
+  // Snapshot compute cycles before synthesis rewrites the process bodies
+  // the default compute model reads, so the rate re-check reproduces the
+  // generator's Eq. 1 arithmetic.
+  const std::map<std::string, long long> compute_snapshot =
+      check::snapshot_compute_cycles(system, options.compute_cycles_override);
+
+  core::InterfaceSynthesizer synth(options);
+  Result<core::SynthesisReport> synthesized = synth.run(system);
+  if (!synthesized.is_ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 synthesized.status().to_string().c_str());
+    return 1;
+  }
+
+  check::CheckOptions check_options;
+  check_options.compute_cycles_override = compute_snapshot;
+  const check::CheckReport report =
+      check::run_checks(system, check_options, obs);
+
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path, registry.snapshot().to_json())) return 1;
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+
+  if (report.clean()) {
+    std::size_t refined_buses = 0;
+    for (const auto& bus : system.buses()) {
+      if (bus->generated()) ++refined_buses;
+    }
+    std::printf("check clean: %zu bus(es), %zu channel(s), "
+                "0 diagnostics\n",
+                refined_buses, system.channels().size());
+    return 0;
+  }
+  std::printf("%s\n", report.to_string().c_str());
+  std::fprintf(stderr, "check failed: %d error(s), %d warning(s)\n",
+               report.errors(), report.warnings());
+  return 1;
 }
 
 int explore_main(int argc, char** argv, const char* argv0) {
@@ -238,6 +384,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   if (std::strcmp(argv[1], "explore") == 0) {
     return explore_main(argc - 2, argv + 2, argv[0]);
+  }
+  if (std::strcmp(argv[1], "check") == 0) {
+    return check_main(argc - 2, argv + 2, argv[0]);
   }
 
   std::string spec_path;

@@ -33,9 +33,10 @@ WidthEvaluation BusGenerator::evaluate_width(
     const spec::BusGroup& bus, int width, const BusGenOptions& options) const {
   WidthEvaluation eval;
   eval.width = width;
-  eval.bus_rate = estimate::bus_rate(width, options.protocol);       // step 2
-  eval.channel_rates =
-      estimator_.channel_rates(bus, width, options.protocol);        // step 3
+  eval.bus_rate = estimate::bus_rate(width, options.protocol,
+                                     options.fixed_delay_cycles);    // step 2
+  eval.channel_rates = estimator_.channel_rates(
+      bus, width, options.protocol, options.fixed_delay_cycles);     // step 3
   eval.sum_average_rates = std::accumulate(
       eval.channel_rates.begin(), eval.channel_rates.end(), 0.0,
       [](double acc, const estimate::ChannelRates& r) {
@@ -113,7 +114,8 @@ Result<std::vector<std::vector<std::string>>> BusGenerator::split_group(
   for (std::size_t i = 0; i < channels.size(); ++i) {
     demand[i] = estimator_.average_rate(*channels[i],
                                         channels[i]->message_bits(),
-                                        options.protocol);
+                                        options.protocol,
+                                        options.fixed_delay_cycles);
   }
   std::vector<std::size_t> order(channels.size());
   std::iota(order.begin(), order.end(), 0);

@@ -30,6 +30,10 @@ namespace ifsyn::bus {
 
 struct BusGenOptions {
   spec::ProtocolKind protocol = spec::ProtocolKind::kFullHandshake;
+  /// Cycles per word under kFixedDelay; ignored by the other protocols.
+  /// Must match what protocol generation will later put on the bus, or
+  /// Eq. 1/Eq. 2 are evaluated against the wrong timing.
+  int fixed_delay_cycles = 2;
   std::vector<BusConstraint> constraints;
   /// Width search range override; 0 = the paper's defaults (step 1).
   int min_width = 0;

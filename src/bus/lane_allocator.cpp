@@ -22,10 +22,12 @@ long long demand_bits(const Channel& ch) {
 }
 
 long long lane_busy_cycles(const std::vector<const Channel*>& channels,
-                           int width, spec::ProtocolKind kind) {
+                           int width, spec::ProtocolKind kind,
+                           int fixed_delay_cycles) {
   long long busy = 0;
   for (const Channel* ch : channels) {
-    busy += ch->accesses * estimate::message_transfer_cycles(*ch, width, kind);
+    busy += ch->accesses * estimate::message_transfer_cycles(
+                               *ch, width, kind, fixed_delay_cycles);
   }
   return busy;
 }
@@ -34,7 +36,8 @@ long long lane_busy_cycles(const std::vector<const Channel*>& channels,
 
 Result<LanePlan> LaneAllocator::plan(const spec::BusGroup& group,
                                      int width_budget, int lane_count,
-                                     spec::ProtocolKind kind) const {
+                                     spec::ProtocolKind kind,
+                                     int fixed_delay_cycles) const {
   std::vector<const Channel*> channels = system_.channels_of_bus(group);
   if (channels.empty()) {
     return invalid_argument("group " + group.name + " has no channels");
@@ -139,18 +142,22 @@ Result<LanePlan> LaneAllocator::plan(const spec::BusGroup& group,
   for (std::size_t k = 0; k < plan.lanes.size(); ++k) {
     Lane& lane = plan.lanes[k];
     for (const Channel* ch : members[k]) lane.channels.push_back(ch->name);
-    lane.busy_cycles = lane_busy_cycles(members[k], lane.width, kind);
+    lane.busy_cycles =
+        lane_busy_cycles(members[k], lane.width, kind, fixed_delay_cycles);
 
     // Eq. 1 per lane: lane rate vs summed channel average rates.
     double demand_rate = 0;
     for (const Channel* ch : members[k]) {
-      demand_rate += estimator_.average_rate(*ch, lane.width, kind);
+      demand_rate += estimator_.average_rate(*ch, lane.width, kind,
+                                             fixed_delay_cycles);
     }
-    lane.feasible = estimate::bus_rate(lane.width, kind) >= demand_rate;
+    lane.feasible = estimate::bus_rate(lane.width, kind, fixed_delay_cycles) >=
+                    demand_rate;
     plan.feasible = plan.feasible && lane.feasible;
 
     plan.total_data_lines += lane.width;
-    const estimate::ProtocolTiming timing = estimate::protocol_timing(kind);
+    const estimate::ProtocolTiming timing =
+        estimate::protocol_timing(kind, fixed_delay_cycles);
     plan.total_wires +=
         lane.width + timing.control_lines +
         (members[k].size() > 1
@@ -164,7 +171,8 @@ Result<LanePlan> LaneAllocator::plan(const spec::BusGroup& group,
 
 Result<LanePlan> LaneAllocator::allocate(const spec::BusGroup& group,
                                          int width_budget, int max_lanes,
-                                         spec::ProtocolKind kind) const {
+                                         spec::ProtocolKind kind,
+                                         int fixed_delay_cycles) const {
   const int channel_count =
       static_cast<int>(system_.channels_of_bus(group).size());
   max_lanes = std::min(max_lanes, channel_count);
@@ -181,7 +189,8 @@ Result<LanePlan> LaneAllocator::allocate(const spec::BusGroup& group,
     return a.lane_count() < b.lane_count();  // fewer control/ID wires
   };
   for (int k = 1; k <= max_lanes && k <= width_budget; ++k) {
-    Result<LanePlan> candidate = plan(group, width_budget, k, kind);
+    Result<LanePlan> candidate =
+        plan(group, width_budget, k, kind, fixed_delay_cycles);
     if (!candidate.is_ok()) return candidate;
     if (!best || better(*candidate, *best)) best = std::move(candidate).value();
   }

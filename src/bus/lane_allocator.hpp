@@ -57,13 +57,15 @@ class LaneAllocator {
   /// Plan one lane count exactly. kInvalidArgument when the budget cannot
   /// give every lane at least one data line.
   Result<LanePlan> plan(const spec::BusGroup& group, int width_budget,
-                        int lane_count, spec::ProtocolKind kind) const;
+                        int lane_count, spec::ProtocolKind kind,
+                        int fixed_delay_cycles) const;
 
   /// Search lane counts 1..max_lanes and return the best feasible plan by
   /// completion estimate; if no count is Eq. 1-feasible, the plan with
   /// the smallest completion estimate is returned with feasible=false.
   Result<LanePlan> allocate(const spec::BusGroup& group, int width_budget,
-                            int max_lanes, spec::ProtocolKind kind) const;
+                            int max_lanes, spec::ProtocolKind kind,
+                            int fixed_delay_cycles) const;
 
   /// Rewrite the system so the plan is real: the original group keeps
   /// lane 0 (renamed widths/channels), and one new group per further lane

@@ -1,0 +1,98 @@
+// ifsyn/check/protocol_fsm.hpp
+//
+// FSM extraction and composition for the protocol complementarity checks
+// (DESIGN.md Sec. 11). A generated requester/server procedure pair is
+// abstracted into two linear event sequences over the bus's control wires
+// (literal for-loops unrolled, word parities folded with the loop index in
+// scope), and the pair is then composed:
+//
+//   * handshake protocols (full handshake, hardwired port) claim to be
+//     delay-insensitive, so the composition explores *every* interleaving
+//     of the two sides (reachability over (pcA, pcB, wires)); a reachable
+//     state where neither side can step and the transaction is unfinished
+//     is a deadlock, e.g. a sender word missing its DONE wait.
+//
+//   * strobe protocols (half handshake, fixed delay) are only correct
+//     under the documented timing discipline -- the receiver samples in
+//     zero simulated time while the sender holds each word -- so the
+//     composition is a deterministic timed run with exactly those
+//     semantics: both sides drain their zero-time steps to quiescence
+//     before time advances to the next pending delay.
+//
+// DATA movement is not simulated; word counts (drives/samples per side)
+// are checked against the slicing arithmetic by the structural pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/stmt.hpp"
+#include "spec/system.hpp"
+
+namespace ifsyn::check {
+
+enum class EventKind {
+  kAssignWire,  ///< drive a control/ID field to a constant
+  kWaitWires,   ///< block until every (field, value) condition holds
+  kDelay,       ///< wait for a constant number of cycles
+  kDriveData,   ///< present one word on DATA
+  kSampleData,  ///< read one word from DATA
+};
+
+/// One (field == value) conjunct of a wait condition.
+struct WireCond {
+  std::string field;
+  std::uint64_t value = 0;
+};
+
+struct FsmEvent {
+  EventKind kind = EventKind::kAssignWire;
+  std::string field;            ///< kAssignWire target
+  std::uint64_t value = 0;      ///< kAssignWire value
+  std::vector<WireCond> conds;  ///< kWaitWires conjuncts
+  long long cycles = 0;         ///< kDelay duration
+};
+
+/// Result of abstracting one procedure body.
+struct ExtractResult {
+  bool supported = true;
+  /// Why extraction bailed (construct outside the generated subset).
+  std::string why_unsupported;
+  std::vector<FsmEvent> events;
+  long long data_drives = 0;   ///< kDriveData count
+  long long data_samples = 0;  ///< kSampleData count
+};
+
+/// Abstract `body` relative to bus signal `bus_signal`. Statements that
+/// do not touch the bus (parameter marshalling, variable stores, bus
+/// locks) are skipped; constructs the generator never emits (if/while,
+/// non-constant waits, dynamic loop bounds) mark the result unsupported.
+ExtractResult extract_events(const spec::Block& body,
+                             const std::string& bus_signal);
+
+struct ComposeOutcome {
+  bool completed = false;  ///< both sides ran to the end of their events
+  bool deadlock = false;   ///< reachable state with no enabled step
+  /// True when the exploration/step budget ran out before an answer.
+  bool budget_exhausted = false;
+  std::string detail;      ///< human-readable description of the failure
+  long long states_explored = 0;
+  /// Wire values when both sides completed (deterministic run) or wires
+  /// seen nonzero in some completed terminal state (exploration).
+  std::vector<WireCond> final_nonzero_wires;
+};
+
+/// Compose requester (side A) and server (side B) by exhaustive
+/// interleaving -- the delay-insensitivity check for handshake protocols.
+ComposeOutcome compose_interleaved(const std::vector<FsmEvent>& a,
+                                   const std::vector<FsmEvent>& b,
+                                   long long max_states);
+
+/// Compose by deterministic timed run under strobe-discipline semantics
+/// (receiver keeps up; zero-time steps drain before time advances).
+ComposeOutcome compose_timed(const std::vector<FsmEvent>& a,
+                             const std::vector<FsmEvent>& b,
+                             long long max_steps);
+
+}  // namespace ifsyn::check

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "check/checker.hpp"
 #include "partition/partitioner.hpp"
 #include "spec/analysis.hpp"
 #include "util/assert.hpp"
@@ -36,6 +37,12 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
   }
   bus::BusGenerator generator(system, estimator);
 
+  // Snapshot compute cycles now: the P6 rate re-check must reproduce the
+  // Eq. 1 arithmetic bus generation is about to use, and the default
+  // compute model reads process bodies that P4 rewrites.
+  const std::map<std::string, long long> compute_snapshot =
+      check::snapshot_compute_cycles(system, options_.compute_cycles_override);
+
   SynthesisReport report;
 
   // ---- bus generation per group (widths), with optional splitting ----
@@ -66,6 +73,7 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
 
     bus::BusGenOptions options;
     options.protocol = options_.protocol;
+    options.fixed_delay_cycles = options_.fixed_delay_cycles;
     if (auto it = options_.constraints.find(group->name);
         it != options_.constraints.end()) {
       options.constraints = it->second;
@@ -109,6 +117,7 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
     }
 
     group->width = result.value().selected_width;
+    group->width_from_generator = true;
 
     BusReport bus_report;
     bus_report.bus = group->name;
@@ -136,21 +145,37 @@ Result<SynthesisReport> InterfaceSynthesizer::run(spec::System& system) const {
   }
 
   // ---- wire accounting ----
-  obs::ScopedTimer wire_timer(obs, "synth.phase.p5_wire_accounting_us",
-                              "P5 wire accounting", "synth");
-  for (BusReport& bus_report : report.buses) {
-    const spec::BusGroup* group = system.find_bus(bus_report.bus);
-    IFSYN_ASSERT(group);
-    bus_report.id_bits = group->id_bits;
-    bus_report.control_lines = group->control_lines;
-    bus_report.total_wires = group->total_wires();
-    report.dedicated_data_pins += bus_report.generation.total_channel_bits;
-    report.merged_data_pins += group->width;
+  {
+    obs::ScopedTimer wire_timer(obs, "synth.phase.p5_wire_accounting_us",
+                                "P5 wire accounting", "synth");
+    for (BusReport& bus_report : report.buses) {
+      const spec::BusGroup* group = system.find_bus(bus_report.bus);
+      IFSYN_ASSERT(group);
+      bus_report.id_bits = group->id_bits;
+      bus_report.control_lines = group->control_lines;
+      bus_report.total_wires = group->total_wires();
+      report.dedicated_data_pins += bus_report.generation.total_channel_bits;
+      report.merged_data_pins += group->width;
+    }
+    if (report.dedicated_data_pins > 0) {
+      report.interconnect_reduction =
+          1.0 - static_cast<double>(report.merged_data_pins) /
+                    report.dedicated_data_pins;
+    }
   }
-  if (report.dedicated_data_pins > 0) {
-    report.interconnect_reduction =
-        1.0 - static_cast<double>(report.merged_data_pins) /
-                  report.dedicated_data_pins;
+
+  // ---- static protocol check over the refined system ----
+  if (options_.run_checker) {
+    obs::ScopedTimer t(obs, "synth.phase.p6_check_us", "P6 check", "synth");
+    check::CheckOptions check_options;
+    check_options.compute_cycles_override = compute_snapshot;
+    const check::CheckReport check_report =
+        check::run_checks(system, check_options, obs);
+    if (!check_report.clean()) {
+      return check_failed("synthesized system failed the static protocol "
+                          "check:\n" +
+                          check_report.to_string());
+    }
   }
   return report;
 }

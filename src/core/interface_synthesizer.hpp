@@ -31,6 +31,11 @@ struct SynthesisOptions {
   bool auto_split_infeasible = true;
   /// Calibration: pin compute cycles for named processes.
   std::map<std::string, long long> compute_cycles_override;
+  /// Run the static protocol checker (src/check) over the refined system
+  /// after wire accounting and fail with kCheckFailed on any diagnostic.
+  /// Opt out only when deliberately producing a system the checker
+  /// rejects (e.g. a pinned width below the Eq. 1 floor).
+  bool run_checker = true;
   /// Optional metrics/trace hooks. Phase timings land as wall-clock
   /// counters synth.phase.p1..p5_*; work counts (buses generated, widths
   /// evaluated, groups split) as deterministic "synth." counters.

@@ -43,18 +43,21 @@ long long PerformanceEstimator::bits_per_activation(
 
 long long PerformanceEstimator::execution_time(const std::string& process,
                                                int width,
-                                               spec::ProtocolKind kind) const {
+                                               spec::ProtocolKind kind,
+                                               int fixed_delay_cycles) const {
   long long total = compute_cycles(process);
   for (const spec::Channel* ch : channels_of(process)) {
-    total += ch->accesses * message_transfer_cycles(*ch, width, kind);
+    total += ch->accesses *
+             message_transfer_cycles(*ch, width, kind, fixed_delay_cycles);
   }
   return total;
 }
 
 double PerformanceEstimator::average_rate(const spec::Channel& channel,
-                                          int width,
-                                          spec::ProtocolKind kind) const {
-  const long long t = execution_time(channel.accessor, width, kind);
+                                          int width, spec::ProtocolKind kind,
+                                          int fixed_delay_cycles) const {
+  const long long t =
+      execution_time(channel.accessor, width, kind, fixed_delay_cycles);
   IFSYN_ASSERT_MSG(t > 0, "process " << channel.accessor
                                      << " has zero execution time");
   return static_cast<double>(bits_per_activation(channel)) /
@@ -62,11 +65,14 @@ double PerformanceEstimator::average_rate(const spec::Channel& channel,
 }
 
 std::vector<ChannelRates> PerformanceEstimator::channel_rates(
-    const spec::BusGroup& bus, int width, spec::ProtocolKind kind) const {
+    const spec::BusGroup& bus, int width, spec::ProtocolKind kind,
+    int fixed_delay_cycles) const {
   std::vector<ChannelRates> out;
   for (const spec::Channel* ch : system_.channels_of_bus(bus)) {
-    out.push_back(ChannelRates{ch->name, average_rate(*ch, width, kind),
-                               peak_rate(*ch, width, kind)});
+    out.push_back(
+        ChannelRates{ch->name,
+                     average_rate(*ch, width, kind, fixed_delay_cycles),
+                     peak_rate(*ch, width, kind, fixed_delay_cycles)});
   }
   return out;
 }

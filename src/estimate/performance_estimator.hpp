@@ -58,18 +58,20 @@ class PerformanceEstimator {
 
   /// Estimated total execution time (clocks) of one activation when every
   /// channel of the process is implemented on a bus of width `width` with
-  /// protocol `kind`. This is the y-axis of Fig. 7.
+  /// protocol `kind`. This is the y-axis of Fig. 7. `fixed_delay_cycles`
+  /// only matters for kFixedDelay (see rate_model.hpp).
   long long execution_time(const std::string& process, int width,
-                           spec::ProtocolKind kind) const;
+                           spec::ProtocolKind kind,
+                           int fixed_delay_cycles) const;
 
   /// AveRate(C, w) in bits/clock (see file comment).
   double average_rate(const spec::Channel& channel, int width,
-                      spec::ProtocolKind kind) const;
+                      spec::ProtocolKind kind, int fixed_delay_cycles) const;
 
   /// Average and peak rates for every channel of a bus group.
   std::vector<ChannelRates> channel_rates(const spec::BusGroup& bus,
-                                          int width,
-                                          spec::ProtocolKind kind) const;
+                                          int width, spec::ProtocolKind kind,
+                                          int fixed_delay_cycles) const;
 
   /// Total communication bits a channel moves per activation.
   static long long bits_per_activation(const spec::Channel& channel);

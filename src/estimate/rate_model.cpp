@@ -30,21 +30,22 @@ long long words_per_message(int message_bits, int width) {
   return (static_cast<long long>(message_bits) + width - 1) / width;
 }
 
-double bus_rate(int width, spec::ProtocolKind kind) {
-  const ProtocolTiming timing = protocol_timing(kind);
+double bus_rate(int width, spec::ProtocolKind kind, int fixed_delay_cycles) {
+  const ProtocolTiming timing = protocol_timing(kind, fixed_delay_cycles);
   return static_cast<double>(width) / timing.cycles_per_word;
 }
 
 double peak_rate(const spec::Channel& channel, int width,
-                 spec::ProtocolKind kind) {
-  const ProtocolTiming timing = protocol_timing(kind);
+                 spec::ProtocolKind kind, int fixed_delay_cycles) {
+  const ProtocolTiming timing = protocol_timing(kind, fixed_delay_cycles);
   const int effective = std::min(width, channel.message_bits());
   return static_cast<double>(effective) / timing.cycles_per_word;
 }
 
 long long message_transfer_cycles(const spec::Channel& channel, int width,
-                                  spec::ProtocolKind kind) {
-  const ProtocolTiming timing = protocol_timing(kind);
+                                  spec::ProtocolKind kind,
+                                  int fixed_delay_cycles) {
+  const ProtocolTiming timing = protocol_timing(kind, fixed_delay_cycles);
   return words_per_message(channel.message_bits(), width) *
          timing.cycles_per_word;
 }

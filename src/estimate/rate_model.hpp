@@ -33,24 +33,30 @@ struct ProtocolTiming {
 ///                    count cycles; a simulation needs an observable event)
 ///   hardwired-port : dedicated message-wide wires per channel, 2 control
 ///                    lines each, no sharing and hence no ID lines
+///
+/// `fixed_delay_cycles` is ignored for every kind except kFixedDelay, but
+/// the parameter is deliberately mandatory everywhere: an earlier version
+/// defaulted it to 2 and every fixed-delay bus with a different delay was
+/// silently priced at the default.
 ProtocolTiming protocol_timing(spec::ProtocolKind kind,
-                               int fixed_delay_cycles = 2);
+                               int fixed_delay_cycles);
 
 /// ceil(message_bits / width): bus words per message.
 long long words_per_message(int message_bits, int width);
 
 /// Eq. 2 generalized across protocols, in bits/clock.
-double bus_rate(int width, spec::ProtocolKind kind);
+double bus_rate(int width, spec::ProtocolKind kind, int fixed_delay_cycles);
 
 /// Peak rate of a channel while it is actually transferring: bits moved
 /// per clock during a burst = min(width, message) / cycles_per_word.
 /// Design A of Fig. 8 pins ch2's peak at 10 bits/clock => width 20 under
 /// the full handshake.
 double peak_rate(const spec::Channel& channel, int width,
-                 spec::ProtocolKind kind);
+                 spec::ProtocolKind kind, int fixed_delay_cycles);
 
 /// Clock cycles to move one complete message of the channel.
 long long message_transfer_cycles(const spec::Channel& channel, int width,
-                                  spec::ProtocolKind kind);
+                                  spec::ProtocolKind kind,
+                                  int fixed_delay_cycles);
 
 }  // namespace ifsyn::estimate

@@ -106,7 +106,8 @@ std::vector<GroupingPlan> make_grouping_plans(const spec::System& system,
 bool Eq1LowerBoundPruner::should_skip(const DesignSpace& space,
                                       const DesignPoint& point) const {
   const GroupingPlan& plan = space.groupings()[point.grouping];
-  const double rate = estimate::bus_rate(point.width, point.protocol);
+  const double rate = estimate::bus_rate(point.width, point.protocol,
+                                         point.fixed_delay_cycles);
   for (const auto& group : plan.groups) {
     // Lower bound on the group's Eq. 1 demand: each channel's average
     // rate at width 1, where the accessor's execution time T(w) — the
@@ -115,8 +116,8 @@ bool Eq1LowerBoundPruner::should_skip(const DesignSpace& space,
     for (const std::string& name : group) {
       const spec::Channel* ch = space.system().find_channel(name);
       IFSYN_ASSERT_MSG(ch, "unknown channel " << name);
-      demand_floor +=
-          space.estimator().average_rate(*ch, /*width=*/1, point.protocol);
+      demand_floor += space.estimator().average_rate(
+          *ch, /*width=*/1, point.protocol, point.fixed_delay_cycles);
     }
     if (rate < demand_floor) return true;
   }

@@ -32,6 +32,7 @@ GroupEstimate estimate_group(const spec::System& system,
 
   bus::BusGenOptions gen_options;
   gen_options.protocol = point.protocol;
+  gen_options.fixed_delay_cycles = point.fixed_delay_cycles;
   const bus::WidthEvaluation eval =
       generator.evaluate_width(trial, point.width, gen_options);
 
@@ -52,8 +53,8 @@ GroupEstimate estimate_group(const spec::System& system,
     accessors.insert(ch->accessor);
   }
   for (const std::string& accessor : accessors) {
-    const long long t =
-        estimator.execution_time(accessor, point.width, point.protocol);
+    const long long t = estimator.execution_time(
+        accessor, point.width, point.protocol, point.fixed_delay_cycles);
     if (t > est.worst_accessor_clocks) {
       est.worst_accessor_clocks = t;
       est.worst_accessor = accessor;
@@ -172,8 +173,8 @@ Result<ExplorationResult> Explorer::run() const {
 
     result.meets_constraints = true;
     for (const auto& [process, limit] : options_.max_execution_clocks) {
-      if (estimator.execution_time(process, point.width, point.protocol) >
-          limit) {
+      if (estimator.execution_time(process, point.width, point.protocol,
+                                   point.fixed_delay_cycles) > limit) {
         result.meets_constraints = false;
         break;
       }

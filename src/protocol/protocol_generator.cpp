@@ -21,17 +21,10 @@ std::string ProtocolGenerator::hardwired_signal_name(const BusGroup& bus,
   return bus.name + "_" + channel.name;
 }
 
-namespace {
-
-/// DATA width of a hardwired channel's dedicated port: writes move the
-/// whole addr&data message in one word; reads use the same lines for the
-/// address request and the data response, so the wider of the two.
 int hardwired_width(const Channel& channel) {
   if (!channel.is_read()) return channel.message_bits();
   return std::max(std::max(channel.addr_bits, channel.data_bits), 1);
 }
-
-}  // namespace
 
 WireContext ProtocolGenerator::wire_context(const BusGroup& bus,
                                             const Channel& channel) {

@@ -28,6 +28,11 @@
 
 namespace ifsyn::protocol {
 
+/// DATA width of a hardwired channel's dedicated port: writes move the
+/// whole addr&data message in one word; reads use the same lines for the
+/// address request and the data response, so the wider of the two.
+int hardwired_width(const spec::Channel& channel);
+
 struct ProtocolGenOptions {
   spec::ProtocolKind protocol = spec::ProtocolKind::kFullHandshake;
   int fixed_delay_cycles = 2;

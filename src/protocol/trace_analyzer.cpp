@@ -51,17 +51,44 @@ Result<std::vector<BusTraffic>> analyze_trace(
     }
 
     // Walk the chronological trace, tracking the current ID value and
-    // counting START rises.
+    // counting START rises. Entries that commit in the same delta cycle
+    // are simultaneous — their relative order in the trace is storage
+    // order, not causal order — so each (time, delta) batch applies ID
+    // updates before interpreting its START rises. The kernel traces
+    // value *changes* only and signals initialize to 0, so an absent ID
+    // entry means the ID lines still hold 0 — a valid attribution when
+    // some channel has ID 0, and an unattributable word (reported, not
+    // silently charged to the lowest channel) when none does.
     std::uint64_t current_id = 0;
-    for (const sim::TraceEntry& entry : trace) {
-      if (entry.key.signal != bus->name) continue;
-      if (entry.key.field == "ID") {
+    bool id_seen = false;
+    for (std::size_t i = 0; i < trace.size();) {
+      std::size_t j = i;
+      while (j < trace.size() && trace[j].time == trace[i].time &&
+             trace[j].delta == trace[i].delta) {
+        ++j;
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        const sim::TraceEntry& entry = trace[k];
+        if (entry.key.signal != bus->name || entry.key.field != "ID") continue;
         current_id = entry.value.to_uint();
-      } else if (entry.key.field == "START" && entry.value.to_uint() == 1) {
-        const int id = static_cast<int>(
-            bus->id_bits > 0 ? current_id : 0);
+        id_seen = true;
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        const sim::TraceEntry& entry = trace[k];
+        if (entry.key.signal != bus->name || entry.key.field != "START" ||
+            entry.value.to_uint() != 1) {
+          continue;
+        }
+        const int id = static_cast<int>(bus->id_bits > 0 ? current_id : 0);
         auto it = by_id.find(id);
         if (it == by_id.end()) {
+          if (bus->id_bits > 0 && !id_seen) {
+            return simulation_error(
+                "START on bus " + bus->name + " at t=" +
+                std::to_string(entry.time) +
+                " before any ID was driven, and no channel has ID 0; "
+                "word cannot be attributed");
+          }
           return simulation_error("trace shows a word for unknown ID " +
                                   std::to_string(id) + " on bus " +
                                   bus->name);
@@ -72,6 +99,7 @@ Result<std::vector<BusTraffic>> analyze_trace(
         ++ct.words;
         ++traffic.total_words;
       }
+      i = j;
     }
 
     for (auto& [id, ct] : by_id) {
@@ -87,7 +115,7 @@ Result<std::vector<BusTraffic>> analyze_trace(
               });
 
     const estimate::ProtocolTiming timing =
-        estimate::protocol_timing(bus->protocol);
+        estimate::protocol_timing(bus->protocol, bus->fixed_delay_cycles);
     if (end_time > 0) {
       traffic.utilization =
           std::min(1.0, static_cast<double>(traffic.total_words *

@@ -143,6 +143,12 @@ struct BusGroup {
 
   // ---- decided by bus generation (Sec. 3) ----
   int width = 0;  ///< data lines; 0 = not yet generated
+  /// True when bus generation selected `width` (and therefore proved it
+  /// Eq.1-feasible); false when the caller pinned the width directly.
+  /// Width sweeps and pinned illustrative examples legitimately violate
+  /// Eq. 1, so the static checker's rate re-check only audits widths the
+  /// generator itself chose.
+  bool width_from_generator = false;
 
   // ---- decided by protocol generation (Sec. 4) ----
   ProtocolKind protocol = ProtocolKind::kFullHandshake;

@@ -18,6 +18,8 @@ const char* status_code_name(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kSimulationError:
       return "SIMULATION_ERROR";
+    case StatusCode::kCheckFailed:
+      return "CHECK_FAILED";
   }
   return "UNKNOWN";
 }

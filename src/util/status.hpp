@@ -37,6 +37,9 @@ enum class StatusCode {
   /// The simulation kernel detected an error while executing a spec
   /// (e.g. deadlock: all processes waiting with no pending events).
   kSimulationError,
+  /// The static protocol checker (src/check) found diagnostics in a
+  /// synthesized system.
+  kCheckFailed,
 };
 
 /// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -94,6 +97,9 @@ inline Status unsupported(std::string msg) {
 }
 inline Status simulation_error(std::string msg) {
   return {StatusCode::kSimulationError, std::move(msg)};
+}
+inline Status check_failed(std::string msg) {
+  return {StatusCode::kCheckFailed, std::move(msg)};
 }
 
 /// Either a value of type T or an error Status. Minimal StatusOr-style

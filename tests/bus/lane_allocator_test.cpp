@@ -38,7 +38,7 @@ struct Fixture {
 TEST(LaneAllocatorTest, SingleLaneEqualsPlainBus) {
   Fixture f;
   Result<LanePlan> plan =
-      f.allocator.plan(f.group(), 16, 1, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 16, 1, ProtocolKind::kFullHandshake, 2);
   ASSERT_TRUE(plan.is_ok()) << plan.status();
   ASSERT_EQ(plan->lane_count(), 1);
   EXPECT_EQ(plan->lanes[0].width, 16);
@@ -51,7 +51,7 @@ TEST(LaneAllocatorTest, SingleLaneEqualsPlainBus) {
 TEST(LaneAllocatorTest, TwoLanesSplitBudgetAndRunConcurrently) {
   Fixture f;
   Result<LanePlan> plan =
-      f.allocator.plan(f.group(), 16, 2, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 16, 2, ProtocolKind::kFullHandshake, 2);
   ASSERT_TRUE(plan.is_ok()) << plan.status();
   ASSERT_EQ(plan->lane_count(), 2);
   EXPECT_EQ(plan->lanes[0].width + plan->lanes[1].width, 16);
@@ -59,14 +59,14 @@ TEST(LaneAllocatorTest, TwoLanesSplitBudgetAndRunConcurrently) {
   EXPECT_EQ(plan->lanes[1].channels.size(), 1u);
   // Each lane at width 8: 128*3*2 = 768 < the single lane's 1024.
   Result<LanePlan> single =
-      f.allocator.plan(f.group(), 16, 1, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 16, 1, ProtocolKind::kFullHandshake, 2);
   EXPECT_LT(plan->completion_cycles, single->completion_cycles);
 }
 
 TEST(LaneAllocatorTest, AllocateSearchesLaneCounts) {
   Fixture f;
   Result<LanePlan> best =
-      f.allocator.allocate(f.group(), 16, 4, ProtocolKind::kFullHandshake);
+      f.allocator.allocate(f.group(), 16, 4, ProtocolKind::kFullHandshake, 2);
   ASSERT_TRUE(best.is_ok()) << best.status();
   // With two equal-demand channels, two lanes beat one.
   EXPECT_EQ(best->lane_count(), 2);
@@ -77,7 +77,7 @@ TEST(LaneAllocatorTest, WidthCapsAtLargestMessage) {
   Fixture f;
   // Budget 64 for 2 lanes of 23-bit messages: each lane capped at 23.
   Result<LanePlan> plan =
-      f.allocator.plan(f.group(), 64, 2, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 64, 2, ProtocolKind::kFullHandshake, 2);
   ASSERT_TRUE(plan.is_ok());
   for (const Lane& lane : plan->lanes) {
     EXPECT_LE(lane.width, 23);
@@ -87,21 +87,21 @@ TEST(LaneAllocatorTest, WidthCapsAtLargestMessage) {
 TEST(LaneAllocatorTest, BudgetTooSmallForLaneCount) {
   Fixture f;
   Result<LanePlan> plan =
-      f.allocator.plan(f.group(), 1, 2, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 1, 2, ProtocolKind::kFullHandshake, 2);
   EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(LaneAllocatorTest, MoreLanesThanChannelsRejected) {
   Fixture f;
   Result<LanePlan> plan =
-      f.allocator.plan(f.group(), 16, 3, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 16, 3, ProtocolKind::kFullHandshake, 2);
   EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(LaneAllocatorTest, ApplyRewritesGroups) {
   Fixture f;
   Result<LanePlan> plan =
-      f.allocator.plan(f.group(), 16, 2, ProtocolKind::kFullHandshake);
+      f.allocator.plan(f.group(), 16, 2, ProtocolKind::kFullHandshake, 2);
   ASSERT_TRUE(plan.is_ok());
   Result<std::vector<std::string>> names =
       f.allocator.apply(f.system, "B", *plan);
@@ -151,7 +151,7 @@ TEST(LaneAllocatorTest, TwoLanesBeatOneLaneOnCommBoundWorkload) {
     LaneAllocator allocator(system, estimator);
     Result<LanePlan> plan = allocator.plan(
         *system.find_bus("SB"), 16, lane_count,
-        ProtocolKind::kFullHandshake);
+        ProtocolKind::kFullHandshake, 2);
     EXPECT_TRUE(plan.is_ok()) << plan.status();
     Result<std::vector<std::string>> names =
         allocator.apply(system, "SB", *plan);

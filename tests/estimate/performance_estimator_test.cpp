@@ -45,10 +45,10 @@ TEST(EstimatorTest, ExecutionTimeFormula) {
   FlcFixture f;
   // T(w) = compute + 128 * ceil(23/w) * 2.
   EXPECT_EQ(f.estimator.execution_time("CONV_R2", 8,
-                                       ProtocolKind::kFullHandshake),
+                                       ProtocolKind::kFullHandshake, 2),
             512 + 128 * 3 * 2);
   EXPECT_EQ(f.estimator.execution_time("EVAL_R3", 23,
-                                       ProtocolKind::kFullHandshake),
+                                       ProtocolKind::kFullHandshake, 2),
             768 + 128 * 2);
 }
 
@@ -57,10 +57,10 @@ TEST(EstimatorTest, PaperAnchorConvR2CrossestwoThousandAtWidth4to5) {
   // clocks, then only buswidths greater than 4 bits will be considered."
   FlcFixture f;
   EXPECT_GT(f.estimator.execution_time("CONV_R2", 4,
-                                       ProtocolKind::kFullHandshake),
+                                       ProtocolKind::kFullHandshake, 2),
             FlcCalibration::kConvR2MaxClocks);
   EXPECT_LE(f.estimator.execution_time("CONV_R2", 5,
-                                       ProtocolKind::kFullHandshake),
+                                       ProtocolKind::kFullHandshake, 2),
             FlcCalibration::kConvR2MaxClocks);
 }
 
@@ -68,10 +68,10 @@ TEST(EstimatorTest, ExecutionTimeMonotoneNonIncreasingInWidth) {
   FlcFixture f;
   for (const char* proc : {"EVAL_R3", "CONV_R2"}) {
     long long prev =
-        f.estimator.execution_time(proc, 1, ProtocolKind::kFullHandshake);
+        f.estimator.execution_time(proc, 1, ProtocolKind::kFullHandshake, 2);
     for (int w = 2; w <= 32; ++w) {
       const long long cur =
-          f.estimator.execution_time(proc, w, ProtocolKind::kFullHandshake);
+          f.estimator.execution_time(proc, w, ProtocolKind::kFullHandshake, 2);
       EXPECT_LE(cur, prev) << proc << " at width " << w;
       prev = cur;
     }
@@ -83,10 +83,10 @@ TEST(EstimatorTest, NoImprovementBeyondMessageBits) {
   // improvements in the performance."
   FlcFixture f;
   const long long at23 =
-      f.estimator.execution_time("EVAL_R3", 23, ProtocolKind::kFullHandshake);
+      f.estimator.execution_time("EVAL_R3", 23, ProtocolKind::kFullHandshake, 2);
   for (int w = 24; w <= 64; ++w) {
     EXPECT_EQ(f.estimator.execution_time("EVAL_R3", w,
-                                         ProtocolKind::kFullHandshake),
+                                         ProtocolKind::kFullHandshake, 2),
               at23);
   }
 }
@@ -95,20 +95,20 @@ TEST(EstimatorTest, AverageRateIsBitsOverTime) {
   FlcFixture f;
   const spec::Channel* ch2 = f.system.find_channel("ch2");
   const long long t =
-      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFullHandshake);
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFullHandshake, 2);
   const double expected = 128.0 * 23 / static_cast<double>(t);
   EXPECT_DOUBLE_EQ(
-      f.estimator.average_rate(*ch2, 8, ProtocolKind::kFullHandshake),
+      f.estimator.average_rate(*ch2, 8, ProtocolKind::kFullHandshake, 2),
       expected);
 }
 
 TEST(EstimatorTest, AverageRateIncreasesWithWidthUpToMessageSize) {
   FlcFixture f;
   const spec::Channel* ch1 = f.system.find_channel("ch1");
-  double prev = f.estimator.average_rate(*ch1, 1, ProtocolKind::kFullHandshake);
+  double prev = f.estimator.average_rate(*ch1, 1, ProtocolKind::kFullHandshake, 2);
   for (int w = 2; w <= 23; ++w) {
     const double cur =
-        f.estimator.average_rate(*ch1, w, ProtocolKind::kFullHandshake);
+        f.estimator.average_rate(*ch1, w, ProtocolKind::kFullHandshake, 2);
     EXPECT_GE(cur, prev) << "width " << w;
     prev = cur;
   }
@@ -119,7 +119,7 @@ TEST(EstimatorTest, ChannelRatesCoverWholeBus) {
   const spec::BusGroup* bus = f.system.find_bus("B");
   ASSERT_NE(bus, nullptr);
   auto rates = f.estimator.channel_rates(*bus, 20,
-                                         ProtocolKind::kFullHandshake);
+                                         ProtocolKind::kFullHandshake, 2);
   ASSERT_EQ(rates.size(), 2u);
   EXPECT_EQ(rates[0].channel, "ch1");
   EXPECT_EQ(rates[1].channel, "ch2");
@@ -144,17 +144,17 @@ TEST(EstimatorTest, ProtocolVariantsScaleCommunication) {
   FlcFixture f;
   // Half handshake: 1 cycle/word -> communication halves vs full.
   const long long full =
-      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFullHandshake);
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFullHandshake, 2);
   const long long half =
-      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kHalfHandshake);
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kHalfHandshake, 2);
   EXPECT_EQ(full - 512, 2 * (half - 512));
   // Fixed delay defaults to 2 cycles/word: same as the full handshake.
   const long long fixed =
-      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFixedDelay);
+      f.estimator.execution_time("CONV_R2", 8, ProtocolKind::kFixedDelay, 2);
   EXPECT_EQ(fixed, full);
   // Hardwired ports: message-wide words, one word per access.
   const long long wired = f.estimator.execution_time(
-      "CONV_R2", 23, ProtocolKind::kHardwiredPort);
+      "CONV_R2", 23, ProtocolKind::kHardwiredPort, 2);
   EXPECT_EQ(wired, 512 + 128 * 2);
 }
 

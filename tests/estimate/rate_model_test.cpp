@@ -20,12 +20,12 @@ spec::Channel flc_channel() {
 }
 
 TEST(RateModelTest, ProtocolTimings) {
-  EXPECT_EQ(protocol_timing(ProtocolKind::kFullHandshake).cycles_per_word, 2);
-  EXPECT_EQ(protocol_timing(ProtocolKind::kFullHandshake).control_lines, 2);
-  EXPECT_EQ(protocol_timing(ProtocolKind::kHalfHandshake).cycles_per_word, 1);
-  EXPECT_EQ(protocol_timing(ProtocolKind::kHalfHandshake).control_lines, 1);
+  EXPECT_EQ(protocol_timing(ProtocolKind::kFullHandshake, 2).cycles_per_word, 2);
+  EXPECT_EQ(protocol_timing(ProtocolKind::kFullHandshake, 2).control_lines, 2);
+  EXPECT_EQ(protocol_timing(ProtocolKind::kHalfHandshake, 2).cycles_per_word, 1);
+  EXPECT_EQ(protocol_timing(ProtocolKind::kHalfHandshake, 2).control_lines, 1);
   EXPECT_EQ(protocol_timing(ProtocolKind::kFixedDelay, 5).cycles_per_word, 5);
-  EXPECT_FALSE(protocol_timing(ProtocolKind::kHardwiredPort).shared_bus);
+  EXPECT_FALSE(protocol_timing(ProtocolKind::kHardwiredPort, 2).shared_bus);
 }
 
 TEST(RateModelTest, WordsPerMessageIsCeil) {
@@ -39,34 +39,34 @@ TEST(RateModelTest, WordsPerMessageIsCeil) {
 
 TEST(RateModelTest, BusRateEq2) {
   // BusRate = width / 2 for the full handshake (Eq. 2 in bits/clock).
-  EXPECT_DOUBLE_EQ(bus_rate(8, ProtocolKind::kFullHandshake), 4.0);
-  EXPECT_DOUBLE_EQ(bus_rate(20, ProtocolKind::kFullHandshake), 10.0);
-  EXPECT_DOUBLE_EQ(bus_rate(18, ProtocolKind::kFullHandshake), 9.0);
-  EXPECT_DOUBLE_EQ(bus_rate(16, ProtocolKind::kFullHandshake), 8.0);
+  EXPECT_DOUBLE_EQ(bus_rate(8, ProtocolKind::kFullHandshake, 2), 4.0);
+  EXPECT_DOUBLE_EQ(bus_rate(20, ProtocolKind::kFullHandshake, 2), 10.0);
+  EXPECT_DOUBLE_EQ(bus_rate(18, ProtocolKind::kFullHandshake, 2), 9.0);
+  EXPECT_DOUBLE_EQ(bus_rate(16, ProtocolKind::kFullHandshake, 2), 8.0);
   // The half handshake moves a word per clock.
-  EXPECT_DOUBLE_EQ(bus_rate(8, ProtocolKind::kHalfHandshake), 8.0);
+  EXPECT_DOUBLE_EQ(bus_rate(8, ProtocolKind::kHalfHandshake, 2), 8.0);
 }
 
 TEST(RateModelTest, PeakRateCapsAtMessageSize) {
   spec::Channel ch = flc_channel();
   // Fig. 8 design A: peak(ch2) at width 20 is 10 bits/clock.
-  EXPECT_DOUBLE_EQ(peak_rate(ch, 20, ProtocolKind::kFullHandshake), 10.0);
-  EXPECT_DOUBLE_EQ(peak_rate(ch, 16, ProtocolKind::kFullHandshake), 8.0);
+  EXPECT_DOUBLE_EQ(peak_rate(ch, 20, ProtocolKind::kFullHandshake, 2), 10.0);
+  EXPECT_DOUBLE_EQ(peak_rate(ch, 16, ProtocolKind::kFullHandshake, 2), 8.0);
   // Beyond the message size, extra width buys nothing.
-  EXPECT_DOUBLE_EQ(peak_rate(ch, 23, ProtocolKind::kFullHandshake), 11.5);
-  EXPECT_DOUBLE_EQ(peak_rate(ch, 64, ProtocolKind::kFullHandshake), 11.5);
+  EXPECT_DOUBLE_EQ(peak_rate(ch, 23, ProtocolKind::kFullHandshake, 2), 11.5);
+  EXPECT_DOUBLE_EQ(peak_rate(ch, 64, ProtocolKind::kFullHandshake, 2), 11.5);
 }
 
 TEST(RateModelTest, MessageTransferCycles) {
   spec::Channel ch = flc_channel();
   // ceil(23/w) * 2 cycles.
-  EXPECT_EQ(message_transfer_cycles(ch, 1, ProtocolKind::kFullHandshake), 46);
-  EXPECT_EQ(message_transfer_cycles(ch, 4, ProtocolKind::kFullHandshake), 12);
-  EXPECT_EQ(message_transfer_cycles(ch, 8, ProtocolKind::kFullHandshake), 6);
-  EXPECT_EQ(message_transfer_cycles(ch, 23, ProtocolKind::kFullHandshake), 2);
-  EXPECT_EQ(message_transfer_cycles(ch, 32, ProtocolKind::kFullHandshake), 2);
-  EXPECT_EQ(message_transfer_cycles(ch, 23, ProtocolKind::kHalfHandshake), 1);
-  EXPECT_EQ(message_transfer_cycles(ch, 23, ProtocolKind::kFixedDelay), 2);
+  EXPECT_EQ(message_transfer_cycles(ch, 1, ProtocolKind::kFullHandshake, 2), 46);
+  EXPECT_EQ(message_transfer_cycles(ch, 4, ProtocolKind::kFullHandshake, 2), 12);
+  EXPECT_EQ(message_transfer_cycles(ch, 8, ProtocolKind::kFullHandshake, 2), 6);
+  EXPECT_EQ(message_transfer_cycles(ch, 23, ProtocolKind::kFullHandshake, 2), 2);
+  EXPECT_EQ(message_transfer_cycles(ch, 32, ProtocolKind::kFullHandshake, 2), 2);
+  EXPECT_EQ(message_transfer_cycles(ch, 23, ProtocolKind::kHalfHandshake, 2), 1);
+  EXPECT_EQ(message_transfer_cycles(ch, 23, ProtocolKind::kFixedDelay, 2), 2);
 }
 
 TEST(RateModelTest, InvalidInputsAssert) {
@@ -84,10 +84,10 @@ TEST_P(WidthMonotonicity, TransferCyclesMonotoneThenFlat) {
   spec::Channel ch = flc_channel();
   ch.data_bits = GetParam();
   ch.addr_bits = 7;
-  long long prev = message_transfer_cycles(ch, 1, ProtocolKind::kFullHandshake);
+  long long prev = message_transfer_cycles(ch, 1, ProtocolKind::kFullHandshake, 2);
   for (int w = 2; w <= 40; ++w) {
     const long long cur =
-        message_transfer_cycles(ch, w, ProtocolKind::kFullHandshake);
+        message_transfer_cycles(ch, w, ProtocolKind::kFullHandshake, 2);
     EXPECT_LE(cur, prev) << "width " << w;
     if (w >= ch.message_bits()) {
       EXPECT_EQ(cur, 2) << "width " << w;  // single word, 2 cycles

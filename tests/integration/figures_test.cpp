@@ -47,10 +47,10 @@ TEST(Fig7Test, CurvesDecreaseMonotonically) {
   FlcFixture f;
   for (const char* proc : {"EVAL_R3", "CONV_R2"}) {
     long long prev = f.estimator.execution_time(
-        proc, 1, ProtocolKind::kFullHandshake);
+        proc, 1, ProtocolKind::kFullHandshake, 2);
     for (int w = 2; w <= 32; ++w) {
       long long cur =
-          f.estimator.execution_time(proc, w, ProtocolKind::kFullHandshake);
+          f.estimator.execution_time(proc, w, ProtocolKind::kFullHandshake, 2);
       EXPECT_LE(cur, prev);
       prev = cur;
     }
@@ -64,11 +64,11 @@ TEST(Fig7Test, PlateauBeyond23Pins) {
   FlcFixture f;
   for (const char* proc : {"EVAL_R3", "CONV_R2"}) {
     const long long at23 =
-        f.estimator.execution_time(proc, 23, ProtocolKind::kFullHandshake);
+        f.estimator.execution_time(proc, 23, ProtocolKind::kFullHandshake, 2);
     const long long at24 =
-        f.estimator.execution_time(proc, 24, ProtocolKind::kFullHandshake);
+        f.estimator.execution_time(proc, 24, ProtocolKind::kFullHandshake, 2);
     const long long at22 =
-        f.estimator.execution_time(proc, 22, ProtocolKind::kFullHandshake);
+        f.estimator.execution_time(proc, 22, ProtocolKind::kFullHandshake, 2);
     EXPECT_EQ(at23, at24) << proc;
     EXPECT_GT(at22, at23) << proc;  // 23 is exactly where it flattens
   }
@@ -80,13 +80,13 @@ TEST(Fig7Test, ConvR2ConstraintCrossesAtWidth4) {
   FlcFixture f;
   for (int w = 1; w <= 4; ++w) {
     EXPECT_GT(f.estimator.execution_time("CONV_R2", w,
-                                         ProtocolKind::kFullHandshake),
+                                         ProtocolKind::kFullHandshake, 2),
               FlcCalibration::kConvR2MaxClocks)
         << "width " << w;
   }
   for (int w = 5; w <= 23; ++w) {
     EXPECT_LE(f.estimator.execution_time("CONV_R2", w,
-                                         ProtocolKind::kFullHandshake),
+                                         ProtocolKind::kFullHandshake, 2),
               FlcCalibration::kConvR2MaxClocks)
         << "width " << w;
   }
@@ -98,9 +98,9 @@ TEST(Fig7Test, EvalR3IsSlowerThanConvR2) {
   FlcFixture f;
   for (int w = 1; w <= 32; ++w) {
     EXPECT_GT(f.estimator.execution_time("EVAL_R3", w,
-                                         ProtocolKind::kFullHandshake),
+                                         ProtocolKind::kFullHandshake, 2),
               f.estimator.execution_time("CONV_R2", w,
-                                         ProtocolKind::kFullHandshake));
+                                         ProtocolKind::kFullHandshake, 2));
   }
 }
 

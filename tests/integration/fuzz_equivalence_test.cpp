@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "check/checker.hpp"
 #include "core/equivalence.hpp"
 #include "partition/partitioner.hpp"
 #include "protocol/protocol_generator.hpp"
@@ -243,6 +244,13 @@ TEST_P(FuzzEquivalence, RandomSystemSurvivesRefinement) {
   protocol::ProtocolGenerator generator(options);
   Status status = generator.generate_all(refined);
   ASSERT_TRUE(status.is_ok()) << "seed " << seed << ": " << status;
+
+  // The static checker must accept everything protocol generation emits.
+  // Errors only: the fuzzed width is random, so an Eq. 1 rate warning is
+  // a legitimate outcome, but a structural or FSM error never is.
+  const check::CheckReport check_report = check::run_checks(refined);
+  EXPECT_EQ(check_report.errors(), 0)
+      << "seed " << seed << ":\n" << check_report.to_string();
 
   Result<core::EquivalenceReport> eq =
       core::check_equivalence(fuzz.system, refined, 10'000'000);

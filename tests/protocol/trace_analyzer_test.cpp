@@ -121,5 +121,84 @@ TEST(TraceAnalyzerTest, UngeneratedBusesIgnored) {
   EXPECT_TRUE(traffic->empty());
 }
 
+// ---- crafted traces: ID attribution corner cases ----------------------
+// The analyzer used to sample whatever ID it last saw in storage order,
+// so an ID committed in the same delta as its START but stored after it
+// was silently charged to the previous channel -- and a START with no
+// matching channel for the effective ID was misattributed instead of
+// reported. (An *absent* ID entry is not an error by itself: the kernel
+// traces value changes only, so it means the ID lines still hold 0.)
+
+/// Two write channels on a generated 8-bit full-handshake bus; no
+/// processes/procedures needed because analyze_trace reads only the bus
+/// structure. IDs are 1 and 2 -- deliberately no channel at ID 0.
+System make_two_channel_bus() {
+  System s("crafted");
+  Channel ch0;
+  ch0.name = "CH0";
+  ch0.dir = ChannelDir::kWrite;
+  ch0.data_bits = 8;
+  ch0.bus = "B";
+  ch0.id = 1;
+  s.add_channel(std::move(ch0));
+  Channel ch1 = *s.find_channel("CH0");
+  ch1.name = "CH1";
+  ch1.id = 2;
+  s.add_channel(std::move(ch1));
+
+  BusGroup bus;
+  bus.name = "B";
+  bus.channel_names = {"CH0", "CH1"};
+  bus.width = 8;
+  bus.protocol = ProtocolKind::kFullHandshake;
+  bus.id_bits = 2;
+  bus.control_lines = 2;
+  s.add_bus(std::move(bus));
+  return s;
+}
+
+sim::TraceEntry entry(std::uint64_t time, std::uint64_t delta,
+                      const char* field, std::uint64_t value, int width) {
+  return sim::TraceEntry{time, delta, sim::FieldKey{"B", field},
+                         BitVector::from_uint(width, value)};
+}
+
+TEST(TraceAnalyzerTest, StartBeforeAnyIdIsAnError) {
+  System s = make_two_channel_bus();
+  // START rises at t=1 with no ID entry in the trace, so the ID lines
+  // still hold their initial 0 -- and no channel here has ID 0: the word
+  // cannot be attributed.
+  std::vector<sim::TraceEntry> trace = {
+      entry(1, 0, "START", 1, 1),
+      entry(2, 0, "START", 0, 1),
+  };
+  Result<std::vector<BusTraffic>> traffic = analyze_trace(s, trace, 10);
+  ASSERT_FALSE(traffic.is_ok());
+  EXPECT_EQ(traffic.status().code(), StatusCode::kSimulationError);
+}
+
+TEST(TraceAnalyzerTest, SameDeltaIdAndStartAttributeCorrectly) {
+  System s = make_two_channel_bus();
+  // ID=2 and START=1 commit in the same (time, delta) batch, with the
+  // START stored *before* the ID -- simultaneous commits have no causal
+  // order, so the batch's ID update must win either way.
+  std::vector<sim::TraceEntry> trace = {
+      entry(3, 0, "START", 1, 1),
+      entry(3, 0, "ID", 2, 2),
+      entry(4, 0, "START", 0, 1),
+      entry(5, 0, "START", 1, 1),
+      entry(6, 0, "START", 0, 1),
+  };
+  Result<std::vector<BusTraffic>> traffic = analyze_trace(s, trace, 10);
+  ASSERT_TRUE(traffic.is_ok()) << traffic.status();
+  ASSERT_EQ(traffic->size(), 1u);
+  const BusTraffic& bus = (*traffic)[0];
+  // Both words belong to CH1: the first by the same-delta ID commit, the
+  // second because the ID lines still hold 2.
+  EXPECT_EQ(bus.find("CH0")->words, 0);
+  EXPECT_EQ(bus.find("CH1")->words, 2);
+  EXPECT_EQ(bus.find("CH1")->transactions, 2);  // one word per message
+}
+
 }  // namespace
 }  // namespace ifsyn::protocol
