@@ -198,6 +198,9 @@ int main() {
 
   ifsyn::bench::BenchJson json("explore_scaling");
   json.set("smoke", g_smoke ? 1 : 0);
+  // Exported so bench_compare.py --floor can gate speedup assertions on
+  // the recording machine actually having the cores to show a speedup.
+  json.set("hardware_threads", static_cast<double>(cores));
   bool deterministic = true;
   const double flc_speedup = run_suite(flc, &deterministic, &json, "flc");
   run_suite(ethernet, &deterministic, &json, "ethernet");

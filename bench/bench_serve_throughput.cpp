@@ -1,0 +1,200 @@
+// Throughput benchmark for the serve front end (src/serve): drives a
+// mixed request batch (explore + synth + check over builtin specs)
+// through a Service worker pool at 1/4/8 workers, cold (fresh shared
+// stores) and warm (second round on the same service, so the spec
+// interner, estimation cache, and bytecode program cache are all hot).
+//
+// Reports requests/second plus p50/p95 request latency (queue + execute,
+// taken from the responses' own timing fields), and re-asserts the serve
+// determinism contract: every explore report in every round must be
+// byte-identical to the cold single-worker reference.
+//
+// Exit code is non-zero when determinism fails or any request errors.
+// Speedup across worker counts is machine-dependent and therefore never
+// gated here; scripts/bench_compare.py --floor handles that, gated on
+// the exported hardware_threads. IFSYN_BENCH_SMOKE=1 shrinks the round
+// size but still runs every worker count and both cache phases so smoke
+// runs export the same metric keys as full runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+using namespace ifsyn;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const bool g_smoke = ifsyn::bench::smoke_mode();
+const std::vector<int> kWorkerCounts = {1, 4, 8};
+// Requests per round; the mix repeats in units of 4 (see make_mix).
+const int kRoundSize = g_smoke ? 8 : 32;
+
+std::vector<serve::Request> make_mix(int count) {
+  std::vector<serve::Request> requests;
+  for (int i = 0; i < count; ++i) {
+    serve::Request request;
+    request.id = "r" + std::to_string(i);
+    switch (i % 4) {
+      case 0:
+        request.op = serve::RequestOp::kExplore;
+        request.target = "builtin:fig3";
+        request.options.top_k = 1;
+        break;
+      case 1:
+        request.op = serve::RequestOp::kCheck;
+        request.target = "builtin:fig3";
+        break;
+      case 2:
+        request.op = serve::RequestOp::kSynth;
+        request.target = "builtin:fig3";
+        break;
+      default:
+        request.op = serve::RequestOp::kCheck;
+        request.target = "builtin:am";
+        break;
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct RoundStats {
+  double reqs_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double wall_ms = 0.0;
+};
+
+double percentile(std::vector<double> sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  std::sort(sorted_values.begin(), sorted_values.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_values.size() - 1) + 0.5);
+  return sorted_values[std::min(index, sorted_values.size() - 1)];
+}
+
+/// Submits one full round and waits for every response. Latency per
+/// request is the service-measured queue + execute time. Any error or
+/// explore-report mismatch against `reference` is fatal.
+RoundStats run_round(serve::Service& service,
+                     const std::vector<serve::Request>& requests,
+                     const std::string& reference, bool* deterministic) {
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(requests.size());
+  const auto start = Clock::now();
+  for (const serve::Request& request : requests) {
+    futures.push_back(service.submit(request));
+  }
+  std::vector<double> latencies_us;
+  latencies_us.reserve(futures.size());
+  for (auto& future : futures) {
+    serve::Response response = future.get();
+    if (!response.ok) {
+      std::printf("request %s failed: [%s] %s\n", response.id.c_str(),
+                  response.error.code.c_str(),
+                  response.error.message.c_str());
+      std::exit(1);
+    }
+    if (response.op == "explore" && response.report != reference) {
+      *deterministic = false;
+    }
+    latencies_us.push_back(
+        static_cast<double>(response.queue_us + response.elapsed_us));
+  }
+  const auto stop = Clock::now();
+  RoundStats stats;
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  stats.reqs_per_sec = stats.wall_ms > 0
+                           ? static_cast<double>(requests.size()) /
+                                 (stats.wall_ms / 1000.0)
+                           : 0.0;
+  stats.p50_us = percentile(latencies_us, 0.50);
+  stats.p95_us = percentile(latencies_us, 0.95);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Serve front end: request throughput ===\n");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u, requests per round: %d%s\n\n", cores,
+              kRoundSize, g_smoke ? " [smoke mode]" : "");
+
+  const std::vector<serve::Request> mix = make_mix(kRoundSize);
+
+  // Reference explore report: fresh service, executed inline, no
+  // concurrency. Every explore response in every round must match it.
+  std::string reference;
+  {
+    serve::Service service;
+    serve::Response response = service.execute(mix[0]);
+    if (!response.ok) {
+      std::printf("reference request failed: %s\n",
+                  response.error.message.c_str());
+      return 1;
+    }
+    reference = response.report;
+  }
+
+  ifsyn::bench::BenchJson json("serve_throughput");
+  json.set("smoke", g_smoke ? 1 : 0);
+  json.set("hardware_threads", static_cast<double>(cores));
+  json.set("round_requests_count", static_cast<double>(kRoundSize));
+
+  bool deterministic = true;
+  double cold_w1 = 0.0;
+  double warm_w1 = 0.0;
+  std::printf("%8s | %6s | %12s | %10s | %10s\n", "workers", "phase",
+              "reqs/sec", "p50 (us)", "p95 (us)");
+  for (int workers : kWorkerCounts) {
+    serve::ServiceOptions options;
+    options.workers = workers;
+    options.queue_capacity = static_cast<std::size_t>(kRoundSize);
+    serve::Service service(options);
+    service.start();
+    const RoundStats cold = run_round(service, mix, reference, &deterministic);
+    const RoundStats warm = run_round(service, mix, reference, &deterministic);
+    service.stop();
+    const struct { const char* phase; const RoundStats& stats; } rounds[] = {
+        {"cold", cold}, {"warm", warm}};
+    for (const auto& round : rounds) {
+      std::printf("%8d | %6s | %12.1f | %10.0f | %10.0f\n", workers,
+                  round.phase, round.stats.reqs_per_sec, round.stats.p50_us,
+                  round.stats.p95_us);
+      const std::string key =
+          std::string("w") + std::to_string(workers) + "_" + round.phase;
+      json.set(key + "_reqs_per_sec", round.stats.reqs_per_sec);
+      json.set(key + "_p50_us", round.stats.p50_us);
+      json.set(key + "_p95_us", round.stats.p95_us);
+    }
+    if (workers == 1) {
+      cold_w1 = cold.reqs_per_sec;
+      warm_w1 = warm.reqs_per_sec;
+    }
+  }
+
+  // Warm-over-cold is cache effectiveness, not parallelism: the warm
+  // round skips parsing, estimation, and bytecode compilation, so it
+  // should win even on one core. Exported for the --floor gate.
+  const double warm_speedup = cold_w1 > 0 ? warm_w1 / cold_w1 : 0.0;
+  json.set("w1_warm_over_cold", warm_speedup);
+  std::printf("\nchecks:\n");
+  std::printf("  explore reports byte-identical across rounds: %s\n",
+              deterministic ? "PASS" : "FAIL");
+  std::printf("  warm/cold throughput at 1 worker: %.2fx "
+              "(informational here; gated via bench_compare --floor)\n",
+              warm_speedup);
+  json.set("deterministic", deterministic ? 1 : 0);
+  json.write();
+  return deterministic ? 0 : 1;
+}

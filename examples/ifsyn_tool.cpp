@@ -26,6 +26,33 @@
 //     only when the refined system is clean. The builtin: targets check
 //     the built-in case-study suite without needing a spec file.
 //
+//   ifsyn_tool batch <manifest.jsonl> [options]
+//
+//     --workers N                        worker pool size (default 1)
+//     --queue N                          bounded queue capacity (default 64)
+//     --deadline-ms N                    default per-request deadline
+//     --repeat N                         drain the manifest N times (cache
+//                                        warming; default 1)
+//     --responses <file>                 write JSONL responses (default stdout)
+//     --metrics-text <file>              write the service metrics snapshot
+//                                        (prometheus text) after draining
+//     --no-timing                        omit wall-clock fields from responses
+//                                        (byte-comparable output)
+//
+//     Drains a newline-delimited JSON request manifest (see
+//     src/serve/request.hpp for the schema) through the serve worker
+//     pool, writing one response line per request in manifest order.
+//     Exit 0 only when every response is ok.
+//
+//   ifsyn_tool serve [options]
+//
+//     --workers N / --queue N / --deadline-ms N / --metrics-text <file>
+//     --no-timing                        as for batch
+//
+//     Reads JSONL requests from stdin, writes JSONL responses to stdout
+//     in request order — synthesis-as-a-service over a pipe; no HTTP
+//     dependency. EOF drains the queue and exits.
+//
 //   ifsyn_tool explore <spec.ifs> [options]
 //
 //     --threads N                        worker pool size (default 1)
@@ -49,11 +76,16 @@
 // VHDL -- the complete Fig. 1 flow from a file. The explore subcommand
 // instead sweeps the whole design space (grouping x protocol x width) in
 // parallel and prints the Pareto front (see src/explore/).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
 #include <optional>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "check/checker.hpp"
 #include "codegen/vhdl_emitter.hpp"
@@ -69,6 +101,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "protocol/trace_analyzer.hpp"
+#include "serve/json.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
 #include "sim/vcd.hpp"
 #include "spec/parser.hpp"
 #include "spec/printer.hpp"
@@ -93,8 +128,14 @@ int usage(const char* argv0) {
                "          [--widths LO:HI] [--fixed-delay N] "
                "[--max-clocks PROC=N] [--alt-groupings]\n"
                "          [--sim-max-time N] [--report <file>] "
-               "[--json <file>] [--metrics <file>] [--chrome-trace <file>]\n",
-               argv0, argv0, argv0);
+               "[--json <file>] [--metrics <file>] [--chrome-trace <file>]\n"
+               "       %s batch <manifest.jsonl> [--workers N] [--queue N] "
+               "[--deadline-ms N] [--repeat N]\n"
+               "          [--responses <file>] [--metrics-text <file>] "
+               "[--no-timing]\n"
+               "       %s serve [--workers N] [--queue N] [--deadline-ms N] "
+               "[--metrics-text <file>] [--no-timing]\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -378,6 +419,186 @@ int explore_main(int argc, char** argv, const char* argv0) {
   return 0;
 }
 
+/// Shared flag parsing for the batch/serve front ends.
+struct ServeCliOptions {
+  serve::ServiceOptions service;
+  std::string manifest_path;  // batch only
+  std::string responses_path;
+  std::string metrics_text_path;
+  int repeat = 1;
+  bool timing = true;
+};
+
+int parse_serve_flags(int argc, char** argv, const char* argv0, bool batch,
+                      ServeCliOptions& out) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      out.service.workers = std::atoi(next_value("--workers"));
+    } else if (arg == "--queue") {
+      out.service.queue_capacity =
+          static_cast<std::size_t>(std::atoi(next_value("--queue")));
+    } else if (arg == "--deadline-ms") {
+      out.service.default_deadline_ms =
+          std::strtoull(next_value("--deadline-ms"), nullptr, 10);
+    } else if (arg == "--repeat" && batch) {
+      out.repeat = std::atoi(next_value("--repeat"));
+      if (out.repeat < 1) out.repeat = 1;
+    } else if (arg == "--responses" && batch) {
+      out.responses_path = next_value("--responses");
+    } else if (arg == "--metrics-text") {
+      out.metrics_text_path = next_value("--metrics-text");
+    } else if (arg == "--no-timing") {
+      out.timing = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv0);
+    } else if (batch && out.manifest_path.empty()) {
+      out.manifest_path = arg;
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (batch && out.manifest_path.empty()) return usage(argv0);
+  return -1;  // parsed OK (not a valid exit code)
+}
+
+/// One manifest/stdin line -> either a request for the pool or an
+/// immediate structured parse-error response (the id is salvaged from
+/// the malformed object when possible, so callers can correlate).
+std::future<serve::Response> dispatch_line(serve::Service& service,
+                                           const std::string& line) {
+  Result<serve::Json> json = serve::parse_json(line);
+  serve::Request request;
+  if (json.is_ok()) {
+    Result<serve::Request> parsed = serve::parse_request(*json);
+    if (parsed.is_ok()) return service.submit(std::move(*parsed));
+    if (const serve::Json* id = json->find("id"); id && id->is_string()) {
+      request.id = id->as_string();
+    }
+    std::promise<serve::Response> ready;
+    serve::Response response;
+    response.id = request.id;
+    response.ok = false;
+    response.error = {"invalid_request", parsed.status().message()};
+    ready.set_value(std::move(response));
+    return ready.get_future();
+  }
+  std::promise<serve::Response> ready;
+  serve::Response response;
+  response.ok = false;
+  response.error = {"invalid_request", json.status().message()};
+  ready.set_value(std::move(response));
+  return ready.get_future();
+}
+
+int write_metrics_text(const serve::Service& service, const std::string& path) {
+  if (path.empty()) return 0;
+  if (!write_file(path, service.metrics_text())) return 1;
+  std::fprintf(stderr, "wrote metrics snapshot to %s\n", path.c_str());
+  return 0;
+}
+
+int batch_main(int argc, char** argv, const char* argv0) {
+  ServeCliOptions cli;
+  if (int rc = parse_serve_flags(argc, argv, argv0, /*batch=*/true, cli);
+      rc >= 0) {
+    return rc;
+  }
+
+  std::ifstream manifest(cli.manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "cannot read manifest %s\n",
+                 cli.manifest_path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(manifest, line);) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(line);
+  }
+
+  std::ofstream responses_file;
+  std::ostream* out = &std::cout;
+  if (!cli.responses_path.empty()) {
+    responses_file.open(cli.responses_path);
+    if (!responses_file) {
+      std::fprintf(stderr, "cannot write %s\n", cli.responses_path.c_str());
+      return 1;
+    }
+    out = &responses_file;
+  }
+
+  serve::Service service(cli.service);
+  service.start();
+  bool all_ok = true;
+  for (int pass = 0; pass < cli.repeat; ++pass) {
+    // The manifest is a work list, not a load test: keep at most the
+    // queue capacity outstanding so nothing gets admission-rejected,
+    // and emit responses in manifest order.
+    std::deque<std::future<serve::Response>> window;
+    std::size_t emitted = 0;
+    auto drain_one = [&] {
+      serve::Response response = window.front().get();
+      window.pop_front();
+      ++emitted;
+      all_ok = all_ok && response.ok;
+      *out << serve::render_response(response, cli.timing) << "\n";
+    };
+    for (const std::string& line : lines) {
+      if (window.size() >= cli.service.queue_capacity) drain_one();
+      window.push_back(dispatch_line(service, line));
+    }
+    while (!window.empty()) drain_one();
+    std::fprintf(stderr, "pass %d: %zu request(s) drained\n", pass + 1,
+                 emitted);
+  }
+  service.stop();
+  if (write_metrics_text(service, cli.metrics_text_path) != 0) return 1;
+  return all_ok ? 0 : 1;
+}
+
+int serve_main(int argc, char** argv, const char* argv0) {
+  ServeCliOptions cli;
+  if (int rc = parse_serve_flags(argc, argv, argv0, /*batch=*/false, cli);
+      rc >= 0) {
+    return rc;
+  }
+
+  serve::Service service(cli.service);
+  service.start();
+  // Responses stream back in request order; a full queue answers with
+  // admission_rejected immediately (that's the back-pressure signal —
+  // the loop never blocks the reader on a slow request).
+  std::deque<std::future<serve::Response>> window;
+  auto drain_ready = [&](bool block) {
+    while (!window.empty() &&
+           (block || window.front().wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready)) {
+      std::printf("%s\n", serve::render_response(window.front().get(),
+                                                 cli.timing)
+                              .c_str());
+      std::fflush(stdout);
+      window.pop_front();
+    }
+  };
+  for (std::string line; std::getline(std::cin, line);) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    window.push_back(dispatch_line(service, line));
+    drain_ready(/*block=*/false);
+  }
+  drain_ready(/*block=*/true);
+  service.stop();
+  return write_metrics_text(service, cli.metrics_text_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -387,6 +608,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "check") == 0) {
     return check_main(argc - 2, argv + 2, argv[0]);
+  }
+  if (std::strcmp(argv[1], "batch") == 0) {
+    return batch_main(argc - 2, argv + 2, argv[0]);
+  }
+  if (std::strcmp(argv[1], "serve") == 0) {
+    return serve_main(argc - 2, argv + 2, argv[0]);
   }
 
   std::string spec_path;

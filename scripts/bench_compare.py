@@ -15,8 +15,15 @@ Two modes:
   a drift there is a behavior change, not noise. Timing keys (everything
   else, typically *_ms and *_speedup) may drift within --tolerance.
 
+Floors (--floor KEY=MIN, repeatable): assert CURRENT's value for KEY is
+>= MIN. Floors express machine-dependent expectations (parallel speedup,
+cache warm-up wins), so they are skipped — with a note — unless CURRENT
+was a full run (smoke == 0) on a machine with hardware_threads >= 4.
+A floor KEY missing from CURRENT is a failure when the gate is active.
+
 Usage:
   bench_compare.py BASELINE CURRENT [--tolerance 0.5] [--keys-only]
+                   [--floor KEY=MIN ...]
 
 Exit status: 0 = comparable, 1 = mismatch (details on stdout), 2 = usage.
 """
@@ -68,6 +75,14 @@ def main(argv):
         action="store_true",
         help="compare metric key sets only (structural mode, used by CI)",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="KEY=MIN",
+        help="assert CURRENT[KEY] >= MIN (skipped on smoke runs and "
+        "machines with < 4 hardware threads)",
+    )
     args = parser.parse_args(argv[1:])
 
     base = load(args.baseline)
@@ -108,6 +123,28 @@ def main(argv):
                 failures.append(
                     f"timing metric {key!r} drifted {drift:.1%} "
                     f"(> {args.tolerance:.0%}): {b:g} -> {c:g}"
+                )
+
+    if args.floor:
+        smoke = cur.get("smoke", 0)
+        threads = cur.get("hardware_threads", 0)
+        gate_active = smoke == 0 and threads >= 4
+        if not gate_active:
+            print(
+                f"floors skipped: smoke={smoke:g}, "
+                f"hardware_threads={threads:g} (need smoke=0 and >= 4 threads)"
+            )
+        for spec in args.floor:
+            key, _, minimum = spec.partition("=")
+            if not minimum:
+                raise SystemExit(f"bad --floor {spec!r}: expected KEY=MIN")
+            if not gate_active:
+                continue
+            if key not in cur:
+                failures.append(f"floor metric {key!r} missing from current")
+            elif float(cur[key]) < float(minimum):
+                failures.append(
+                    f"floor violated: {key!r} = {cur[key]:g} < {minimum}"
                 )
 
     mode = "keys-only" if args.keys_only else f"tolerance {args.tolerance:.0%}"

@@ -425,7 +425,7 @@ struct Checker {
 
 CheckReport run_checks(const System& system, const CheckOptions& options,
                        const obs::ObsContext& obs) {
-  Checker checker{system, options, obs};
+  Checker checker{system, options, obs, {}};
   checker.run();
   return std::move(checker.report);
 }

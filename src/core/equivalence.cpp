@@ -13,6 +13,18 @@ Result<EquivalenceReport> check_equivalence(
     return Status(orig_run.result.status.code(),
                   "original system: " + orig_run.result.status.message());
   }
+  return check_equivalence_with(original, orig_run, refined, max_time,
+                                observed, obs);
+}
+
+Result<EquivalenceReport> check_equivalence_with(
+    const spec::System& original, const sim::SimulationRun& orig_run,
+    const spec::System& refined, std::uint64_t max_time,
+    const std::vector<std::string>& observed, const obs::ObsContext& obs) {
+  if (!orig_run.result.status.is_ok()) {
+    return Status(orig_run.result.status.code(),
+                  "original system: " + orig_run.result.status.message());
+  }
   sim::SimulationRun ref_run =
       sim::simulate(refined, max_time, /*trace=*/false, obs);
   if (!ref_run.result.status.is_ok()) {

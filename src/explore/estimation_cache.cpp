@@ -9,17 +9,37 @@ GroupEstimate EstimationCache::get_or_compute(
   std::promise<GroupEstimate> promise;
   std::shared_future<GroupEstimate> future;
   bool owner = false;
+  std::uint64_t my_gen = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       hits_->add(1);
-      future = it->second;
+      future = it->second.future;
+      if (capacity_ > 0) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+      }
     } else {
       misses_->add(1);
       owner = true;
       future = promise.get_future().share();
-      map_.emplace(key, future);
+      Entry entry;
+      entry.future = future;
+      entry.gen = my_gen = ++gen_;
+      if (capacity_ > 0) {
+        lru_.push_front(key);
+        entry.lru = lru_.begin();
+      }
+      map_.emplace(key, std::move(entry));
+      // Evict least-recently-used entries beyond the bound, never the key
+      // just inserted. Evicting an entry whose future is still being
+      // computed is safe: waiters hold shared_future copies, and a later
+      // request for the evicted key simply recomputes (compute is pure).
+      while (capacity_ > 0 && map_.size() > capacity_ && lru_.size() > 1) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        evictions_->add(1);
+      }
     }
   }
   if (was_hit) *was_hit = !owner;
@@ -35,7 +55,13 @@ GroupEstimate EstimationCache::get_or_compute(
       promise.set_exception(std::current_exception());
       {
         std::lock_guard<std::mutex> lock(mu_);
-        map_.erase(key);
+        auto it = map_.find(key);
+        // The entry may already be gone (LRU eviction) or belong to a
+        // retry that replaced it; only erase the one this call installed.
+        if (it != map_.end() && it->second.gen == my_gen) {
+          if (capacity_ > 0) lru_.erase(it->second.lru);
+          map_.erase(it);
+        }
       }
       return future.get();  // rethrows for the owner too
     }

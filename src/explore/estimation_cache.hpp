@@ -1,8 +1,8 @@
 // ifsyn/explore/estimation_cache.hpp
 //
 // Thread-safe memoization of per-group estimation results, keyed by
-// (group signature, width, protocol, fixed delay). Grouping plans overlap
-// heavily — the same channel set shows up in "as-grouped" and
+// (scope, group signature, width, protocol, fixed delay). Grouping plans
+// overlap heavily — the same channel set shows up in "as-grouped" and
 // "single-bus", and every plan revisits every width — so the exploration
 // engine would otherwise recompute identical Eq. 1 evaluations many times
 // over.
@@ -15,6 +15,19 @@
 // deterministic across thread counts — they can appear in reports without
 // breaking the engine's byte-identical-output guarantee.
 //
+// Two deployment shapes:
+//
+//   - Per-run (the explorer's default): unbounded, scope left empty, the
+//     cache lives for one Explorer::run. Hit/miss counters stay
+//     deterministic (see above).
+//   - Process-wide shared store (src/serve): one cache outlives many
+//     requests, keys carry a `scope` (the interned spec's content hash
+//     plus an option fingerprint) so identical group signatures from
+//     different specs never collide, and a capacity bounds memory: least
+//     recently used entries are evicted, counted on the eviction counter.
+//     Shared hit/miss counts depend on request interleaving, so they are
+//     service metrics, not report material.
+//
 // Hit/miss accounting is registry-backed (obs::Counter), the same
 // instrumentation idiom as the rest of the system: pass the registry's
 // counters to the constructor to surface them under your chosen names, or
@@ -24,6 +37,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,6 +48,10 @@
 namespace ifsyn::explore {
 
 struct EstimationKey {
+  /// Distinguishes identical group signatures from different systems in a
+  /// shared store (spec content hash + option fingerprint). Empty for
+  /// per-run caches, where every lookup concerns the same system.
+  std::string scope;
   std::string group_signature;  ///< GroupingPlan::group_signature
   int width = 0;
   spec::ProtocolKind protocol = spec::ProtocolKind::kFullHandshake;
@@ -49,6 +67,7 @@ struct EstimationKeyHash {
     const auto mix = [&h](std::size_t v) {
       h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     };
+    mix(std::hash<std::string>{}(key.scope));
     mix(static_cast<std::size_t>(key.width));
     mix(static_cast<std::size_t>(key.protocol));
     mix(static_cast<std::size_t>(key.fixed_delay_cycles));
@@ -74,12 +93,20 @@ struct GroupEstimate {
 
 class EstimationCache {
  public:
-  /// Default: private counters. Pass registry-owned counters (which must
-  /// outlive the cache) to surface hit/miss alongside other metrics.
-  EstimationCache() : hits_(&own_hits_), misses_(&own_misses_) {}
-  EstimationCache(obs::Counter* hits, obs::Counter* misses)
-      : hits_(hits ? hits : &own_hits_),
-        misses_(misses ? misses : &own_misses_) {}
+  /// Default: private counters, unbounded. Pass registry-owned counters
+  /// (which must outlive the cache) to surface hit/miss/eviction alongside
+  /// other metrics. `capacity` > 0 bounds the entry count with LRU
+  /// eviction; 0 keeps the cache unbounded (the per-run shape).
+  EstimationCache()
+      : hits_(&own_hits_), misses_(&own_misses_),
+        evictions_(&own_evictions_) {}
+  EstimationCache(obs::Counter* hits, obs::Counter* misses,
+                  obs::Counter* evictions = nullptr,
+                  std::size_t capacity = 0)
+      : capacity_(capacity),
+        hits_(hits ? hits : &own_hits_),
+        misses_(misses ? misses : &own_misses_),
+        evictions_(evictions ? evictions : &own_evictions_) {}
 
   /// Returns the cached estimate for `key`, computing it via `compute` on
   /// the first request. `compute` must be pure with respect to the key.
@@ -90,21 +117,38 @@ class EstimationCache {
       const std::function<GroupEstimate()>& compute,
       bool* was_hit = nullptr);
 
-  /// Lookups served from memory. Deterministic (see file comment).
+  /// Lookups served from memory. Deterministic for a per-run cache (see
+  /// file comment); load-dependent for a shared store.
   std::uint64_t hits() const { return hits_->value(); }
-  /// Lookups that computed: exactly one per distinct key.
+  /// Lookups that computed: exactly one per distinct live key.
   std::uint64_t misses() const { return misses_->value(); }
+  /// Entries dropped by the LRU bound (0 for unbounded caches).
+  std::uint64_t evictions() const { return evictions_->value(); }
   std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    std::shared_future<GroupEstimate> future;
+    std::list<EstimationKey>::iterator lru;  ///< position in lru_
+    std::uint64_t gen = 0;  ///< installation id, for the exception path
+  };
+
+  using Map = std::unordered_map<EstimationKey, Entry, EstimationKeyHash>;
+
   mutable std::mutex mu_;
-  std::unordered_map<EstimationKey, std::shared_future<GroupEstimate>,
-                     EstimationKeyHash>
-      map_;
+  Map map_;
+  /// Most recently used at the front. Only maintained when bounded — the
+  /// per-run shape skips the list upkeep entirely.
+  std::list<EstimationKey> lru_;
+  std::size_t capacity_ = 0;
+  std::uint64_t gen_ = 0;  ///< guarded by mu_
   obs::Counter own_hits_;
   obs::Counter own_misses_;
-  obs::Counter* hits_;    // never null
-  obs::Counter* misses_;  // never null
+  obs::Counter own_evictions_;
+  obs::Counter* hits_;       // never null
+  obs::Counter* misses_;     // never null
+  obs::Counter* evictions_;  // never null
 };
 
 }  // namespace ifsyn::explore

@@ -153,6 +153,18 @@ Result<ExplorationResult> Explorer::run() const {
       const GroupEstimate est = cache.get_or_compute(
           key,
           [&] {
+            // Per-run miss: consult the cross-run shared store (when one
+            // is attached) before computing. The shared store's hit rate
+            // depends on what other runs did, but the *value* per key
+            // never does, so the run's output stays deterministic.
+            if (options_.shared_cache) {
+              EstimationKey shared_key = key;
+              shared_key.scope = options_.cache_scope;
+              return options_.shared_cache->get_or_compute(shared_key, [&] {
+                return estimate_group(base, estimator, generator, group,
+                                      point);
+              });
+            }
             return estimate_group(base, estimator, generator, group, point);
           },
           &was_hit);
@@ -221,6 +233,17 @@ Result<ExplorationResult> Explorer::run() const {
       }
       out.validated.push_back(entry.point_index);
     }
+    // The original system's run is the same for every candidate, so it is
+    // simulated exactly once here and shared (read-only) by the workers
+    // below — previously each of the K validations re-simulated it. A
+    // failed original leaves every candidate's sim_ok false, matching the
+    // old per-point behavior. Uninstrumented, like check_equivalence's
+    // original leg: only refined runs feed the "sim." metrics.
+    std::optional<sim::SimulationRun> original_run;
+    {
+      obs::Span span(options_.obs.trace, "simulate original", "explore");
+      original_run.emplace(sim::simulate(base, options_.sim_max_time));
+    }
     run_indexed(out.validated.size(), options_.threads, [&](std::size_t v) {
       PointResult& result = out.points[out.validated[v]];
       const DesignPoint& point = result.point;
@@ -252,8 +275,8 @@ Result<ExplorationResult> Explorer::run() const {
       // points' "sim.*" metrics (bus utilization, handshake latency)
       // accumulate alongside the "explore.*" ones. The event set is a
       // pure function of the point, so the sums stay deterministic.
-      const Result<core::EquivalenceReport> eq = core::check_equivalence(
-          base, refined, options_.sim_max_time, {}, obs);
+      const Result<core::EquivalenceReport> eq = core::check_equivalence_with(
+          base, *original_run, refined, options_.sim_max_time, {}, obs);
       if (!eq.is_ok()) return;
       result.sim_ok = true;
       result.equivalent = eq->equivalent;

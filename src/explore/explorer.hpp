@@ -54,6 +54,17 @@ struct ExploreOptions {
   /// Pruning policy; null = Eq1LowerBoundPruner. Share one instance to
   /// explore with a custom policy.
   std::shared_ptr<const PruningPolicy> pruning;
+  /// Optional process-wide estimation store shared across runs (the serve
+  /// front end's cross-request cache). The explorer still keeps its
+  /// per-run cache — whose hit/miss counts stay deterministic and feed
+  /// the report — and consults the shared store only on per-run misses,
+  /// under keys qualified by `cache_scope`. Must outlive the run; null =
+  /// no sharing (the one-shot CLI shape).
+  EstimationCache* shared_cache = nullptr;
+  /// Key qualifier for `shared_cache` entries: anything that changes what
+  /// an estimate means for the same group signature (spec content hash,
+  /// compute-cycle overrides). Ignored without a shared cache.
+  std::string cache_scope;
   /// Optional instrumentation. With a registry attached, "explore.*"
   /// counters (points, cache hits, worker busy time) and the validated
   /// runs' "sim.*" metrics accumulate there; with a trace sink attached,

@@ -250,4 +250,51 @@ std::string MetricsSnapshot::deterministic_markdown() const {
   return os.str();
 }
 
+namespace {
+
+/// "serve.queue.depth" -> "ifsyn_serve_queue_depth".
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ifsyn_";
+  for (char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out += word ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus_text() const {
+  std::ostringstream os;
+  for (const Entry& e : entries) {
+    const std::string name = prometheus_name(e.name);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << "_total counter\n"
+           << name << "_total " << e.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << e.gauge << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData& h = *e.histogram;
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += i < h.counts.size() ? h.counts[i] : 0;
+          os << name << "_bucket{le=\"" << h.bounds[i] << "\"} "
+             << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+           << name << "_sum " << h.sum << "\n"
+           << name << "_count " << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
 }  // namespace ifsyn::obs

@@ -139,6 +139,15 @@ struct MetricsSnapshot {
   /// reports. Histograms render as count/sum/max-bucket. Empty snapshot →
   /// empty string.
   std::string deterministic_markdown() const;
+
+  /// Prometheus-style text exposition of every entry (both determinism
+  /// classes — this is a service-monitoring surface, not report
+  /// material). Names are prefixed with "ifsyn_" and mangled to
+  /// [a-zA-Z0-9_]; histograms render as cumulative _bucket{le=...}
+  /// series plus _sum and _count, counters get a _total suffix. Output
+  /// order follows `entries` (sorted by name), so the snapshot of a
+  /// given state always serializes identically.
+  std::string to_prometheus_text() const;
 };
 
 /// Thread-safe named-metric registry. Lookup by name registers on first

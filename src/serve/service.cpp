@@ -1,0 +1,414 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "check/checker.hpp"
+#include "core/equivalence.hpp"
+#include "core/interface_synthesizer.hpp"
+#include "core/report.hpp"
+#include "explore/explorer.hpp"
+#include "explore/report.hpp"
+#include "obs/trace_sink.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+Response error_response(const Request& request, std::string code,
+                        std::string message) {
+  Response response;
+  response.id = request.id;
+  response.op = request_op_name(request.op);
+  response.ok = false;
+  response.error = {std::move(code), std::move(message)};
+  return response;
+}
+
+Response status_response(const Request& request, const Status& status) {
+  return error_response(request, status_error_code(status.code()),
+                        status.message());
+}
+
+/// The estimation store's scope: anything beyond the group-signature key
+/// that changes what an estimate *means* — the spec identity and the
+/// calibration it was computed under.
+std::string estimation_scope(const InternedSpec& spec,
+                             const std::map<std::string, long long>& cycles) {
+  std::string scope = spec.hash;
+  for (const auto& [process, value] : cycles) {
+    scope += "|" + process + "=" + std::to_string(value);
+  }
+  return scope;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      interner_(options_.spec_cache_capacity,
+                &registry_.counter("serve.spec_cache.hits",
+                                   obs::Determinism::kWallClock),
+                &registry_.counter("serve.spec_cache.misses",
+                                   obs::Determinism::kWallClock),
+                &registry_.counter("serve.spec_cache.evictions",
+                                   obs::Determinism::kWallClock)),
+      estimation_cache_(&registry_.counter("serve.estimation_cache.hits",
+                                           obs::Determinism::kWallClock),
+                        &registry_.counter("serve.estimation_cache.misses",
+                                           obs::Determinism::kWallClock),
+                        &registry_.counter("serve.estimation_cache.evictions",
+                                           obs::Determinism::kWallClock),
+                        options_.estimation_cache_capacity),
+      program_cache_(options_.program_cache_capacity,
+                     &registry_.counter("serve.program_cache.hits",
+                                        obs::Determinism::kWallClock),
+                     &registry_.counter("serve.program_cache.misses",
+                                        obs::Determinism::kWallClock),
+                     &registry_.counter("serve.program_cache.evictions",
+                                        obs::Determinism::kWallClock)),
+      c_submitted_(registry_.counter("serve.requests.submitted",
+                                     obs::Determinism::kWallClock)),
+      c_ok_(registry_.counter("serve.responses.ok",
+                              obs::Determinism::kWallClock)),
+      c_error_(registry_.counter("serve.responses.error",
+                                 obs::Determinism::kWallClock)),
+      c_rejected_(registry_.counter("serve.requests.admission_rejected",
+                                    obs::Determinism::kWallClock)),
+      c_deadline_(registry_.counter("serve.requests.deadline_exceeded",
+                                    obs::Determinism::kWallClock)),
+      g_queue_depth_(registry_.gauge("serve.queue.depth",
+                                     obs::Determinism::kWallClock)),
+      h_latency_us_(registry_.histogram("serve.request_latency_us",
+                                        obs::exponential_bounds(100'000'000),
+                                        obs::Determinism::kWallClock)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_request_threads < 1) options_.max_request_threads = 1;
+  // Every simulation this process runs from now on — cosim legs,
+  // validation runs, across all workers — shares compiled bytecode.
+  sim::bytecode::install_process_cache(&program_cache_);
+}
+
+Service::~Service() {
+  stop();
+  if (sim::bytecode::process_cache() == &program_cache_) {
+    sim::bytecode::install_process_cache(nullptr);
+  }
+}
+
+void Service::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!workers_.empty()) return;
+  stopping_ = false;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Service::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::future<Response> Service::submit(Request request) {
+  c_submitted_.add(1);
+  Pending pending;
+  pending.enqueued = Clock::now();
+  const std::uint64_t deadline_ms =
+      request.deadline_ms ? request.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    pending.deadline =
+        pending.enqueued + std::chrono::milliseconds(deadline_ms);
+  }
+  pending.request = std::move(request);
+  std::future<Response> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || workers_.empty()) {
+      c_rejected_.add(1);
+      pending.promise.set_value(error_response(
+          pending.request, "admission_rejected",
+          workers_.empty() ? "service not started" : "service stopping"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      c_rejected_.add(1);
+      pending.promise.set_value(error_response(
+          pending.request, "admission_rejected",
+          "queue full (" + std::to_string(options_.queue_capacity) +
+              " pending)"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    g_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Service::worker_loop() {
+  while (true) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      g_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    }
+
+    const Clock::time_point start = Clock::now();
+    Response response;
+    if (pending.deadline && start > *pending.deadline) {
+      // Expired while queued: answer without burning a worker on it.
+      c_deadline_.add(1);
+      response = error_response(pending.request, "deadline_exceeded",
+                                "deadline expired while queued");
+    } else {
+      response = execute(pending.request);
+      if (pending.deadline && Clock::now() > *pending.deadline) {
+        c_deadline_.add(1);
+        response = error_response(pending.request, "deadline_exceeded",
+                                  "deadline expired during execution");
+      }
+    }
+    const Clock::time_point end = Clock::now();
+    response.queue_us = us_between(pending.enqueued, start);
+    response.elapsed_us = us_between(start, end);
+    h_latency_us_.observe(us_between(pending.enqueued, end));
+    (response.ok ? c_ok_ : c_error_).add(1);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+Response Service::execute(const Request& request) {
+  try {
+    if (request.op == RequestOp::kMetrics) {
+      Response response;
+      response.id = request.id;
+      response.op = request_op_name(request.op);
+      response.ok = true;
+      response.report = metrics_text();
+      return response;
+    }
+
+    Result<InternedSpec> interned =
+        request.target.empty() ? interner_.intern_source(request.spec_text)
+                               : interner_.intern_target(request.target);
+    if (!interned.is_ok()) return status_response(request, interned.status());
+
+    // Per-request observability: a private registry so the report's
+    // deterministic metrics section describes this request alone (the
+    // determinism contract), plus an optional private Chrome trace.
+    obs::MetricsRegistry request_registry;
+    obs::TraceSink trace_sink;
+    obs::ObsContext obs{&request_registry, nullptr};
+    if (!request.trace_file.empty()) obs.trace = &trace_sink;
+
+    Response response;
+    switch (request.op) {
+      case RequestOp::kSynth:
+        response = execute_synth(request, *interned, obs, request_registry);
+        break;
+      case RequestOp::kExplore:
+        response = execute_explore(request, *interned, obs);
+        break;
+      case RequestOp::kCheck:
+        response = execute_check(request, *interned, obs);
+        break;
+      case RequestOp::kMetrics:
+        break;  // handled above
+    }
+    response.spec_hash = interned->hash;
+
+    if (!request.trace_file.empty()) {
+      // Advisory output; an unwritable path must not fail the request.
+      std::ofstream out(request.trace_file);
+      if (out) out << trace_sink.to_json();
+    }
+    return response;
+  } catch (const InternalError& e) {
+    return error_response(request, "internal", e.what());
+  } catch (const std::exception& e) {
+    return error_response(request, "internal", e.what());
+  }
+}
+
+Response Service::execute_synth(const Request& request,
+                                const InternedSpec& spec,
+                                const obs::ObsContext& obs,
+                                obs::MetricsRegistry& registry) {
+  const RequestOptions& ro = request.options;
+  core::SynthesisOptions options;
+  if (ro.protocol) options.protocol = *ro.protocol;
+  if (ro.fixed_delay_cycles) options.fixed_delay_cycles = *ro.fixed_delay_cycles;
+  options.arbitrate = ro.arbitrate.value_or(spec.defaults.arbitrate);
+  options.compute_cycles_override = spec.defaults.compute_cycles_override;
+  options.obs = obs;
+
+  const spec::System& original = *spec.system;
+  spec::System refined = original.clone(original.name() + "_refined");
+  core::InterfaceSynthesizer synthesizer(options);
+  Result<core::SynthesisReport> report = synthesizer.run(refined);
+  if (!report.is_ok()) return status_response(request, report.status());
+
+  std::optional<core::EquivalenceReport> equivalence;
+  if (ro.cosim.value_or(true)) {
+    Result<core::EquivalenceReport> eq = core::check_equivalence(
+        original, refined, ro.max_time.value_or(10'000'000), {}, obs);
+    if (!eq.is_ok()) return status_response(request, eq.status());
+    equivalence = std::move(eq).value();
+  }
+
+  core::ReportInputs inputs;
+  inputs.refined = &refined;
+  inputs.synthesis = &*report;
+  inputs.equivalence = equivalence ? &*equivalence : nullptr;
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  inputs.metrics = &snapshot;
+
+  Response response;
+  response.id = request.id;
+  response.op = request_op_name(request.op);
+  response.report = core::render_markdown_report(inputs);
+  if (equivalence && !equivalence->equivalent) {
+    response.ok = false;
+    response.error = {"not_equivalent",
+                      "co-simulation found " +
+                          std::to_string(equivalence->mismatches.size()) +
+                          " mismatch(es); see report"};
+  } else {
+    response.ok = true;
+  }
+  return response;
+}
+
+Response Service::execute_explore(const Request& request,
+                                  const InternedSpec& spec,
+                                  const obs::ObsContext& obs) {
+  const RequestOptions& ro = request.options;
+  explore::ExploreOptions options;
+  options.threads = std::clamp(ro.threads.value_or(1), 1,
+                               options_.max_request_threads);
+  options.top_k = ro.top_k.value_or(0);
+  if (ro.sim_max_time) options.sim_max_time = *ro.sim_max_time;
+  // Unlike synth, exploration keeps ExploreOptions' own arbitrate
+  // default (true): validation co-simulates with the arbitrated bus
+  // model, which is correct for any channel mix. The per-spec default
+  // only describes the single-design synthesis flow.
+  if (ro.arbitrate) options.arbitrate = *ro.arbitrate;
+  if (ro.protocols) options.space.protocols = *ro.protocols;
+  if (ro.fixed_delay_cycles) {
+    options.space.fixed_delay_cycles = *ro.fixed_delay_cycles;
+  }
+  if (ro.min_width) options.space.min_width = *ro.min_width;
+  if (ro.max_width) options.space.max_width = *ro.max_width;
+  if (ro.alt_groupings) options.space.alternative_groupings = *ro.alt_groupings;
+  options.max_execution_clocks = ro.max_clocks;
+  options.compute_cycles_override = spec.defaults.compute_cycles_override;
+  options.shared_cache = &estimation_cache_;
+  options.cache_scope =
+      estimation_scope(spec, options.compute_cycles_override);
+  options.obs = obs;
+
+  explore::Explorer explorer(*spec.system, options);
+  Result<explore::ExplorationResult> result = explorer.run();
+  if (!result.is_ok()) return status_response(request, result.status());
+
+  Response response;
+  response.id = request.id;
+  response.op = request_op_name(request.op);
+  response.report =
+      ro.exploration_json
+          ? explore::render_exploration_json(*spec.system, options, *result)
+          : explore::render_exploration_markdown(*spec.system, options,
+                                                 *result);
+  response.ok = true;
+  for (std::size_t index : result->validated) {
+    const explore::PointResult& point = result->points[index];
+    if (!point.sim_ok || !point.equivalent) {
+      response.ok = false;
+      response.error = {"check_failed",
+                        "validated point " + std::to_string(point.point.index) +
+                            " failed co-simulation; see report"};
+      break;
+    }
+  }
+  return response;
+}
+
+Response Service::execute_check(const Request& request,
+                                const InternedSpec& spec,
+                                const obs::ObsContext& obs) {
+  const RequestOptions& ro = request.options;
+  core::SynthesisOptions options;
+  if (ro.protocol) options.protocol = *ro.protocol;
+  if (ro.fixed_delay_cycles) options.fixed_delay_cycles = *ro.fixed_delay_cycles;
+  options.arbitrate = ro.arbitrate.value_or(spec.defaults.arbitrate);
+  options.compute_cycles_override = spec.defaults.compute_cycles_override;
+  options.obs = obs;
+  // As in the check subcommand: collect the full diagnostic list instead
+  // of failing synthesis on the first finding.
+  options.run_checker = false;
+
+  spec::System system = spec.system->clone(spec.system->name());
+  const std::map<std::string, long long> compute_snapshot =
+      check::snapshot_compute_cycles(system, options.compute_cycles_override);
+
+  core::InterfaceSynthesizer synthesizer(options);
+  Result<core::SynthesisReport> synthesized = synthesizer.run(system);
+  if (!synthesized.is_ok()) {
+    return status_response(request, synthesized.status());
+  }
+
+  check::CheckOptions check_options;
+  check_options.compute_cycles_override = compute_snapshot;
+  const check::CheckReport report =
+      check::run_checks(system, check_options, obs);
+
+  Response response;
+  response.id = request.id;
+  response.op = request_op_name(request.op);
+  if (report.clean()) {
+    std::size_t refined_buses = 0;
+    for (const auto& bus : system.buses()) {
+      if (bus->generated()) ++refined_buses;
+    }
+    std::ostringstream os;
+    os << "check clean: " << refined_buses << " bus(es), "
+       << system.channels().size() << " channel(s), 0 diagnostics\n";
+    response.report = os.str();
+    response.ok = true;
+  } else {
+    response.report = report.to_string();
+    response.ok = false;
+    response.error = {"check_failed",
+                      std::to_string(report.errors()) + " error(s), " +
+                          std::to_string(report.warnings()) + " warning(s)"};
+  }
+  return response;
+}
+
+std::string Service::metrics_text() const {
+  return registry_.snapshot().to_prometheus_text();
+}
+
+}  // namespace ifsyn::serve

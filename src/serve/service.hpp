@@ -1,0 +1,158 @@
+// ifsyn/serve/service.hpp
+//
+// Synthesis-as-a-service: a worker pool executing synth / explore /
+// check requests against a set of process-wide shared artifact stores —
+// the piece that turns the one-shot CLI flow into a front end that can
+// drain a batch manifest or sit behind a JSONL loop.
+//
+// Architecture
+// ------------
+//   submit() ── admission control ──> bounded queue ──> N workers
+//                    │ (queue full: structured                │
+//                    │  admission_rejected, immediately)      v
+//                    │                            execute(): resolve spec
+//                    v                            via the interner, run
+//             deadline stamped                    the engine, render the
+//             at submission                       deterministic report
+//
+// Three shared stores, all content-addressed, LRU-bounded, counter-
+// instrumented in the service registry:
+//
+//   - SpecInterner        parsed spec::Systems by content hash
+//   - EstimationCache     per-group Eq. 1 estimates, scope-qualified by
+//                         spec hash + calibration fingerprint
+//   - sim ProgramCache    compiled bytecode, installed process-wide so
+//                         every simulation (cosim legs, validation runs)
+//                         reuses compiled artifacts across requests
+//
+// Determinism contract: a request's `report` and `spec_hash` are
+// byte-identical whether the request runs alone, concurrently with
+// others, or entirely from warm caches. Everything load-dependent —
+// latencies, queue depth, shared-store hit rates — lives in the service
+// registry (wall-clock class) and in the timing fields of the response,
+// never in the report. Each request gets a private MetricsRegistry, so
+// its report's deterministic metrics section reflects that request
+// alone.
+//
+// Deadlines: checked when a worker dequeues the request and again after
+// execution; a request past its deadline yields a structured
+// deadline_exceeded error. In-flight engine work is never interrupted
+// mid-run (the engines have no cancellation points), so a deadline
+// bounds *response* usefulness, not worker occupancy — size the pool
+// accordingly. No code path hangs or throws across the API boundary:
+// engine exceptions surface as code "internal" error responses.
+//
+// One Service per process: the bytecode program cache installs itself as
+// the process-wide store (sim/bytecode/program_cache) for its lifetime.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/estimation_cache.hpp"
+#include "obs/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/spec_intern.hpp"
+#include "sim/bytecode/program_cache.hpp"
+#include "util/status.hpp"
+
+namespace ifsyn::serve {
+
+struct ServiceOptions {
+  /// Worker pool size.
+  int workers = 1;
+  /// Bounded request queue; submissions beyond this are rejected with a
+  /// structured admission_rejected error (never blocked).
+  std::size_t queue_capacity = 64;
+  /// Shared-store bounds (entries; 0 = unbounded).
+  std::size_t spec_cache_capacity = 64;
+  std::size_t estimation_cache_capacity = 4096;
+  std::size_t program_cache_capacity = 128;
+  /// Default per-request deadline (ms); 0 = no deadline. A request's own
+  /// deadline_ms overrides.
+  std::uint64_t default_deadline_ms = 0;
+  /// Cap on a single explore request's worker threads, so one request
+  /// cannot oversubscribe the pool. Explore output is thread-count
+  /// invariant, so capping never changes a report.
+  int max_request_threads = 4;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Spawn the worker pool. Idempotent.
+  void start();
+
+  /// Drain the queue, then join the workers. Requests already submitted
+  /// are completed (their futures resolve); new submissions are rejected.
+  void stop();
+
+  /// Enqueue a request. The future always resolves — with the result, or
+  /// with a structured admission/deadline/internal error.
+  std::future<Response> submit(Request request);
+
+  /// Execute synchronously on the caller's thread, bypassing the queue
+  /// (the workers' inner path; also the deterministic unit-test surface).
+  Response execute(const Request& request);
+
+  /// Service-level metrics (queue, latencies, shared-store counters).
+  obs::MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
+  /// Prometheus-style text exposition of metrics_snapshot().
+  std::string metrics_text() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_loop();
+  Response execute_synth(const Request& request, const InternedSpec& spec,
+                         const obs::ObsContext& obs,
+                         obs::MetricsRegistry& registry);
+  Response execute_explore(const Request& request, const InternedSpec& spec,
+                           const obs::ObsContext& obs);
+  Response execute_check(const Request& request, const InternedSpec& spec,
+                         const obs::ObsContext& obs);
+
+  ServiceOptions options_;
+  obs::MetricsRegistry registry_;
+
+  // Shared stores (counters live in registry_, wall-clock class).
+  SpecInterner interner_;
+  explore::EstimationCache estimation_cache_;
+  sim::bytecode::ProgramCache program_cache_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  obs::Counter& c_submitted_;
+  obs::Counter& c_ok_;
+  obs::Counter& c_error_;
+  obs::Counter& c_rejected_;
+  obs::Counter& c_deadline_;
+  obs::Gauge& g_queue_depth_;
+  obs::Histogram& h_latency_us_;
+};
+
+}  // namespace ifsyn::serve

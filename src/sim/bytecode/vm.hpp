@@ -39,11 +39,14 @@ class Vm {
   /// Binds to a system and kernel; both must outlive the Vm.
   Vm(const spec::System& system, Kernel& kernel);
 
-  /// Compile the system and register one process coroutine per compiled
-  /// program. Call once, after the kernel's signals and bus locks are
-  /// declared (the compiler interns through the kernel) and before
-  /// Kernel::run. Records compile time and size through the kernel's
-  /// attached metrics registry (sim.vm.* metrics).
+  /// Compile the system (or fetch the artifact from the installed
+  /// process-wide ProgramCache — see program_cache.hpp) and register one
+  /// process coroutine per compiled program. Call once, after the
+  /// kernel's signals and bus locks are declared (the compiler interns
+  /// through the kernel) and before Kernel::run. Records compile time and
+  /// size through the kernel's attached metrics registry (sim.vm.*
+  /// metrics); the deterministic ones are identical whether the artifact
+  /// was compiled or cached, so reports keep their byte-identity.
   void setup();
 
   /// Read / overwrite a system-level variable (same contract as
@@ -51,7 +54,7 @@ class Vm {
   const spec::Value& value_of(const std::string& variable) const;
   void set_value(const std::string& variable, spec::Value value);
 
-  const CompiledSystem& compiled() const { return compiled_; }
+  const CompiledSystem& compiled() const { return *compiled_; }
 
  private:
   struct CallRecord {
@@ -114,7 +117,9 @@ class Vm {
 
   const spec::System& system_;
   Kernel& kernel_;
-  CompiledSystem compiled_;
+  /// Immutable, possibly shared with other Vms via the process-wide
+  /// ProgramCache; all mutable state lives in states_.
+  std::shared_ptr<const CompiledSystem> compiled_;
   std::deque<ExecState> states_;
   std::vector<spec::Value> globals_;  ///< shared by all processes
   obs::Counter* executed_ops_ = nullptr;

@@ -884,7 +884,14 @@ Result<System> parse_system_file(const std::string& path,
   if (!in) return not_found("cannot open spec file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_system(buffer.str(), options);
+  Result<System> parsed = parse_system(buffer.str(), options);
+  if (!parsed.is_ok()) {
+    // Errors carry line:column; prefix the file so multi-spec drivers
+    // (batch manifests, CI sweeps) yield actionable diagnostics.
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
 }
 
 }  // namespace ifsyn::spec

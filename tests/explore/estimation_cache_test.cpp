@@ -136,6 +136,73 @@ TEST(EstimationCacheTest, ConcurrentThrowingComputeUnblocksAllWaiters) {
   EXPECT_GE(failures.load(), 1);  // at least the owner saw the exception
 }
 
+// ---- shared-store shape: scope qualification and the LRU bound --------
+
+TEST(EstimationCacheTest, ScopeSeparatesIdenticalSignatures) {
+  EstimationCache cache;
+  int calls = 0;
+  auto compute_wires = [&calls](int wires) {
+    return [&calls, wires] {
+      ++calls;
+      GroupEstimate est;
+      est.total_wires = wires;
+      return est;
+    };
+  };
+  EstimationKey spec_a = key_for("a+b", 8);
+  spec_a.scope = "spec-hash-A";
+  EstimationKey spec_b = key_for("a+b", 8);
+  spec_b.scope = "spec-hash-B";
+  // Same group signature from two different specs must not collide.
+  EXPECT_EQ(cache.get_or_compute(spec_a, compute_wires(10)).total_wires, 10);
+  EXPECT_EQ(cache.get_or_compute(spec_b, compute_wires(20)).total_wires, 20);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get_or_compute(spec_a, compute_wires(99)).total_wires, 10);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EstimationCacheTest, TinyCapacityEvictsLeastRecentlyUsed) {
+  obs::MetricsRegistry registry;
+  EstimationCache cache(&registry.counter("h"), &registry.counter("m"),
+                        &registry.counter("e"), /*capacity=*/2);
+  int calls = 0;
+  auto compute = [&calls] {
+    ++calls;
+    return GroupEstimate{};
+  };
+  cache.get_or_compute(key_for("a", 1), compute);
+  cache.get_or_compute(key_for("b", 1), compute);
+  cache.get_or_compute(key_for("a", 1), compute);  // a is now MRU
+  cache.get_or_compute(key_for("c", 1), compute);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(calls, 3);
+  // a survived its touch; b recomputes.
+  cache.get_or_compute(key_for("a", 1), compute);
+  EXPECT_EQ(calls, 3);
+  cache.get_or_compute(key_for("b", 1), compute);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(EstimationCacheTest, EvictedEntriesRecomputeCorrectValues) {
+  // Hammer a capacity-1 cache across threads: every lookup must still
+  // return the key's correct value no matter how eviction interleaves.
+  EstimationCache cache(nullptr, nullptr, nullptr, /*capacity=*/1);
+  constexpr std::size_t kLookups = 128;
+  run_indexed(kLookups, /*threads=*/8, [&](std::size_t i) {
+    const int width = static_cast<int>(i % 5);
+    const GroupEstimate est =
+        cache.get_or_compute(key_for("g", width), [width] {
+          GroupEstimate e;
+          e.total_wires = width * 100;
+          return e;
+        });
+    EXPECT_EQ(est.total_wires, width * 100);
+  });
+  EXPECT_LE(cache.size(), 2u);  // capacity plus at most the in-flight entry
+}
+
 TEST(WorkQueueTest, CoversEveryIndexExactlyOnce) {
   for (int threads : {1, 2, 4, 8}) {
     std::vector<std::atomic<int>> touched(257);

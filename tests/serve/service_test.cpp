@@ -1,0 +1,244 @@
+// End-to-end tests of the serve front end's contracts:
+//
+//   - determinism: a request's report is byte-identical run alone, run
+//     concurrently against a loaded pool, and run from warm caches;
+//   - admission control: a saturated bounded queue answers with
+//     structured admission_rejected errors — every future resolves,
+//     nothing hangs (the asan preset runs this file too);
+//   - deadlines: an expired request yields a structured
+//     deadline_exceeded error;
+//   - hardened ingestion: malformed specs and requests come back as
+//     structured error responses.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "sim/interpreter.hpp"
+
+namespace ifsyn::serve {
+namespace {
+
+Request check_request(const std::string& id, const std::string& target) {
+  Request request;
+  request.id = id;
+  request.op = RequestOp::kCheck;
+  request.target = target;
+  return request;
+}
+
+Request explore_request(const std::string& id, const std::string& target,
+                        int top_k = 1) {
+  Request request;
+  request.id = id;
+  request.op = RequestOp::kExplore;
+  request.target = target;
+  request.options.top_k = top_k;
+  return request;
+}
+
+TEST(ServiceTest, ExecutesEveryOperation) {
+  Service service;
+  Response check = service.execute(check_request("c", "builtin:fig3"));
+  EXPECT_TRUE(check.ok) << check.error.message;
+  EXPECT_NE(check.report.find("check clean"), std::string::npos);
+  EXPECT_FALSE(check.spec_hash.empty());
+
+  Request synth;
+  synth.id = "s";
+  synth.op = RequestOp::kSynth;
+  synth.target = "builtin:fig3";
+  Response synthesized = service.execute(synth);
+  EXPECT_TRUE(synthesized.ok) << synthesized.error.message;
+  EXPECT_NE(synthesized.report.find("Interface synthesis report"),
+            std::string::npos);
+
+  Response explored = service.execute(explore_request("e", "builtin:fig3"));
+  EXPECT_TRUE(explored.ok) << explored.error.message;
+  EXPECT_NE(explored.report.find("Pareto"), std::string::npos);
+
+  Request metrics;
+  metrics.id = "m";
+  metrics.op = RequestOp::kMetrics;
+  Response snapshot = service.execute(metrics);
+  EXPECT_TRUE(snapshot.ok);
+  EXPECT_NE(snapshot.report.find("ifsyn_serve_program_cache_hits_total"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, ReportsAreByteIdenticalAloneConcurrentlyAndWarm) {
+  // Reference: a fresh service executing the request cold and alone.
+  std::string reference;
+  {
+    Service service;
+    reference = service.execute(explore_request("r", "builtin:fig3")).report;
+    ASSERT_FALSE(reference.empty());
+  }
+
+  ServiceOptions options;
+  options.workers = 4;
+  Service service(options);
+  service.start();
+  // Concurrent + cold, concurrent + warm, different request mix around it.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(
+        explore_request("e" + std::to_string(i), "builtin:fig3")));
+    futures.push_back(service.submit(
+        check_request("c" + std::to_string(i), "builtin:fig3")));
+  }
+  for (auto& future : futures) {
+    Response response = future.get();
+    ASSERT_TRUE(response.ok) << response.error.message;
+    if (response.op == "explore") {
+      EXPECT_EQ(response.report, reference);
+    }
+  }
+  service.stop();
+
+  // Warm shared stores were actually exercised. (The program cache only
+  // sees traffic on the VM engine; the AST reference leg bypasses it.)
+  const obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+  EXPECT_GT(snapshot.find("serve.spec_cache.hits")->counter, 0u);
+  EXPECT_GT(snapshot.find("serve.estimation_cache.hits")->counter, 0u);
+  if (sim::engine_from_env() == sim::Engine::kVm) {
+    EXPECT_GT(snapshot.find("serve.program_cache.hits")->counter, 0u);
+  }
+}
+
+TEST(ServiceTest, SynthReportIdenticalOnProgramCacheHit) {
+  Service service;
+  Request synth;
+  synth.op = RequestOp::kSynth;
+  synth.target = "builtin:fig3";
+  synth.id = "cold";
+  const Response cold = service.execute(synth);
+  ASSERT_TRUE(cold.ok) << cold.error.message;
+  synth.id = "warm";
+  const Response warm = service.execute(synth);
+  ASSERT_TRUE(warm.ok);
+  // The report embeds deterministic sim metrics (vm compile counts
+  // included); a bytecode-cache hit must not change a byte.
+  EXPECT_EQ(cold.report, warm.report);
+  if (sim::engine_from_env() == sim::Engine::kVm) {
+    EXPECT_GT(service.metrics_snapshot().find("serve.program_cache.hits")
+                  ->counter,
+              0u);
+  }
+}
+
+TEST(ServiceTest, SaturatedQueueRejectsStructurallyAndNeverHangs) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  Service service(options);
+  service.start();
+
+  // Flood far past capacity. Every future must resolve: accepted ones
+  // with results, the overflow with admission_rejected.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.submit(
+        check_request("f" + std::to_string(i), "builtin:fig3")));
+  }
+  int rejected = 0;
+  for (auto& future : futures) {
+    Response response = future.get();
+    if (!response.ok) {
+      EXPECT_EQ(response.error.code, "admission_rejected");
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  service.stop();
+  EXPECT_EQ(service.metrics_snapshot()
+                .find("serve.requests.admission_rejected")
+                ->counter,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(ServiceTest, ExpiredDeadlineYieldsStructuredError) {
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+  service.start();
+  // Pile enough work on the single worker that a trailing request's 1 ms
+  // deadline is long gone by the time it reaches the front of the queue
+  // (each full-sweep flc exploration takes a few ms even warm; either
+  // deadline check — at dequeue or post-execution — must fire).
+  std::vector<std::future<Response>> slow;
+  for (int i = 0; i < 8; ++i) {
+    Request heavy = explore_request("slow" + std::to_string(i),
+                                    "builtin:flc", /*top_k=*/0);
+    heavy.options.protocols = {spec::ProtocolKind::kFullHandshake,
+                               spec::ProtocolKind::kHalfHandshake,
+                               spec::ProtocolKind::kFixedDelay};
+    heavy.options.alt_groupings = true;
+    slow.push_back(service.submit(std::move(heavy)));
+  }
+  Request quick = check_request("quick", "builtin:fig3");
+  quick.deadline_ms = 1;
+  std::future<Response> expired = service.submit(std::move(quick));
+
+  Response response = expired.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.code, "deadline_exceeded");
+  for (auto& future : slow) EXPECT_TRUE(future.get().ok);
+  service.stop();
+  EXPECT_EQ(service.metrics_snapshot()
+                .find("serve.requests.deadline_exceeded")
+                ->counter,
+            1u);
+}
+
+TEST(ServiceTest, MalformedSpecsAreStructuredErrors) {
+  Service service;
+  Request truncated;
+  truncated.op = RequestOp::kCheck;
+  truncated.spec_text = "system t;\nprocess P {";
+  Response response = service.execute(truncated);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.code, "invalid_argument");
+  EXPECT_NE(response.error.message.find("line"), std::string::npos);
+
+  Request garbage;
+  garbage.op = RequestOp::kSynth;
+  garbage.spec_text = "\x7f\x03not a spec at all";
+  Response garbage_response = service.execute(garbage);
+  EXPECT_FALSE(garbage_response.ok);
+
+  Request missing;
+  missing.op = RequestOp::kSynth;
+  missing.target = "/no/such/spec.ifs";
+  EXPECT_EQ(service.execute(missing).error.code, "not_found");
+}
+
+TEST(ServiceTest, RequestParsingRejectsUnknownFieldsAndOps) {
+  for (const char* bad : {
+           R"({"op": "transmogrify", "spec": "builtin:fig3"})",
+           R"({"op": "synth"})",
+           R"({"op": "synth", "spec": "a", "spec_text": "b"})",
+           R"({"op": "synth", "spec": "a", "bogus": 1})",
+           R"({"op": "synth", "spec": "a", "options": {"threads": 1.5}})",
+           R"({"spec": "builtin:fig3"})",
+       }) {
+    Result<Json> json = parse_json(bad);
+    ASSERT_TRUE(json.is_ok()) << bad;
+    EXPECT_FALSE(parse_request(*json).is_ok()) << bad;
+  }
+}
+
+TEST(ServiceTest, SubmitWithoutStartIsRejectedNotHung) {
+  Service service;
+  Response response =
+      service.submit(check_request("x", "builtin:fig3")).get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.code, "admission_rejected");
+}
+
+}  // namespace
+}  // namespace ifsyn::serve
