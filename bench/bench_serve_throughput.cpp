@@ -4,10 +4,15 @@
 // stores) and warm (second round on the same service, so the spec
 // interner, estimation cache, and bytecode program cache are all hot).
 //
-// Reports requests/second plus p50/p95 request latency (queue + execute,
-// taken from the responses' own timing fields), and re-asserts the serve
-// determinism contract: every explore report in every round must be
-// byte-identical to the cold single-worker reference.
+// Reports requests/second plus p50/p95/p99 request latency (queue +
+// execute, taken from the responses' own timing fields, via the shared
+// obs::percentile helper), re-asserts the serve determinism contract
+// (every explore report in every round must be byte-identical to the
+// cold single-worker reference), and cross-checks the service's
+// log-bucketed histogram quantiles against the exact percentiles: the
+// sketch must agree within its factor-of-2 bucket bound (plus a little
+// rank slack, since the sketch ranks total latency measured by the
+// service while the bench sums the response timing fields).
 //
 // Exit code is non-zero when determinism fails or any request errors.
 // Speedup across worker counts is machine-dependent and therefore never
@@ -16,6 +21,7 @@
 // size but still runs every worker count and both cache phases so smoke
 // runs export the same metric keys as full runs.
 #include <algorithm>
+#include <cmath>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "obs/quantiles.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
 
@@ -70,23 +77,18 @@ struct RoundStats {
   double reqs_per_sec = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
+  double p99_us = 0.0;
   double wall_ms = 0.0;
 };
 
-double percentile(std::vector<double> sorted_values, double p) {
-  if (sorted_values.empty()) return 0.0;
-  std::sort(sorted_values.begin(), sorted_values.end());
-  const auto index = static_cast<std::size_t>(
-      p * static_cast<double>(sorted_values.size() - 1) + 0.5);
-  return sorted_values[std::min(index, sorted_values.size() - 1)];
-}
-
 /// Submits one full round and waits for every response. Latency per
-/// request is the service-measured queue + execute time. Any error or
+/// request is the service-measured queue + execute time, also appended
+/// to `all_latencies_us` for the sketch cross-check. Any error or
 /// explore-report mismatch against `reference` is fatal.
 RoundStats run_round(serve::Service& service,
                      const std::vector<serve::Request>& requests,
-                     const std::string& reference, bool* deterministic) {
+                     const std::string& reference, bool* deterministic,
+                     std::vector<double>* all_latencies_us) {
   std::vector<std::future<serve::Response>> futures;
   futures.reserve(requests.size());
   const auto start = Clock::now();
@@ -109,6 +111,10 @@ RoundStats run_round(serve::Service& service,
     latencies_us.push_back(
         static_cast<double>(response.queue_us + response.elapsed_us));
   }
+  if (all_latencies_us) {
+    all_latencies_us->insert(all_latencies_us->end(), latencies_us.begin(),
+                             latencies_us.end());
+  }
   const auto stop = Clock::now();
   RoundStats stats;
   stats.wall_ms =
@@ -117,9 +123,31 @@ RoundStats run_round(serve::Service& service,
                            ? static_cast<double>(requests.size()) /
                                  (stats.wall_ms / 1000.0)
                            : 0.0;
-  stats.p50_us = percentile(latencies_us, 0.50);
-  stats.p95_us = percentile(latencies_us, 0.95);
+  stats.p50_us = obs::percentile(latencies_us, 0.50);
+  stats.p95_us = obs::percentile(latencies_us, 0.95);
+  stats.p99_us = obs::percentile(latencies_us, 0.99);
   return stats;
+}
+
+/// The service's log-bucketed sketch estimate e of a true value v
+/// promises v <= e < 2v (obs/quantiles.hpp). The sketch ranks the
+/// service's own latency measurements with ceil(q*n) while the exact
+/// helper uses nearest-rank over the response timing sums, so the two
+/// can disagree by one order statistic; accept the sketch if the bound
+/// holds against any sample in a +/-1 rank window, with 5% slack for
+/// the measurement-point difference noted in the file comment.
+bool sketch_agrees(double sketch, const std::vector<double>& latencies_us,
+                   double q) {
+  if (latencies_us.empty()) return sketch == 0.0;
+  std::vector<double> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n);
+  const double lo = sorted[rank >= 2 ? rank - 2 : 0];
+  const double hi = sorted[std::min(rank, n - 1)];
+  return sketch >= lo / 1.05 && sketch <= 2.0 * hi * 1.05;
 }
 
 }  // namespace
@@ -152,30 +180,55 @@ int main() {
   json.set("round_requests_count", static_cast<double>(kRoundSize));
 
   bool deterministic = true;
+  bool sketch_ok = true;
   double cold_w1 = 0.0;
   double warm_w1 = 0.0;
-  std::printf("%8s | %6s | %12s | %10s | %10s\n", "workers", "phase",
-              "reqs/sec", "p50 (us)", "p95 (us)");
+  std::printf("%8s | %6s | %12s | %10s | %10s | %10s\n", "workers", "phase",
+              "reqs/sec", "p50 (us)", "p95 (us)", "p99 (us)");
   for (int workers : kWorkerCounts) {
     serve::ServiceOptions options;
     options.workers = workers;
     options.queue_capacity = static_cast<std::size_t>(kRoundSize);
     serve::Service service(options);
     service.start();
-    const RoundStats cold = run_round(service, mix, reference, &deterministic);
-    const RoundStats warm = run_round(service, mix, reference, &deterministic);
+    std::vector<double> latencies_us;
+    const RoundStats cold =
+        run_round(service, mix, reference, &deterministic, &latencies_us);
+    const RoundStats warm =
+        run_round(service, mix, reference, &deterministic, &latencies_us);
     service.stop();
+    // Cross-check the service's histogram sketch against the exact
+    // percentiles of the same workload — what to_prometheus_text's
+    // _summary{quantile=...} lines report.
+    const obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+    const obs::MetricsSnapshot::Entry* latency =
+        snapshot.find("serve.request_latency_us");
+    if (latency && latency->histogram) {
+      for (const double q : {0.50, 0.95, 0.99}) {
+        const double sketch = latency->histogram->quantile(q);
+        if (!sketch_agrees(sketch, latencies_us, q)) {
+          std::printf("  sketch disagreement at w%d q%.2f: sketch %.0f, "
+                      "exact %.0f\n",
+                      workers, q, sketch,
+                      obs::percentile(latencies_us, q));
+          sketch_ok = false;
+        }
+      }
+    } else {
+      sketch_ok = false;
+    }
     const struct { const char* phase; const RoundStats& stats; } rounds[] = {
         {"cold", cold}, {"warm", warm}};
     for (const auto& round : rounds) {
-      std::printf("%8d | %6s | %12.1f | %10.0f | %10.0f\n", workers,
+      std::printf("%8d | %6s | %12.1f | %10.0f | %10.0f | %10.0f\n", workers,
                   round.phase, round.stats.reqs_per_sec, round.stats.p50_us,
-                  round.stats.p95_us);
+                  round.stats.p95_us, round.stats.p99_us);
       const std::string key =
           std::string("w") + std::to_string(workers) + "_" + round.phase;
       json.set(key + "_reqs_per_sec", round.stats.reqs_per_sec);
       json.set(key + "_p50_us", round.stats.p50_us);
       json.set(key + "_p95_us", round.stats.p95_us);
+      json.set(key + "_p99_us", round.stats.p99_us);
     }
     if (workers == 1) {
       cold_w1 = cold.reqs_per_sec;
@@ -191,10 +244,13 @@ int main() {
   std::printf("\nchecks:\n");
   std::printf("  explore reports byte-identical across rounds: %s\n",
               deterministic ? "PASS" : "FAIL");
+  std::printf("  histogram sketch agrees with exact percentiles: %s\n",
+              sketch_ok ? "PASS" : "FAIL");
   std::printf("  warm/cold throughput at 1 worker: %.2fx "
               "(informational here; gated via bench_compare --floor)\n",
               warm_speedup);
   json.set("deterministic", deterministic ? 1 : 0);
+  json.set("quantile_sketch_ok", sketch_ok ? 1 : 0);
   json.write();
-  return deterministic ? 0 : 1;
+  return deterministic && sketch_ok ? 0 : 1;
 }

@@ -38,6 +38,16 @@
 //                                        (prometheus text) after draining
 //     --no-timing                        omit wall-clock fields from responses
 //                                        (byte-comparable output)
+//     --trace <file>                     write one service-wide Chrome trace:
+//                                        every request's lifecycle + engine
+//                                        spans, flow-linked across threads
+//     --event-log <file>                 write the structured JSONL event log
+//     --watchdog-ms N                    poll in-flight workers every N ms,
+//                                        exporting serve.worker.* gauges
+//     --trace-dir <dir>                  directory for slow-request captures
+//     --slow-trace-ms N                  capture traces of requests slower
+//                                        than N ms (requires --trace-dir)
+//     --slow-trace-keep N                keep the N slowest captures (def. 4)
 //
 //     Drains a newline-delimited JSON request manifest (see
 //     src/serve/request.hpp for the schema) through the serve worker
@@ -47,7 +57,8 @@
 //   ifsyn_tool serve [options]
 //
 //     --workers N / --queue N / --deadline-ms N / --metrics-text <file>
-//     --no-timing                        as for batch
+//     --no-timing / --trace / --event-log / --watchdog-ms / --trace-dir /
+//     --slow-trace-ms / --slow-trace-keep   as for batch
 //
 //     Reads JSONL requests from stdin, writes JSONL responses to stdout
 //     in request order — synthesis-as-a-service over a pipe; no HTTP
@@ -98,6 +109,7 @@
 #include "core/report.hpp"
 #include "explore/explorer.hpp"
 #include "explore/report.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "protocol/trace_analyzer.hpp"
@@ -132,9 +144,15 @@ int usage(const char* argv0) {
                "       %s batch <manifest.jsonl> [--workers N] [--queue N] "
                "[--deadline-ms N] [--repeat N]\n"
                "          [--responses <file>] [--metrics-text <file>] "
-               "[--no-timing]\n"
+               "[--no-timing] [--trace <file>]\n"
+               "          [--event-log <file>] [--watchdog-ms N] "
+               "[--trace-dir <dir>] [--slow-trace-ms N]\n"
+               "          [--slow-trace-keep N]\n"
                "       %s serve [--workers N] [--queue N] [--deadline-ms N] "
-               "[--metrics-text <file>] [--no-timing]\n",
+               "[--metrics-text <file>] [--no-timing]\n"
+               "          [--trace <file>] [--event-log <file>] "
+               "[--watchdog-ms N] [--trace-dir <dir>]\n"
+               "          [--slow-trace-ms N] [--slow-trace-keep N]\n",
                argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -425,6 +443,8 @@ struct ServeCliOptions {
   std::string manifest_path;  // batch only
   std::string responses_path;
   std::string metrics_text_path;
+  std::string trace_path;      // service-wide Chrome trace
+  std::string event_log_path;  // structured JSONL event log
   int repeat = 1;
   bool timing = true;
 };
@@ -457,6 +477,21 @@ int parse_serve_flags(int argc, char** argv, const char* argv0, bool batch,
       out.metrics_text_path = next_value("--metrics-text");
     } else if (arg == "--no-timing") {
       out.timing = false;
+    } else if (arg == "--trace") {
+      out.trace_path = next_value("--trace");
+    } else if (arg == "--event-log") {
+      out.event_log_path = next_value("--event-log");
+    } else if (arg == "--watchdog-ms") {
+      out.service.watchdog_poll_ms =
+          std::strtoull(next_value("--watchdog-ms"), nullptr, 10);
+    } else if (arg == "--trace-dir") {
+      out.service.slow_trace_dir = next_value("--trace-dir");
+    } else if (arg == "--slow-trace-ms") {
+      out.service.slow_trace_ms =
+          std::strtoull(next_value("--slow-trace-ms"), nullptr, 10);
+    } else if (arg == "--slow-trace-keep") {
+      out.service.slow_trace_keep =
+          static_cast<std::size_t>(std::atoi(next_value("--slow-trace-keep")));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv0);
@@ -467,7 +502,51 @@ int parse_serve_flags(int argc, char** argv, const char* argv0, bool batch,
     }
   }
   if (batch && out.manifest_path.empty()) return usage(argv0);
+  if (out.service.slow_trace_ms > 0 && out.service.slow_trace_dir.empty()) {
+    std::fprintf(stderr, "--slow-trace-ms requires --trace-dir\n");
+    return 2;
+  }
   return -1;  // parsed OK (not a valid exit code)
+}
+
+/// Attach the optional service-wide trace sink and event log (owned by
+/// the caller's frame) to the service options.
+void attach_serve_observability(ServeCliOptions& cli, obs::TraceSink& trace,
+                                obs::EventLog& event_log) {
+  if (!cli.trace_path.empty()) {
+    cli.service.trace = &trace;
+    trace.set_thread_name("submit");
+  }
+  if (!cli.event_log_path.empty()) cli.service.event_log = &event_log;
+}
+
+/// After the service stops: self-validate and write the service trace,
+/// and write the event log. Nonzero on any failure.
+int write_serve_observability(const ServeCliOptions& cli,
+                              const obs::TraceSink& trace,
+                              const obs::EventLog& event_log) {
+  if (!cli.trace_path.empty()) {
+    const std::string json = trace.to_json();
+    std::string error;
+    if (!obs::validate_trace_json(json, &error)) {
+      std::fprintf(stderr, "internal: service trace invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!write_file(cli.trace_path, json)) return 1;
+    std::fprintf(stderr, "wrote service trace to %s (%zu events)\n",
+                 cli.trace_path.c_str(), trace.event_count());
+  }
+  if (!cli.event_log_path.empty()) {
+    std::string error;
+    if (!event_log.write_jsonl(cli.event_log_path, &error)) {
+      std::fprintf(stderr, "cannot write event log: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote event log to %s (%zu events)\n",
+                 cli.event_log_path.c_str(), event_log.size());
+  }
+  return 0;
 }
 
 /// One manifest/stdin line -> either a request for the pool or an
@@ -536,6 +615,10 @@ int batch_main(int argc, char** argv, const char* argv0) {
     out = &responses_file;
   }
 
+  obs::TraceSink trace_sink;
+  obs::EventLog event_log;
+  attach_serve_observability(cli, trace_sink, event_log);
+
   serve::Service service(cli.service);
   service.start();
   bool all_ok = true;
@@ -562,6 +645,7 @@ int batch_main(int argc, char** argv, const char* argv0) {
   }
   service.stop();
   if (write_metrics_text(service, cli.metrics_text_path) != 0) return 1;
+  if (write_serve_observability(cli, trace_sink, event_log) != 0) return 1;
   return all_ok ? 0 : 1;
 }
 
@@ -571,6 +655,10 @@ int serve_main(int argc, char** argv, const char* argv0) {
       rc >= 0) {
     return rc;
   }
+
+  obs::TraceSink trace_sink;
+  obs::EventLog event_log;
+  attach_serve_observability(cli, trace_sink, event_log);
 
   serve::Service service(cli.service);
   service.start();
@@ -596,7 +684,8 @@ int serve_main(int argc, char** argv, const char* argv0) {
   }
   drain_ready(/*block=*/true);
   service.stop();
-  return write_metrics_text(service, cli.metrics_text_path);
+  if (write_metrics_text(service, cli.metrics_text_path) != 0) return 1;
+  return write_serve_observability(cli, trace_sink, event_log);
 }
 
 }  // namespace

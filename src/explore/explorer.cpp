@@ -102,7 +102,7 @@ Result<ExplorationResult> Explorer::run() const {
   obs::MetricsRegistry local_registry;
   obs::MetricsRegistry& reg =
       options_.obs.metrics ? *options_.obs.metrics : local_registry;
-  obs::ObsContext obs{&reg, options_.obs.trace};
+  obs::ObsContext obs{&reg, options_.obs.trace, options_.obs.request};
   obs::Counter& c_total = reg.counter("explore.points.total");
   obs::Counter& c_pruned = reg.counter("explore.points.pruned");
   obs::Counter& c_evaluated = reg.counter("explore.points.evaluated");
@@ -123,7 +123,8 @@ Result<ExplorationResult> Explorer::run() const {
   out.stats.total_points = points.size();
   c_total.add(points.size());
 
-  const WorkQueueObs estimate_obs{options_.obs.trace, &c_busy, "estimate"};
+  const WorkQueueObs estimate_obs{options_.obs.trace, &c_busy, "estimate",
+                                  options_.obs.request};
   std::optional<obs::ScopedTimer> phase_timer;
   phase_timer.emplace(obs, "explore.phase.estimate_us", "explore: estimate",
                       "explore");
@@ -225,7 +226,8 @@ Result<ExplorationResult> Explorer::run() const {
   if (options_.top_k > 0) {
     phase_timer.emplace(obs, "explore.phase.validate_us",
                         "explore: validate", "explore");
-    const WorkQueueObs validate_obs{options_.obs.trace, &c_busy, "validate"};
+    const WorkQueueObs validate_obs{options_.obs.trace, &c_busy, "validate",
+                                    options_.obs.request};
     for (const ParetoEntry& entry : out.front.entries()) {
       if (out.validated.size() >=
           static_cast<std::size_t>(options_.top_k)) {
@@ -241,7 +243,8 @@ Result<ExplorationResult> Explorer::run() const {
     // original leg: only refined runs feed the "sim." metrics.
     std::optional<sim::SimulationRun> original_run;
     {
-      obs::Span span(options_.obs.trace, "simulate original", "explore");
+      obs::Span span(options_.obs.trace, "simulate original", "explore",
+                     options_.obs.request);
       original_run.emplace(sim::simulate(base, options_.sim_max_time));
     }
     run_indexed(out.validated.size(), options_.threads, [&](std::size_t v) {
@@ -251,7 +254,7 @@ Result<ExplorationResult> Explorer::run() const {
       result.validated = true;
       obs::Span span(options_.obs.trace,
                      "validate point " + std::to_string(point.index),
-                     "explore");
+                     "explore", options_.obs.request);
 
       spec::System refined =
           base.clone(base.name() + "_x" + std::to_string(point.index));

@@ -33,6 +33,9 @@ struct WorkQueueObs {
   /// Accumulates every worker's busy microseconds (wall clock).
   obs::Counter* busy_us = nullptr;
   const char* label = "worker";
+  /// Owning request, when this run happens inside a service request —
+  /// tags the drain spans with its trace id.
+  const obs::RequestContext* request = nullptr;
 };
 
 /// Invoke `work(i)` for every i in [0, count) using up to `threads`
@@ -56,7 +59,7 @@ inline void run_indexed(std::size_t count, int threads,
     }
     {
       obs::Span span(wq_obs.trace, std::string(wq_obs.label) + " drain",
-                     "work_queue");
+                     "work_queue", wq_obs.request);
       for (std::size_t i = next.fetch_add(1); i < count;
            i = next.fetch_add(1)) {
         if (wq_obs.trace) {

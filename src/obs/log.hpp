@@ -1,0 +1,119 @@
+// ifsyn/obs/log.hpp
+//
+// Bounded structured event log for the service path: a thread-safe ring
+// of {timestamp, severity, component, message, fields} records that
+// serializes to JSONL (one JSON object per line), the format the serve
+// front end's --event-log flag writes.
+//
+// Two protections keep it safe to leave on in a long-running service:
+//
+//   - Bounded memory: the ring holds at most `capacity` records; older
+//     records are evicted FIFO and counted (evicted()).
+//   - Rate limiting: per (severity, component) key, at most
+//     `max_per_window` records are accepted per `window_us` of host
+//     time; excess records are counted (suppressed()) and dropped, so a
+//     watchdog firing every poll on a stuck worker cannot flood the log.
+//
+// Records below the minimum severity are ignored for free. Timestamps
+// are host microseconds since log construction — this is wall-clock
+// observability surface, never report material, mirroring the
+// TraceSink's stance.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ifsyn::obs {
+
+enum class Severity { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// "debug" / "info" / "warn" / "error".
+const char* severity_name(Severity severity);
+
+struct LogEvent {
+  std::uint64_t ts_us = 0;
+  Severity severity = Severity::kInfo;
+  std::string component;  ///< subsystem, e.g. "serve.watchdog"
+  std::string message;
+  /// Extra structured context, serialized as an object in input order.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class EventLog {
+ public:
+  struct Options {
+    std::size_t capacity = 1024;        ///< ring size; 0 accepts nothing
+    Severity min_severity = Severity::kInfo;
+    std::size_t max_per_window = 32;    ///< per (severity, component) key
+    std::uint64_t window_us = 1000000;  ///< rate-limit window (1 s)
+  };
+
+  EventLog() : EventLog(Options{}) {}
+  explicit EventLog(Options options)
+      : options_(options), t0_(std::chrono::steady_clock::now()) {}
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Host microseconds since the log was created.
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  /// Records an event stamped at now. Returns false if it was filtered
+  /// (below min severity), suppressed (rate limit), or capacity is 0.
+  bool log(Severity severity, std::string component, std::string message,
+           std::vector<std::pair<std::string, std::string>> fields = {}) {
+    return log_at(now_us(), severity, std::move(component),
+                  std::move(message), std::move(fields));
+  }
+
+  /// As log(), with an explicit timestamp — the testing seam for the
+  /// rate limiter, and what callers holding a consistent clock use.
+  bool log_at(std::uint64_t ts_us, Severity severity, std::string component,
+              std::string message,
+              std::vector<std::pair<std::string, std::string>> fields = {});
+
+  /// Events currently in the ring, oldest first.
+  std::vector<LogEvent> recent() const;
+
+  std::size_t size() const;
+  /// Records dropped because the ring was full.
+  std::uint64_t evicted() const;
+  /// Records dropped by the per-key rate limit.
+  std::uint64_t suppressed() const;
+
+  /// One JSON object per line, oldest first:
+  ///   {"ts_us":N,"severity":"warn","component":"...","message":"...",
+  ///    "fields":{"k":"v",...}}
+  /// ("fields" is omitted when empty.)
+  std::string to_jsonl() const;
+
+  /// Writes to_jsonl() to `path`. On failure returns false and, if
+  /// `error` is non-null, explains why.
+  bool write_jsonl(const std::string& path, std::string* error) const;
+
+ private:
+  struct Window {
+    std::uint64_t start_us = 0;
+    std::size_t count = 0;
+  };
+
+  const Options options_;
+  const std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::deque<LogEvent> events_;
+  std::map<std::pair<int, std::string>, Window> windows_;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace ifsyn::obs

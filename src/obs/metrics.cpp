@@ -186,6 +186,27 @@ void render_section(std::ostringstream& os, const MetricsSnapshot& snap,
 
 }  // namespace
 
+double MetricsSnapshot::HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             q * static_cast<double>(count) + 0.9999999));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      if (i < bounds.size()) return static_cast<double>(bounds[i]);
+      // Overflow bucket: no upper bound recorded; report one octave past
+      // the last finite bound, keeping the factor-of-2 envelope for
+      // observations that only just overflowed.
+      return bounds.empty() ? 0.0 : 2.0 * static_cast<double>(bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
 const MetricsSnapshot::Entry* MetricsSnapshot::find(
     const std::string& name) const {
   for (const Entry& e : entries) {
@@ -290,6 +311,15 @@ std::string MetricsSnapshot::to_prometheus_text() const {
         os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n"
            << name << "_sum " << h.sum << "\n"
            << name << "_count " << h.count << "\n";
+        if (h.count > 0) {
+          os << "# TYPE " << name << "_summary summary\n";
+          for (const double q : {0.5, 0.95, 0.99}) {
+            std::ostringstream label;
+            label << q;
+            os << name << "_summary{quantile=\"" << label.str() << "\"} "
+               << static_cast<std::uint64_t>(h.quantile(q)) << "\n";
+          }
+        }
         break;
       }
     }

@@ -113,6 +113,14 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1, overflow last
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+
+    /// Sketch quantile (q in [0, 1]): the upper bound of the bucket
+    /// holding the ceil(q * count)-th observation. With
+    /// exponential_bounds() buckets the estimate e of a true value v
+    /// obeys v <= e < 2v (see obs/quantiles.hpp). Observations in the
+    /// overflow bucket estimate as 2 * bounds.back(); an empty histogram
+    /// yields 0.
+    double quantile(double q) const;
   };
   struct Entry {
     std::string name;
@@ -144,9 +152,12 @@ struct MetricsSnapshot {
   /// classes — this is a service-monitoring surface, not report
   /// material). Names are prefixed with "ifsyn_" and mangled to
   /// [a-zA-Z0-9_]; histograms render as cumulative _bucket{le=...}
-  /// series plus _sum and _count, counters get a _total suffix. Output
-  /// order follows `entries` (sorted by name), so the snapshot of a
-  /// given state always serializes identically.
+  /// series plus _sum and _count, counters get a _total suffix.
+  /// Non-empty histograms additionally export a companion
+  /// <name>_summary series with {quantile="0.5"/"0.95"/"0.99"} sketch
+  /// estimates (see HistogramData::quantile). Output order follows
+  /// `entries` (sorted by name), so the snapshot of a given state
+  /// always serializes identically.
   std::string to_prometheus_text() const;
 };
 

@@ -1,0 +1,16 @@
+#include "obs/quantiles.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ifsyn::obs {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+}  // namespace ifsyn::obs

@@ -1,0 +1,30 @@
+// ifsyn/obs/quantiles.hpp
+//
+// Shared quantile helpers, so benches and the serve front end agree on
+// one definition of "p95" instead of growing private copies.
+//
+// Two estimators live here:
+//
+//   - percentile(values, p): exact nearest-rank over raw samples. This is
+//     what benches use when they hold every latency in memory.
+//   - MetricsSnapshot::HistogramData::quantile(q) (see metrics.hpp):
+//     sketch estimate from a log-bucketed histogram — what a running
+//     service exposes, where keeping raw samples is off the table.
+//
+// With exponential_bounds() buckets (powers of two), the sketch returns
+// the upper bound of the bucket holding the q-th observation, so the
+// estimate e of a true value v satisfies v <= e < 2v — a factor-of-2
+// (one-octave) error bound. Benches assert exactly this envelope when
+// cross-checking the service's sketch against their exact percentiles.
+#pragma once
+
+#include <vector>
+
+namespace ifsyn::obs {
+
+/// Exact nearest-rank percentile of `values` (p in [0, 1]; p=0.5 is the
+/// median). Takes its argument by value and sorts internally; an empty
+/// input yields 0.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace ifsyn::obs

@@ -26,9 +26,13 @@ namespace ifsyn::obs {
 
 /// Non-owning observability hooks, passed by value through option structs.
 /// Callers own the registry/sink and keep them alive across the call.
+/// `request`, when set by a service front end, attributes every span the
+/// instrumented code emits to the owning request (args.trace_id in the
+/// Chrome trace); engine code never reads it directly.
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  const RequestContext* request = nullptr;
 
   bool enabled() const { return metrics != nullptr || trace != nullptr; }
 };
@@ -37,14 +41,18 @@ struct ObsContext {
 /// A null sink makes construction and destruction free of clock reads.
 class Span {
  public:
-  Span(TraceSink* sink, std::string name, std::string category = "")
-      : sink_(sink), name_(std::move(name)), category_(std::move(category)) {
+  Span(TraceSink* sink, std::string name, std::string category = "",
+       const RequestContext* request = nullptr)
+      : sink_(sink),
+        request_(request),
+        name_(std::move(name)),
+        category_(std::move(category)) {
     if (sink_) start_us_ = sink_->now_us();
   }
   ~Span() {
     if (sink_) {
       sink_->duration_event(name_, category_, start_us_,
-                            sink_->now_us() - start_us_);
+                            sink_->now_us() - start_us_, request_);
     }
   }
   Span(const Span&) = delete;
@@ -52,6 +60,7 @@ class Span {
 
  private:
   TraceSink* sink_;
+  const RequestContext* request_;
   std::string name_;
   std::string category_;
   std::uint64_t start_us_ = 0;
@@ -65,6 +74,7 @@ class ScopedTimer {
   ScopedTimer(const ObsContext& ctx, const std::string& metric_name,
               std::string span_name, std::string category = "")
       : trace_(ctx.trace),
+        request_(ctx.request),
         counter_(ctx.metrics ? &ctx.metrics->counter(metric_name,
                                                      Determinism::kWallClock)
                              : nullptr),
@@ -81,7 +91,9 @@ class ScopedTimer {
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count());
     if (counter_) counter_->add(us);
-    if (trace_) trace_->duration_event(name_, category_, trace_start_us_, us);
+    if (trace_) {
+      trace_->duration_event(name_, category_, trace_start_us_, us, request_);
+    }
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -89,6 +101,7 @@ class ScopedTimer {
 
  private:
   TraceSink* trace_;
+  const RequestContext* request_;
   Counter* counter_;
   std::string name_;
   std::string category_;

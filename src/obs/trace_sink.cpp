@@ -25,27 +25,58 @@ void TraceSink::set_thread_name(const std::string& name) {
   thread_names_[tid_locked(std::this_thread::get_id())] = name;
 }
 
+void TraceSink::push(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = tid_locked(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
 void TraceSink::duration_event(const std::string& name,
                                const std::string& category,
-                               std::uint64_t ts_us, std::uint64_t dur_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'X', name, category, ts_us, dur_us, 0,
-                          tid_locked(std::this_thread::get_id())});
+                               std::uint64_t ts_us, std::uint64_t dur_us,
+                               const RequestContext* request) {
+  Event e{'X', name, category, ts_us, dur_us, 0, 0, "", 0};
+  if (request) e.trace_id = request->trace_id;
+  push(std::move(e));
 }
 
 void TraceSink::instant_event(const std::string& name,
-                              const std::string& category) {
-  const std::uint64_t ts = now_us();
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'i', name, category, ts, 0, 0,
-                          tid_locked(std::this_thread::get_id())});
+                              const std::string& category,
+                              const RequestContext* request) {
+  Event e{'i', name, category, now_us(), 0, 0, 0, "", 0};
+  if (request) e.trace_id = request->trace_id;
+  push(std::move(e));
 }
 
 void TraceSink::counter_event(const std::string& name, std::int64_t value) {
-  const std::uint64_t ts = now_us();
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(Event{'C', name, "", ts, 0, value,
-                          tid_locked(std::this_thread::get_id())});
+  push(Event{'C', name, "", now_us(), 0, value, 0, "", 0});
+}
+
+void TraceSink::flow_begin(const std::string& name,
+                           const std::string& category,
+                           std::uint64_t flow_id) {
+  push(Event{'s', name, category, now_us(), 0, 0, flow_id, "", 0});
+}
+
+void TraceSink::flow_end(const std::string& name, const std::string& category,
+                         std::uint64_t flow_id) {
+  push(Event{'f', name, category, now_us(), 0, 0, flow_id, "", 0});
+}
+
+void TraceSink::async_begin(const std::string& name,
+                            const std::string& category, std::uint64_t id,
+                            const RequestContext* request) {
+  Event e{'b', name, category, now_us(), 0, 0, id, "", 0};
+  if (request) e.trace_id = request->trace_id;
+  push(std::move(e));
+}
+
+void TraceSink::async_end(const std::string& name,
+                          const std::string& category, std::uint64_t id,
+                          const RequestContext* request) {
+  Event e{'e', name, category, now_us(), 0, 0, id, "", 0};
+  if (request) e.trace_id = request->trace_id;
+  push(std::move(e));
 }
 
 std::size_t TraceSink::event_count() const {
@@ -106,8 +137,19 @@ std::string TraceSink::to_json() const {
       case 'C':
         os << ", \"args\": {\"value\": " << e.value << "}";
         break;
+      case 's':
+      case 'f':
+      case 'b':
+      case 'e':
+        os << ", \"id\": " << e.id;
+        if (e.ph == 'f') os << ", \"bp\": \"e\"";
+        break;
       default:
         break;
+    }
+    if (!e.trace_id.empty() && e.ph != 'C') {
+      os << ", \"args\": {\"trace_id\": \"" << json_escape(e.trace_id)
+         << "\"}";
     }
     os << "}";
   }
@@ -300,6 +342,9 @@ bool event_error(std::string* error, std::size_t index,
   return false;
 }
 
+bool is_flow_phase(char ph) { return ph == 's' || ph == 't' || ph == 'f'; }
+bool is_async_phase(char ph) { return ph == 'b' || ph == 'n' || ph == 'e'; }
+
 bool check_event(const JsonValue& event, std::size_t index,
                  std::string* error) {
   if (event.type != JsonValue::Type::kObject) {
@@ -339,6 +384,92 @@ bool check_event(const JsonValue& event, std::size_t index,
       return event_error(error, index, "missing object \"args\"");
     }
   }
+  if (is_flow_phase(phase) || is_async_phase(phase)) {
+    const JsonValue* id = event.get("id");
+    if (!id || (id->type != JsonValue::Type::kNumber &&
+                id->type != JsonValue::Type::kString)) {
+      return event_error(error, index,
+                         std::string("phase \"") + phase +
+                             "\" missing \"id\" (number or string)");
+    }
+    if (is_async_phase(phase)) {
+      const JsonValue* cat = event.get("cat");
+      if (!cat || cat->type != JsonValue::Type::kString) {
+        return event_error(error, index,
+                           std::string("async phase \"") + phase +
+                               "\" missing string \"cat\"");
+      }
+    }
+  }
+  return true;
+}
+
+std::string event_id_string(const JsonValue& event) {
+  const JsonValue* id = event.get("id");
+  if (id->type == JsonValue::Type::kString) return id->string;
+  std::ostringstream os;
+  os << id->number;
+  return os.str();
+}
+
+/// Cross-event pairing rules: flows must form s -> [t...] -> f chains per
+/// id (no double-start, no end or step without a start, no id left open),
+/// and async begins/ends must balance per (category, id, name).
+bool check_bindings(const std::vector<JsonValue>& events,
+                    std::string* error) {
+  std::map<std::string, std::size_t> open_flows;  // id -> start index
+  std::map<std::string, int> open_async;  // cat|id|name -> nesting depth
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events[i];
+    const char phase = event.get("ph")->string[0];
+    if (is_flow_phase(phase)) {
+      const std::string id = event_id_string(event);
+      if (phase == 's') {
+        if (open_flows.count(id)) {
+          return event_error(error, i,
+                             "flow id " + id + " started twice without an "
+                             "\"f\" in between");
+        }
+        open_flows.emplace(id, i);
+      } else {  // 't' step or 'f' end both need a live flow
+        auto it = open_flows.find(id);
+        if (it == open_flows.end()) {
+          return event_error(error, i,
+                             std::string("flow \"") + phase + "\" with id " +
+                                 id + " has no matching \"s\" start");
+        }
+        if (phase == 'f') open_flows.erase(it);
+      }
+    } else if (is_async_phase(phase)) {
+      const std::string key = event.get("cat")->string + "|" +
+                              event_id_string(event) + "|" +
+                              event.get("name")->string;
+      if (phase == 'b') {
+        ++open_async[key];
+      } else if (phase == 'e') {
+        auto it = open_async.find(key);
+        if (it == open_async.end() || it->second == 0) {
+          return event_error(error, i,
+                             "async end (" + key +
+                                 ") has no matching \"b\" begin");
+        }
+        if (--it->second == 0) open_async.erase(it);
+      }
+    }
+  }
+  if (!open_flows.empty()) {
+    const auto& [id, index] = *open_flows.begin();
+    return event_error(error, index,
+                       "flow id " + id + " started (\"s\") but never "
+                       "finished (\"f\")");
+  }
+  if (!open_async.empty()) {
+    if (error && error->empty()) {
+      *error = "async span (" + open_async.begin()->first +
+               ") begun but never ended";
+    }
+    return false;
+  }
   return true;
 }
 
@@ -361,7 +492,7 @@ bool validate_trace_json(const std::string& json, std::string* error) {
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     if (!check_event(events->array[i], i, error)) return false;
   }
-  return true;
+  return check_bindings(events->array, error);
 }
 
 }  // namespace ifsyn::obs

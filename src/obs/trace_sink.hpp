@@ -2,8 +2,9 @@
 //
 // Structured event sink serializing to the Chrome/Perfetto `trace_event`
 // JSON format, so a whole run — per-thread work-queue spans, per-point
-// validation spans, fresh estimations as instant events — can be opened in
-// chrome://tracing or ui.perfetto.dev.
+// validation spans, fresh estimations as instant events, and whole
+// service requests hopping from the submitter thread to a worker — can be
+// opened in chrome://tracing or ui.perfetto.dev.
 //
 // Schema emitted (the "JSON Object Format" of the trace-event spec):
 //
@@ -14,10 +15,26 @@
 //        "pid": 1, "tid": N},                         // instant event
 //       {"name": "...", "ph": "C", "ts": µs, "pid": 1, "tid": N,
 //        "args": {"value": V}},                       // counter track
+//       {"name": "...", "cat": "...", "ph": "s", "id": F, ...},
+//       {"name": "...", "cat": "...", "ph": "f", "bp": "e", "id": F, ...},
+//                                  // flow arrow: start -> binding end
+//       {"name": "...", "cat": "...", "ph": "b"/"e", "id": A, ...},
+//                                  // async span begin/end (cross-thread)
 //       {"name": "thread_name", "ph": "M", "pid": 1, "tid": N,
 //        "args": {"name": "..."}}                     // thread metadata
 //     ],
 //     "displayTimeUnit": "ms" }
+//
+// Flow events ("s"/"f") draw an arrow from one slice to another — the
+// serve front end uses one flow per request to link the submitter
+// thread's admission slice to the worker thread's execute slice. Async
+// events ("b"/"e") describe a span that is not bound to one thread — one
+// per request covers submit -> respond. Both are matched by "id" (flows
+// globally, async spans per (category, id, name) per the spec).
+//
+// Request attribution: events recorded with a RequestContext carry
+// {"args": {"trace_id": "..."}} so every phase span inside an engine run
+// can be grepped back to the owning request in a service-wide trace.
 //
 // Timestamps are host microseconds since sink construction (Chrome traces
 // are wall-clock artifacts by nature; deterministic numbers belong in the
@@ -26,7 +43,7 @@
 //
 // Thread safety: all recording methods may be called concurrently; events
 // append under one mutex. Recording is intended for opt-in runs (a CLI
-// --chrome-trace flag), not the always-on hot path.
+// --chrome-trace / serve --trace flag), not the always-on hot path.
 #pragma once
 
 #include <chrono>
@@ -38,6 +55,16 @@
 #include <vector>
 
 namespace ifsyn::obs {
+
+/// Request-scoped identity threaded (by pointer, inside ObsContext)
+/// through the engine entry points, so phase spans recorded on a shared
+/// service-wide sink attach to the owning request. `trace_id` is the
+/// stable id stamped at admission; `flow_id` is the numeric id binding
+/// the request's flow events. Both empty/zero = no attribution.
+struct RequestContext {
+  std::string trace_id;
+  std::uint64_t flow_id = 0;
+};
 
 class TraceSink {
  public:
@@ -58,13 +85,33 @@ class TraceSink {
   /// Names the calling thread's track in the trace viewer.
   void set_thread_name(const std::string& name);
 
-  /// Complete span ("ph":"X") on the calling thread's track.
+  /// Complete span ("ph":"X") on the calling thread's track. A non-null
+  /// `request` tags the event with its trace_id in "args".
   void duration_event(const std::string& name, const std::string& category,
-                      std::uint64_t ts_us, std::uint64_t dur_us);
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      const RequestContext* request = nullptr);
   /// Thread-scoped instant event ("ph":"i") at now.
-  void instant_event(const std::string& name, const std::string& category);
+  void instant_event(const std::string& name, const std::string& category,
+                     const RequestContext* request = nullptr);
   /// Counter-track sample ("ph":"C") at now.
   void counter_event(const std::string& name, std::int64_t value);
+
+  /// Flow arrow start ("ph":"s") at now on the calling thread. The arrow
+  /// lands wherever flow_end is later called with the same id.
+  void flow_begin(const std::string& name, const std::string& category,
+                  std::uint64_t flow_id);
+  /// Flow arrow end ("ph":"f", "bp":"e") at now: binds to the enclosing
+  /// slice on the calling thread, so call it inside the receiving span.
+  void flow_end(const std::string& name, const std::string& category,
+                std::uint64_t flow_id);
+
+  /// Async span begin/end ("ph":"b"/"e"): a span matched by
+  /// (category, id, name) rather than pinned to one thread — the request
+  /// lifetime from submit to respond. `request` tags args as above.
+  void async_begin(const std::string& name, const std::string& category,
+                   std::uint64_t id, const RequestContext* request = nullptr);
+  void async_end(const std::string& name, const std::string& category,
+                 std::uint64_t id, const RequestContext* request = nullptr);
 
   std::size_t event_count() const;
 
@@ -73,15 +120,18 @@ class TraceSink {
 
  private:
   struct Event {
-    char ph;  // 'X', 'i', 'C'
+    char ph;  // 'X', 'i', 'C', 's', 'f', 'b', 'e'
     std::string name;
     std::string category;
     std::uint64_t ts = 0;
     std::uint64_t dur = 0;    // 'X' only
     std::int64_t value = 0;   // 'C' only
+    std::uint64_t id = 0;     // 's'/'f'/'b'/'e' only
+    std::string trace_id;     // non-empty => args.trace_id
     int tid = 0;
   };
 
+  void push(Event event);
   int tid_locked(std::thread::id id);
 
   const std::chrono::steady_clock::time_point t0_;
@@ -94,8 +144,14 @@ class TraceSink {
 /// Validates that `json` is a syntactically well-formed trace-event
 /// document Perfetto will load: a top-level object with a "traceEvents"
 /// array whose elements carry the per-phase required keys ("name", "ph",
-/// "pid", "tid", and "ts"/"dur"/"args" where the phase demands them).
-/// On failure returns false and, if `error` is non-null, explains why.
+/// "pid", "tid", and "ts"/"dur"/"args" where the phase demands them;
+/// "id" for flow and async phases). Additionally checks flow/async
+/// pairing across the whole document: every flow end ("f") must bind to
+/// an earlier start ("s") with the same id, no flow may start twice or
+/// stay open, and async begins/ends must balance per (category, id,
+/// name). On failure returns false and, if `error` is non-null, explains
+/// why. scripts/validate_trace_json.py applies the same rules to trace
+/// artifacts in CI.
 bool validate_trace_json(const std::string& json, std::string* error);
 
 }  // namespace ifsyn::obs

@@ -113,6 +113,7 @@ const char* request_op_name(RequestOp op) {
     case RequestOp::kExplore: return "explore";
     case RequestOp::kCheck: return "check";
     case RequestOp::kMetrics: return "metrics";
+    case RequestOp::kStats: return "stats";
   }
   return "?";
 }
@@ -145,6 +146,7 @@ Result<Request> parse_request(const Json& json) {
       else if (op == "explore") request.op = RequestOp::kExplore;
       else if (op == "check") request.op = RequestOp::kCheck;
       else if (op == "metrics") request.op = RequestOp::kMetrics;
+      else if (op == "stats") request.op = RequestOp::kStats;
       else return invalid_argument("unknown op '" + op + "'");
     } else if (key == "spec") {
       if (!value.is_string()) return invalid_argument("spec must be a string");
@@ -170,8 +172,9 @@ Result<Request> parse_request(const Json& json) {
     }
   }
   if (json.find("op") == nullptr) return invalid_argument("missing op");
-  if (request.op != RequestOp::kMetrics && request.target.empty() &&
-      request.spec_text.empty()) {
+  const bool introspection =
+      request.op == RequestOp::kMetrics || request.op == RequestOp::kStats;
+  if (!introspection && request.target.empty() && request.spec_text.empty()) {
     return invalid_argument("missing spec (or spec_text)");
   }
   if (!request.target.empty() && !request.spec_text.empty()) {
@@ -196,6 +199,7 @@ std::string render_response(const Response& response, bool include_timing) {
   if (include_timing) {
     object["elapsed_us"] = response.elapsed_us;
     object["queue_us"] = response.queue_us;
+    if (!response.trace_id.empty()) object["trace_id"] = response.trace_id;
   }
   return Json(std::move(object)).dump();
 }

@@ -11,6 +11,7 @@
 //    "options": {"top_k": 4, "protocols": ["full", "fixed"]}}
 //   {"id": "r3", "op": "check", "spec": "builtin:ethernet"}
 //   {"id": "r4", "op": "metrics"}
+//   {"id": "r5", "op": "stats"}
 //
 // Spec targets: a `.ifs` path, "builtin:flc|am|ethernet|fig3", or inline
 // text via "spec_text". Responses echo the id, carry ok/error plus the
@@ -44,7 +45,7 @@
 
 namespace ifsyn::serve {
 
-enum class RequestOp { kSynth, kExplore, kCheck, kMetrics };
+enum class RequestOp { kSynth, kExplore, kCheck, kMetrics, kStats };
 
 const char* request_op_name(RequestOp op);
 
@@ -78,8 +79,22 @@ struct Request {
   /// request past its deadline yields a structured deadline_exceeded
   /// error — never a hang.
   std::uint64_t deadline_ms = 0;
-  /// Optional path: write this request's Chrome trace there.
+  /// Optional path: write this request's Chrome trace there. Precedence
+  /// vs the service-wide sink: when set, the request's *engine* phase
+  /// spans go to a private sink written to this path and are NOT
+  /// duplicated into the service-wide trace; the request's lifecycle
+  /// events (submit/execute spans, flow arrows, async request span)
+  /// always go to the service-wide sink when one is configured, so the
+  /// service trace stays complete. An unwritable path is a structured
+  /// "trace_unwritable" error response, not a silent drop — the check
+  /// runs *before* execution so no engine work is wasted.
   std::string trace_file;
+  /// Service-assigned trace ID ("t1", "t2", ...), stamped at admission
+  /// (submit) or on direct execute() if unset. Not a wire field:
+  /// parse_request rejects it in incoming JSON; it is echoed on the
+  /// response (timing section) and tags every span of this request in
+  /// the service-wide Chrome trace (args.trace_id).
+  std::string trace_id;
 };
 
 struct ErrorInfo {
@@ -94,9 +109,11 @@ struct Response {
   ErrorInfo error;        ///< set when !ok
   std::string spec_hash;  ///< interned content hash (when resolved)
   std::string report;     ///< deterministic payload (see file comment)
-  // Wall-clock, excluded from the determinism contract:
+  // Wall-clock, excluded from the determinism contract (rendered only
+  // when include_timing):
   std::uint64_t elapsed_us = 0;  ///< execution time
   std::uint64_t queue_us = 0;    ///< time spent queued before a worker
+  std::string trace_id;          ///< service-assigned request trace ID
 };
 
 /// Stable error code for a Status ("invalid_argument", "not_found", …).

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -91,6 +92,12 @@ Service::Service(ServiceOptions options)
                                      obs::Determinism::kWallClock)),
       h_latency_us_(registry_.histogram("serve.request_latency_us",
                                         obs::exponential_bounds(100'000'000),
+                                        obs::Determinism::kWallClock)),
+      h_queue_wait_us_(registry_.histogram("serve.queue_wait_us",
+                                           obs::exponential_bounds(100'000'000),
+                                           obs::Determinism::kWallClock)),
+      h_execute_us_(registry_.histogram("serve.execute_us",
+                                        obs::exponential_bounds(100'000'000),
                                         obs::Determinism::kWallClock)) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_request_threads < 1) options_.max_request_threads = 1;
@@ -110,9 +117,23 @@ void Service::start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!workers_.empty()) return;
   stopping_ = false;
+  {
+    std::lock_guard<std::mutex> slots_lock(slots_mu_);
+    slots_.assign(static_cast<std::size_t>(options_.workers), WorkerSlot{});
+  }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+  if (options_.watchdog_poll_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+  if (options_.event_log) {
+    options_.event_log->log(
+        obs::Severity::kInfo, "serve.service", "service started",
+        {{"workers", std::to_string(options_.workers)},
+         {"queue_capacity", std::to_string(options_.queue_capacity)}});
   }
 }
 
@@ -125,6 +146,11 @@ void Service::stop() {
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+  if (options_.event_log) {
+    options_.event_log->log(obs::Severity::kInfo, "serve.service",
+                            "service stopped");
+  }
 }
 
 std::future<Response> Service::submit(Request request) {
@@ -137,20 +163,49 @@ std::future<Response> Service::submit(Request request) {
     pending.deadline =
         pending.enqueued + std::chrono::milliseconds(deadline_ms);
   }
+  // Trace identity, stamped at admission: the id every span of this
+  // request carries, and the numeric id binding its flow/async events.
+  const std::uint64_t seq = ++trace_seq_;
+  if (request.trace_id.empty()) request.trace_id = "t" + std::to_string(seq);
+  pending.ctx.trace_id = request.trace_id;
+  pending.ctx.flow_id = seq;
+  const obs::RequestContext ctx = pending.ctx;
+  const std::string request_id = request.id;
   pending.request = std::move(request);
   std::future<Response> future = pending.promise.get_future();
+
+  obs::TraceSink* trace = options_.trace;
+  std::uint64_t submit_ts = 0;
+  if (trace) {
+    // The lifecycle events must be recorded *before* the queue push:
+    // once the request is visible a worker may dequeue it and record
+    // the flow end, and the sink's pairing validator requires the start
+    // to precede it.
+    submit_ts = trace->now_us();
+    trace->async_begin("request", "serve", ctx.flow_id, &ctx);
+    trace->flow_begin("request", "serve", ctx.flow_id);
+  }
+  const auto reject = [&](Response response) {
+    c_rejected_.add(1);
+    response.trace_id = ctx.trace_id;
+    if (trace) {
+      // Close the just-opened flow/async pair so the trace stays valid.
+      trace->flow_end("request", "serve", ctx.flow_id);
+      trace->instant_event("admission_rejected", "serve", &ctx);
+      trace->async_end("request", "serve", ctx.flow_id, &ctx);
+    }
+    pending.promise.set_value(std::move(response));
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || workers_.empty()) {
-      c_rejected_.add(1);
-      pending.promise.set_value(error_response(
+      reject(error_response(
           pending.request, "admission_rejected",
           workers_.empty() ? "service not started" : "service stopping"));
       return future;
     }
     if (queue_.size() >= options_.queue_capacity) {
-      c_rejected_.add(1);
-      pending.promise.set_value(error_response(
+      reject(error_response(
           pending.request, "admission_rejected",
           "queue full (" + std::to_string(options_.queue_capacity) +
               " pending)"));
@@ -160,10 +215,18 @@ std::future<Response> Service::submit(Request request) {
     g_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
+  if (trace) {
+    trace->duration_event("submit " + request_id, "serve", submit_ts,
+                          trace->now_us() - submit_ts, &ctx);
+  }
   return future;
 }
 
-void Service::worker_loop() {
+void Service::worker_loop(std::size_t worker_index) {
+  if (options_.trace) {
+    options_.trace->set_thread_name("serve worker " +
+                                    std::to_string(worker_index));
+  }
   while (true) {
     Pending pending;
     {
@@ -176,6 +239,27 @@ void Service::worker_loop() {
     }
 
     const Clock::time_point start = Clock::now();
+    obs::TraceSink* trace = options_.trace;
+    std::uint64_t execute_ts = 0;
+    if (trace) {
+      execute_ts = trace->now_us();
+      // Lands the submitter's flow arrow on this worker's execute slice.
+      trace->flow_end("request", "serve", pending.ctx.flow_id);
+    }
+    {
+      std::lock_guard<std::mutex> slots_lock(slots_mu_);
+      WorkerSlot& slot = slots_[worker_index];
+      slot.busy = true;
+      slot.request_id = pending.request.id;
+      slot.trace_id = pending.ctx.trace_id;
+      slot.op = request_op_name(pending.request.op);
+      slot.start = start;
+      slot.deadline = pending.deadline;
+    }
+
+    const bool slow_capture =
+        options_.slow_trace_ms > 0 && !options_.slow_trace_dir.empty();
+    std::string engine_trace_json;
     Response response;
     if (pending.deadline && start > *pending.deadline) {
       // Expired while queued: answer without burning a worker on it.
@@ -183,7 +267,8 @@ void Service::worker_loop() {
       response = error_response(pending.request, "deadline_exceeded",
                                 "deadline expired while queued");
     } else {
-      response = execute(pending.request);
+      response = execute_traced(pending.request,
+                                slow_capture ? &engine_trace_json : nullptr);
       if (pending.deadline && Clock::now() > *pending.deadline) {
         c_deadline_.add(1);
         response = error_response(pending.request, "deadline_exceeded",
@@ -191,37 +276,217 @@ void Service::worker_loop() {
       }
     }
     const Clock::time_point end = Clock::now();
+    {
+      std::lock_guard<std::mutex> slots_lock(slots_mu_);
+      slots_[worker_index] = WorkerSlot{};
+    }
     response.queue_us = us_between(pending.enqueued, start);
     response.elapsed_us = us_between(start, end);
-    h_latency_us_.observe(us_between(pending.enqueued, end));
+    response.trace_id = pending.ctx.trace_id;
+    const std::uint64_t total_us = us_between(pending.enqueued, end);
+    h_latency_us_.observe(total_us);
+    h_queue_wait_us_.observe(response.queue_us);
+    h_execute_us_.observe(response.elapsed_us);
+    registry_
+        .histogram("serve.latency." + response.op + "_us",
+                   obs::exponential_bounds(100'000'000),
+                   obs::Determinism::kWallClock)
+        .observe(total_us);
     (response.ok ? c_ok_ : c_error_).add(1);
+    if (trace) {
+      trace->duration_event(
+          "execute " + response.op + " " + pending.request.id, "serve",
+          execute_ts, trace->now_us() - execute_ts, &pending.ctx);
+      trace->async_end("request", "serve", pending.ctx.flow_id,
+                       &pending.ctx);
+    }
+    if (slow_capture) maybe_capture_slow(response, total_us, engine_trace_json);
     pending.promise.set_value(std::move(response));
   }
 }
 
+void Service::watchdog_loop() {
+  const auto interval = std::chrono::milliseconds(options_.watchdog_poll_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    watchdog_poll();
+    lock.lock();
+  }
+}
+
+void Service::watchdog_poll() {
+  const Clock::time_point now = Clock::now();
+  std::int64_t busy_workers = 0;
+  std::uint64_t oldest_age_us = 0;
+  std::uint64_t oldest_overdue_us = 0;
+  struct Overdue {
+    std::size_t worker;
+    std::string request_id;
+    std::string trace_id;
+    std::uint64_t overdue_us;
+  };
+  std::vector<Overdue> overdue;
+  {
+    std::lock_guard<std::mutex> slots_lock(slots_mu_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const WorkerSlot& slot = slots_[i];
+      const std::uint64_t age_us =
+          slot.busy ? us_between(slot.start, now) : 0;
+      const std::uint64_t overdue_us =
+          slot.busy && slot.deadline && now > *slot.deadline
+              ? us_between(*slot.deadline, now)
+              : 0;
+      const std::string prefix = "serve.worker." + std::to_string(i);
+      registry_.gauge(prefix + ".inflight_age_us",
+                      obs::Determinism::kWallClock)
+          .set(static_cast<std::int64_t>(age_us));
+      registry_.gauge(prefix + ".deadline_overdue_us",
+                      obs::Determinism::kWallClock)
+          .set(static_cast<std::int64_t>(overdue_us));
+      if (slot.busy) ++busy_workers;
+      oldest_age_us = std::max(oldest_age_us, age_us);
+      oldest_overdue_us = std::max(oldest_overdue_us, overdue_us);
+      if (overdue_us > 0 && options_.event_log) {
+        overdue.push_back({i, slot.request_id, slot.trace_id, overdue_us});
+      }
+    }
+  }
+  registry_.gauge("serve.workers.busy", obs::Determinism::kWallClock)
+      .set(busy_workers);
+  registry_.gauge("serve.inflight.oldest_age_us",
+                  obs::Determinism::kWallClock)
+      .set(static_cast<std::int64_t>(oldest_age_us));
+  registry_.gauge("serve.inflight.oldest_deadline_overdue_us",
+                  obs::Determinism::kWallClock)
+      .set(static_cast<std::int64_t>(oldest_overdue_us));
+  for (const Overdue& o : overdue) {
+    // The EventLog's per-(severity, component) rate limit keeps a worker
+    // stuck for many polls from flooding the log.
+    options_.event_log->log(
+        obs::Severity::kWarn, "serve.watchdog",
+        "worker past request deadline on uninterruptible engine work",
+        {{"worker", std::to_string(o.worker)},
+         {"request_id", o.request_id},
+         {"trace_id", o.trace_id},
+         {"overdue_us", std::to_string(o.overdue_us)}});
+  }
+}
+
+void Service::maybe_capture_slow(const Response& response,
+                                 std::uint64_t total_us,
+                                 const std::string& engine_trace_json) {
+  if (total_us < options_.slow_trace_ms * 1000) return;
+  if (options_.slow_trace_keep == 0) return;
+  std::string json = engine_trace_json;
+  if (json.empty()) {
+    // The engine spans already live in the service-wide trace; this
+    // capture records the request's lifecycle shape (see service.hpp).
+    obs::TraceSink summary;
+    obs::RequestContext ctx{response.trace_id, 0};
+    summary.set_thread_name("request " + response.trace_id);
+    summary.duration_event("queued", "serve", 0, response.queue_us, &ctx);
+    summary.duration_event("execute " + response.op, "serve",
+                           response.queue_us, response.elapsed_us, &ctx);
+    json = summary.to_json();
+  }
+  const std::string path =
+      options_.slow_trace_dir + "/slow-" + response.trace_id + ".json";
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (slow_captures_.size() >= options_.slow_trace_keep) {
+    if (slow_captures_.front().total_us >= total_us) return;
+    std::remove(slow_captures_.front().path.c_str());
+    slow_captures_.erase(slow_captures_.begin());
+  }
+  {
+    std::ofstream out(path);
+    if (!out) {
+      if (options_.event_log) {
+        options_.event_log->log(obs::Severity::kError, "serve.slow",
+                                "cannot write slow-trace capture",
+                                {{"path", path}});
+      }
+      return;
+    }
+    out << json;
+  }
+  const auto insert_at = std::upper_bound(
+      slow_captures_.begin(), slow_captures_.end(), total_us,
+      [](std::uint64_t value, const SlowCapture& capture) {
+        return value < capture.total_us;
+      });
+  slow_captures_.insert(insert_at, SlowCapture{total_us, path});
+  if (options_.event_log) {
+    options_.event_log->log(obs::Severity::kWarn, "serve.slow",
+                            "slow request captured",
+                            {{"trace_id", response.trace_id},
+                             {"total_us", std::to_string(total_us)},
+                             {"path", path}});
+  }
+}
+
 Response Service::execute(const Request& request) {
+  return execute_traced(request, nullptr);
+}
+
+Response Service::execute_traced(const Request& request,
+                                 std::string* trace_json) {
+  // Trace identity: submit() stamps it at admission; a direct execute()
+  // call (tests, benches) gets one here so attribution always works.
+  obs::RequestContext ctx;
+  ctx.trace_id = request.trace_id.empty()
+                     ? "t" + std::to_string(++trace_seq_)
+                     : request.trace_id;
+  const auto with_trace_id = [&](Response response) {
+    response.trace_id = ctx.trace_id;
+    return response;
+  };
   try {
-    if (request.op == RequestOp::kMetrics) {
+    if (request.op == RequestOp::kMetrics ||
+        request.op == RequestOp::kStats) {
       Response response;
       response.id = request.id;
       response.op = request_op_name(request.op);
       response.ok = true;
-      response.report = metrics_text();
-      return response;
+      response.report =
+          request.op == RequestOp::kMetrics ? metrics_text() : stats_json();
+      return with_trace_id(std::move(response));
     }
 
     Result<InternedSpec> interned =
         request.target.empty() ? interner_.intern_source(request.spec_text)
                                : interner_.intern_target(request.target);
-    if (!interned.is_ok()) return status_response(request, interned.status());
+    if (!interned.is_ok()) {
+      return with_trace_id(status_response(request, interned.status()));
+    }
 
     // Per-request observability: a private registry so the report's
     // deterministic metrics section describes this request alone (the
-    // determinism contract), plus an optional private Chrome trace.
+    // determinism contract), plus a trace destination resolved by the
+    // precedence documented on Request::trace_file — per-request file
+    // first, then the service-wide sink, then a private sink kept only
+    // if the request turns out slow.
     obs::MetricsRegistry request_registry;
-    obs::TraceSink trace_sink;
-    obs::ObsContext obs{&request_registry, nullptr};
-    if (!request.trace_file.empty()) obs.trace = &trace_sink;
+    obs::TraceSink private_sink;
+    obs::ObsContext obs{&request_registry, nullptr, &ctx};
+    std::optional<std::ofstream> trace_out;
+    if (!request.trace_file.empty()) {
+      // Open before running the engine: an unwritable path is a
+      // structured error, and failing early wastes no work.
+      trace_out.emplace(request.trace_file);
+      if (!*trace_out) {
+        return with_trace_id(error_response(
+            request, "trace_unwritable",
+            "cannot open trace_file '" + request.trace_file +
+                "' for writing"));
+      }
+      obs.trace = &private_sink;
+    } else if (options_.trace) {
+      obs.trace = options_.trace;
+    } else if (trace_json) {
+      obs.trace = &private_sink;
+    }
 
     Response response;
     switch (request.op) {
@@ -235,20 +500,30 @@ Response Service::execute(const Request& request) {
         response = execute_check(request, *interned, obs);
         break;
       case RequestOp::kMetrics:
+      case RequestOp::kStats:
         break;  // handled above
     }
     response.spec_hash = interned->hash;
 
-    if (!request.trace_file.empty()) {
-      // Advisory output; an unwritable path must not fail the request.
-      std::ofstream out(request.trace_file);
-      if (out) out << trace_sink.to_json();
+    if (obs.trace == &private_sink) {
+      const std::string json = private_sink.to_json();
+      if (trace_out) {
+        *trace_out << json;
+        trace_out->flush();
+        if (!*trace_out) {
+          response.ok = false;
+          response.error = {"trace_unwritable",
+                            "write to trace_file '" + request.trace_file +
+                                "' failed"};
+        }
+      }
+      if (trace_json) *trace_json = json;
     }
-    return response;
+    return with_trace_id(std::move(response));
   } catch (const InternalError& e) {
-    return error_response(request, "internal", e.what());
+    return with_trace_id(error_response(request, "internal", e.what()));
   } catch (const std::exception& e) {
-    return error_response(request, "internal", e.what());
+    return with_trace_id(error_response(request, "internal", e.what()));
   }
 }
 
@@ -409,6 +684,45 @@ Response Service::execute_check(const Request& request,
 
 std::string Service::metrics_text() const {
   return registry_.snapshot().to_prometheus_text();
+}
+
+std::string Service::stats_json() const {
+  const Clock::time_point now = Clock::now();
+  JsonObject root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root["queue_depth"] = static_cast<double>(queue_.size());
+    root["workers"] = static_cast<double>(workers_.size());
+    root["stopping"] = stopping_;
+  }
+  JsonArray inflight;
+  {
+    std::lock_guard<std::mutex> slots_lock(slots_mu_);
+    for (const WorkerSlot& slot : slots_) {
+      JsonObject worker;
+      worker["busy"] = slot.busy;
+      if (slot.busy) {
+        worker["request_id"] = slot.request_id;
+        worker["trace_id"] = slot.trace_id;
+        worker["op"] = slot.op;
+        worker["age_us"] = static_cast<double>(us_between(slot.start, now));
+        worker["deadline_overdue_us"] = static_cast<double>(
+            slot.deadline && now > *slot.deadline
+                ? us_between(*slot.deadline, now)
+                : 0);
+      }
+      inflight.push_back(Json(std::move(worker)));
+    }
+  }
+  root["inflight"] = Json(std::move(inflight));
+  JsonObject counters;
+  counters["submitted"] = static_cast<double>(c_submitted_.value());
+  counters["ok"] = static_cast<double>(c_ok_.value());
+  counters["error"] = static_cast<double>(c_error_.value());
+  counters["admission_rejected"] = static_cast<double>(c_rejected_.value());
+  counters["deadline_exceeded"] = static_cast<double>(c_deadline_.value());
+  root["counters"] = Json(std::move(counters));
+  return Json(std::move(root)).dump();
 }
 
 }  // namespace ifsyn::serve

@@ -42,10 +42,41 @@
 // accordingly. No code path hangs or throws across the API boundary:
 // engine exceptions surface as code "internal" error responses.
 //
+// Observability (all wall-clock class, outside the determinism
+// contract):
+//
+//   - Tracing: every request is stamped with a trace ID ("t<seq>") at
+//     admission. With a service-wide TraceSink configured
+//     (ServiceOptions::trace), the service records the request's
+//     lifecycle as one async span ("b"/"e") plus a flow arrow ("s"/"f")
+//     from the submitter thread's submit slice to the worker's execute
+//     slice, and threads a RequestContext into the engines so every
+//     phase span lands in the same trace tagged args.trace_id.
+//   - Quantiles: per-op latency (serve.latency.<op>_us), queue wait and
+//     execute-time histograms feed p50/p95/p99 summaries in
+//     metrics_text() (see obs/quantiles.hpp for the error bound).
+//   - Watchdog: with watchdog_poll_ms > 0, a monitor thread polls the
+//     per-worker in-flight table and exports serve.worker.<i>.* gauges
+//     (in-flight request age, deadline overdue) plus aggregate
+//     serve.inflight.* gauges — making the documented "worker stuck on
+//     in-flight engine work past its deadline" hazard visible. Overdue
+//     workers are reported to the EventLog (rate-limited).
+//   - stats op: a request {"op":"stats"} answers with a JSON snapshot
+//     of queue depth, per-worker in-flight state, and counters, over
+//     the normal wire format — live introspection without a sidecar.
+//   - Slow-request capture: with slow_trace_ms > 0 and a
+//     slow_trace_dir, the slowest slow_trace_keep requests above the
+//     threshold get their trace written to
+//     <slow_trace_dir>/slow-<trace_id>.json. When no service-wide sink
+//     is configured the capture carries full engine phase spans;
+//     otherwise those spans are already in the service trace and the
+//     capture holds the request's lifecycle summary.
+//
 // One Service per process: the bytecode program cache installs itself as
 // the process-wide store (sim/bytecode/program_cache) for its lifetime.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -58,7 +89,9 @@
 #include <vector>
 
 #include "explore/estimation_cache.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "serve/request.hpp"
 #include "serve/spec_intern.hpp"
 #include "sim/bytecode/program_cache.hpp"
@@ -83,6 +116,23 @@ struct ServiceOptions {
   /// cannot oversubscribe the pool. Explore output is thread-count
   /// invariant, so capping never changes a report.
   int max_request_threads = 4;
+
+  // ---- observability (all optional; non-owning pointers must outlive
+  // the Service) ----
+  /// Service-wide Chrome trace sink recording every request's lifecycle
+  /// and (absent a per-request trace_file) its engine phase spans.
+  obs::TraceSink* trace = nullptr;
+  /// Structured event log for watchdog findings and service lifecycle.
+  obs::EventLog* event_log = nullptr;
+  /// Watchdog poll interval; 0 disables the monitor thread.
+  std::uint64_t watchdog_poll_ms = 0;
+  /// Capture traces of requests slower than this (total latency, ms);
+  /// 0 disables. Requires slow_trace_dir.
+  std::uint64_t slow_trace_ms = 0;
+  /// Keep the N slowest captures; older/faster ones are deleted.
+  std::size_t slow_trace_keep = 4;
+  /// Directory receiving slow-<trace_id>.json captures.
+  std::string slow_trace_dir;
 };
 
 class Service {
@@ -112,6 +162,9 @@ class Service {
   obs::MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
   /// Prometheus-style text exposition of metrics_snapshot().
   std::string metrics_text() const;
+  /// JSON introspection snapshot (the "stats" op's report): queue depth,
+  /// per-worker in-flight state, request counters. Wall-clock surface.
+  std::string stats_json() const;
 
   const ServiceOptions& options() const { return options_; }
 
@@ -121,9 +174,30 @@ class Service {
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    obs::RequestContext ctx;  ///< lifecycle trace identity
   };
 
-  void worker_loop();
+  /// What a worker is doing right now, published for the watchdog and
+  /// the stats op. Guarded by slots_mu_ (never the queue lock, so
+  /// introspection cannot contend with admission).
+  struct WorkerSlot {
+    bool busy = false;
+    std::string request_id;
+    std::string trace_id;
+    std::string op;
+    std::chrono::steady_clock::time_point start{};
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void watchdog_loop();
+  void watchdog_poll();
+  /// execute() plus an optional out-param receiving the private
+  /// engine-span trace JSON (set when a private sink was used and the
+  /// caller asked for it — the slow-capture path).
+  Response execute_traced(const Request& request, std::string* trace_json);
+  void maybe_capture_slow(const Response& response, std::uint64_t total_us,
+                          const std::string& engine_trace_json);
   Response execute_synth(const Request& request, const InternedSpec& spec,
                          const obs::ObsContext& obs,
                          obs::MetricsRegistry& registry);
@@ -134,17 +208,31 @@ class Service {
 
   ServiceOptions options_;
   obs::MetricsRegistry registry_;
+  std::atomic<std::uint64_t> trace_seq_{0};
 
   // Shared stores (counters live in registry_, wall-clock class).
   SpecInterner interner_;
   explore::EstimationCache estimation_cache_;
   sim::bytecode::ProgramCache program_cache_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
+
+  mutable std::mutex slots_mu_;
+  std::vector<WorkerSlot> slots_;
+
+  // Slow-request capture state: the kept captures sorted ascending by
+  // latency, so the cheapest to evict is front.
+  struct SlowCapture {
+    std::uint64_t total_us = 0;
+    std::string path;
+  };
+  std::mutex slow_mu_;
+  std::vector<SlowCapture> slow_captures_;
 
   obs::Counter& c_submitted_;
   obs::Counter& c_ok_;
@@ -153,6 +241,8 @@ class Service {
   obs::Counter& c_deadline_;
   obs::Gauge& g_queue_depth_;
   obs::Histogram& h_latency_us_;
+  obs::Histogram& h_queue_wait_us_;
+  obs::Histogram& h_execute_us_;
 };
 
 }  // namespace ifsyn::serve

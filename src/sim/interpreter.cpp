@@ -509,6 +509,10 @@ SimTask Interpreter::exec_block(const Block& block, ProcState& state) {
 SimulationRun simulate(const spec::System& system, std::uint64_t max_time,
                        bool trace, const obs::ObsContext& obs,
                        Engine engine) {
+  // One span per simulation run; inside a service request it carries the
+  // owning request's trace id, so cosim legs show up attributed in a
+  // service-wide trace.
+  obs::Span span(obs.trace, "simulate " + system.name(), "sim", obs.request);
   SimulationRun run;
   run.kernel = std::make_unique<Kernel>();
   run.kernel->enable_trace(trace);

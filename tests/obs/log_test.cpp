@@ -1,0 +1,116 @@
+// Tests for the bounded structured event log: severity filtering, FIFO
+// eviction, the per-(severity, component) rate limiter (driven through
+// the explicit-timestamp seam), and JSONL serialization.
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ifsyn::obs {
+namespace {
+
+TEST(EventLogTest, SeverityNames) {
+  EXPECT_STREQ(severity_name(Severity::kDebug), "debug");
+  EXPECT_STREQ(severity_name(Severity::kInfo), "info");
+  EXPECT_STREQ(severity_name(Severity::kWarn), "warn");
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+}
+
+TEST(EventLogTest, FiltersBelowMinSeverity) {
+  EventLog::Options options;
+  options.min_severity = Severity::kWarn;
+  EventLog log(options);
+  EXPECT_FALSE(log.log(Severity::kDebug, "test", "dropped"));
+  EXPECT_FALSE(log.log(Severity::kInfo, "test", "dropped"));
+  EXPECT_TRUE(log.log(Severity::kWarn, "test", "kept"));
+  EXPECT_TRUE(log.log(Severity::kError, "test", "kept"));
+  EXPECT_EQ(log.size(), 2u);
+  // Severity filtering is not suppression; nothing is counted.
+  EXPECT_EQ(log.suppressed(), 0u);
+}
+
+TEST(EventLogTest, EvictsOldestWhenFull) {
+  EventLog::Options options;
+  options.capacity = 2;
+  options.max_per_window = 100;
+  EventLog log(options);
+  EXPECT_TRUE(log.log(Severity::kInfo, "test", "first"));
+  EXPECT_TRUE(log.log(Severity::kInfo, "test", "second"));
+  EXPECT_TRUE(log.log(Severity::kInfo, "test", "third"));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.evicted(), 1u);
+  const auto events = log.recent();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].message, "second");
+  EXPECT_EQ(events[1].message, "third");
+}
+
+TEST(EventLogTest, ZeroCapacityAcceptsNothing) {
+  EventLog::Options options;
+  options.capacity = 0;
+  EventLog log(options);
+  EXPECT_FALSE(log.log(Severity::kError, "test", "void"));
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLogTest, RateLimitsPerSeverityComponentKey) {
+  EventLog::Options options;
+  options.max_per_window = 2;
+  options.window_us = 1000;
+  EventLog log(options);
+  // Two accepted, third suppressed inside the window.
+  EXPECT_TRUE(log.log_at(0, Severity::kWarn, "watchdog", "a"));
+  EXPECT_TRUE(log.log_at(10, Severity::kWarn, "watchdog", "b"));
+  EXPECT_FALSE(log.log_at(20, Severity::kWarn, "watchdog", "c"));
+  EXPECT_EQ(log.suppressed(), 1u);
+  // A different (severity, component) key has its own window.
+  EXPECT_TRUE(log.log_at(30, Severity::kError, "watchdog", "d"));
+  EXPECT_TRUE(log.log_at(40, Severity::kWarn, "service", "e"));
+  // The window rolls over and the key accepts again.
+  EXPECT_TRUE(log.log_at(1000, Severity::kWarn, "watchdog", "f"));
+  EXPECT_EQ(log.size(), 5u);
+}
+
+TEST(EventLogTest, JsonlShapeAndFieldEscaping) {
+  EventLog log;
+  log.log_at(5, Severity::kWarn, "serve.watchdog", "worker overdue",
+             {{"worker", "1"}, {"note", "say \"hi\"\n"}});
+  log.log_at(9, Severity::kInfo, "serve", "plain");
+  const std::string jsonl = log.to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string first, second, extra;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_FALSE(std::getline(lines, extra));
+  EXPECT_NE(first.find("\"ts_us\":5"), std::string::npos);
+  EXPECT_NE(first.find("\"severity\":\"warn\""), std::string::npos);
+  EXPECT_NE(first.find("\"component\":\"serve.watchdog\""),
+            std::string::npos);
+  EXPECT_NE(first.find("\"worker\":\"1\""), std::string::npos);
+  EXPECT_NE(first.find("say \\\"hi\\\"\\n"), std::string::npos);
+  // Empty fields object is omitted entirely.
+  EXPECT_EQ(second.find("fields"), std::string::npos);
+}
+
+TEST(EventLogTest, WriteJsonlRoundTripsAndReportsErrors) {
+  EventLog log;
+  log.log_at(1, Severity::kInfo, "serve", "service started");
+  const std::string path = ::testing::TempDir() + "event_log_test.jsonl";
+  std::string error;
+  ASSERT_TRUE(log.write_jsonl(path, &error)) << error;
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), log.to_jsonl());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(log.write_jsonl("/nonexistent-dir/event.jsonl", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace ifsyn::obs

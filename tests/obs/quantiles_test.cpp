@@ -1,0 +1,139 @@
+// Tests for the shared quantile helpers: the exact nearest-rank
+// percentile (hoisted out of the serve throughput bench) and the
+// log-bucketed HistogramData::quantile sketch, including its documented
+// factor-of-two error envelope against the exact estimator.
+#include "obs/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ifsyn::obs {
+namespace {
+
+TEST(PercentileTest, EmptyInputYieldsZero) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(PercentileTest, SingleValueIsEveryQuantile) {
+  const std::vector<double> one{42.0};
+  EXPECT_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_EQ(percentile(one, 0.5), 42.0);
+  EXPECT_EQ(percentile(one, 1.0), 42.0);
+}
+
+TEST(PercentileTest, NearestRankOnKnownData) {
+  // 1..10: index = round(p * 9).
+  const std::vector<double> values{10, 9, 8, 7, 6, 5, 4, 3, 2, 1};  // unsorted
+  EXPECT_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_EQ(percentile(values, 0.5), 6.0);  // round(4.5) = 5 -> sorted[5]
+  EXPECT_EQ(percentile(values, 0.95), 10.0);
+  EXPECT_EQ(percentile(values, 1.0), 10.0);
+}
+
+TEST(PercentileTest, DoesNotMutateCaller) {
+  const std::vector<double> values{3, 1, 2};
+  percentile(values, 0.5);
+  EXPECT_EQ(values[0], 3.0);  // taken by value; caller order untouched
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramYieldsZero) {
+  MetricsRegistry reg;
+  reg.histogram("q.test_us", exponential_bounds(1 << 20),
+                Determinism::kWallClock);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::Entry* e = snap.find("q.test_us");
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->histogram.has_value());
+  EXPECT_EQ(e->histogram->quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, SketchIsBucketUpperBound) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q.test_us", exponential_bounds(1 << 20),
+                               Determinism::kWallClock);
+  // Ten observations of 100us: every quantile lands in the (64, 128]
+  // bucket, whose upper bound is the estimate.
+  for (int i = 0; i < 10; ++i) h.observe(100);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::HistogramData& data =
+      *snap.find("q.test_us")->histogram;
+  EXPECT_EQ(data.quantile(0.5), 128.0);
+  EXPECT_EQ(data.quantile(0.99), 128.0);
+}
+
+TEST(HistogramQuantileTest, SketchWithinFactorOfTwoOfExact) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q.test_us", exponential_bounds(1 << 20),
+                               Determinism::kWallClock);
+  std::vector<double> values;
+  // A skewed latency-like distribution spanning several octaves.
+  for (int i = 1; i <= 200; ++i) {
+    const double v = static_cast<double>(i * i);  // 1 .. 40000
+    values.push_back(v);
+    h.observe(static_cast<std::uint64_t>(v));
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::HistogramData& data =
+      *snap.find("q.test_us")->histogram;
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = percentile(values, q);
+    const double sketch = data.quantile(q);
+    // Documented envelope: v <= e < 2v for in-range values.
+    EXPECT_GE(sketch, exact) << "q=" << q;
+    EXPECT_LT(sketch, 2.0 * exact) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, OverflowBucketReportsTwiceLastBound) {
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.histogram("q.test_us", {10, 100}, Determinism::kWallClock);
+  h.observe(5000);  // beyond the last bound -> overflow bucket
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::HistogramData& data =
+      *snap.find("q.test_us")->histogram;
+  EXPECT_EQ(data.quantile(0.5), 200.0);
+}
+
+TEST(HistogramQuantileTest, QuantileClampsOutOfRangeQ) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q.test_us", exponential_bounds(1024),
+                               Determinism::kWallClock);
+  h.observe(3);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::HistogramData& data =
+      *snap.find("q.test_us")->histogram;
+  EXPECT_EQ(data.quantile(-1.0), data.quantile(0.0));
+  EXPECT_EQ(data.quantile(2.0), data.quantile(1.0));
+}
+
+TEST(HistogramQuantileTest, PrometheusTextCarriesSummarySeries) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q.latency_us", exponential_bounds(1 << 20),
+                               Determinism::kWallClock);
+  for (int i = 0; i < 100; ++i) h.observe(1000);
+  const std::string text = reg.snapshot().to_prometheus_text();
+  EXPECT_NE(text.find("ifsyn_q_latency_us_summary{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ifsyn_q_latency_us_summary{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ifsyn_q_latency_us_summary{quantile=\"0.99\"}"),
+            std::string::npos);
+  // All mass at 1000us -> every summary quantile is the (512, 1024]
+  // bucket's upper bound.
+  EXPECT_NE(text.find("summary{quantile=\"0.99\"} 1024"), std::string::npos);
+
+  // Empty histograms get no summary series.
+  MetricsRegistry empty;
+  empty.histogram("q.empty_us", exponential_bounds(1024),
+                  Determinism::kWallClock);
+  EXPECT_EQ(empty.snapshot().to_prometheus_text().find("_summary"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ifsyn::obs

@@ -111,6 +111,105 @@ TEST(TraceSinkTest, ValidatorRejectsMalformedDocuments) {
   EXPECT_NE(error.find("ts"), std::string::npos);
 }
 
+TEST(TraceSinkTest, FlowAndAsyncRoundTripValidates) {
+  TraceSink sink;
+  sink.async_begin("request r1", "serve", 7);
+  sink.flow_begin("queue r1", "serve", 7);
+  sink.duration_event("submit r1", "serve", 0, 3);
+  std::thread worker([&] {
+    sink.duration_event("execute r1", "serve", 5, 40);
+    sink.flow_end("queue r1", "serve", 7);
+  });
+  worker.join();
+  sink.async_end("request r1", "serve", 7);
+
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 7"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+}
+
+TEST(TraceSinkTest, RequestContextTagsEvents) {
+  TraceSink sink;
+  RequestContext ctx{"t42", 42};
+  sink.instant_event("tick", "serve", &ctx);
+  {
+    Span span(&sink, "phase", "serve", &ctx);
+  }
+  const std::string json = sink.to_json();
+  // Both events carry the owning request's trace id in args.
+  std::size_t first = json.find("\"trace_id\": \"t42\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"t42\"", first + 1), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_trace_json(json, &error)) << error;
+}
+
+TEST(TraceSinkTest, ValidatorRejectsBadFlowBindings) {
+  std::string error;
+
+  // Flow start without a matching finish.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"q\", \"ph\": \"s\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0, \"id\": 9}]}",
+      &error));
+  EXPECT_NE(error.find("never finished"), std::string::npos);
+
+  // Flow finish binding to an id that was never started.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"q\", \"ph\": \"f\", \"bp\": \"e\", "
+      "\"ts\": 1, \"pid\": 1, \"tid\": 0, \"id\": 9}]}",
+      &error));
+  EXPECT_NE(error.find("no matching"), std::string::npos);
+
+  // The same id opened twice while live.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": ["
+      "{\"name\": \"q\", \"ph\": \"s\", \"ts\": 1, \"pid\": 1, \"tid\": 0, "
+      "\"id\": 9},"
+      "{\"name\": \"q\", \"ph\": \"s\", \"ts\": 2, \"pid\": 1, \"tid\": 0, "
+      "\"id\": 9}]}",
+      &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+
+  // Flow event missing its id entirely.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"q\", \"ph\": \"s\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("id"), std::string::npos);
+}
+
+TEST(TraceSinkTest, ValidatorRejectsBadAsyncSpans) {
+  std::string error;
+
+  // Async end without a begin.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"r\", \"ph\": \"e\", \"cat\": "
+      "\"serve\", \"ts\": 1, \"pid\": 1, \"tid\": 0, \"id\": 3}]}",
+      &error));
+  EXPECT_NE(error.find("no matching"), std::string::npos);
+
+  // Async begin never closed.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"r\", \"ph\": \"b\", \"cat\": "
+      "\"serve\", \"ts\": 1, \"pid\": 1, \"tid\": 0, \"id\": 3}]}",
+      &error));
+  EXPECT_NE(error.find("never ended"), std::string::npos);
+
+  // Async event without the category that scopes its id.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"r\", \"ph\": \"b\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0, \"id\": 3}]}",
+      &error));
+  EXPECT_NE(error.find("cat"), std::string::npos);
+}
+
 TEST(TraceSinkTest, SpanIsNoOpWithoutSink) {
   // Must not crash or allocate a clock read path.
   Span span(nullptr, "nothing", "none");

@@ -9,14 +9,23 @@
 //     deadline_exceeded error;
 //   - hardened ingestion: malformed specs and requests come back as
 //     structured error responses.
+//   - observability: tracing on vs off never changes a report byte;
+//     the service-wide trace is schema-valid with every request
+//     flow-linked; unwritable trace files are structured errors; the
+//     stats op answers over the wire format; slow requests are captured.
 #include "serve/service.hpp"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/trace_sink.hpp"
 #include "serve/json.hpp"
 #include "sim/interpreter.hpp"
 
@@ -238,6 +247,186 @@ TEST(ServiceTest, SubmitWithoutStartIsRejectedNotHung) {
       service.submit(check_request("x", "builtin:fig3")).get();
   EXPECT_FALSE(response.ok);
   EXPECT_EQ(response.error.code, "admission_rejected");
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ServiceTest, TracingOnOrOffNeverChangesAReportByte) {
+  // Reference: no tracing at all.
+  std::string reference;
+  {
+    Service service;
+    reference = service.execute(explore_request("r", "builtin:fig3")).report;
+    ASSERT_FALSE(reference.empty());
+  }
+
+  // Full observability on: service-wide trace, event log, watchdog.
+  obs::TraceSink trace;
+  obs::EventLog event_log;
+  ServiceOptions options;
+  options.workers = 2;
+  options.trace = &trace;
+  options.event_log = &event_log;
+  options.watchdog_poll_ms = 1;
+  Service service(options);
+  service.start();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.submit(
+        explore_request("e" + std::to_string(i), "builtin:fig3")));
+    futures.push_back(service.submit(
+        check_request("c" + std::to_string(i), "builtin:fig3")));
+  }
+  for (auto& future : futures) {
+    Response response = future.get();
+    ASSERT_TRUE(response.ok) << response.error.message;
+    EXPECT_FALSE(response.trace_id.empty());
+    if (response.op == "explore") EXPECT_EQ(response.report, reference);
+  }
+  service.stop();
+
+  // The service-wide trace is one schema-valid document: every flow
+  // start has its finish, every async request span is balanced (that is
+  // what "every request flow-linked across threads" means to the
+  // validator), and engine phase spans landed in the same trace.
+  const std::string json = trace.to_json();
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_json(json, &error)) << error;
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"s\""), 8u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"b\""), 8u);
+  EXPECT_NE(json.find("\"trace_id\": \"t1\""), std::string::npos);
+  EXPECT_NE(json.find("execute explore"), std::string::npos);
+  // Engine spans (the explore work queue drain) are in the service
+  // trace, request-attributed, since no per-request trace_file diverted
+  // them.
+  EXPECT_NE(json.find("drain"), std::string::npos);
+
+  // The event log saw the service lifecycle.
+  EXPECT_NE(event_log.to_jsonl().find("service started"),
+            std::string::npos);
+  // The watchdog exported its liveness gauges at least once.
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_NE(snap.find("serve.workers.busy"), nullptr);
+  EXPECT_NE(snap.find("serve.inflight.oldest_age_us"), nullptr);
+  EXPECT_NE(snap.find("serve.worker.0.inflight_age_us"), nullptr);
+}
+
+TEST(ServiceTest, PerRequestTraceFileTakesPrecedenceOverServiceSink) {
+  obs::TraceSink trace;
+  ServiceOptions options;
+  options.trace = &trace;
+  Service service(options);
+  service.start();
+  Request request = explore_request("e", "builtin:fig3");
+  const std::string path = ::testing::TempDir() + "service_test_trace.json";
+  request.trace_file = path;
+  Response response = service.submit(std::move(request)).get();
+  ASSERT_TRUE(response.ok) << response.error.message;
+  service.stop();
+
+  std::ifstream in(path);
+  std::stringstream file_contents;
+  file_contents << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_json(file_contents.str(), &error)) << error;
+  // Engine spans went to the private file, not the service sink...
+  EXPECT_NE(file_contents.str().find("drain"), std::string::npos);
+  const std::string service_json = trace.to_json();
+  EXPECT_EQ(service_json.find("drain"), std::string::npos);
+  // ...while the lifecycle (flow-linked submit/execute) stayed in the
+  // service-wide trace, so the request is still visible there.
+  EXPECT_NE(service_json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(service_json.find("execute explore"), std::string::npos);
+  EXPECT_TRUE(obs::validate_trace_json(service_json, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ServiceTest, UnwritableTraceFileIsAStructuredError) {
+  Service service;
+  Request request = check_request("c", "builtin:fig3");
+  request.trace_file = "/nonexistent-dir/trace.json";
+  Response response = service.execute(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.code, "trace_unwritable");
+  EXPECT_NE(response.error.message.find("/nonexistent-dir/trace.json"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, StatsOpAnswersOverTheWireFormat) {
+  Service service;
+  Request stats;
+  stats.id = "s";
+  stats.op = RequestOp::kStats;
+  Response response = service.execute(stats);
+  ASSERT_TRUE(response.ok) << response.error.message;
+  EXPECT_FALSE(response.trace_id.empty());
+  Result<Json> parsed = parse_json(response.report);
+  ASSERT_TRUE(parsed.is_ok()) << response.report;
+  const JsonObject& root = parsed->as_object();
+  EXPECT_TRUE(root.count("queue_depth"));
+  EXPECT_TRUE(root.count("workers"));
+  EXPECT_TRUE(root.count("inflight"));
+  EXPECT_TRUE(root.count("counters"));
+
+  // The stats op is parseable from the wire like any other request.
+  Result<Json> wire = parse_json(R"({"id": "r5", "op": "stats"})");
+  ASSERT_TRUE(wire.is_ok());
+  Result<Request> request = parse_request(*wire);
+  ASSERT_TRUE(request.is_ok()) << request.status().to_string();
+  EXPECT_EQ(request->op, RequestOp::kStats);
+}
+
+TEST(ServiceTest, SlowRequestsAreCapturedToTraceDir) {
+  const std::string dir = ::testing::TempDir() + "service_test_slow";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServiceOptions options;
+  options.workers = 1;
+  options.slow_trace_ms = 1;  // full flc sweeps take well over 1 ms
+  options.slow_trace_keep = 2;
+  options.slow_trace_dir = dir;
+  Service service(options);
+  service.start();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    Request heavy = explore_request("slow" + std::to_string(i),
+                                    "builtin:flc", /*top_k=*/0);
+    heavy.options.protocols = {spec::ProtocolKind::kFullHandshake,
+                               spec::ProtocolKind::kHalfHandshake,
+                               spec::ProtocolKind::kFixedDelay};
+    heavy.options.alt_groupings = true;
+    futures.push_back(service.submit(std::move(heavy)));
+  }
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok);
+  service.stop();
+
+  // Capped at slow_trace_keep captures, each a schema-valid trace with
+  // the request's engine spans (no service-wide sink was configured).
+  std::vector<std::string> captures;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    captures.push_back(entry.path().string());
+  }
+  ASSERT_FALSE(captures.empty());
+  EXPECT_LE(captures.size(), 2u);
+  for (const std::string& path : captures) {
+    EXPECT_NE(path.find("slow-t"), std::string::npos);
+    std::ifstream in(path);
+    std::stringstream contents;
+    contents << in.rdbuf();
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_json(contents.str(), &error))
+        << path << ": " << error;
+    EXPECT_NE(contents.str().find("drain"), std::string::npos) << path;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
