@@ -12,10 +12,14 @@
 // for CI smoke runs; numbers from smoke mode are not comparable.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "partition/partitioner.hpp"
+#include "protocol/protocol_generator.hpp"
 #include "sim/interpreter.hpp"
 #include "spec/system.hpp"
 #include "sim/kernel.hpp"
@@ -375,6 +379,132 @@ int main() {
     json.set("dense_wakeup_ast_ms", engine_ms[1]);
     json.set("dense_wakeup_speedup", speedup);
   }
+
+  // ---- 7. dense protocol transfers: optimized vs reference VM ----
+  // A protocol-refined system streaming an array through a narrow
+  // generated bus, word by word — the workload the superinstruction
+  // optimizer (sim/bytecode/optimizer.hpp) targets. Both timings use the
+  // bytecode VM; only IFSYN_SIM_OPT differs, so the ratio isolates the
+  // bulk-transfer + peephole rewrites. The end times must agree
+  // byte-for-byte (the optimizer's suspension-point equivalence contract).
+  {
+    const int streams = smoke ? 2 : 4;
+    const int elems = smoke ? 4 : 16;
+    const int passes = smoke ? 2 : 32;
+    // `streams` identical producer/consumer loops, each over its own
+    // variable and its own generated bus. The streams run in lockstep, so
+    // their per-word waits coalesce onto shared kernel instants — the
+    // wall time is dominated by the VM's per-word dispatch work, which is
+    // exactly what the optimizer rewrites.
+    spec::System xfer("xfer");
+    partition::ModuleAssignment m1;
+    m1.module = "M1";
+    partition::ModuleAssignment m2;
+    m2.module = "M2";
+    for (int s = 0; s < streams; ++s) {
+      const std::string v = "V" + std::to_string(s);
+      // 64-bit elements over a 4-bit bus: 16 words per element, so the
+      // per-word transfer loops dominate the per-element bookkeeping.
+      xfer.add_variable(
+          spec::Variable(v, spec::Type::array(spec::Type::bits(64), elems)));
+      spec::Process p;
+      p.name = "P" + std::to_string(s);
+      p.locals.emplace_back("ACC", spec::Type::integer(32),
+                            spec::Value::integer(1));
+      p.locals.emplace_back("TMP", spec::Type::integer(32));
+      p.body = {spec::for_stmt(
+          "r", spec::lit(1), spec::lit(passes),
+          {spec::for_stmt("i", spec::lit(0), spec::lit(elems - 1),
+                          {spec::assign(spec::lv_idx(v, spec::var("i")),
+                                        spec::add(spec::var("i"),
+                                                  spec::var("r")))}),
+           spec::for_stmt(
+               "j", spec::lit(0), spec::lit(elems - 1),
+               {spec::assign("TMP", spec::aref(v, spec::var("j"))),
+                spec::assign("ACC", spec::add(spec::var("ACC"),
+                                              spec::var("TMP")))})})};
+      m1.processes.push_back(p.name);
+      m2.variables.push_back(v);
+      xfer.add_process(std::move(p));
+    }
+    Status status = partition::apply_partition(xfer, {m1, m2});
+    // One bus per stream: channels derive in process declaration order,
+    // two per stream (write + read), so CH(2s)/CH(2s+1) belong to Ps.
+    for (int s = 0; status.is_ok() && s < streams; ++s) {
+      const std::string bus = "FB" + std::to_string(s);
+      status = partition::group_channels(
+          xfer, bus,
+          {"CH" + std::to_string(2 * s), "CH" + std::to_string(2 * s + 1)});
+      if (status.is_ok()) xfer.find_bus(bus)->width = 4;
+    }
+    if (status.is_ok()) {
+      protocol::ProtocolGenOptions options;
+      options.protocol = spec::ProtocolKind::kHalfHandshake;
+      options.arbitrate = true;
+      protocol::ProtocolGenerator generator(options);
+      status = generator.generate_all(xfer);
+    }
+    if (!status.is_ok()) {
+      std::printf("sim_opt_xfer setup failed: %s\n",
+                  status.to_string().c_str());
+      return 1;
+    }
+
+    const char* saved = std::getenv("IFSYN_SIM_OPT");
+    const std::string saved_value = saved != nullptr ? saved : "";
+    double level_ms[2] = {1e300, 1e300};  // [0] = optimized, [1] = reference
+    std::uint64_t end_time[2] = {0, 0};
+    // Interleave the levels within each repetition so host-speed drift
+    // (frequency scaling, background load) biases both sides equally
+    // instead of whichever level happened to run second.
+    const int opt_repeats = smoke ? 1 : 5;
+    for (int rep = 0; rep < opt_repeats; ++rep) {
+      for (int idx = 0; idx < 2; ++idx) {
+        ::setenv("IFSYN_SIM_OPT", idx == 0 ? "1" : "0", 1);
+        const auto start = Clock::now();
+        SimulationRun run =
+            simulate(xfer, 100'000'000, false, {}, Engine::kVm);
+        const auto stop = Clock::now();
+        if (!run.result.status.is_ok()) {
+          std::printf("sim_opt_xfer (opt=%d) failed: %s\n", idx == 0 ? 1 : 0,
+                      run.result.status.to_string().c_str());
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < level_ms[idx]) level_ms[idx] = ms;
+        end_time[idx] = run.result.end_time;
+      }
+    }
+    if (saved != nullptr) {
+      ::setenv("IFSYN_SIM_OPT", saved_value.c_str(), 1);
+    } else {
+      ::unsetenv("IFSYN_SIM_OPT");
+    }
+    if (end_time[0] != end_time[1]) {
+      std::printf("sim_opt_xfer opt levels disagree on end_time: opt=%llu "
+                  "ref=%llu\n",
+                  static_cast<unsigned long long>(end_time[0]),
+                  static_cast<unsigned long long>(end_time[1]));
+      return 1;
+    }
+    const double speedup =
+        level_ms[0] > 0 ? level_ms[1] / level_ms[0] : 0;
+    std::printf("sim_opt_xfer    opt %8.2f ms | ref %8.2f ms | %.2fx "
+                "(%d streams x %d elems x %d passes, %llu cycles)\n",
+                level_ms[0], level_ms[1], speedup, streams, elems, passes,
+                static_cast<unsigned long long>(end_time[0]));
+    json.set("sim_opt_xfer_opt_ms", level_ms[0]);
+    json.set("sim_opt_xfer_ref_ms", level_ms[1]);
+    json.set("sim_opt_speedup_xfer", speedup);
+    json.set("sim_opt_xfer_end_time", static_cast<double>(end_time[0]));
+  }
+
+  // Floors on single-machine expectations (bench_compare.py
+  // --serial-floor) gate on this: the opt-over-unopt ratio is valid on
+  // any core count, unlike the parallel-scaling floors.
+  json.set("hardware_threads",
+           static_cast<double>(std::thread::hardware_concurrency()));
 
   json.write();
   return 0;

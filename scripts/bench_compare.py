@@ -21,9 +21,15 @@ cache warm-up wins), so they are skipped — with a note — unless CURRENT
 was a full run (smoke == 0) on a machine with hardware_threads >= 4.
 A floor KEY missing from CURRENT is a failure when the gate is active.
 
+Serial floors (--serial-floor KEY=MIN, repeatable): same assertion, but
+for single-machine expectations that hold on any core count (e.g. the
+bytecode optimizer's opt-over-unopt speedup). These skip only on smoke
+runs — smoke workloads are too small for the ratio to mean anything —
+and never on thread count.
+
 Usage:
   bench_compare.py BASELINE CURRENT [--tolerance 0.5] [--keys-only]
-                   [--floor KEY=MIN ...]
+                   [--floor KEY=MIN ...] [--serial-floor KEY=MIN ...]
 
 Exit status: 0 = comparable, 1 = mismatch (details on stdout), 2 = usage.
 """
@@ -83,6 +89,14 @@ def main(argv):
         help="assert CURRENT[KEY] >= MIN (skipped on smoke runs and "
         "machines with < 4 hardware threads)",
     )
+    parser.add_argument(
+        "--serial-floor",
+        action="append",
+        default=[],
+        metavar="KEY=MIN",
+        help="assert CURRENT[KEY] >= MIN regardless of hardware threads "
+        "(skipped only on smoke runs)",
+    )
     args = parser.parse_args(argv[1:])
 
     base = load(args.baseline)
@@ -125,20 +139,14 @@ def main(argv):
                     f"(> {args.tolerance:.0%}): {b:g} -> {c:g}"
                 )
 
-    if args.floor:
-        smoke = cur.get("smoke", 0)
-        threads = cur.get("hardware_threads", 0)
-        gate_active = smoke == 0 and threads >= 4
-        if not gate_active:
-            print(
-                f"floors skipped: smoke={smoke:g}, "
-                f"hardware_threads={threads:g} (need smoke=0 and >= 4 threads)"
-            )
-        for spec in args.floor:
+    def check_floors(specs, flag, active, skip_note):
+        if specs and not active:
+            print(skip_note)
+        for spec in specs:
             key, _, minimum = spec.partition("=")
             if not minimum:
-                raise SystemExit(f"bad --floor {spec!r}: expected KEY=MIN")
-            if not gate_active:
+                raise SystemExit(f"bad {flag} {spec!r}: expected KEY=MIN")
+            if not active:
                 continue
             if key not in cur:
                 failures.append(f"floor metric {key!r} missing from current")
@@ -146,6 +154,23 @@ def main(argv):
                 failures.append(
                     f"floor violated: {key!r} = {cur[key]:g} < {minimum}"
                 )
+
+    if args.floor or args.serial_floor:
+        smoke = cur.get("smoke", 0)
+        threads = cur.get("hardware_threads", 0)
+        check_floors(
+            args.floor,
+            "--floor",
+            smoke == 0 and threads >= 4,
+            f"floors skipped: smoke={smoke:g}, "
+            f"hardware_threads={threads:g} (need smoke=0 and >= 4 threads)",
+        )
+        check_floors(
+            args.serial_floor,
+            "--serial-floor",
+            smoke == 0,
+            f"serial floors skipped: smoke={smoke:g} (need a full run)",
+        )
 
     mode = "keys-only" if args.keys_only else f"tolerance {args.tolerance:.0%}"
     if failures:

@@ -13,6 +13,7 @@
 #include "explore/explorer.hpp"
 #include "explore/report.hpp"
 #include "obs/trace_sink.hpp"
+#include "sim/bytecode/optimizer.hpp"
 #include "util/assert.hpp"
 
 namespace ifsyn::serve {
@@ -314,6 +315,11 @@ void Service::watchdog_loop() {
     watchdog_poll();
     lock.lock();
   }
+  lock.unlock();
+  // A service stopped before the first interval elapsed would otherwise
+  // never export its liveness gauges; poll once on the way out so they
+  // exist whenever a watchdog ran at all.
+  watchdog_poll();
 }
 
 void Service::watchdog_poll() {
@@ -715,6 +721,19 @@ std::string Service::stats_json() const {
     }
   }
   root["inflight"] = Json(std::move(inflight));
+  JsonObject program_cache;
+  program_cache["size"] = static_cast<double>(program_cache_.size());
+  program_cache["capacity"] = static_cast<double>(program_cache_.capacity());
+  program_cache["hits"] = static_cast<double>(program_cache_.hits());
+  program_cache["misses"] = static_cast<double>(program_cache_.misses());
+  program_cache["evictions"] =
+      static_cast<double>(program_cache_.evictions());
+  // The level new simulations compile at (IFSYN_SIM_OPT, read live).
+  // Artifacts are keyed per level, so mixed-level clients coexist in the
+  // same cache without ever sharing an artifact across levels.
+  program_cache["opt_level"] = static_cast<double>(
+      static_cast<int>(sim::bytecode::opt_level_from_env()));
+  root["program_cache"] = Json(std::move(program_cache));
   JsonObject counters;
   counters["submitted"] = static_cast<double>(c_submitted_.value());
   counters["ok"] = static_cast<double>(c_ok_.value());

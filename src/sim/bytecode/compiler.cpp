@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/bytecode/optimizer.hpp"
 #include "util/assert.hpp"
 
 namespace ifsyn::sim::bytecode {
@@ -474,9 +475,11 @@ class ProcessCompiler {
     const auto start = static_cast<std::uint32_t>(prog_.cond_code.size());
     compile_expr(cond, 0);
     out_ = saved;
-    prog_.conds.push_back(CondProgram{
-        start,
-        static_cast<std::uint32_t>(prog_.cond_code.size()) - start, 0});
+    const auto count =
+        static_cast<std::uint32_t>(prog_.cond_code.size()) - start;
+    // ref_ops = count: the optimizer may shrink count but preserves
+    // ref_ops, which is what eval_cond charges to sim.vm.executed_ops.
+    prog_.conds.push_back(CondProgram{start, count, 0, count});
     return static_cast<int>(prog_.conds.size()) - 1;
   }
 
@@ -587,6 +590,14 @@ CompiledSystem compile(const spec::System& system, const Kernel& kernel) {
     cs.total_instructions += cs.processes.back().code.size() +
                              cs.processes.back().cond_code.size();
   }
+  cs.optimized_instructions = cs.total_instructions;
+  return cs;
+}
+
+CompiledSystem compile(const spec::System& system, const Kernel& kernel,
+                       OptLevel level) {
+  CompiledSystem cs = compile(system, kernel);
+  optimize(cs, level);
   return cs;
 }
 

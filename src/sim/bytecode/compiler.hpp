@@ -25,4 +25,12 @@ namespace ifsyn::sim::bytecode {
 /// system's AST except variable initializer Values (copied in).
 CompiledSystem compile(const spec::System& system, const Kernel& kernel);
 
+/// Compile and then run the post-compile optimizer (optimizer.hpp) at
+/// `level`. kNone returns the compiler output verbatim (bookkeeping
+/// fields stamped); kFull rewrites recognized sequences into
+/// superinstructions. This is the overload Vm::setup uses, with the level
+/// taken from IFSYN_SIM_OPT via opt_level_from_env().
+CompiledSystem compile(const spec::System& system, const Kernel& kernel,
+                       OptLevel level);
+
 }  // namespace ifsyn::sim::bytecode

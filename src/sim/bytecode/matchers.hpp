@@ -1,0 +1,147 @@
+// ifsyn/sim/bytecode/matchers.hpp
+//
+// A small declarative pattern matcher over bytecode instruction sequences,
+// in the LoopTactics match-and-capture style: a Pattern is a list of
+// InstrPat rows, one per instruction, whose operand cells either accept
+// anything, require a literal value, or bind a *capture slot*. Capture
+// slots have bind-on-first-occurrence / unify-on-later-occurrence
+// semantics, so a slot mentioned in several cells asserts those operands
+// are equal — which is how a linear pattern matches the DAG structure of
+// register def-use chains (the same register capture appearing as one
+// instruction's `dst` and a later instruction's `a` is exactly the
+// producer->consumer edge).
+//
+// The matcher is purely structural: it checks opcodes and operand
+// equalities. Semantic side conditions (constant-pool values, slot layout
+// types, register distinctness) belong to the rewrite rules in
+// optimizer.cpp, which receive the matched instruction span plus the
+// capture bindings and may still reject the match.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "sim/bytecode/program.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::sim::bytecode {
+
+/// Maximum distinct capture slots per pattern. Patterns are hand-written
+/// and small; the tightest current user needs 12.
+inline constexpr int kMaxCaptures = 16;
+
+/// Bindings produced by a successful match: capture slot -> operand value.
+class MatchContext {
+ public:
+  void clear() { bound_ = 0; }
+
+  /// Bind `slot` to `value`, or — if already bound — check it unifies.
+  bool bind(int slot, std::int64_t value) {
+    const std::uint32_t bit = 1u << slot;
+    if (bound_ & bit) return values_[static_cast<std::size_t>(slot)] == value;
+    bound_ |= bit;
+    values_[static_cast<std::size_t>(slot)] = value;
+    return true;
+  }
+
+  /// Value of a bound capture slot (asserts the slot was bound).
+  std::int64_t operator[](int slot) const {
+    IFSYN_ASSERT_MSG(bound_ & (1u << slot), "unbound capture slot " << slot);
+    return values_[static_cast<std::size_t>(slot)];
+  }
+
+  bool is_bound(int slot) const { return (bound_ & (1u << slot)) != 0; }
+
+ private:
+  std::array<std::int64_t, kMaxCaptures> values_{};
+  std::uint32_t bound_ = 0;
+};
+
+/// One operand cell of an instruction pattern.
+struct OperandPat {
+  enum class Kind : std::uint8_t { kAny, kLit, kCap };
+  Kind kind = Kind::kAny;
+  std::int64_t value = 0;  ///< kLit: required value
+  int slot = 0;            ///< kCap: capture slot
+
+  bool match(std::int64_t operand, MatchContext& ctx) const {
+    switch (kind) {
+      case Kind::kAny: return true;
+      case Kind::kLit: return operand == value;
+      case Kind::kCap: return ctx.bind(slot, operand);
+    }
+    return false;
+  }
+};
+
+/// Operand-cell constructors, named for pattern-table readability.
+inline OperandPat any_() { return OperandPat{}; }
+inline OperandPat lit_(std::int64_t v) {
+  return OperandPat{OperandPat::Kind::kLit, v, 0};
+}
+inline OperandPat cap_(int slot) {
+  IFSYN_ASSERT(slot >= 0 && slot < kMaxCaptures);
+  return OperandPat{OperandPat::Kind::kCap, 0, slot};
+}
+
+/// Pattern row for one instruction: an opcode alternative set plus one
+/// cell per operand field. Most rows accept a single opcode; rows with
+/// several (e.g. "kLoadVar or kConst") let one pattern cover a family of
+/// shapes, with the rewrite rule reading the matched instruction to see
+/// which alternative fired.
+struct InstrPat {
+  std::vector<Op> ops;  ///< acceptable opcodes (non-empty)
+  OperandPat aux = any_();
+  OperandPat dst = any_();
+  OperandPat a = any_();
+  OperandPat b = any_();
+  OperandPat c = any_();
+  OperandPat d = any_();
+
+  bool match(const Instr& in, MatchContext& ctx) const {
+    bool op_ok = false;
+    for (Op o : ops) op_ok = op_ok || in.op == o;
+    return op_ok && aux.match(in.aux, ctx) && dst.match(in.dst, ctx) &&
+           a.match(in.a, ctx) && b.match(in.b, ctx) && c.match(in.c, ctx) &&
+           d.match(in.d, ctx);
+  }
+};
+
+/// Row constructor for the common single-opcode case.
+inline InstrPat ip(Op op, OperandPat aux = any_(), OperandPat dst = any_(),
+                   OperandPat a = any_(), OperandPat b = any_(),
+                   OperandPat c = any_(), OperandPat d = any_()) {
+  return InstrPat{{op}, aux, dst, a, b, c, d};
+}
+
+/// Row constructor accepting any of several opcodes.
+inline InstrPat ip_any(std::initializer_list<Op> ops, OperandPat aux = any_(),
+                       OperandPat dst = any_(), OperandPat a = any_(),
+                       OperandPat b = any_(), OperandPat c = any_(),
+                       OperandPat d = any_()) {
+  return InstrPat{std::vector<Op>(ops), aux, dst, a, b, c, d};
+}
+
+/// A whole pattern: consecutive instruction rows. `match` attempts the
+/// pattern anchored at `code[at]`, filling `ctx` on success. Capture
+/// bindings from a failed match are discarded by the caller via clear().
+struct Pattern {
+  std::vector<InstrPat> rows;
+
+  std::size_t size() const { return rows.size(); }
+
+  bool match(std::span<const Instr> code, std::size_t at,
+             MatchContext& ctx) const {
+    if (at + rows.size() > code.size()) return false;
+    ctx.clear();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (!rows[i].match(code[at + i], ctx)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace ifsyn::sim::bytecode

@@ -77,6 +77,28 @@ enum class Op : std::uint8_t {
   kWaitUntil,      ///< co_await wait_until(eval of conds[a])
   kAcquireBus,     ///< co_await acquire_bus(BusId a)
   kReleaseBus,     ///< release_bus(BusId a)
+
+  // ---- superinstructions (emitted only by the optimizer pass) ----
+  // The compiler never emits these; optimizer.cpp rewrites recognized
+  // instruction sequences into them post-compile (IFSYN_SIM_OPT=1). Every
+  // superinstruction performs the same architectural writes and raises
+  // the same errors as the sequence it replaces, and carries the
+  // sequence's original dispatch count as a weight so sim.vm.executed_ops
+  // stays byte-identical to the unoptimized VM (DESIGN.md Sec. 14).
+  kCmpBranch,      ///< r[dst] = binary(aux, r[a], r[b]);
+                   ///< pc = r[dst].truthy() ? pc+1 : c  (kBinary+kJumpIfFalse)
+  kWaitForImm,     ///< co_await wait_for(consts[a].to_int())
+                   ///< (kConst+kToInt+kWaitFor)
+  kSignalAssignImm,///< schedule SignalId a <= extend(consts[c], b:width)
+                   ///< (kConst+kSignalAssign)
+  kSliceImm,       ///< r[dst] = r[a].bits.slice(consts[b], consts[c])
+                   ///< (kConst+kConst+kSlice with folded bounds)
+  kBinaryFused,    ///< three-address form: fusions[a] (operand loads +
+                   ///< kBinary + optional kStoreVar in one dispatch)
+  kBulkSend,       ///< bulks[a]: one P3 sender word — DATA word-slice
+                   ///< assign + strobe/handshake raise — per dispatch
+  kBulkRecv,       ///< bulks[a]: one P3 receiver word — DATA capture into
+                   ///< the target's word slice — per dispatch
 };
 
 /// Which storage a slot operand indexes.
@@ -135,6 +157,62 @@ struct CondProgram {
   std::uint32_t start = 0;
   std::uint32_t count = 0;
   std::uint16_t result_reg = 0;
+  /// Pre-optimization instruction count. eval_cond charges this to
+  /// sim.vm.executed_ops (not `count`) so the counter reads identically
+  /// whether or not the optimizer shrank the condition body.
+  std::uint32_t ref_ops = 0;
+};
+
+/// Descriptor for one kBulkSend/kBulkRecv: a whole P3 transfer-loop word
+/// in one dispatch. The word slice bounds are the generated procedures'
+/// index arithmetic, (w_hi*J - k_hi downto w_lo*(J - k_lo)), evaluated
+/// with the exact int64 semantics the replaced kConst/kLoadVar/kBinary
+/// sequence had (constants captured from the pool, J read from its slot).
+struct BulkTransfer {
+  Space var_space = Space::kProcess;  ///< message variable (src or dst)
+  std::int32_t var_slot = 0;
+  Space j_space = Space::kProcess;    ///< loop index for the slice bounds
+  std::int32_t j_slot = 0;
+  std::int64_t w_hi = 0, k_hi = 0;    ///< hi = w_hi * J - k_hi
+  std::int64_t w_lo = 0, k_lo = 0;    ///< lo = w_lo * (J - k_lo)
+  SignalId data_signal = 0;
+  int data_width = 0;                 ///< assignment width (send only)
+
+  /// Send-side strobe stage fused into the same dispatch.
+  enum class Strobe : std::uint8_t {
+    kNone,    ///< no strobe stage (kBulkRecv, bare DATA assign)
+    kConst,   ///< strobe <= consts[strobe_const] (handshake START raise)
+    kParity,  ///< strobe <= J2 mod par_mod (strobe-protocol word parity)
+  };
+  Strobe strobe = Strobe::kNone;
+  SignalId strobe_signal = 0;
+  int strobe_width = 0;
+  Space j2_space = Space::kProcess;   ///< parity index (kParity)
+  std::int32_t j2_slot = 0;
+  std::int64_t par_mod = 2;           ///< parity modulus (matcher rejects 0)
+  std::int32_t strobe_const = 0;      ///< const pool index (kConst)
+
+  std::uint32_t weight = 0;  ///< dispatch count of the replaced sequence
+};
+
+/// Descriptor for one kBinaryFused three-address operation: two operand
+/// loads + kBinary (+ optional kStoreVar) in one dispatch.
+struct FusedOperand {
+  enum class Kind : std::uint8_t { kSlot, kConst, kSignal };
+  Kind kind = Kind::kConst;
+  Space space = Space::kProcess;  ///< kSlot
+  std::int32_t index = 0;         ///< slot / const pool index / SignalId
+};
+
+struct FusedBinary {
+  spec::BinaryOp op{};
+  FusedOperand lhs, rhs;
+  std::uint16_t dst_reg = 0;  ///< result register (always written)
+  bool has_store = false;     ///< fused kStoreVar of the result
+  Space store_space = Space::kProcess;
+  std::int32_t store_slot = 0;
+  std::int32_t store_width = 0;
+  std::uint32_t weight = 0;   ///< dispatch count of the replaced sequence
 };
 
 /// Everything needed to execute one process: code, pools, frame layouts.
@@ -155,7 +233,27 @@ struct ProcProgram {
   /// [0] is the process-local frame; the rest are procedure frames.
   std::vector<FrameLayout> frame_layouts;
 
+  /// Superinstruction side tables (filled by the optimizer pass).
+  std::vector<BulkTransfer> bulks;
+  std::vector<FusedBinary> fusions;
+
   std::uint16_t num_regs = 0;
+};
+
+/// How aggressively the post-compile optimizer (optimizer.hpp) rewrote a
+/// CompiledSystem. Part of the artifact so the ProgramCache can key on it.
+enum class OptLevel : std::uint8_t {
+  kNone = 0,  ///< compiler output verbatim (IFSYN_SIM_OPT=0)
+  kFull = 1,  ///< superinstructions + peephole fusions (default)
+};
+
+/// What the optimizer did to one CompiledSystem. Deterministic per
+/// artifact, but level-dependent — so these surface only through
+/// wall-clock-classed obs counters (sim.vm.opt.*), never in the
+/// deterministic report tables.
+struct OptStats {
+  std::uint64_t patterns_matched = 0;
+  std::uint64_t instructions_eliminated = 0;
 };
 
 /// Compiled form of a whole system: the shared global-variable layout plus
@@ -164,7 +262,14 @@ struct CompiledSystem {
   std::vector<SlotInfo> global_slots;           ///< system variable order
   std::map<std::string, std::uint32_t> global_index;
   std::vector<ProcProgram> processes;
-  std::uint64_t total_instructions = 0;         ///< code + cond_code
+  /// Pre-optimization code + cond_code size. Stays the compiler's count
+  /// even after optimization, so sim.vm.compiled_instructions — a
+  /// deterministic, report-visible metric — is identical across opt
+  /// levels. The post-rewrite size is optimized_instructions.
+  std::uint64_t total_instructions = 0;
+  std::uint64_t optimized_instructions = 0;
+  OptLevel opt_level = OptLevel::kNone;
+  OptStats opt;
 };
 
 }  // namespace ifsyn::sim::bytecode

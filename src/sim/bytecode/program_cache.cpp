@@ -31,12 +31,15 @@ std::atomic<ProgramCache*> g_process_cache{nullptr};
 
 }  // namespace
 
-std::string system_cache_key(const spec::System& system) {
+std::string system_cache_key(const spec::System& system, OptLevel level) {
   // The printed IR covers variables, signals, channels, buses, procedures
-  // and processes — everything compile() lowers. Two kernel-relevant facts
-  // the printer does not render are appended explicitly: which buses
-  // declare locks (BusId interning order depends on the arbitrated set)
-  // and a version salt so cached artifacts never survive an ISA change.
+  // and processes — everything compile() lowers. Appended explicitly: two
+  // kernel-relevant facts the printer does not render (which buses
+  // declare locks — BusId interning order depends on the arbitrated set),
+  // the optimization level (a process serving mixed IFSYN_SIM_OPT
+  // requests keeps one artifact per level and can never hand an optimized
+  // program to a reference run), and a version salt so cached artifacts
+  // never survive an ISA change.
   std::string text = spec::print_system(system);
   text += "\n|locks:";
   for (const auto& bus : system.buses()) {
@@ -45,7 +48,9 @@ std::string system_cache_key(const spec::System& system) {
       text += bus->name;
     }
   }
-  text += "|bytecode-v1";
+  text += "|opt:";
+  text += std::to_string(static_cast<int>(level));
+  text += "|bytecode-v2";
   // Two independent 64-bit FNV-1a streams (different offset bases) plus
   // the length: collisions would silently run the wrong program, so the
   // key is effectively 128 bits + size.

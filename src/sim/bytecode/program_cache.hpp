@@ -43,9 +43,12 @@
 namespace ifsyn::sim::bytecode {
 
 /// Content hash identifying a system for artifact reuse: everything the
-/// bytecode compiler and the kernel-id interning read. Two systems with
-/// equal keys produce byte-identical CompiledSystems.
-std::string system_cache_key(const spec::System& system);
+/// bytecode compiler and the kernel-id interning read, plus the
+/// optimization level the artifact was (or would be) rewritten at — opt
+/// and reference artifacts never collide in a shared store. Two systems
+/// with equal keys produce byte-identical CompiledSystems.
+std::string system_cache_key(const spec::System& system,
+                             OptLevel level = OptLevel::kNone);
 
 class ProgramCache {
  public:

@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "sim/bytecode/compiler.hpp"
+#include "sim/bytecode/optimizer.hpp"
 #include "sim/bytecode/program_cache.hpp"
 #include "util/assert.hpp"
 
@@ -26,12 +27,18 @@ Vm::Vm(const spec::System& system, Kernel& kernel)
 void Vm::setup() {
   obs::MetricsRegistry* metrics = kernel_.obs().metrics;
 
+  const OptLevel level = opt_level_from_env();
   const auto t0 = std::chrono::steady_clock::now();
   if (ProgramCache* cache = process_cache()) {
+    // The key incorporates the optimization level: a process serving
+    // mixed IFSYN_SIM_OPT requests keeps one artifact per level and can
+    // never hand an optimized program to a reference-engine run.
     compiled_ = cache->get_or_compile(
-        system_cache_key(system_), [this] { return compile(system_, kernel_); });
+        system_cache_key(system_, level),
+        [this, level] { return compile(system_, kernel_, level); });
   } else {
-    compiled_ = std::make_shared<const CompiledSystem>(compile(system_, kernel_));
+    compiled_ = std::make_shared<const CompiledSystem>(
+        compile(system_, kernel_, level));
   }
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -49,6 +56,20 @@ void Vm::setup() {
     metrics->counter("sim.vm.compiled_instructions")
         .add(compiled_->total_instructions);
     executed_ops_ = &metrics->counter("sim.vm.executed_ops");
+    // Optimizer introspection. All wall-clock-classed: they vary with
+    // IFSYN_SIM_OPT, and the deterministic report tables must stay
+    // byte-identical across levels (executed_ops does, via weights).
+    metrics->gauge("sim.vm.opt.level", obs::Determinism::kWallClock)
+        .set(static_cast<std::int64_t>(compiled_->opt_level));
+    metrics
+        ->counter("sim.vm.opt.patterns_matched", obs::Determinism::kWallClock)
+        .add(compiled_->opt.patterns_matched);
+    metrics
+        ->counter("sim.vm.opt.instructions_eliminated",
+                  obs::Determinism::kWallClock)
+        .add(compiled_->opt.instructions_eliminated);
+    bulk_ops_ = &metrics->counter("sim.vm.opt.bulk_ops",
+                                  obs::Determinism::kWallClock);
   }
 
   globals_.clear();
@@ -416,10 +437,137 @@ __attribute__((always_inline)) inline void Vm::exec_op(ExecState& st,
     case Op::kReleaseBus:
       kernel_.release_bus(static_cast<BusId>(in.a));
       break;
+    case Op::kSignalAssignImm:
+      // kConst + kSignalAssign; extend() sees the identical Scalar the
+      // register copy held, so the scheduled bits are unchanged.
+      kernel_.schedule_signal(
+          static_cast<SignalId>(in.a),
+          extend(st.prog->consts[static_cast<std::size_t>(in.c)], in.b));
+      break;
+    case Op::kSliceImm: {
+      // kConst + kConst + kSlice. to_int() runs on the pool entries the
+      // registers would have copied — same values, same width asserts.
+      const std::vector<Scalar>& consts = st.prog->consts;
+      const int hi = static_cast<int>(
+          consts[static_cast<std::size_t>(in.b)].to_int());
+      const int lo = static_cast<int>(
+          consts[static_cast<std::size_t>(in.c)].to_int());
+      r[in.dst] = Scalar{r[in.a].bits.slice(hi, lo), false};
+      break;
+    }
+    case Op::kBinaryFused: {
+      // Operand loads + kBinary (+ optional kStoreVar) in one dispatch.
+      // Each stage reproduces the corresponding exec_op case verbatim;
+      // only the scratch-register writes of the operand loads are elided
+      // (dead by the compiler's write-before-read discipline).
+      const FusedBinary& f =
+          st.prog->fusions[static_cast<std::size_t>(in.a)];
+      const auto load = [&](const FusedOperand& o, Scalar& out) {
+        switch (o.kind) {
+          case FusedOperand::Kind::kSlot: {
+            const spec::Value& v = slot(st, o.space, o.index);
+            out.bits = v.get();
+            out.is_signed = v.type().is_signed();
+            break;
+          }
+          case FusedOperand::Kind::kConst:
+            out = st.prog->consts[static_cast<std::size_t>(o.index)];
+            break;
+          case FusedOperand::Kind::kSignal:
+            out.bits = kernel_.signal_value(static_cast<SignalId>(o.index));
+            out.is_signed = false;
+            break;
+        }
+      };
+      Scalar lhs, rhs;
+      load(f.lhs, lhs);
+      load(f.rhs, rhs);
+      Scalar& d = r[f.dst_reg];
+      if (!fast_binary(f.op, lhs, rhs, d)) d = eval_binary_op(f.op, lhs, rhs);
+      if (f.has_store) {
+        spec::Value& v = slot(st, f.store_space, f.store_slot);
+        if (f.store_width <= 64 && d.bits.width() <= 64 &&
+            v.type().scalar_width() == f.store_width) {
+          v.scalar_bits().assign_uint(
+              f.store_width, static_cast<std::uint64_t>(d.to_int()));
+        } else {
+          v.set(extend(d, f.store_width));
+        }
+      }
+      break;
+    }
     default:
       // Control flow and suspensions are handled in run_process.
       IFSYN_ASSERT_MSG(false, "unexpected opcode in exec_op");
   }
+}
+
+void Vm::exec_bulk_send(ExecState& st, const BulkTransfer& bt) {
+  // Word index and slice bounds: the replaced kConst/kLoadVar/kBinary
+  // chain ran kMul/kSub through fast_binary's 64-bit signed arithmetic
+  // (or eval_binary_op's identical make_int path), so plain int64 math on
+  // the prefolded constants is bit-exact. to_int() on the loaded index
+  // raises the same width asserts the register load's consumer did.
+  const spec::Value& jv = slot(st, bt.j_space, bt.j_slot);
+  const BitVector& jb = jv.get();
+  const std::int64_t j =
+      jb.width() == 0
+          ? 0
+          : (jv.type().is_signed()
+                 ? jb.to_int()
+                 : static_cast<std::int64_t>(jb.to_uint()));
+  const int hi = static_cast<int>(bt.w_hi * j - bt.k_hi);
+  const int lo = static_cast<int>(bt.w_lo * (j - bt.k_lo));
+  const spec::Value& sv = slot(st, bt.var_space, bt.var_slot);
+  const Scalar word{sv.get().slice(hi, lo), false};
+  kernel_.schedule_signal(bt.data_signal, extend(word, bt.data_width));
+  switch (bt.strobe) {
+    case BulkTransfer::Strobe::kNone:
+      break;
+    case BulkTransfer::Strobe::kConst:
+      kernel_.schedule_signal(
+          bt.strobe_signal,
+          extend(st.prog->consts[static_cast<std::size_t>(bt.strobe_const)],
+                 bt.strobe_width));
+      break;
+    case BulkTransfer::Strobe::kParity: {
+      const spec::Value& j2v = slot(st, bt.j2_space, bt.j2_slot);
+      const BitVector& j2b = j2v.get();
+      const std::int64_t j2 =
+          j2b.width() == 0
+              ? 0
+              : (j2v.type().is_signed()
+                     ? j2b.to_int()
+                     : static_cast<std::int64_t>(j2b.to_uint()));
+      // par_mod != 0 was checked at match time (mod-by-zero code stays
+      // on the generic path for its lazy error).
+      const Scalar parity = make_int(j2 % bt.par_mod);
+      kernel_.schedule_signal(bt.strobe_signal,
+                              extend(parity, bt.strobe_width));
+      break;
+    }
+  }
+}
+
+void Vm::exec_bulk_recv(ExecState& st, const BulkTransfer& bt) {
+  // kLoadSignal + index arithmetic + kStoreSlice, one dispatch.
+  Scalar data;
+  data.bits = kernel_.signal_value(bt.data_signal);
+  data.is_signed = false;
+  const spec::Value& jv = slot(st, bt.j_space, bt.j_slot);
+  const BitVector& jb = jv.get();
+  const std::int64_t j =
+      jb.width() == 0
+          ? 0
+          : (jv.type().is_signed()
+                 ? jb.to_int()
+                 : static_cast<std::int64_t>(jb.to_uint()));
+  const int hi = static_cast<int>(bt.w_hi * j - bt.k_hi);
+  const int lo = static_cast<int>(bt.w_lo * (j - bt.k_lo));
+  spec::Value& v = slot(st, bt.var_space, bt.var_slot);
+  BitVector current = v.get();
+  current.set_slice(hi, lo, extend(data, hi - lo + 1));
+  v.set(std::move(current));
 }
 
 bool Vm::eval_cond(ExecState& st, const CondProgram& cp) {
@@ -430,7 +578,10 @@ bool Vm::eval_cond(ExecState& st, const CondProgram& cp) {
   for (std::uint32_t pc = cp.start; pc < cp.start + cp.count; ++pc) {
     exec_op(st, code[pc]);
   }
-  if (executed_ops_) executed_ops_->add(cp.count);
+  // Charge the pre-optimization instruction count: executed_ops is a
+  // deterministic report metric and must read identically whether or not
+  // the optimizer shrank this condition body.
+  if (executed_ops_) executed_ops_->add(cp.ref_ops);
   return st.regs[cp.result_reg].truthy();
 }
 
@@ -519,6 +670,61 @@ Vm::SuspendKind Vm::run_until_suspend(ExecState& st, std::uint64_t& ops,
         st.pc = pc + 1;
         arg = static_cast<std::uint64_t>(in.a);
         return SuspendKind::kAcquireBus;
+      // Superinstructions charge `ops` with the dispatch count of the
+      // sequence they replaced (the ++ops above contributed 1), keeping
+      // sim.vm.executed_ops byte-identical to the unoptimized VM.
+      case Op::kCmpBranch: {
+        const auto bo = static_cast<spec::BinaryOp>(in.aux);
+        std::vector<Scalar>& r = st.regs;
+        if (!fast_binary(bo, r[in.a], r[in.b], r[in.dst])) {
+          r[in.dst] = eval_binary_op(bo, r[in.a], r[in.b]);
+        }
+        ++ops;  // kBinary + kJumpIfFalse
+        pc = r[in.dst].truthy() ? pc + 1 : static_cast<std::uint32_t>(in.c);
+        break;
+      }
+      case Op::kWaitForImm: {
+        // to_int() on the pool entry raises the same asserts the
+        // replaced kToInt did on its register copy.
+        const std::int64_t cycles =
+            prog.consts[static_cast<std::size_t>(in.a)].to_int();
+        IFSYN_ASSERT_MSG(cycles >= 0, "negative wait duration");
+        ops += 2;  // kConst + kToInt + kWaitFor
+        st.pc = pc + 1;
+        arg = static_cast<std::uint64_t>(cycles);
+        return SuspendKind::kWaitFor;
+      }
+      case Op::kSignalAssignImm:
+        exec_op(st, in);
+        ++ops;  // kConst + kSignalAssign
+        ++pc;
+        break;
+      case Op::kSliceImm:
+        exec_op(st, in);
+        ops += 2;  // kConst + kConst + kSlice
+        ++pc;
+        break;
+      case Op::kBinaryFused:
+        exec_op(st, in);
+        ops += prog.fusions[static_cast<std::size_t>(in.a)].weight - 1;
+        ++pc;
+        break;
+      case Op::kBulkSend: {
+        const BulkTransfer& bt = prog.bulks[static_cast<std::size_t>(in.a)];
+        exec_bulk_send(st, bt);
+        ops += bt.weight - 1;
+        if (bulk_ops_) bulk_ops_->add(1);
+        ++pc;
+        break;
+      }
+      case Op::kBulkRecv: {
+        const BulkTransfer& bt = prog.bulks[static_cast<std::size_t>(in.a)];
+        exec_bulk_recv(st, bt);
+        ops += bt.weight - 1;
+        if (bulk_ops_) bulk_ops_->add(1);
+        ++pc;
+        break;
+      }
       default:
         exec_op(st, in);
         ++pc;

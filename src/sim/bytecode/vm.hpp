@@ -110,6 +110,11 @@ class Vm {
   spec::Value& slot(ExecState& st, Space space, std::int32_t index);
   /// Execute one non-suspending, non-control-flow instruction.
   void exec_op(ExecState& st, const Instr& in);
+  /// Superinstruction handlers (optimizer-emitted, see optimizer.hpp):
+  /// one whole P3 transfer-loop word — and, for sends, the fused strobe
+  /// raise — per dispatch.
+  void exec_bulk_send(ExecState& st, const BulkTransfer& bt);
+  void exec_bulk_recv(ExecState& st, const BulkTransfer& bt);
   bool eval_cond(ExecState& st, const CondProgram& cp);
   void do_call(ExecState& st, const CallSite& cs);
   void do_return(ExecState& st);
@@ -123,6 +128,10 @@ class Vm {
   std::deque<ExecState> states_;
   std::vector<spec::Value> globals_;  ///< shared by all processes
   obs::Counter* executed_ops_ = nullptr;
+  /// Wall-clock-classed: counts kBulkSend/kBulkRecv dispatches, which
+  /// depend on the optimization level and so must never feed a
+  /// deterministic report table.
+  obs::Counter* bulk_ops_ = nullptr;
 };
 
 }  // namespace ifsyn::sim::bytecode

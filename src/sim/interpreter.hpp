@@ -79,6 +79,11 @@ class Interpreter {
   /// Overwrite a system-level variable (e.g. to inject test stimuli).
   void set_value(const std::string& variable, spec::Value value);
 
+  /// The bytecode engine behind this interpreter, for artifact
+  /// introspection (e.g. tests asserting on the optimizer's rewrites).
+  /// Engaged after setup() when engine() == kVm; nullptr for kAst.
+  const bytecode::Vm* vm() const { return vm_.get(); }
+
  private:
   struct Frame {
     std::map<std::string, spec::Value> vars;

@@ -17,6 +17,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "check/checker.hpp"
 #include "core/equivalence.hpp"
@@ -265,12 +266,36 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
                          ::testing::Range(0, fuzz_iterations()));
 
 // ---- engine differential testing ------------------------------------------
-// Every fuzzed system (original and its refined form) runs through both
-// execution engines — the bytecode VM and the AST reference interpreter —
-// with tracing on, and the runs must agree byte-for-byte: status, end
-// time, every committed signal change, per-process statistics, and the
-// final value of every system variable. This is the primary correctness
-// harness for the VM's lowering pass.
+// Every fuzzed system (original and its refined form) runs three ways —
+// the optimized bytecode VM (IFSYN_SIM_OPT=1), the unoptimized VM
+// (IFSYN_SIM_OPT=0) and the AST reference interpreter — with tracing on,
+// and all three runs must agree byte-for-byte: status, end time, every
+// committed signal change, per-process statistics, and the final value of
+// every system variable. This is the primary correctness harness for both
+// the VM's lowering pass and the superinstruction optimizer.
+
+/// Forces IFSYN_SIM_OPT for one run; restores the previous value (CI runs
+/// whole suites under =0, which must survive this test).
+class ScopedSimOpt {
+ public:
+  explicit ScopedSimOpt(const char* value) {
+    const char* old = std::getenv("IFSYN_SIM_OPT");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    setenv("IFSYN_SIM_OPT", value, 1);
+  }
+  ~ScopedSimOpt() {
+    if (had_) {
+      setenv("IFSYN_SIM_OPT", saved_.c_str(), 1);
+    } else {
+      unsetenv("IFSYN_SIM_OPT");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
 
 /// Run `system` on one engine with tracing enabled.
 sim::SimulationRun run_engine(const System& system, sim::Engine engine) {
@@ -278,23 +303,23 @@ sim::SimulationRun run_engine(const System& system, sim::Engine engine) {
                        engine);
 }
 
-void expect_runs_identical(const System& system, std::uint64_t seed,
-                           const char* label) {
-  const sim::SimulationRun vm = run_engine(system, sim::Engine::kVm);
-  const sim::SimulationRun ast = run_engine(system, sim::Engine::kAst);
-  SCOPED_TRACE(::testing::Message()
-               << "seed " << seed << " (" << label << ")");
-
-  ASSERT_EQ(vm.result.status.is_ok(), ast.result.status.is_ok())
-      << "vm: " << vm.result.status << " ast: " << ast.result.status;
-  if (!vm.result.status.is_ok()) return;  // both failed the same way
-  EXPECT_EQ(vm.result.end_time, ast.result.end_time);
+void expect_two_runs_identical(const System& system,
+                               const sim::SimulationRun& lhs,
+                               const char* lhs_name,
+                               const sim::SimulationRun& rhs,
+                               const char* rhs_name) {
+  SCOPED_TRACE(::testing::Message() << lhs_name << " vs " << rhs_name);
+  ASSERT_EQ(lhs.result.status.is_ok(), rhs.result.status.is_ok())
+      << lhs_name << ": " << lhs.result.status << " " << rhs_name << ": "
+      << rhs.result.status;
+  if (!lhs.result.status.is_ok()) return;  // both failed the same way
+  EXPECT_EQ(lhs.result.end_time, rhs.result.end_time);
 
   // Process results.
-  ASSERT_EQ(vm.result.processes.size(), ast.result.processes.size());
-  for (std::size_t i = 0; i < vm.result.processes.size(); ++i) {
-    const sim::ProcessStats& pv = vm.result.processes[i];
-    const sim::ProcessStats& pa = ast.result.processes[i];
+  ASSERT_EQ(lhs.result.processes.size(), rhs.result.processes.size());
+  for (std::size_t i = 0; i < lhs.result.processes.size(); ++i) {
+    const sim::ProcessStats& pv = lhs.result.processes[i];
+    const sim::ProcessStats& pa = rhs.result.processes[i];
     EXPECT_EQ(pv.name, pa.name);
     EXPECT_EQ(pv.completed, pa.completed) << pv.name;
     EXPECT_EQ(pv.finish_time, pa.finish_time) << pv.name;
@@ -303,23 +328,41 @@ void expect_runs_identical(const System& system, std::uint64_t seed,
   }
 
   // Committed signal changes (waveform identity).
-  const auto& tv = vm.kernel->trace();
-  const auto& ta = ast.kernel->trace();
+  const auto& tv = lhs.kernel->trace();
+  const auto& ta = rhs.kernel->trace();
   ASSERT_EQ(tv.size(), ta.size());
   for (std::size_t i = 0; i < tv.size(); ++i) {
     EXPECT_TRUE(tv[i].time == ta[i].time && tv[i].delta == ta[i].delta &&
                 tv[i].key == ta[i].key && tv[i].value == ta[i].value)
-        << "trace entry " << i << ": vm " << tv[i].key.to_string() << "@"
-        << tv[i].time << "." << tv[i].delta << " ast "
-        << ta[i].key.to_string() << "@" << ta[i].time << "." << ta[i].delta;
+        << "trace entry " << i << ": " << lhs_name << " "
+        << tv[i].key.to_string() << "@" << tv[i].time << "." << tv[i].delta
+        << " " << rhs_name << " " << ta[i].key.to_string() << "@"
+        << ta[i].time << "." << ta[i].delta;
   }
 
   // Final variable state.
   for (const auto& v : system.variables()) {
-    EXPECT_EQ(vm.interpreter->value_of(v->name),
-              ast.interpreter->value_of(v->name))
+    EXPECT_EQ(lhs.interpreter->value_of(v->name),
+              rhs.interpreter->value_of(v->name))
         << "variable " << v->name;
   }
+}
+
+void expect_runs_identical(const System& system, std::uint64_t seed,
+                           const char* label) {
+  sim::SimulationRun vm_opt = [&] {
+    ScopedSimOpt opt("1");
+    return run_engine(system, sim::Engine::kVm);
+  }();
+  sim::SimulationRun vm_ref = [&] {
+    ScopedSimOpt opt("0");
+    return run_engine(system, sim::Engine::kVm);
+  }();
+  const sim::SimulationRun ast = run_engine(system, sim::Engine::kAst);
+  SCOPED_TRACE(::testing::Message()
+               << "seed " << seed << " (" << label << ")");
+  expect_two_runs_identical(system, vm_opt, "vm+opt", ast, "ast");
+  expect_two_runs_identical(system, vm_opt, "vm+opt", vm_ref, "vm");
 }
 
 class FuzzEngineDifferential : public ::testing::TestWithParam<int> {};

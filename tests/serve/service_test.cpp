@@ -289,7 +289,9 @@ TEST(ServiceTest, TracingOnOrOffNeverChangesAReportByte) {
     Response response = future.get();
     ASSERT_TRUE(response.ok) << response.error.message;
     EXPECT_FALSE(response.trace_id.empty());
-    if (response.op == "explore") EXPECT_EQ(response.report, reference);
+    if (response.op == "explore") {
+      EXPECT_EQ(response.report, reference);
+    }
   }
   service.stop();
 
@@ -375,6 +377,15 @@ TEST(ServiceTest, StatsOpAnswersOverTheWireFormat) {
   EXPECT_TRUE(root.count("workers"));
   EXPECT_TRUE(root.count("inflight"));
   EXPECT_TRUE(root.count("counters"));
+  ASSERT_TRUE(root.count("program_cache"));
+  const JsonObject& pc = root.at("program_cache").as_object();
+  EXPECT_TRUE(pc.count("size"));
+  EXPECT_TRUE(pc.count("hits"));
+  EXPECT_TRUE(pc.count("misses"));
+  // The live IFSYN_SIM_OPT level (0 or 1) new compiles run at.
+  ASSERT_TRUE(pc.count("opt_level"));
+  const double level = pc.at("opt_level").as_number();
+  EXPECT_TRUE(level == 0.0 || level == 1.0) << level;
 
   // The stats op is parseable from the wire like any other request.
   Result<Json> wire = parse_json(R"({"id": "r5", "op": "stats"})");

@@ -31,6 +31,19 @@ TEST(SystemCacheKeyTest, StableForEqualContentSensitiveToChanges) {
   EXPECT_NE(system_cache_key(a), system_cache_key(renamed));
 }
 
+TEST(SystemCacheKeyTest, OptimizationLevelKeysSeparateArtifacts) {
+  // A process serving mixed IFSYN_SIM_OPT requests must never hand an
+  // optimized artifact to a reference run (or vice versa), so the level
+  // is part of the key.
+  const spec::System a = suite::make_fig3_system();
+  EXPECT_NE(system_cache_key(a, OptLevel::kNone),
+            system_cache_key(a, OptLevel::kFull));
+  EXPECT_EQ(system_cache_key(a), system_cache_key(a, OptLevel::kNone))
+      << "the default level is kNone";
+  EXPECT_EQ(system_cache_key(a, OptLevel::kFull),
+            system_cache_key(a, OptLevel::kFull));
+}
+
 TEST(ProgramCacheTest, CompilesOncePerKey) {
   ProgramCache cache;
   int compiles = 0;
