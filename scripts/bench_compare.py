@@ -149,8 +149,14 @@ def main(argv):
             if not active:
                 continue
             if key not in cur:
+                # One stable, grep-able line per violation (CI log triage
+                # greps "^FLOOR-VIOLATION"), then the human-readable entry.
+                print(f"FLOOR-VIOLATION key={key} measured=absent "
+                      f"minimum={minimum}")
                 failures.append(f"floor metric {key!r} missing from current")
             elif float(cur[key]) < float(minimum):
+                print(f"FLOOR-VIOLATION key={key} measured={cur[key]:g} "
+                      f"minimum={minimum}")
                 failures.append(
                     f"floor violated: {key!r} = {cur[key]:g} < {minimum}"
                 )

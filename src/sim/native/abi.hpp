@@ -1,0 +1,122 @@
+// ifsyn/sim/native/abi.hpp
+//
+// The binary contract between the host engine (sim/native/engine.cpp) and
+// the generated shared objects the emitter produces. The .so side does NOT
+// include this header — generated translation units are self-contained
+// (emitter.cpp embeds a textual mirror of these structs in its prelude) so
+// a cached artifact never depends on the repo's include paths. Any change
+// here therefore requires the same change in kPrelude AND a bump of
+// kNativeAbiVersion; the loader rejects modules whose exported
+// `ifsyn_native_abi` / `ifsyn_native_state_size` disagree, so a stale
+// on-disk artifact degrades to a cache miss, never to a crash.
+//
+// Layout rules keeping the mirror trivial: every struct is standard-layout
+// POD, fields are pointer/u64/u32-sized (no bools, no bitfields), and the
+// generated code is compiled with the same base language mode (-std=c++17)
+// and default ABI as the host build on the same machine.
+#pragma once
+
+#include <cstdint>
+
+namespace ifsyn::sim::native {
+
+/// Bump on ANY change to the structs below, the entry-point signatures,
+/// the suspend-kind encoding, or the storage model the emitted code and
+/// the host-side plan must agree on (v2: wide scalars in (64, 128] take
+/// two words per element). Part of the artifact cache key, so old .so
+/// files are never even dlopen'd after a bump.
+inline constexpr std::uint32_t kNativeAbiVersion = 2;
+
+/// Return codes of the generated run function — why it handed control
+/// back. Mirrors bytecode::Vm::SuspendKind; the host coroutine switches on
+/// these exactly like the VM's dispatch loop does.
+inline constexpr std::uint32_t kNativeHalt = 0;        ///< process done
+inline constexpr std::uint32_t kNativeWaitFor = 1;     ///< arg = cycles
+inline constexpr std::uint32_t kNativeWaitOn = 2;      ///< arg = wait-set
+inline constexpr std::uint32_t kNativeWaitUntil = 3;   ///< arg = cond idx
+inline constexpr std::uint32_t kNativeAcquireBus = 4;  ///< arg = BusId
+
+/// Dynamic type of one storage slot. Slots start as their declared type;
+/// only two operations ever change a meta at runtime — the loop header
+/// rebinding the loop variable to integer(32) (kLoopTest) and the
+/// kSaveVar/kRestoreVar shadow copies around it — exactly the two places
+/// the VM replaces a slot's spec::Value wholesale.
+struct NativeMeta {
+  std::int32_t w = 0;       ///< element width in bits (1..64)
+  std::int32_t n = 0;       ///< element count (1 for scalars)
+  std::uint32_t s = 0;      ///< element signedness (0/1)
+  std::uint32_t is_arr = 0; ///< array-typed right now (0/1)
+};
+
+/// One suspended caller, pushed by the generated kCall lowering.
+struct NativeCall {
+  std::uint32_t ret_pc = 0;
+  std::uint32_t layout = 0;  ///< caller's frame layout index
+  std::uint32_t woff = 0;    ///< caller's frame word offset in the arena
+  std::uint32_t moff = 0;    ///< caller's frame meta offset in the arena
+};
+
+/// Host services the generated code cannot perform itself: kernel signal
+/// traffic, bus release, error raising (both throw ifsyn::InternalError —
+/// the generated frames hold only POD locals, so unwinding through the
+/// dlopen'd code is safe), and arena growth (reallocates the State's
+/// arrays and updates the pointers before returning).
+struct NativeCallbacks {
+  std::uint64_t (*signal_read)(void* cx, std::uint32_t id);
+  void (*signal_write)(void* cx, std::uint32_t id, std::int32_t width,
+                       std::uint64_t bits);
+  void (*release_bus)(void* cx, std::uint32_t id);
+  void (*trap)(void* cx, std::uint32_t trap_index);       // [[noreturn]]
+  void (*fail)(void* cx, const char* what);               // [[noreturn]]
+  void (*grow_frames)(void* cx, std::uint32_t min_words,
+                      std::uint32_t min_metas);
+  void (*grow_calls)(void* cx, std::uint32_t min_depth);
+};
+
+/// All mutable execution state of one process, owned by the host engine.
+/// The generated function reads/writes it through this struct only, so
+/// suspension is trivially resumable: return, and call again later.
+struct NativeState {
+  // Storage: parallel word/meta arrays. Word offsets are static in the
+  // generated code (prefix sums of declared array sizes); meta index ==
+  // slot index. Globals are shared by every process of the system.
+  std::uint64_t* gw = nullptr;   ///< global words
+  NativeMeta* gm = nullptr;      ///< global metas
+  std::uint64_t* pw = nullptr;   ///< process-local (layout 0) words
+  NativeMeta* pm = nullptr;      ///< process-local metas
+  std::uint64_t* fw = nullptr;   ///< procedure-frame arena words
+  NativeMeta* fm = nullptr;      ///< procedure-frame arena metas
+  std::uint32_t fw_cap = 0;
+  std::uint32_t fm_cap = 0;
+  std::uint64_t* rw = nullptr;   ///< last returned frame (max layout size)
+  NativeMeta* rm = nullptr;
+  NativeCall* calls = nullptr;   ///< call stack
+  std::uint32_t call_cap = 0;
+  std::uint32_t call_depth = 0;
+  std::uint32_t frame_woff = 0;  ///< current procedure frame, in the arena
+  std::uint32_t frame_moff = 0;
+  std::uint32_t frame_layout = 0;
+  std::uint32_t sp_w = 0;        ///< arena high-water marks (stack tops)
+  std::uint32_t sp_m = 0;
+  std::uint32_t ret_layout = 0;  ///< layout index of rw/rm contents
+  std::uint32_t pc = 0;          ///< resume address (bytecode pc)
+  std::uint32_t pad_ = 0;
+  std::uint64_t ops = 0;   ///< executed-op charge since last suspension
+  std::uint64_t bulk = 0;  ///< bulk-transfer dispatches since last suspension
+  const NativeCallbacks* cb = nullptr;
+  void* cx = nullptr;      ///< host context handed back to callbacks
+};
+
+// Entry points every generated module exports (C linkage):
+//   uint32_t ifsyn_native_abi();          -> kNativeAbiVersion
+//   uint32_t ifsyn_native_state_size();   -> sizeof(NativeState)
+//   uint32_t ifsyn_native_proc_count();   -> number of processes
+//   uint32_t ifsyn_native_run(uint32_t proc, NativeState*, uint64_t* arg);
+//   uint32_t ifsyn_native_cond(uint32_t proc, NativeState*, uint32_t idx);
+using NativeAbiFn = std::uint32_t (*)();
+using NativeRunFn = std::uint32_t (*)(std::uint32_t, NativeState*,
+                                      std::uint64_t*);
+using NativeCondFn = std::uint32_t (*)(std::uint32_t, NativeState*,
+                                       std::uint32_t);
+
+}  // namespace ifsyn::sim::native

@@ -1,0 +1,345 @@
+// ifsyn/sim/native/artifact_cache.cpp
+
+#include "sim/native/artifact_cache.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace ifsyn::sim::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Same double-FNV-1a digest idiom as bytecode::system_cache_key, applied
+// to the (already content-hashed) key to get a filename-safe name.
+std::string digest_name(const std::string& key) {
+  std::uint64_t h1 = 14695981039346656037ull;
+  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;
+  for (unsigned char c : key) {
+    h1 = (h1 ^ c) * 1099511628211ull;
+    h2 = (h2 ^ (c + 0x9eu)) * 1099511628211ull;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                (unsigned long long)h1, (unsigned long long)h2);
+  return buf;
+}
+
+std::string quoted(const std::string& path) { return "\"" + path + "\""; }
+
+std::string read_head(const fs::path& p, std::size_t max_bytes) {
+  std::ifstream in(p);
+  if (!in) return "";
+  std::string head(max_bytes, '\0');
+  in.read(head.data(), static_cast<std::streamsize>(max_bytes));
+  head.resize(static_cast<std::size_t>(in.gcount()));
+  return head;
+}
+
+bool write_atomic(const fs::path& target, const std::string& content,
+                  std::string* error) {
+  fs::path tmp = target;
+  tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      *error = "native cache: cannot write " + tmp.string();
+      return false;
+    }
+    out << content;
+    if (!out.good()) {
+      *error = "native cache: short write to " + tmp.string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    *error = "native cache: cannot rename into " + target.string();
+    return false;
+  }
+  return true;
+}
+
+std::atomic<NativeArtifactCache*> g_native_cache{nullptr};
+
+}  // namespace
+
+// ---- NativeModule ---------------------------------------------------------
+
+NativeModule::~NativeModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+std::shared_ptr<NativeModule> NativeModule::load(const std::string& path,
+                                                 std::string* error) {
+  void* h = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (h == nullptr) {
+    const char* why = ::dlerror();
+    *error = std::string("dlopen failed: ") + (why ? why : "unknown");
+    return nullptr;
+  }
+  auto mod = std::shared_ptr<NativeModule>(new NativeModule());
+  mod->handle_ = h;
+
+  auto abi = reinterpret_cast<NativeAbiFn>(::dlsym(h, "ifsyn_native_abi"));
+  auto size =
+      reinterpret_cast<NativeAbiFn>(::dlsym(h, "ifsyn_native_state_size"));
+  auto count =
+      reinterpret_cast<NativeAbiFn>(::dlsym(h, "ifsyn_native_proc_count"));
+  mod->run_ = reinterpret_cast<NativeRunFn>(::dlsym(h, "ifsyn_native_run"));
+  mod->cond_ =
+      reinterpret_cast<NativeCondFn>(::dlsym(h, "ifsyn_native_cond"));
+  if (abi == nullptr || size == nullptr || count == nullptr ||
+      mod->run_ == nullptr || mod->cond_ == nullptr) {
+    *error = "module is missing ifsyn_native_* entry points";
+    return nullptr;  // mod's dtor dlcloses
+  }
+  if (abi() != kNativeAbiVersion) {
+    *error = "module ABI version " + std::to_string(abi()) +
+             " != " + std::to_string(kNativeAbiVersion);
+    return nullptr;
+  }
+  if (size() != sizeof(NativeState)) {
+    *error = "module NativeState size mismatch";
+    return nullptr;
+  }
+  mod->proc_count_ = count();
+  return mod;
+}
+
+// ---- compiler probing -----------------------------------------------------
+
+std::string native_compiler_command() {
+  if (const char* env = std::getenv("IFSYN_NATIVE_CXX")) {
+    if (*env != '\0') return env;
+  }
+  if (const char* env = std::getenv("CXX")) {
+    if (*env != '\0') return env;
+  }
+  return "c++";
+}
+
+std::string native_compiler_fingerprint(const std::string& cxx,
+                                        std::string* error) {
+  static std::mutex mu;
+  static std::map<std::string, std::string> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(cxx);
+    if (it != cache.end()) {
+      if (it->second.empty()) *error = "compiler unavailable: " + cxx;
+      return it->second;
+    }
+  }
+  std::string line;
+  const std::string cmd = quoted(cxx) + " --version 2>/dev/null";
+  if (FILE* pipe = ::popen(cmd.c_str(), "r")) {
+    char buf[256];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+      line = buf;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+    }
+    const int rc = ::pclose(pipe);
+    if (rc != 0) line.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    cache[cxx] = line;
+  }
+  if (line.empty()) *error = "compiler unavailable: " + cxx;
+  return line;
+}
+
+// ---- NativeArtifactCache --------------------------------------------------
+
+std::string NativeArtifactCache::disk_dir() {
+  if (const char* env = std::getenv("IFSYN_NATIVE_CACHE_DIR")) {
+    if (*env != '\0') return env;
+  }
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) base = "/tmp";
+  return (base / ("ifsyn-native-" + std::to_string(::getuid()))).string();
+}
+
+std::size_t NativeArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::shared_ptr<NativeModule> NativeArtifactCache::get_or_build(
+    const std::string& key, const std::function<std::string()>& source,
+    std::string* error) {
+  std::shared_future<std::shared_ptr<NativeModule>> fut;
+  std::promise<std::shared_ptr<NativeModule>> prom;
+  bool creator = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (capacity_ > 0) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+      }
+      fut = it->second.future;
+    } else {
+      creator = true;
+      fut = prom.get_future().share();
+      Entry e;
+      e.future = fut;
+      e.gen = ++gen_;
+      if (capacity_ > 0) {
+        lru_.push_front(key);
+        e.lru = lru_.begin();
+      }
+      map_.emplace(key, std::move(e));
+      if (capacity_ > 0 && map_.size() > capacity_) {
+        // Evict the least recently used settled entry; the module itself
+        // stays alive while any engine holds its shared_ptr.
+        for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+          auto victim = map_.find(*rit);
+          if (victim == map_.end() || *rit == key) continue;
+          lru_.erase(victim->second.lru);
+          map_.erase(victim);
+          evictions_->add(1);
+          break;
+        }
+      }
+    }
+  }
+  if (!creator) {
+    hits_->add(1);
+    auto mod = fut.get();
+    if (mod == nullptr && error != nullptr) {
+      *error = "native compile previously failed for this key";
+    }
+    return mod;
+  }
+  std::string local_error;
+  std::shared_ptr<NativeModule> mod = build(key, source, &local_error);
+  prom.set_value(mod);
+  if (mod == nullptr && error != nullptr) *error = local_error;
+  return mod;
+}
+
+std::shared_ptr<NativeModule> NativeArtifactCache::build(
+    const std::string& key, const std::function<std::string()>& source,
+    std::string* error) {
+  const fs::path dir(disk_dir());
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *error = "native cache: cannot create " + dir.string();
+    return nullptr;
+  }
+  const std::string name = digest_name(key);
+  const fs::path so_path = dir / (name + ".so");
+
+  if (fs::exists(so_path, ec) && !ec) {
+    std::string load_error;
+    if (auto mod = NativeModule::load(so_path.string(), &load_error)) {
+      hits_->add(1);
+      // Refresh the mtime so disk LRU tracks use, not just creation.
+      fs::last_write_time(so_path, fs::file_time_type::clock::now(), ec);
+      return mod;
+    }
+    // Stale/corrupt artifact (e.g. pre-ABI-bump): recompile in place.
+    fs::remove(so_path, ec);
+  }
+  misses_->add(1);
+
+  const std::string cxx = native_compiler_command();
+  std::string fp_error;
+  if (native_compiler_fingerprint(cxx, &fp_error).empty()) {
+    *error = fp_error;
+    return nullptr;
+  }
+
+  // Keep the generated source next to the artifact — it is the ground
+  // truth when debugging a native/VM divergence.
+  const fs::path cpp_path = dir / (name + ".cpp");
+  if (!write_atomic(cpp_path, source(), error)) return nullptr;
+
+  const fs::path tmp_so = dir / (name + ".so.tmp." +
+                                 std::to_string(::getpid()));
+  const fs::path err_path = dir / (name + ".err." +
+                                   std::to_string(::getpid()));
+  const std::string cmd = quoted(cxx) +
+                          " -std=c++17 -O2 -fPIC -shared -x c++ " +
+                          quoted(cpp_path.string()) + " -o " +
+                          quoted(tmp_so.string()) + " 2> " +
+                          quoted(err_path.string());
+  compiles_->add(1);
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::string head = read_head(err_path, 600);
+    fs::remove(tmp_so, ec);
+    fs::remove(err_path, ec);
+    *error = "native compile failed (exit " + std::to_string(rc) + "): " +
+             (head.empty() ? std::string("no compiler output") : head);
+    return nullptr;
+  }
+  fs::remove(err_path, ec);
+  fs::rename(tmp_so, so_path, ec);
+  if (ec) {
+    fs::remove(tmp_so, ec);
+    *error = "native cache: cannot rename artifact into place";
+    return nullptr;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evict_disk_locked();
+  }
+  return NativeModule::load(so_path.string(), error);
+}
+
+void NativeArtifactCache::evict_disk_locked() {
+  if (capacity_ == 0) return;
+  std::error_code ec;
+  const fs::path dir(disk_dir());
+  std::vector<std::pair<fs::file_time_type, fs::path>> artifacts;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".so") continue;
+    std::error_code tec;
+    const auto t = fs::last_write_time(entry.path(), tec);
+    if (!tec) artifacts.emplace_back(t, entry.path());
+  }
+  if (ec || artifacts.size() <= capacity_) return;
+  std::sort(artifacts.begin(), artifacts.end());
+  const std::size_t excess = artifacts.size() - capacity_;
+  for (std::size_t i = 0; i < excess; ++i) {
+    fs::path victim = artifacts[i].second;
+    std::error_code rec;
+    if (fs::remove(victim, rec) && !rec) {
+      victim.replace_extension(".cpp");
+      fs::remove(victim, rec);
+      evictions_->add(1);
+    }
+  }
+}
+
+// ---- process-wide seam ----------------------------------------------------
+
+void install_native_cache(NativeArtifactCache* cache) {
+  g_native_cache.store(cache, std::memory_order_release);
+}
+
+NativeArtifactCache* process_native_cache() {
+  return g_native_cache.load(std::memory_order_acquire);
+}
+
+}  // namespace ifsyn::sim::native

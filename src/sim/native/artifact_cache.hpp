@@ -1,0 +1,153 @@
+// ifsyn/sim/native/artifact_cache.hpp
+//
+// Process-wide, size-bounded store of compiled native simulation modules
+// (.so files), the native engine's analogue of bytecode::ProgramCache. Two
+// layers: an in-memory LRU of dlopen'd modules (a module stays mapped as
+// long as any engine holds its shared_ptr, so eviction never unmaps code
+// that is still executing), and an on-disk LRU of .so files under
+// IFSYN_NATIVE_CACHE_DIR (default: a per-uid directory in the system temp
+// dir) so the compile-once cost also amortizes across processes.
+//
+// Keys are built by the engine: system_cache_key(system, opt) + compiler
+// fingerprint + ABI version. The fingerprint (first line of `$CXX
+// --version`) keys out toolchain upgrades; the ABI version keys out layout
+// changes; and the loader additionally verifies a disk artifact's exported
+// abi/state-size before trusting it, so a corrupt or stale file degrades
+// to a recompile, never a crash.
+//
+// Everything here reports failure by returning nullptr with a reason —
+// the engine turns that into a VM fallback. Nothing throws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "sim/native/abi.hpp"
+
+namespace ifsyn::sim::native {
+
+/// One dlopen'd generated module. Holds the handle for its lifetime;
+/// engines keep a shared_ptr so cache eviction cannot unmap running code.
+class NativeModule {
+ public:
+  ~NativeModule();
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  /// dlopen `path` and resolve + verify the ifsyn_native_* entry points
+  /// (ABI version and state size must match this build). Returns nullptr
+  /// with *error set on any failure.
+  static std::shared_ptr<NativeModule> load(const std::string& path,
+                                            std::string* error);
+
+  std::uint32_t proc_count() const { return proc_count_; }
+  std::uint32_t run(std::uint32_t proc, NativeState* st,
+                    std::uint64_t* arg) const {
+    return run_(proc, st, arg);
+  }
+  std::uint32_t cond(std::uint32_t proc, NativeState* st,
+                     std::uint32_t idx) const {
+    return cond_(proc, st, idx);
+  }
+
+ private:
+  NativeModule() = default;
+  void* handle_ = nullptr;
+  NativeRunFn run_ = nullptr;
+  NativeCondFn cond_ = nullptr;
+  std::uint32_t proc_count_ = 0;
+};
+
+/// Resolve the C++ compiler used for native artifacts: IFSYN_NATIVE_CXX,
+/// then CXX, then "c++".
+std::string native_compiler_command();
+
+/// First line of `cxx --version`, cached per command string. Empty with
+/// *error set when the compiler cannot be run — the no-toolchain signal,
+/// raised before any cache traffic so a missing toolchain is a clean,
+/// deterministic fallback.
+std::string native_compiler_fingerprint(const std::string& cxx,
+                                        std::string* error);
+
+class NativeArtifactCache {
+ public:
+  /// `capacity` > 0 bounds both the in-memory module count and the on-disk
+  /// .so count (mtime-LRU) ; 0 = unbounded. Counters (optional,
+  /// registry-owned, must outlive the cache) surface hits / misses /
+  /// evictions / compiles; hits count memory AND disk hits, compiles count
+  /// actual compiler invocations.
+  explicit NativeArtifactCache(std::size_t capacity = 0,
+                               obs::Counter* hits = nullptr,
+                               obs::Counter* misses = nullptr,
+                               obs::Counter* evictions = nullptr,
+                               obs::Counter* compiles = nullptr)
+      : capacity_(capacity),
+        hits_(hits ? hits : &own_hits_),
+        misses_(misses ? misses : &own_misses_),
+        evictions_(evictions ? evictions : &own_evictions_),
+        compiles_(compiles ? compiles : &own_compiles_) {}
+
+  /// Returns the module for `key`, materializing it on first request: disk
+  /// hit -> dlopen; otherwise compile `source()` with the host toolchain.
+  /// `source` is only invoked on a true compile. Concurrent requests for
+  /// one key share a single compile. Returns nullptr with *error set when
+  /// the toolchain or loader fails — the caller falls back to the VM.
+  std::shared_ptr<NativeModule> get_or_build(
+      const std::string& key, const std::function<std::string()>& source,
+      std::string* error);
+
+  std::uint64_t hits() const { return hits_->value(); }
+  std::uint64_t misses() const { return misses_->value(); }
+  std::uint64_t evictions() const { return evictions_->value(); }
+  std::uint64_t compiles() const { return compiles_->value(); }
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// The on-disk directory this cache reads/writes .so files in.
+  static std::string disk_dir();
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<NativeModule>> future;
+    std::list<std::string>::iterator lru;
+    std::uint64_t gen = 0;
+  };
+
+  std::shared_ptr<NativeModule> build(const std::string& key,
+                                      const std::function<std::string()>& source,
+                                      std::string* error);
+  void evict_disk_locked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  ///< most recently used first (bounded only)
+  std::size_t capacity_ = 0;
+  std::uint64_t gen_ = 0;
+  obs::Counter own_hits_;
+  obs::Counter own_misses_;
+  obs::Counter own_evictions_;
+  obs::Counter own_compiles_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* compiles_;
+};
+
+/// Install `cache` as the process-wide native artifact store consulted by
+/// every subsequent native engine setup (nullptr uninstalls). Caller keeps
+/// ownership; install once at front-end startup, before workers spawn —
+/// the same contract as bytecode::install_process_cache.
+void install_native_cache(NativeArtifactCache* cache);
+
+/// The installed process-wide cache, or nullptr (each engine then uses a
+/// transient private cache — still getting cross-process disk reuse).
+NativeArtifactCache* process_native_cache();
+
+}  // namespace ifsyn::sim::native

@@ -1,0 +1,76 @@
+// ifsyn/sim/native/emitter.hpp
+//
+// Lowers an optimized bytecode::CompiledSystem into one self-contained C++
+// translation unit: a resumable state-machine function per process (every
+// kernel suspension point is an explicit `case` of the resume switch, so
+// the generated code yields to the kernel at exactly the bytecode pcs the
+// VM does — delta timing, traces and bus accounting stay byte-identical),
+// plus one condition-evaluator function per process for `wait until`
+// predicates. See DESIGN.md Sec. 15 for the emission strategy.
+//
+// The emitter also computes the SystemPlan — the flat word/meta storage
+// layout the host engine materializes NativeState from — so the offsets
+// baked into the generated code and the arrays the host allocates can
+// never disagree.
+//
+// Nativizability gate: emission refuses (returns false with a reason)
+// any program outside the subset the word model covers — a scalar wider
+// than 128 bits, a signal wider than 64, an inconsistent save/restore
+// span. Scalars in (64, 128] occupy two words per element (lo, hi) and
+// flow through registers as unsigned __int128 payloads; protocol-refined
+// systems need this for the generated `msg` variables (addr ++ data).
+// The gate is a performance decision, never a semantic one: the caller
+// falls back to the VM and observable behavior is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/bytecode/program.hpp"
+#include "sim/kernel.hpp"
+#include "sim/native/abi.hpp"
+
+namespace ifsyn::sim::native {
+
+/// Storage plan for one slot: word offset (prefix sum of element word
+/// counts), element span, words per element, initial dynamic type and
+/// initial payload words.
+struct SlotPlan {
+  std::uint32_t woff = 0;
+  std::uint32_t span = 1;  ///< element count (1 for scalars)
+  std::uint32_t wpe = 1;   ///< words per element (2 for widths in (64,128])
+  NativeMeta meta;                  ///< declared type, as the initial meta
+  spec::Type type = spec::Type::integer();  ///< declared type (value_of)
+  std::vector<std::uint64_t> init;  ///< span*wpe words; empty = all-zero
+};
+
+struct LayoutPlan {
+  std::vector<SlotPlan> slots;
+  std::uint32_t words = 0;  ///< total payload words
+};
+
+/// Per-process storage plan; [0] is the process-local frame, the rest are
+/// procedure activation layouts (indices match ProcProgram::frame_layouts).
+struct ProcPlan {
+  std::vector<LayoutPlan> layouts;
+  std::uint32_t max_layout_words = 1;  ///< return-area word capacity
+  std::uint32_t max_layout_slots = 1;  ///< return-area meta capacity
+};
+
+struct SystemPlan {
+  LayoutPlan globals;
+  std::vector<ProcPlan> procs;
+};
+
+/// Emit the generated C++ source and the matching storage plan for `cs`.
+/// `kernel` provides the signal widths the code bakes in as literals
+/// (sound for caching: widths are a pure function of the system, exactly
+/// like the interned SignalIds the bytecode already bakes). Returns false
+/// — leaving *plan/*source unspecified — with a human-readable *reason*
+/// when the system is outside the native subset.
+bool emit_native_source(const bytecode::CompiledSystem& cs,
+                        const Kernel& kernel, SystemPlan* plan,
+                        std::string* source, std::string* reason);
+
+}  // namespace ifsyn::sim::native

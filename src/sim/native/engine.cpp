@@ -1,0 +1,383 @@
+// ifsyn/sim/native/engine.cpp
+
+#include "sim/native/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "sim/bytecode/compiler.hpp"
+#include "sim/bytecode/optimizer.hpp"
+#include "sim/bytecode/program_cache.hpp"
+#include "util/assert.hpp"
+
+namespace ifsyn::sim::native {
+
+namespace {
+
+bool meta_eq(const NativeMeta& a, const NativeMeta& b) {
+  return a.w == b.w && a.n == b.n && a.s == b.s && a.is_arr == b.is_arr;
+}
+
+spec::Type type_from_meta(const NativeMeta& m) {
+  const spec::Type elem =
+      m.s != 0 ? spec::Type::integer(m.w) : spec::Type::bits(m.w);
+  return m.is_arr != 0 ? spec::Type::array(elem, m.n) : elem;
+}
+
+}  // namespace
+
+NativeEngine::NativeEngine(const spec::System& system, Kernel& kernel)
+    : system_(system), kernel_(kernel) {
+  callbacks_.signal_read = &NativeEngine::cb_signal_read;
+  callbacks_.signal_write = &NativeEngine::cb_signal_write;
+  callbacks_.release_bus = &NativeEngine::cb_release_bus;
+  callbacks_.trap = &NativeEngine::cb_trap;
+  callbacks_.fail = &NativeEngine::cb_fail;
+  callbacks_.grow_frames = &NativeEngine::cb_grow_frames;
+  callbacks_.grow_calls = &NativeEngine::cb_grow_calls;
+}
+
+bool NativeEngine::setup(std::string* why) {
+  obs::MetricsRegistry* metrics = kernel_.obs().metrics;
+  const bytecode::OptLevel level = bytecode::opt_level_from_env();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Every fallible step comes before the first kernel mutation or metrics
+  // registration, so a `false` return leaves no trace of the attempt and
+  // the VM fallback run stays metric-identical to a pure VM run.
+  const std::string cxx = native_compiler_command();
+  std::string fp_error;
+  const std::string fingerprint = native_compiler_fingerprint(cxx, &fp_error);
+  if (fingerprint.empty()) {
+    if (why) *why = fp_error;
+    return false;
+  }
+
+  if (bytecode::ProgramCache* cache = bytecode::process_cache()) {
+    compiled_ = cache->get_or_compile(
+        bytecode::system_cache_key(system_, level), [this, level] {
+          return bytecode::compile(system_, kernel_, level);
+        });
+  } else {
+    compiled_ = std::make_shared<const bytecode::CompiledSystem>(
+        bytecode::compile(system_, kernel_, level));
+  }
+
+  std::string source;
+  std::string reason;
+  if (!emit_native_source(*compiled_, kernel_, &plan_, &source, &reason)) {
+    if (why) *why = "system outside the native subset: " + reason;
+    compiled_.reset();
+    return false;
+  }
+
+  // The bytecode key already hashes everything that shapes the generated
+  // source; the toolchain fingerprint and ABI version key out everything
+  // that shapes the generated *binary*.
+  const std::string key = bytecode::system_cache_key(system_, level) +
+                          "|cxx:" + fingerprint +
+                          "|nabi:" + std::to_string(kNativeAbiVersion);
+  NativeArtifactCache* acache = process_native_cache();
+  if (acache == nullptr) {
+    own_cache_ = std::make_unique<NativeArtifactCache>();
+    acache = own_cache_.get();
+  }
+  std::string build_error;
+  module_ = acache->get_or_build(
+      key, [&source] { return source; }, &build_error);
+  if (module_ == nullptr) {
+    if (why) *why = build_error;
+    compiled_.reset();
+    return false;
+  }
+  if (module_->proc_count() != compiled_->processes.size()) {
+    if (why) *why = "native module process count mismatch";
+    module_.reset();
+    compiled_.reset();
+    return false;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (metrics) {
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    // Deliberately the same metric names as Vm::setup: the native engine
+    // replaces the VM's data plane, and the deterministic report tables
+    // must read identically under either engine. compile_us here spans
+    // bytecode compile + emission + toolchain (wall-clock-classed, so
+    // artifact-cache hits don't perturb reports).
+    metrics->counter("sim.vm.compile_us", obs::Determinism::kWallClock)
+        .add(us);
+    metrics->counter("sim.vm.compiles").add(1);
+    metrics->counter("sim.vm.compiled_instructions")
+        .add(compiled_->total_instructions);
+    executed_ops_ = &metrics->counter("sim.vm.executed_ops");
+    metrics->gauge("sim.vm.opt.level", obs::Determinism::kWallClock)
+        .set(static_cast<std::int64_t>(compiled_->opt_level));
+    metrics
+        ->counter("sim.vm.opt.patterns_matched", obs::Determinism::kWallClock)
+        .add(compiled_->opt.patterns_matched);
+    metrics
+        ->counter("sim.vm.opt.instructions_eliminated",
+                  obs::Determinism::kWallClock)
+        .add(compiled_->opt.instructions_eliminated);
+    bulk_ops_ = &metrics->counter("sim.vm.opt.bulk_ops",
+                                  obs::Determinism::kWallClock);
+  }
+
+  gw_.assign(std::max<std::size_t>(plan_.globals.words, 1), 0);
+  gm_.assign(std::max<std::size_t>(plan_.globals.slots.size(), 1),
+             NativeMeta{});
+  init_layout(plan_.globals, gw_.data(), gm_.data());
+
+  for (std::uint32_t p = 0; p < compiled_->processes.size(); ++p) {
+    ProcState& ps = states_.emplace_back();
+    ps.engine = this;
+    ps.index = p;
+    kernel_.add_process(
+        compiled_->processes[p].process_name,
+        [this, &ps]() {
+          reset(ps);
+          return run_process(ps);
+        },
+        compiled_->processes[p].restarts);
+  }
+  return true;
+}
+
+void NativeEngine::init_layout(const LayoutPlan& lp, std::uint64_t* words,
+                               NativeMeta* metas) const {
+  for (std::uint32_t w = 0; w < lp.words; ++w) words[w] = 0;
+  for (std::size_t i = 0; i < lp.slots.size(); ++i) {
+    const SlotPlan& s = lp.slots[i];
+    metas[i] = s.meta;
+    for (std::size_t j = 0; j < s.init.size(); ++j) {
+      words[s.woff + j] = s.init[j];
+    }
+  }
+}
+
+void NativeEngine::reset(ProcState& ps) {
+  const ProcPlan& pp = plan_.procs[ps.index];
+  const LayoutPlan& locals = pp.layouts[0];
+
+  ps.pw.assign(std::max<std::size_t>(locals.words, 1), 0);
+  ps.pm.assign(std::max<std::size_t>(locals.slots.size(), 1), NativeMeta{});
+  init_layout(locals, ps.pw.data(), ps.pm.data());
+
+  if (ps.fw.empty()) {
+    ps.fw.resize(std::max<std::uint32_t>(4 * pp.max_layout_words, 16));
+    ps.fm.resize(std::max<std::uint32_t>(4 * pp.max_layout_slots, 16));
+  }
+  ps.rw.assign(pp.max_layout_words, 0);
+  ps.rm.assign(pp.max_layout_slots, NativeMeta{});
+  if (ps.calls.empty()) ps.calls.resize(8);
+
+  NativeState& st = ps.st;
+  st.gw = gw_.data();
+  st.gm = gm_.data();
+  st.pw = ps.pw.data();
+  st.pm = ps.pm.data();
+  st.fw = ps.fw.data();
+  st.fm = ps.fm.data();
+  st.fw_cap = static_cast<std::uint32_t>(ps.fw.size());
+  st.fm_cap = static_cast<std::uint32_t>(ps.fm.size());
+  st.rw = ps.rw.data();
+  st.rm = ps.rm.data();
+  st.calls = ps.calls.data();
+  st.call_cap = static_cast<std::uint32_t>(ps.calls.size());
+  st.call_depth = 0;
+  st.frame_woff = 0;
+  st.frame_moff = 0;
+  st.frame_layout = 0;
+  st.sp_w = 0;
+  st.sp_m = 0;
+  st.ret_layout = 0;
+  st.pc = compiled_->processes[ps.index].entry;
+  st.ops = 0;
+  st.bulk = 0;
+  st.cb = &callbacks_;
+  st.cx = &ps;
+}
+
+void NativeEngine::flush_charges(ProcState& ps) {
+  if (executed_ops_ && ps.st.ops != 0) executed_ops_->add(ps.st.ops);
+  ps.st.ops = 0;
+  if (bulk_ops_ && ps.st.bulk != 0) bulk_ops_->add(ps.st.bulk);
+  ps.st.bulk = 0;
+}
+
+bool NativeEngine::eval_cond(ProcState& ps, std::uint32_t idx) {
+  const std::uint32_t truthy = module_->cond(ps.index, &ps.st, idx);
+  // The host charges the condition's pre-optimization cost, exactly like
+  // Vm::eval_cond — the generated condition bodies do no charging.
+  const auto& cp =
+      compiled_->processes[ps.index].conds[static_cast<std::size_t>(idx)];
+  if (executed_ops_) executed_ops_->add(cp.ref_ops);
+  return truthy != 0;
+}
+
+// NOTE on coroutine style: every co_await awaits a *named local* — same
+// GCC 12 workaround as Vm::run_process.
+SimTask NativeEngine::run_process(ProcState& ps) {
+  for (;;) {
+    std::uint64_t arg = 0;
+    const std::uint32_t kind = module_->run(ps.index, &ps.st, &arg);
+    flush_charges(ps);
+    switch (kind) {
+      case kNativeHalt:
+        co_return;
+      case kNativeWaitFor: {
+        auto awaiter = kernel_.wait_for(arg);
+        co_await awaiter;
+        break;
+      }
+      case kNativeWaitOn: {
+        const std::vector<SignalId>& ids =
+            compiled_->processes[ps.index]
+                .wait_sets[static_cast<std::size_t>(arg)];
+        auto awaiter = kernel_.wait_on(std::span<const SignalId>(ids));
+        co_await awaiter;
+        break;
+      }
+      case kNativeWaitUntil: {
+        const auto idx = static_cast<std::uint32_t>(arg);
+        // Pointer + index capture: fits std::function's inline buffer,
+        // like the VM's two-pointer capture.
+        auto awaiter = kernel_.wait_until(
+            [&ps, idx]() { return ps.engine->eval_cond(ps, idx); });
+        co_await awaiter;
+        break;
+      }
+      case kNativeAcquireBus: {
+        auto awaiter = kernel_.acquire_bus(static_cast<BusId>(arg));
+        co_await awaiter;
+        break;
+      }
+      default:
+        IFSYN_ASSERT_MSG(false, "native: unknown suspend kind " << kind);
+    }
+  }
+}
+
+const spec::Value& NativeEngine::value_of(const std::string& variable) const {
+  auto it = compiled_->global_index.find(variable);
+  IFSYN_ASSERT_MSG(it != compiled_->global_index.end(),
+                   "unknown variable " << variable);
+  const SlotPlan& sp = plan_.globals.slots[it->second];
+  const NativeMeta& m = gm_[it->second];
+  const spec::Type type =
+      meta_eq(m, sp.meta) ? sp.type : type_from_meta(m);
+  spec::Value v(type);
+  // Elements stride by the slot's words-per-element; the high word of a
+  // wide element is live only while the dynamic meta is wide (mirrors the
+  // generated loads).
+  const auto elem_bits = [&](std::uint32_t j) {
+    const std::uint64_t lo = gw_[sp.woff + j * sp.wpe];
+    if (m.w <= 64) return BitVector::from_uint(m.w, lo);
+    BitVector b(m.w);
+    b.set_slice(63, 0, BitVector::from_uint(64, lo));
+    b.set_slice(m.w - 1, 64,
+                BitVector::from_uint(m.w - 64, gw_[sp.woff + j * sp.wpe + 1]));
+    return b;
+  };
+  if (m.is_arr != 0) {
+    for (std::int32_t j = 0; j < m.n; ++j) {
+      v.set_at(j, elem_bits(static_cast<std::uint32_t>(j)));
+    }
+  } else {
+    v.set(elem_bits(0));
+  }
+  auto [slot, inserted] = value_cache_.insert_or_assign(variable, std::move(v));
+  return slot->second;
+}
+
+void NativeEngine::set_value(const std::string& variable, spec::Value value) {
+  auto it = compiled_->global_index.find(variable);
+  IFSYN_ASSERT_MSG(it != compiled_->global_index.end(),
+                   "unknown variable " << variable);
+  const SlotPlan& sp = plan_.globals.slots[it->second];
+  const NativeMeta& m = gm_[it->second];
+  const spec::Type type =
+      meta_eq(m, sp.meta) ? sp.type : type_from_meta(m);
+  IFSYN_ASSERT_MSG(type == value.type(), "type mismatch setting " << variable);
+  const auto put_elem = [&](std::uint32_t j, const BitVector& b) {
+    if (b.width() <= 64) {
+      gw_[sp.woff + j * sp.wpe] = b.to_uint();
+      return;
+    }
+    gw_[sp.woff + j * sp.wpe] = b.slice(63, 0).to_uint();
+    gw_[sp.woff + j * sp.wpe + 1] = b.slice(b.width() - 1, 64).to_uint();
+  };
+  if (m.is_arr != 0) {
+    for (std::int32_t j = 0; j < m.n; ++j) {
+      put_elem(static_cast<std::uint32_t>(j), value.at(j));
+    }
+  } else {
+    put_elem(0, value.get());
+  }
+}
+
+// ---- callbacks ------------------------------------------------------------
+
+std::uint64_t NativeEngine::cb_signal_read(void* cx, std::uint32_t id) {
+  auto* ps = static_cast<ProcState*>(cx);
+  return ps->engine->kernel_.signal_value(static_cast<SignalId>(id))
+      .to_uint();
+}
+
+void NativeEngine::cb_signal_write(void* cx, std::uint32_t id,
+                                   std::int32_t width, std::uint64_t bits) {
+  auto* ps = static_cast<ProcState*>(cx);
+  ps->engine->kernel_.schedule_signal(static_cast<SignalId>(id),
+                                      BitVector::from_uint(width, bits));
+}
+
+void NativeEngine::cb_release_bus(void* cx, std::uint32_t id) {
+  auto* ps = static_cast<ProcState*>(cx);
+  ps->engine->kernel_.release_bus(static_cast<BusId>(id));
+}
+
+void NativeEngine::cb_trap(void* cx, std::uint32_t trap_index) {
+  auto* ps = static_cast<ProcState*>(cx);
+  const auto& traps =
+      ps->engine->compiled_->processes[ps->index].traps;
+  IFSYN_ASSERT_MSG(false, traps[static_cast<std::size_t>(trap_index)]);
+  __builtin_unreachable();
+}
+
+void NativeEngine::cb_fail(void* cx, const char* what) {
+  (void)cx;
+  IFSYN_ASSERT_MSG(false, what);
+  __builtin_unreachable();
+}
+
+void NativeEngine::cb_grow_frames(void* cx, std::uint32_t min_words,
+                                  std::uint32_t min_metas) {
+  auto* ps = static_cast<ProcState*>(cx);
+  if (ps->fw.size() < min_words) {
+    ps->fw.resize(std::max<std::size_t>(min_words, ps->fw.size() * 2));
+  }
+  if (ps->fm.size() < min_metas) {
+    ps->fm.resize(std::max<std::size_t>(min_metas, ps->fm.size() * 2));
+  }
+  ps->st.fw = ps->fw.data();
+  ps->st.fm = ps->fm.data();
+  ps->st.fw_cap = static_cast<std::uint32_t>(ps->fw.size());
+  ps->st.fm_cap = static_cast<std::uint32_t>(ps->fm.size());
+}
+
+void NativeEngine::cb_grow_calls(void* cx, std::uint32_t min_depth) {
+  auto* ps = static_cast<ProcState*>(cx);
+  if (ps->calls.size() < min_depth) {
+    ps->calls.resize(std::max<std::size_t>(min_depth, ps->calls.size() * 2));
+  }
+  ps->st.calls = ps->calls.data();
+  ps->st.call_cap = static_cast<std::uint32_t>(ps->calls.size());
+}
+
+}  // namespace ifsyn::sim::native

@@ -1,0 +1,113 @@
+// ifsyn/sim/native/engine.hpp
+//
+// Host side of the AOT native simulation engine: compiles the system to
+// bytecode (sharing the ProgramCache artifact with the VM), lowers it to
+// C++ through sim/native/emitter.hpp, materializes the .so through the
+// NativeArtifactCache, and drives the generated state-machine functions
+// from the same coroutine shape as bytecode::Vm::run_process — so the
+// kernel sees an identical suspension sequence and every deterministic
+// observable (end time, traces, executed_ops, final variables, report
+// bytes) matches the VM exactly.
+//
+// setup() is all-or-nothing: every fallible step (toolchain probe,
+// emission gate, compile, dlopen) happens before the first kernel
+// mutation or metrics registration, so a failed setup leaves the kernel
+// untouched and the caller (Interpreter) constructs a plain Vm instead —
+// the fallback run is metric- and report-identical to a pure VM run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/bytecode/program.hpp"
+#include "sim/kernel.hpp"
+#include "sim/native/abi.hpp"
+#include "sim/native/artifact_cache.hpp"
+#include "sim/native/emitter.hpp"
+#include "spec/system.hpp"
+
+namespace ifsyn::obs {
+class Counter;
+}
+
+namespace ifsyn::sim::native {
+
+class NativeEngine {
+ public:
+  /// Binds to a system and kernel; both must outlive the engine.
+  NativeEngine(const spec::System& system, Kernel& kernel);
+
+  /// Compile + emit + load + register processes. Returns false with *why
+  /// (toolchain missing, system outside the native subset, compile or
+  /// load failure) — in that case nothing was registered and the caller
+  /// must fall back to the VM.
+  bool setup(std::string* why);
+
+  /// Same contract as Vm::value_of / set_value, reading and writing the
+  /// flat word/meta storage through the declared (or loop-rebound)
+  /// dynamic type.
+  const spec::Value& value_of(const std::string& variable) const;
+  void set_value(const std::string& variable, spec::Value value);
+
+  const bytecode::CompiledSystem& compiled() const { return *compiled_; }
+
+ private:
+  /// All storage one process's generated code touches, plus the
+  /// NativeState window handed across the ABI. deque-stable: coroutine
+  /// factories and wait-until lambdas capture the address.
+  struct ProcState {
+    NativeEngine* engine = nullptr;
+    std::uint32_t index = 0;
+    NativeState st;
+    std::vector<std::uint64_t> pw;
+    std::vector<NativeMeta> pm;
+    std::vector<std::uint64_t> fw;
+    std::vector<NativeMeta> fm;
+    std::vector<std::uint64_t> rw;
+    std::vector<NativeMeta> rm;
+    std::vector<NativeCall> calls;
+  };
+
+  SimTask run_process(ProcState& ps);
+  void reset(ProcState& ps);
+  bool eval_cond(ProcState& ps, std::uint32_t idx);
+  void flush_charges(ProcState& ps);
+  void init_layout(const LayoutPlan& lp, std::uint64_t* words,
+                   NativeMeta* metas) const;
+
+  // NativeCallbacks trampolines; cx is the owning ProcState.
+  static std::uint64_t cb_signal_read(void* cx, std::uint32_t id);
+  static void cb_signal_write(void* cx, std::uint32_t id, std::int32_t width,
+                              std::uint64_t bits);
+  static void cb_release_bus(void* cx, std::uint32_t id);
+  [[noreturn]] static void cb_trap(void* cx, std::uint32_t trap_index);
+  [[noreturn]] static void cb_fail(void* cx, const char* what);
+  static void cb_grow_frames(void* cx, std::uint32_t min_words,
+                             std::uint32_t min_metas);
+  static void cb_grow_calls(void* cx, std::uint32_t min_depth);
+
+  const spec::System& system_;
+  Kernel& kernel_;
+  std::shared_ptr<const bytecode::CompiledSystem> compiled_;
+  std::shared_ptr<NativeModule> module_;  ///< keeps the .so mapped
+  SystemPlan plan_;
+  NativeCallbacks callbacks_;
+  std::deque<ProcState> states_;
+  std::vector<std::uint64_t> gw_;
+  std::vector<NativeMeta> gm_;
+  obs::Counter* executed_ops_ = nullptr;
+  obs::Counter* bulk_ops_ = nullptr;
+  /// value_of materializes spec::Values on demand from the word storage;
+  /// keyed by variable so the returned reference stays valid like the
+  /// VM's. Mutable: value_of is const like Vm::value_of.
+  mutable std::map<std::string, spec::Value> value_cache_;
+  /// Engine-private artifact store used when no process-wide cache is
+  /// installed (still hits the shared on-disk store).
+  std::unique_ptr<NativeArtifactCache> own_cache_;
+};
+
+}  // namespace ifsyn::sim::native

@@ -395,6 +395,46 @@ TEST(ServiceTest, StatsOpAnswersOverTheWireFormat) {
   EXPECT_EQ(request->op, RequestOp::kStats);
 }
 
+TEST(ServiceTest, StatsAndMetricsReportTheActiveSimEngine) {
+  // The active engine rides alongside opt_level everywhere it already
+  // appears: /stats JSON (by name), the native artifact-cache block, and
+  // the prometheus text (serve.sim_engine gauge: 0=vm, 1=ast, 2=native).
+  for (const char* engine : {"vm", "native"}) {
+    ::setenv("IFSYN_SIM_ENGINE", engine, 1);
+    Service service;
+    Request stats;
+    stats.id = "s";
+    stats.op = RequestOp::kStats;
+    Response response = service.execute(stats);
+    ::unsetenv("IFSYN_SIM_ENGINE");
+    ASSERT_TRUE(response.ok) << response.error.message;
+    Result<Json> parsed = parse_json(response.report);
+    ASSERT_TRUE(parsed.is_ok()) << response.report;
+    const JsonObject& root = parsed->as_object();
+    ASSERT_TRUE(root.count("sim_engine"));
+    EXPECT_EQ(root.at("sim_engine").as_string(), engine);
+    ASSERT_TRUE(root.count("native_cache"));
+    const JsonObject& nc = root.at("native_cache").as_object();
+    EXPECT_TRUE(nc.count("hits"));
+    EXPECT_TRUE(nc.count("misses"));
+    EXPECT_TRUE(nc.count("compiles"));
+
+    Request metrics;
+    metrics.id = "m";
+    metrics.op = RequestOp::kMetrics;
+    ::setenv("IFSYN_SIM_ENGINE", engine, 1);
+    Response text = service.execute(metrics);
+    ::unsetenv("IFSYN_SIM_ENGINE");
+    ASSERT_TRUE(text.ok) << text.error.message;
+    const std::string needle =
+        std::string("serve_sim_engine ") +
+        (std::string(engine) == "native" ? "2" : "0");
+    EXPECT_NE(text.report.find(needle), std::string::npos)
+        << engine << " gauge missing from:\n"
+        << text.report;
+  }
+}
+
 TEST(ServiceTest, SlowRequestsAreCapturedToTraceDir) {
   const std::string dir = ::testing::TempDir() + "service_test_slow";
   std::filesystem::remove_all(dir);

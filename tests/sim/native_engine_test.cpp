@@ -1,0 +1,329 @@
+// Native engine tests: the AOT C++ fast path must be observationally
+// indistinguishable from the bytecode VM — same end time, same committed
+// signal trace, same per-process statistics, same final variables — on
+// the paper's builtin systems (original and refined forms), and must
+// degrade to the VM cleanly (identical output, counted fallback,
+// structured warning) whenever the toolchain is unavailable. Also covers
+// the engine-selection env var's unknown-value warning and the artifact
+// cache's memory/disk/LRU behavior through the process-wide seam.
+//
+// These tests invoke the host C++ compiler (small self-contained TUs,
+// ~100ms each); the CI image bakes the toolchain in, so an engagement
+// failure here is a real regression, not an environment quirk.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/interface_synthesizer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/native/artifact_cache.hpp"
+#include "sim/native/engine.hpp"
+#include "suite/answering_machine.hpp"
+#include "suite/ethernet_coprocessor.hpp"
+#include "suite/fig3_example.hpp"
+#include "suite/flc.hpp"
+
+namespace ifsyn::sim {
+namespace {
+
+using spec::System;
+
+/// Scoped setenv/unsetenv; restores the previous value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// A per-test on-disk artifact dir, so compile/hit counts are not
+/// polluted by artifacts earlier tests (or earlier runs) left behind.
+std::string fresh_cache_dir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "ifsyn-native-test-" + tag +
+                          "-" + std::to_string(::getpid());
+  return dir;
+}
+
+SimulationRun run_engine(const System& system, Engine engine,
+                         obs::MetricsRegistry* metrics = nullptr,
+                         obs::EventLog* log = nullptr) {
+  return simulate(system, 20'000'000, /*trace=*/true,
+                  obs::ObsContext{metrics, nullptr, nullptr, log}, engine);
+}
+
+/// The four-way fuzz oracle's pairwise core, specialized to named runs:
+/// status, end time, process stats, committed trace, final variables.
+void expect_runs_identical(const System& system, const SimulationRun& lhs,
+                           const char* lhs_name, const SimulationRun& rhs,
+                           const char* rhs_name) {
+  SCOPED_TRACE(::testing::Message() << lhs_name << " vs " << rhs_name);
+  ASSERT_EQ(lhs.result.status.is_ok(), rhs.result.status.is_ok())
+      << lhs_name << ": " << lhs.result.status << " " << rhs_name << ": "
+      << rhs.result.status;
+  if (!lhs.result.status.is_ok()) return;
+  EXPECT_EQ(lhs.result.end_time, rhs.result.end_time);
+
+  ASSERT_EQ(lhs.result.processes.size(), rhs.result.processes.size());
+  for (std::size_t i = 0; i < lhs.result.processes.size(); ++i) {
+    const ProcessStats& pl = lhs.result.processes[i];
+    const ProcessStats& pr = rhs.result.processes[i];
+    EXPECT_EQ(pl.name, pr.name);
+    EXPECT_EQ(pl.completed, pr.completed) << pl.name;
+    EXPECT_EQ(pl.finish_time, pr.finish_time) << pl.name;
+    EXPECT_EQ(pl.activations, pr.activations) << pl.name;
+    EXPECT_EQ(pl.bus_wait_cycles, pr.bus_wait_cycles) << pl.name;
+  }
+
+  const auto& tl = lhs.kernel->trace();
+  const auto& tr = rhs.kernel->trace();
+  ASSERT_EQ(tl.size(), tr.size());
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    EXPECT_TRUE(tl[i].time == tr[i].time && tl[i].delta == tr[i].delta &&
+                tl[i].key == tr[i].key && tl[i].value == tr[i].value)
+        << "trace entry " << i;
+  }
+
+  for (const auto& v : system.variables()) {
+    EXPECT_EQ(lhs.interpreter->value_of(v->name),
+              rhs.interpreter->value_of(v->name))
+        << "variable " << v->name;
+  }
+}
+
+/// The builtin systems the acceptance gate names, by constructor so each
+/// test gets fresh copies.
+std::vector<std::pair<std::string, std::function<System()>>> builtins() {
+  return {
+      {"fig3", [] { return suite::make_fig3_system(); }},
+      {"flc_kernel", [] { return suite::make_flc_kernel(); }},
+      {"flc_full", [] { return suite::make_flc_full(); }},
+      {"am", [] { return suite::make_answering_machine(); }},
+      {"ethernet", [] { return suite::make_ethernet_coprocessor(); }},
+  };
+}
+
+core::SynthesisReport synthesize(System& system) {
+  core::SynthesisOptions options;
+  options.arbitrate = true;
+  core::InterfaceSynthesizer synth(options);
+  Result<core::SynthesisReport> report = synth.run(system);
+  EXPECT_TRUE(report.is_ok()) << report.status();
+  return report.is_ok() ? *report : core::SynthesisReport{};
+}
+
+TEST(NativeEngineTest, EngagesAndMatchesVmOnBuiltinOriginals) {
+  const std::string dir = fresh_cache_dir("builtins");
+  ScopedEnv cache_dir("IFSYN_NATIVE_CACHE_DIR", dir.c_str());
+  for (auto& [name, make] : builtins()) {
+    SCOPED_TRACE(name);
+    const System sys = make();
+    obs::MetricsRegistry metrics;
+    obs::EventLog log;
+    SimulationRun native = run_engine(sys, Engine::kNative, &metrics, &log);
+    // The builtins are the native subset's reason to exist: a fallback
+    // here means an emission gate regressed. The log names the reason.
+    ASSERT_NE(native.interpreter->native(), nullptr)
+        << "native engine fell back on " << name << ":\n"
+        << log.to_jsonl();
+    EXPECT_EQ(native.interpreter->engine(), Engine::kNative);
+    const auto snap = metrics.snapshot();
+    const auto* engine_gauge = snap.find("sim.engine");
+    ASSERT_NE(engine_gauge, nullptr);
+    EXPECT_EQ(engine_gauge->gauge, 2);  // Engine::kNative
+    EXPECT_EQ(snap.find("sim.native.fallbacks"), nullptr);
+
+    SimulationRun vm = run_engine(sys, Engine::kVm);
+    expect_runs_identical(sys, native, "native", vm, "vm");
+  }
+}
+
+TEST(NativeEngineTest, DeterministicMetricsMatchVmOnBuiltins) {
+  // Reports embed the deterministic metrics section verbatim, so report
+  // byte-identity needs deterministic_json() equality — executed_ops and
+  // compiled_instructions must charge identically in both engines.
+  const std::string dir = fresh_cache_dir("detmetrics");
+  ScopedEnv cache_dir("IFSYN_NATIVE_CACHE_DIR", dir.c_str());
+  for (auto& [name, make] : builtins()) {
+    SCOPED_TRACE(name);
+    const System sys = make();
+    obs::MetricsRegistry native_metrics;
+    obs::MetricsRegistry vm_metrics;
+    SimulationRun native = run_engine(sys, Engine::kNative, &native_metrics);
+    ASSERT_NE(native.interpreter->native(), nullptr);
+    SimulationRun vm = run_engine(sys, Engine::kVm, &vm_metrics);
+    ASSERT_TRUE(vm.result.status.is_ok());
+    EXPECT_EQ(native_metrics.snapshot().deterministic_json(),
+              vm_metrics.snapshot().deterministic_json());
+  }
+}
+
+TEST(NativeEngineTest, EngagesAndMatchesVmOnRefinedBuiltins) {
+  const std::string dir = fresh_cache_dir("refined");
+  ScopedEnv cache_dir("IFSYN_NATIVE_CACHE_DIR", dir.c_str());
+  for (auto& [name, make] : builtins()) {
+    SCOPED_TRACE(name);
+    System original = make();
+    System refined = original.clone(std::string(name) + "_refined");
+    synthesize(refined);
+
+    obs::MetricsRegistry metrics;
+    obs::EventLog log;
+    SimulationRun native =
+        run_engine(refined, Engine::kNative, &metrics, &log);
+    ASSERT_NE(native.interpreter->native(), nullptr)
+        << "native engine fell back on refined " << name << ":\n"
+        << log.to_jsonl();
+
+    SimulationRun vm = run_engine(refined, Engine::kVm);
+    expect_runs_identical(refined, native, "native", vm, "vm");
+  }
+}
+
+TEST(NativeEngineTest, FallsBackToVmWithoutToolchain) {
+  const std::string dir = fresh_cache_dir("notoolchain");
+  ScopedEnv cache_dir("IFSYN_NATIVE_CACHE_DIR", dir.c_str());
+  ScopedEnv bogus_cxx("IFSYN_NATIVE_CXX", "/nonexistent/ifsyn-no-such-cxx");
+  const System sys = suite::make_fig3_system();
+
+  obs::MetricsRegistry metrics;
+  obs::EventLog log;
+  SimulationRun degraded = run_engine(sys, Engine::kNative, &metrics, &log);
+
+  // Clean degradation: VM engaged, fallback counted, warning logged with
+  // the reason — and the run is observationally a pure VM run.
+  EXPECT_EQ(degraded.interpreter->native(), nullptr);
+  EXPECT_EQ(degraded.interpreter->engine(), Engine::kVm);
+  ASSERT_NE(degraded.interpreter->vm(), nullptr);
+  const auto snap = metrics.snapshot();
+  const auto* fallbacks = snap.find("sim.native.fallbacks");
+  ASSERT_NE(fallbacks, nullptr);
+  EXPECT_EQ(fallbacks->counter, 1u);
+  EXPECT_EQ(fallbacks->determinism, obs::Determinism::kWallClock);
+  const auto* engine_gauge = snap.find("sim.engine");
+  ASSERT_NE(engine_gauge, nullptr);
+  EXPECT_EQ(engine_gauge->gauge, 0);  // Engine::kVm
+  bool warned = false;
+  for (const auto& e : log.recent()) {
+    if (e.severity != obs::Severity::kWarn || e.component != "sim") continue;
+    for (const auto& [k, v] : e.fields) {
+      if (k == "reason") warned = !v.empty();
+    }
+  }
+  EXPECT_TRUE(warned) << log.to_jsonl();
+
+  obs::MetricsRegistry vm_metrics;
+  SimulationRun vm = run_engine(sys, Engine::kVm, &vm_metrics);
+  expect_runs_identical(sys, degraded, "native-fallback", vm, "vm");
+  // Report byte-identity: the deterministic metrics section (what reports
+  // embed) must not betray that a native attempt ever happened.
+  EXPECT_EQ(metrics.snapshot().deterministic_json(),
+            vm_metrics.snapshot().deterministic_json());
+}
+
+TEST(NativeEngineTest, UnknownEngineEnvWarnsAndRunsVm) {
+  ScopedEnv engine_env("IFSYN_SIM_ENGINE", "turbo");
+
+  std::string bad;
+  EXPECT_EQ(engine_from_env(&bad), Engine::kVm);
+  EXPECT_EQ(bad, "turbo");
+
+  const System sys = suite::make_fig3_system();
+  obs::MetricsRegistry metrics;
+  obs::EventLog log;
+  // Default engine argument — the path every production caller takes.
+  SimulationRun run = simulate(sys, 20'000'000, false,
+                               obs::ObsContext{&metrics, nullptr, nullptr,
+                                               &log});
+  ASSERT_TRUE(run.result.status.is_ok());
+  EXPECT_EQ(run.interpreter->engine(), Engine::kVm);
+  bool warned = false;
+  for (const auto& e : log.recent()) {
+    if (e.severity != obs::Severity::kWarn || e.component != "sim") continue;
+    for (const auto& [k, v] : e.fields) {
+      if (k == "value" && v == "turbo") warned = true;
+    }
+  }
+  EXPECT_TRUE(warned) << log.to_jsonl();
+}
+
+TEST(NativeEngineTest, RecognizedEngineValuesDoNotWarn) {
+  for (const char* value : {"vm", "ast", "native", ""}) {
+    SCOPED_TRACE(value);
+    ScopedEnv engine_env("IFSYN_SIM_ENGINE", value);
+    std::string bad = "sentinel";
+    (void)engine_from_env(&bad);
+    EXPECT_EQ(bad, "");
+  }
+}
+
+TEST(NativeArtifactCacheTest, MemoryDiskAndLruThroughProcessSeam) {
+  const std::string dir = fresh_cache_dir("cache");
+  ScopedEnv cache_dir("IFSYN_NATIVE_CACHE_DIR", dir.c_str());
+  const System sys = suite::make_fig3_system();
+
+  // First run compiles; second run in the same cache is a memory hit.
+  native::NativeArtifactCache cache1(8);
+  native::install_native_cache(&cache1);
+  SimulationRun first = run_engine(sys, Engine::kNative);
+  ASSERT_NE(first.interpreter->native(), nullptr);
+  EXPECT_EQ(cache1.compiles(), 1u);
+  EXPECT_EQ(cache1.misses(), 1u);
+  EXPECT_EQ(cache1.hits(), 0u);
+  SimulationRun second = run_engine(sys, Engine::kNative);
+  ASSERT_NE(second.interpreter->native(), nullptr);
+  EXPECT_EQ(cache1.compiles(), 1u);
+  EXPECT_EQ(cache1.hits(), 1u);
+  expect_runs_identical(sys, first, "cold", second, "warm");
+
+  // A fresh cache over the same disk dir loads the artifact instead of
+  // recompiling — the cross-process amortization path.
+  native::NativeArtifactCache cache2(8);
+  native::install_native_cache(&cache2);
+  SimulationRun third = run_engine(sys, Engine::kNative);
+  ASSERT_NE(third.interpreter->native(), nullptr);
+  EXPECT_EQ(cache2.compiles(), 0u);
+  EXPECT_EQ(cache2.hits(), 1u);
+  expect_runs_identical(sys, first, "cold", third, "disk-warm");
+
+  // Capacity 1 with two distinct systems forces an LRU eviction.
+  native::NativeArtifactCache cache3(1);
+  native::install_native_cache(&cache3);
+  SimulationRun a = run_engine(sys, Engine::kNative);
+  ASSERT_NE(a.interpreter->native(), nullptr);
+  const System other = suite::make_flc_kernel();
+  SimulationRun b = run_engine(other, Engine::kNative);
+  ASSERT_NE(b.interpreter->native(), nullptr);
+  EXPECT_GE(cache3.evictions(), 1u);
+  EXPECT_EQ(cache3.size(), 1u);
+
+  native::install_native_cache(nullptr);
+}
+
+}  // namespace
+}  // namespace ifsyn::sim
