@@ -95,10 +95,12 @@
 #include <iostream>
 #include <optional>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/checker.hpp"
+#include "check/trace_miner.hpp"
 #include "codegen/vhdl_emitter.hpp"
 #include "core/equivalence.hpp"
 #include "suite/answering_machine.hpp"
@@ -135,6 +137,11 @@ int usage(const char* argv0) {
                "builtin:ethernet|builtin:fig3>\n"
                "          [--protocol full|half|fixed|wired] "
                "[--fixed-delay N] [--arbitrate] [--metrics <file>]\n"
+               "       %s conform <spec.ifs|builtin:flc|builtin:am|"
+               "builtin:ethernet|builtin:fig3>\n"
+               "          [--protocol full|half|fixed|wired] "
+               "[--fixed-delay N] [--arbitrate] [--max-time N]\n"
+               "          [--report <file>] [--metrics <file>]\n"
                "       %s explore <spec.ifs> [--threads N] [--top-k K] "
                "[--protocols full,half,fixed]\n"
                "          [--widths LO:HI] [--fixed-delay N] "
@@ -153,7 +160,7 @@ int usage(const char* argv0) {
                "          [--trace <file>] [--event-log <file>] "
                "[--watchdog-ms N] [--trace-dir <dir>]\n"
                "          [--slow-trace-ms N] [--slow-trace-keep N]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -290,6 +297,112 @@ int check_main(int argc, char** argv, const char* argv0) {
   std::fprintf(stderr, "check failed: %d error(s), %d warning(s)\n",
                report.errors(), report.warnings());
   return 1;
+}
+
+/// `conform` -- the dynamic counterpart of `check`: synthesize the
+/// target, actually run it, and diff the trace-mined protocol automaton
+/// of every refined bus against the statically extracted one. Exit 0
+/// only when the mined and static views agree on every lane.
+int conform_main(int argc, char** argv, const char* argv0) {
+  std::string target;
+  std::string metrics_path;
+  std::string report_path;
+  std::uint64_t max_time = 10'000'000;
+  core::SynthesisOptions options;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const std::string p = next_value("--protocol");
+      if (p == "full") options.protocol = spec::ProtocolKind::kFullHandshake;
+      else if (p == "half") options.protocol = spec::ProtocolKind::kHalfHandshake;
+      else if (p == "fixed") options.protocol = spec::ProtocolKind::kFixedDelay;
+      else if (p == "wired") options.protocol = spec::ProtocolKind::kHardwiredPort;
+      else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
+        return 2;
+      }
+    } else if (arg == "--fixed-delay") {
+      options.fixed_delay_cycles = std::atoi(next_value("--fixed-delay"));
+    } else if (arg == "--arbitrate") {
+      options.arbitrate = true;
+    } else if (arg == "--max-time") {
+      max_time = std::strtoull(next_value("--max-time"), nullptr, 10);
+    } else if (arg == "--metrics") {
+      metrics_path = next_value("--metrics");
+    } else if (arg == "--report") {
+      report_path = next_value("--report");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv0);
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (target.empty()) return usage(argv0);
+
+  Result<spec::System> loaded = load_check_target(target, options);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", target.c_str(),
+                 loaded.status().to_string().c_str());
+    return 1;
+  }
+  spec::System system = std::move(loaded).value();
+
+  obs::MetricsRegistry registry;
+  obs::ObsContext obs;
+  if (!metrics_path.empty()) obs.metrics = &registry;
+  options.obs = obs;
+  options.run_checker = false;  // conformance wants the diff, not the gate
+
+  core::InterfaceSynthesizer synth(options);
+  Result<core::SynthesisReport> synthesized = synth.run(system);
+  if (!synthesized.is_ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 synthesized.status().to_string().c_str());
+    return 1;
+  }
+
+  sim::SimulationRun run =
+      sim::simulate(system, max_time, /*trace=*/true, obs);
+  if (!run.result.status.is_ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 run.result.status.to_string().c_str());
+    return 1;
+  }
+
+  const check::ConformanceReport report =
+      check::mine_and_diff(system, run.kernel->trace(), obs);
+
+  std::ostringstream summary;
+  summary << "conform " << (report.clean() ? "clean" : "FAILED") << ": "
+          << report.lanes_mined << " lane(s), " << report.transactions_mined
+          << " transaction(s), " << report.edges_checked << " edge(s), "
+          << report.disagreements.size() << " disagreement(s), "
+          << report.skipped.size() << " skipped (engine "
+          << sim::engine_name(run.interpreter->engine()) << ")";
+  std::string body = report.to_string();
+  if (!body.empty()) body += "\n";
+  body += summary.str();
+  body += "\n";
+
+  if (!report_path.empty() && !write_file(report_path, body)) return 1;
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path, registry.snapshot().to_json())) return 1;
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+
+  std::printf("%s", body.c_str());
+  return report.clean() ? 0 : 1;
 }
 
 int explore_main(int argc, char** argv, const char* argv0) {
@@ -697,6 +810,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "check") == 0) {
     return check_main(argc - 2, argv + 2, argv[0]);
+  }
+  if (std::strcmp(argv[1], "conform") == 0) {
+    return conform_main(argc - 2, argv + 2, argv[0]);
   }
   if (std::strcmp(argv[1], "batch") == 0) {
     return batch_main(argc - 2, argv + 2, argv[0]);

@@ -39,6 +39,25 @@ FLOW_PHASES = {"s", "t", "f"}
 ASYNC_PHASES = {"b", "n", "e"}
 
 
+def reject_lone_surrogates(path, value, context="document"):
+    """Python's json decodes \\uD800-style lone surrogates into unpaired
+    surrogate code points instead of erroring; the C++ validator rejects
+    them as malformed escapes. Walk every decoded string so the two sides
+    keep agreeing."""
+    if isinstance(value, str):
+        for ch in value:
+            if 0xD800 <= ord(ch) <= 0xDFFF:
+                raise SystemExit(
+                    f"{path}: lone surrogate in string of {context}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            reject_lone_surrogates(path, key, context)
+            reject_lone_surrogates(path, item, context)
+    elif isinstance(value, list):
+        for item in value:
+            reject_lone_surrogates(path, item, context)
+
+
 def fail(path, index, message):
     raise SystemExit(f"{path}: event {index}: {message}")
 
@@ -127,6 +146,7 @@ def validate(path):
             raise SystemExit(f"{path}: invalid JSON: {e}")
     if not isinstance(data, dict):
         raise SystemExit(f"{path}: top-level value must be an object")
+    reject_lone_surrogates(path, data)
     events = data.get("traceEvents")
     if not isinstance(events, list):
         raise SystemExit(f'{path}: missing "traceEvents" array')

@@ -1,0 +1,537 @@
+#include "check/trace_miner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "check/protocol_fsm.hpp"
+#include "protocol/procedure_synthesis.hpp"
+#include "protocol/protocol_generator.hpp"
+#include "protocol/protocol_library.hpp"
+
+namespace ifsyn::check {
+
+using namespace spec;
+
+const char* disagreement_kind_name(DisagreementKind kind) {
+  switch (kind) {
+    case DisagreementKind::kMissingEvent: return "missing_event";
+    case DisagreementKind::kReorderedEdge: return "reordered_edge";
+    case DisagreementKind::kExtraToggle: return "extra_toggle";
+    case DisagreementKind::kDelayDrift: return "delay_drift";
+    case DisagreementKind::kUnattributable: return "unattributable";
+  }
+  return "unknown";
+}
+
+std::string Disagreement::to_string() const {
+  std::ostringstream os;
+  os << "conform." << disagreement_kind_name(kind) << " " << bus;
+  if (!channel.empty()) os << "/" << channel;
+  os << " " << signal << "@" << time << "." << delta << ": " << detail;
+  return os.str();
+}
+
+std::string ConformanceReport::to_string() const {
+  std::string out;
+  for (const Disagreement& d : disagreements) {
+    if (!out.empty()) out += "\n";
+    out += d.to_string();
+  }
+  for (const SkippedLane& s : skipped) {
+    if (!out.empty()) out += "\n";
+    out += "conform.skipped " + s.bus + ": " + s.reason;
+  }
+  return out;
+}
+
+namespace {
+
+/// One committed change on the mined lane, projected out of the kernel
+/// trace. `uvalue` is only meaningful for control/ID fields (DATA words
+/// can be wider than 64 bits and are matched by presence, not value).
+struct ObservedEdge {
+  std::uint64_t time = 0;
+  std::uint64_t delta = 0;
+  std::string field;
+  bool is_data = false;
+  std::uint64_t uvalue = 0;
+};
+
+/// One edge the static automaton predicts, at a commit time relative to
+/// the transaction's first instant. DATA drives are optional: the kernel
+/// traces changes only, so a repeated word legitimately commits nothing.
+struct ExpectedEdge {
+  long long rel = 0;
+  std::string field;
+  std::uint64_t value = 0;
+  bool data = false;
+};
+
+using WireState = std::map<std::string, std::uint64_t>;
+
+std::uint64_t wire_value(const WireState& wires, const std::string& field) {
+  auto it = wires.find(field);
+  return it == wires.end() ? 0 : it->second;
+}
+
+bool conds_hold(const FsmEvent& ev, const WireState& wires) {
+  for (const WireCond& c : ev.conds) {
+    if (wire_value(wires, c.field) != c.value) return false;
+  }
+  return true;
+}
+
+/// Replay one transaction's requester/server event pair under the timed
+/// discipline of compose_timed (zero-time steps drain to quiescence,
+/// requester first, before time advances to the next pending delay --
+/// which is exactly how the kernel schedules the generated protocols),
+/// recording every wire *change* as an expected edge. `wires` carries
+/// the lane state across transactions (ID persists; control wires are
+/// back at 0 after a checker-clean transaction) and is mutated to the
+/// post-transaction state.
+///
+/// `server_lag` starts the server side that many cycles in: the server
+/// process may still be draining the previous transaction's epilogue
+/// (trailing hold cycles, falling-ack wait) when the next request hits
+/// the wires, and its first response shifts accordingly. On success
+/// `*server_done` is the relative time at which the server side ran dry
+/// -- the lag to carry into the next transaction on this server.
+bool replay_transaction(const std::vector<FsmEvent>& req,
+                        const std::vector<FsmEvent>& srv,
+                        long long server_lag, WireState& wires,
+                        std::vector<ExpectedEdge>& out,
+                        long long* server_done, std::string* why) {
+  struct Side {
+    const std::vector<FsmEvent>* events;
+    std::size_t pc = 0;
+    long long ready = 0;
+    long long finish = 0;  ///< instant the side ran out of events
+
+    bool done() const { return pc >= events->size(); }
+  };
+  Side sides[2] = {{&req}, {&srv}};
+  sides[1].ready = server_lag;
+  sides[1].finish = server_lag;
+
+  long long now = 0;
+  long long steps = 0;
+  const long long max_steps = 1 << 20;
+  while (!(sides[0].done() && sides[1].done())) {
+    bool progressed = false;
+    for (Side& side : sides) {
+      const bool was_done = side.done();
+      while (!side.done() && side.ready <= now) {
+        if (++steps > max_steps) {
+          *why = "replay step budget exhausted";
+          return false;
+        }
+        const FsmEvent& ev = (*side.events)[side.pc];
+        if (ev.kind == EventKind::kWaitWires) {
+          if (!conds_hold(ev, wires)) break;
+          ++side.pc;
+        } else if (ev.kind == EventKind::kDelay) {
+          side.ready = now + ev.cycles;
+          ++side.pc;
+          progressed = true;
+          if (ev.cycles > 0) break;
+          continue;
+        } else if (ev.kind == EventKind::kAssignWire) {
+          if (wire_value(wires, ev.field) != ev.value) {
+            wires[ev.field] = ev.value;
+            out.push_back(ExpectedEdge{now, ev.field, ev.value, false});
+          }
+          ++side.pc;
+        } else if (ev.kind == EventKind::kDriveData) {
+          out.push_back(ExpectedEdge{now, "DATA", 0, true});
+          ++side.pc;
+        } else {  // kSampleData: no wire activity
+          ++side.pc;
+        }
+        progressed = true;
+      }
+      if (!was_done && side.done()) {
+        side.finish = std::max(now, side.ready);
+      }
+    }
+    if (progressed) continue;
+
+    long long next = -1;
+    for (const Side& side : sides) {
+      if (side.done() || side.ready <= now) continue;
+      if (next < 0 || side.ready < next) next = side.ready;
+    }
+    if (next < 0) {
+      *why = "replay deadlocked (static composition should have caught this)";
+      return false;
+    }
+    now = next;
+  }
+  *server_done = sides[1].finish;
+  return true;
+}
+
+/// Statically extracted requester/server pair of one channel.
+struct ChannelFsm {
+  const Channel* channel = nullptr;
+  std::vector<FsmEvent> requester;
+  std::vector<FsmEvent> server;
+};
+
+struct Miner {
+  const System& system;
+  ConformanceReport& report;
+  const obs::ObsContext& obs;
+
+  void count(const char* name, std::uint64_t n = 1) {
+    if (obs.metrics) obs.metrics->counter(name).add(n);
+  }
+
+  void skip(const std::string& bus, std::string reason) {
+    report.skipped.push_back(SkippedLane{bus, std::move(reason)});
+  }
+
+  bool refined(const BusGroup& bus) const {
+    for (const std::string& name : bus.channel_names) {
+      const Channel* ch = system.find_channel(name);
+      if (!ch) return false;
+      return system.find_procedure(protocol::requester_proc_name(*ch)) !=
+             nullptr;
+    }
+    return false;
+  }
+
+  /// Extract both sides of every lane channel; false (with a skip entry)
+  /// when any side is missing or outside the extractable subset.
+  bool extract_lane(const BusGroup& bus, const std::string& signal,
+                    const std::vector<const Channel*>& channels,
+                    std::vector<ChannelFsm>& out) {
+    for (const Channel* ch : channels) {
+      const Procedure* req_proc =
+          system.find_procedure(protocol::requester_proc_name(*ch));
+      const Procedure* srv_proc =
+          system.find_procedure(protocol::serve_proc_name(*ch));
+      if (!req_proc || !srv_proc) {
+        skip(bus.name, "channel " + ch->name +
+                           " lacks a generated requester/server pair");
+        return false;
+      }
+      ChannelFsm fsm;
+      fsm.channel = ch;
+      const ExtractResult req = extract_events(req_proc->body, signal);
+      const ExtractResult srv = extract_events(srv_proc->body, signal);
+      if (!req.supported || !srv.supported) {
+        skip(bus.name,
+             "cannot abstract " +
+                 (!req.supported ? req_proc->name : srv_proc->name) + ": " +
+                 (!req.supported ? req.why_unsupported
+                                 : srv.why_unsupported));
+        return false;
+      }
+      fsm.requester = req.events;
+      fsm.server = srv.events;
+      out.push_back(std::move(fsm));
+    }
+    return true;
+  }
+
+  void disagree(DisagreementKind kind, const BusGroup& bus,
+                const Channel* channel, std::uint64_t time,
+                std::uint64_t delta, const std::string& signal,
+                const std::string& field, std::string detail) {
+    Disagreement d;
+    d.kind = kind;
+    d.bus = bus.name;
+    if (channel) d.channel = channel->name;
+    d.time = time;
+    d.delta = delta;
+    d.signal = field.empty() ? signal : signal + "." + field;
+    d.detail = std::move(detail);
+    report.disagreements.push_back(std::move(d));
+  }
+
+  /// Match one transaction's expected edges against the observed stream
+  /// starting at `pos`. Returns true when the transaction fully matched
+  /// (`pos` advanced past its edges); false when a disagreement was
+  /// recorded (mining of the lane must stop).
+  bool match_transaction(const BusGroup& bus, const Channel& channel,
+                         const std::string& signal,
+                         const std::vector<ExpectedEdge>& expected,
+                         const std::vector<ObservedEdge>& stream,
+                         std::size_t& pos) {
+    const std::uint64_t t0 = stream[pos].time;
+    // Instants whose expected DATA drive went unconsumed (value-repeat
+    // words commit nothing): a DATA edge observed at such an instant
+    // *after* its word's control edge is the reordered-drive signature.
+    std::set<std::uint64_t> skipped_drive_times;
+
+    std::size_t e = 0;
+    while (e < expected.size()) {
+      const ExpectedEdge& exp = expected[e];
+      const std::uint64_t want_time =
+          t0 + static_cast<std::uint64_t>(exp.rel);
+
+      if (pos >= stream.size()) {
+        if (exp.data) {  // a repeated word's silent commit
+          ++e;
+          continue;
+        }
+        const ObservedEdge& last = stream.back();
+        disagree(DisagreementKind::kMissingEvent, bus, &channel, last.time,
+                 last.delta, signal, exp.field,
+                 "expected " + exp.field + "=" + std::to_string(exp.value) +
+                     " at t=" + std::to_string(want_time) +
+                     " but the trace ends (last edge at t=" +
+                     std::to_string(last.time) + ")");
+        return false;
+      }
+
+      const ObservedEdge& ob = stream[pos];
+      if (exp.data) {
+        if (ob.is_data && ob.time == want_time) {
+          ++report.edges_checked;
+          ++e;
+          ++pos;
+        } else {
+          // No change committed: the word repeated the previous DATA
+          // value. Remember the instant for reorder detection.
+          skipped_drive_times.insert(want_time);
+          ++e;
+        }
+        continue;
+      }
+
+      if (ob.is_data) {
+        if (skipped_drive_times.count(ob.time)) {
+          disagree(DisagreementKind::kReorderedEdge, bus, &channel, ob.time,
+                   ob.delta, signal, "DATA",
+                   "DATA committed after the control edge of its word; the "
+                   "generated sender drives DATA first");
+          return false;
+        }
+        // A time-shifted word commits DATA and its control edge together
+        // at the wrong instant; when the very next observed edge is the
+        // control edge this expected one describes, let the control
+        // comparison carry the verdict (delay drift, not extra data).
+        if (pos + 1 < stream.size()) {
+          const ObservedEdge& next = stream[pos + 1];
+          if (!next.is_data && next.field == exp.field &&
+              next.uvalue == exp.value) {
+            ++pos;  // the word's displaced drive
+            continue;
+          }
+        }
+        disagree(DisagreementKind::kExtraToggle, bus, &channel, ob.time,
+                 ob.delta, signal, "DATA",
+                 "DATA change with no corresponding word drive at t=" +
+                     std::to_string(ob.time));
+        return false;
+      }
+
+      if (ob.field == exp.field && ob.uvalue == exp.value) {
+        if (ob.time != want_time) {
+          disagree(DisagreementKind::kDelayDrift, bus, &channel, ob.time,
+                   ob.delta, signal, exp.field,
+                   exp.field + "=" + std::to_string(exp.value) +
+                       " observed at t=" + std::to_string(ob.time) +
+                       ", statically expected at t=" +
+                       std::to_string(want_time));
+          return false;
+        }
+        ++report.edges_checked;
+        ++e;
+        ++pos;
+        continue;
+      }
+
+      // Head mismatch: classify by looking for each head further down
+      // the other sequence (bounded scans; classification only).
+      bool expected_found_later = false;
+      const std::size_t scan_end = std::min(stream.size(), pos + 64);
+      for (std::size_t i = pos + 1; i < scan_end; ++i) {
+        if (!stream[i].is_data && stream[i].field == exp.field &&
+            stream[i].uvalue == exp.value) {
+          expected_found_later = true;
+          break;
+        }
+      }
+      bool observed_expected_later = false;
+      for (std::size_t j = e + 1; j < expected.size(); ++j) {
+        if (!expected[j].data && expected[j].field == ob.field &&
+            expected[j].value == ob.uvalue) {
+          observed_expected_later = true;
+          break;
+        }
+      }
+      if (observed_expected_later && expected_found_later) {
+        disagree(DisagreementKind::kReorderedEdge, bus, &channel, ob.time,
+                 ob.delta, signal, ob.field,
+                 ob.field + "=" + std::to_string(ob.uvalue) +
+                     " arrived before " + exp.field + "=" +
+                     std::to_string(exp.value) +
+                     "; the static automaton orders them the other way");
+        return false;
+      }
+      if (!observed_expected_later) {
+        disagree(DisagreementKind::kExtraToggle, bus, &channel, ob.time,
+                 ob.delta, signal, ob.field,
+                 ob.field + "=" + std::to_string(ob.uvalue) +
+                     " is not part of this transaction's automaton");
+        return false;
+      }
+      disagree(DisagreementKind::kMissingEvent, bus, &channel, ob.time,
+               ob.delta, signal, exp.field,
+               "expected " + exp.field + "=" + std::to_string(exp.value) +
+                   " at t=" + std::to_string(want_time) + " but observed " +
+                   ob.field + "=" + std::to_string(ob.uvalue));
+      return false;
+    }
+    return true;
+  }
+
+  /// Mine one lane: a serialized sequence of transactions on `signal`.
+  void mine_lane(const BusGroup& bus, const std::string& signal,
+                 const std::vector<const Channel*>& channels,
+                 const std::vector<ObservedEdge>& stream) {
+    std::vector<ChannelFsm> fsms;
+    if (!extract_lane(bus, signal, channels, fsms)) return;
+    ++report.lanes_mined;
+
+    WireState wires;  // kernel-initialized to zero
+    // Instant (absolute) until which each server process is still
+    // draining its previous transaction's epilogue. One server process
+    // per served variable; a request that lands while it is busy gets
+    // its response shifted by the remainder.
+    std::map<std::string, std::uint64_t> server_busy;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      // Attribute the transaction: ID edges of its first instant apply
+      // before the carried value is read (trace_analyzer's idiom).
+      std::uint64_t effective_id = wire_value(wires, "ID");
+      for (std::size_t i = pos;
+           i < stream.size() && stream[i].time == stream[pos].time; ++i) {
+        if (stream[i].field == "ID") {
+          effective_id = stream[i].uvalue;
+          break;
+        }
+      }
+      const ChannelFsm* fsm = nullptr;
+      if (fsms.size() == 1) {
+        fsm = &fsms[0];
+      } else {
+        for (const ChannelFsm& f : fsms) {
+          if (static_cast<std::uint64_t>(f.channel->id) == effective_id) {
+            fsm = &f;
+            break;
+          }
+        }
+      }
+      if (!fsm) {
+        disagree(DisagreementKind::kUnattributable, bus, nullptr,
+                 stream[pos].time, stream[pos].delta, signal, "ID",
+                 "traffic under ID=" + std::to_string(effective_id) +
+                     " matches no channel of this bus");
+        return;
+      }
+
+      const std::uint64_t t0 = stream[pos].time;
+      const std::uint64_t busy = server_busy[fsm->channel->variable];
+      const long long server_lag =
+          busy > t0 ? static_cast<long long>(busy - t0) : 0;
+
+      std::vector<ExpectedEdge> expected;
+      WireState replay_wires = wires;
+      long long server_done = 0;
+      std::string why;
+      if (!replay_transaction(fsm->requester, fsm->server, server_lag,
+                              replay_wires, expected, &server_done, &why)) {
+        skip(bus.name, "channel " + fsm->channel->name + ": " + why);
+        return;
+      }
+      if (!match_transaction(bus, *fsm->channel, signal, expected, stream,
+                             pos)) {
+        return;
+      }
+      wires = std::move(replay_wires);
+      server_busy[fsm->channel->variable] =
+          t0 + static_cast<std::uint64_t>(server_done);
+      ++report.transactions_mined;
+    }
+  }
+
+  void run(const std::vector<sim::TraceEntry>& trace) {
+    for (const auto& bus : system.buses()) {
+      if (!refined(*bus)) continue;
+
+      std::vector<const Channel*> channels;
+      for (const std::string& name : bus->channel_names) {
+        if (const Channel* ch = system.find_channel(name)) {
+          channels.push_back(ch);
+        }
+      }
+      if (channels.empty()) continue;
+
+      // Lane split: hardwired ports give every channel its own signal;
+      // every other protocol shares the bus record.
+      std::vector<std::pair<std::string, std::vector<const Channel*>>> lanes;
+      if (bus->protocol == ProtocolKind::kHardwiredPort) {
+        for (const Channel* ch : channels) {
+          lanes.emplace_back(
+              protocol::ProtocolGenerator::hardwired_signal_name(*bus, *ch),
+              std::vector<const Channel*>{ch});
+        }
+      } else {
+        if (channels.size() > 1 && !bus->arbitrated) {
+          std::set<std::string> masters;
+          for (const Channel* ch : channels) masters.insert(ch->accessor);
+          if (masters.size() > 1) {
+            skip(bus->name,
+                 "multiple un-arbitrated masters share the bus; their "
+                 "transactions may legitimately interleave, so serialized "
+                 "mining would be unsound (synthesize with arbitration to "
+                 "mine this bus)");
+            continue;
+          }
+        }
+        lanes.emplace_back(bus->name, channels);
+      }
+
+      for (const auto& [signal, lane_channels] : lanes) {
+        std::vector<ObservedEdge> stream;
+        for (const sim::TraceEntry& entry : trace) {
+          if (entry.key.signal != signal) continue;
+          ObservedEdge edge;
+          edge.time = entry.time;
+          edge.delta = entry.delta;
+          edge.field = entry.key.field;
+          edge.is_data = entry.key.field == "DATA";
+          if (!edge.is_data) edge.uvalue = entry.value.to_uint();
+          stream.push_back(std::move(edge));
+        }
+        if (stream.empty()) continue;  // no traffic: nothing to mine
+        mine_lane(*bus, signal, lane_channels, stream);
+      }
+    }
+
+    count("check.conform.transactions",
+          static_cast<std::uint64_t>(report.transactions_mined));
+    count("check.conform.edges",
+          static_cast<std::uint64_t>(report.edges_checked));
+    count("check.conform.disagreements",
+          static_cast<std::uint64_t>(report.disagreements.size()));
+  }
+};
+
+}  // namespace
+
+ConformanceReport mine_and_diff(const System& system,
+                                const std::vector<sim::TraceEntry>& trace,
+                                const obs::ObsContext& obs) {
+  ConformanceReport report;
+  Miner miner{system, report, obs};
+  miner.run(trace);
+  return report;
+}
+
+}  // namespace ifsyn::check

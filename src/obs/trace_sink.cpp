@@ -161,7 +161,9 @@ std::string TraceSink::to_json() const {
 //
 // A minimal recursive-descent JSON reader: just enough structure to prove
 // the document parses and to expose objects/arrays/strings/numbers for the
-// schema checks below. Not a general-purpose parser (no \uXXXX decoding).
+// schema checks below. Strings decode the full RFC 8259 escape set,
+// including \uXXXX (with surrogate pairs re-encoded as UTF-8); malformed
+// escapes are positioned schema errors, never silently passed through.
 
 namespace {
 
@@ -269,17 +271,89 @@ class JsonParser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape; fails with position on anything
+  /// shorter or non-hex.
+  bool parse_hex4(unsigned* out) {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return fail("truncated \\u escape");
+      const char c = text_[pos_];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else return fail("non-hex digit in \\u escape");
+      value = value * 16 + digit;
+      ++pos_;
+    }
+    *out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   bool parse_string(std::string* out) {
     if (!consume('"')) return fail("expected string");
     out->clear();
     while (pos_ < text_.size()) {
       const char c = text_[pos_++];
       if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return fail("bad escape");
-        *out += text_[pos_++];
-      } else {
+      if (c != '\\') {
         *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("bad escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          unsigned cp;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate in \\u escape");
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            unsigned low;
+            if (!parse_hex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("high surrogate not followed by a low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail(std::string("unknown escape \\") + esc);
       }
     }
     return fail("unterminated string");

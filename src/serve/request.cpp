@@ -49,6 +49,9 @@ Status parse_options(const Json& json, RequestOptions& out) {
     } else if (key == "cosim") {
       if (!value.is_bool()) return invalid_argument("cosim must be a bool");
       out.cosim = value.as_bool();
+    } else if (key == "conform") {
+      if (!value.is_bool()) return invalid_argument("conform must be a bool");
+      out.conform = value.as_bool();
     } else if (key == "max_time") {
       IFSYN_RETURN_IF_ERROR(parse_int(value, "max_time", 1, 1ll << 50, n));
       out.max_time = static_cast<std::uint64_t>(n);

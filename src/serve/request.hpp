@@ -9,7 +9,8 @@
 //    "deadline_ms": 2000}
 //   {"id": "r2", "op": "explore", "spec": "builtin:flc",
 //    "options": {"top_k": 4, "protocols": ["full", "fixed"]}}
-//   {"id": "r3", "op": "check", "spec": "builtin:ethernet"}
+//   {"id": "r3", "op": "check", "spec": "builtin:ethernet",
+//    "options": {"conform": true}}
 //   {"id": "r4", "op": "metrics"}
 //   {"id": "r5", "op": "stats"}
 //
@@ -56,7 +57,8 @@ struct RequestOptions {
   std::optional<int> fixed_delay_cycles;
   std::optional<bool> arbitrate;
   std::optional<bool> cosim;                    // synth only
-  std::optional<std::uint64_t> max_time;        // synth cosim budget
+  std::optional<bool> conform;                  // check only: mine the trace
+  std::optional<std::uint64_t> max_time;        // synth cosim / conform budget
   // ---- explore ----
   std::optional<int> threads;
   std::optional<int> top_k;

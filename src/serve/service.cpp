@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "check/checker.hpp"
+#include "check/trace_miner.hpp"
 #include "core/equivalence.hpp"
 #include "core/interface_synthesizer.hpp"
 #include "core/report.hpp"
@@ -99,6 +100,12 @@ Service::Service(ServiceOptions options)
                                     obs::Determinism::kWallClock)),
       c_deadline_(registry_.counter("serve.requests.deadline_exceeded",
                                     obs::Determinism::kWallClock)),
+      c_conform_requests_(registry_.counter("check.conform.requests",
+                                            obs::Determinism::kWallClock)),
+      c_conform_clean_(registry_.counter("check.conform.clean",
+                                         obs::Determinism::kWallClock)),
+      c_conform_disagreements_(registry_.counter(
+          "check.conform.disagreements", obs::Determinism::kWallClock)),
       g_queue_depth_(registry_.gauge("serve.queue.depth",
                                      obs::Determinism::kWallClock)),
       h_latency_us_(registry_.histogram("serve.request_latency_us",
@@ -708,6 +715,40 @@ Response Service::execute_check(const Request& request,
                       std::to_string(report.errors()) + " error(s), " +
                           std::to_string(report.warnings()) + " warning(s)"};
   }
+
+  // Opt-in dynamic conformance: run the refined system and diff the
+  // trace-mined protocol automaton against the static extraction. The
+  // mined report is deterministic for a given spec/options/engine, so it
+  // stays inside the response's determinism contract.
+  if (ro.conform.value_or(false)) {
+    c_conform_requests_.add(1);
+    sim::SimulationRun run = sim::simulate(
+        system, ro.max_time.value_or(10'000'000), /*trace=*/true, obs);
+    if (!run.result.status.is_ok()) {
+      return status_response(request, run.result.status);
+    }
+    const check::ConformanceReport mined =
+        check::mine_and_diff(system, run.kernel->trace(), obs);
+    c_conform_disagreements_.add(
+        static_cast<long long>(mined.disagreements.size()));
+    std::ostringstream os;
+    std::string detail = mined.to_string();
+    if (!detail.empty()) os << detail << "\n";
+    os << "conform " << (mined.clean() ? "clean" : "FAILED") << ": "
+       << mined.lanes_mined << " lane(s), " << mined.transactions_mined
+       << " transaction(s), " << mined.edges_checked << " edge(s), "
+       << mined.disagreements.size() << " disagreement(s), "
+       << mined.skipped.size() << " skipped\n";
+    response.report += os.str();
+    if (mined.clean()) {
+      c_conform_clean_.add(1);
+    } else if (response.ok) {
+      response.ok = false;
+      response.error = {"conform_failed",
+                        std::to_string(mined.disagreements.size()) +
+                            " trace/static disagreement(s); see report"};
+    }
+  }
   return response;
 }
 
@@ -775,6 +816,10 @@ std::string Service::stats_json() const {
   counters["error"] = static_cast<double>(c_error_.value());
   counters["admission_rejected"] = static_cast<double>(c_rejected_.value());
   counters["deadline_exceeded"] = static_cast<double>(c_deadline_.value());
+  counters["conform_requests"] = static_cast<double>(c_conform_requests_.value());
+  counters["conform_clean"] = static_cast<double>(c_conform_clean_.value());
+  counters["conform_disagreements"] =
+      static_cast<double>(c_conform_disagreements_.value());
   root["counters"] = Json(std::move(counters));
   return Json(std::move(root)).dump();
 }

@@ -246,6 +246,12 @@ class Service {
   obs::Counter& c_error_;
   obs::Counter& c_rejected_;
   obs::Counter& c_deadline_;
+  // Trace-conformance mining on the check path (options.conform):
+  // requests that opted in, how many came back clean, and the total
+  // disagreements surfaced across the service's lifetime.
+  obs::Counter& c_conform_requests_;
+  obs::Counter& c_conform_clean_;
+  obs::Counter& c_conform_disagreements_;
   obs::Gauge& g_queue_depth_;
   obs::Histogram& h_latency_us_;
   obs::Histogram& h_queue_wait_us_;

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "check/checker.hpp"
+#include "check/trace_miner.hpp"
 #include "core/equivalence.hpp"
 #include "partition/partitioner.hpp"
 #include "protocol/protocol_generator.hpp"
@@ -354,7 +355,8 @@ void expect_two_runs_identical(const System& system,
 }
 
 void expect_runs_identical(const System& system, std::uint64_t seed,
-                           const char* label) {
+                           const char* label,
+                           bool mine_conformance = false) {
   sim::SimulationRun vm_opt = [&] {
     ScopedSimOpt opt("1");
     return run_engine(system, sim::Engine::kVm);
@@ -373,6 +375,27 @@ void expect_runs_identical(const System& system, std::uint64_t seed,
   expect_two_runs_identical(system, vm_opt, "vm+opt", ast, "ast");
   expect_two_runs_identical(system, vm_opt, "vm+opt", vm_ref, "vm");
   expect_two_runs_identical(system, vm_opt, "vm+opt", native, "native");
+
+  // For refined systems, close the second loop: the trace each engine
+  // committed must conform to the statically extracted protocol
+  // automata. An engine bug that merely *skews* the waveform the same
+  // way on every engine slips past the byte-for-byte oracle above but
+  // not past the mined-vs-static diff.
+  if (!mine_conformance) return;
+  const struct {
+    const sim::SimulationRun* run;
+    const char* name;
+  } legs[] = {{&vm_opt, "vm+opt"},
+              {&vm_ref, "vm"},
+              {&ast, "ast"},
+              {&native, "native"}};
+  for (const auto& leg : legs) {
+    if (!leg.run->result.status.is_ok()) continue;
+    const check::ConformanceReport mined =
+        check::mine_and_diff(system, leg.run->kernel->trace());
+    EXPECT_TRUE(mined.clean())
+        << leg.name << " trace fails conformance:\n" << mined.to_string();
+  }
 }
 
 class FuzzEngineDifferential : public ::testing::TestWithParam<int> {};
@@ -399,7 +422,7 @@ TEST_P(FuzzEngineDifferential, EnginesAgreeByteForByte) {
   protocol::ProtocolGenerator generator(options);
   Status status = generator.generate_all(refined);
   ASSERT_TRUE(status.is_ok()) << "seed " << seed << ": " << status;
-  expect_runs_identical(refined, seed, "refined");
+  expect_runs_identical(refined, seed, "refined", /*mine_conformance=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEngineDifferential,

@@ -111,6 +111,53 @@ TEST(TraceSinkTest, ValidatorRejectsMalformedDocuments) {
   EXPECT_NE(error.find("ts"), std::string::npos);
 }
 
+// Regression: the validator's mini-parser used to mishandle \uXXXX
+// escapes, so a trace whose process/thread name came from an external
+// producer with escaped non-ASCII characters failed validation.
+TEST(TraceSinkTest, UnicodeEscapesInNamesDecodeAndValidate) {
+  std::string error;
+
+  // BMP escape (\u00e9 = é) and an astral surrogate pair (\ud83d\ude80)
+  // inside a thread_name metadata event plus an ordinary event name.
+  EXPECT_TRUE(validate_trace_json(
+      "{\"traceEvents\": ["
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"r\\u00e9acteur \\ud83d\\ude80\"}},"
+      "{\"name\": \"caf\\u00e9 tick\", \"ph\": \"i\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0}]}",
+      &error))
+      << error;
+
+  // Malformed escapes stay positioned errors, not silent acceptance.
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"\\uZZZZ\", \"ph\": \"i\", "
+      "\"ts\": 1, \"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("non-hex digit"), std::string::npos) << error;
+
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"\\udc00\", \"ph\": \"i\", "
+      "\"ts\": 1, \"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("lone low surrogate"), std::string::npos) << error;
+
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"\\ud83d oops\", \"ph\": \"i\", "
+      "\"ts\": 1, \"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("high surrogate"), std::string::npos) << error;
+
+  EXPECT_FALSE(validate_trace_json("{\"traceEvents\": [{\"name\": \"\\u00",
+                                   &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  EXPECT_FALSE(validate_trace_json(
+      "{\"traceEvents\": [{\"name\": \"\\q\", \"ph\": \"i\", "
+      "\"ts\": 1, \"pid\": 1, \"tid\": 0}]}",
+      &error));
+  EXPECT_NE(error.find("unknown escape"), std::string::npos) << error;
+}
+
 TEST(TraceSinkTest, FlowAndAsyncRoundTripValidates) {
   TraceSink sink;
   sink.async_begin("request r1", "serve", 7);

@@ -79,6 +79,53 @@ TEST(ServiceTest, ExecutesEveryOperation) {
             std::string::npos);
 }
 
+TEST(ServiceTest, ConformFlagMinesTheTraceOnTheCheckPath) {
+  Service service;
+
+  // Opt-in: a plain check request never pays for a simulation.
+  Response plain = service.execute(check_request("p", "builtin:fig3"));
+  ASSERT_TRUE(plain.ok) << plain.error.message;
+  EXPECT_EQ(plain.report.find("conform"), std::string::npos);
+
+  Request request = check_request("c", "builtin:fig3");
+  request.options.conform = true;
+  request.options.arbitrate = true;  // fig3's bus is multi-master
+  Response response = service.execute(request);
+  ASSERT_TRUE(response.ok) << response.error.message;
+  EXPECT_NE(response.report.find("check clean"), std::string::npos);
+  EXPECT_NE(response.report.find("conform clean"), std::string::npos);
+  EXPECT_NE(response.report.find("0 disagreement(s)"), std::string::npos);
+
+  // The determinism contract extends to the mined section.
+  Response again = service.execute(request);
+  ASSERT_TRUE(again.ok) << again.error.message;
+  EXPECT_EQ(again.report, response.report);
+
+  // Counters surface in /stats and prometheus; the plain check request
+  // did not bump them.
+  Request stats;
+  stats.id = "s";
+  stats.op = RequestOp::kStats;
+  Response stats_response = service.execute(stats);
+  ASSERT_TRUE(stats_response.ok);
+  EXPECT_NE(stats_response.report.find("\"conform_requests\":2"),
+            std::string::npos)
+      << stats_response.report;
+  EXPECT_NE(stats_response.report.find("\"conform_clean\":2"),
+            std::string::npos);
+  EXPECT_NE(stats_response.report.find("\"conform_disagreements\":0"),
+            std::string::npos);
+
+  Request metrics;
+  metrics.id = "m";
+  metrics.op = RequestOp::kMetrics;
+  Response snapshot = service.execute(metrics);
+  ASSERT_TRUE(snapshot.ok);
+  EXPECT_NE(snapshot.report.find("ifsyn_check_conform_requests_total 2"),
+            std::string::npos)
+      << snapshot.report;
+}
+
 TEST(ServiceTest, ReportsAreByteIdenticalAloneConcurrentlyAndWarm) {
   // Reference: a fresh service executing the request cold and alone.
   std::string reference;
